@@ -1,0 +1,46 @@
+// Shared helpers for the figure/table reproduction harnesses.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/strfmt.hpp"
+#include "core/report.hpp"
+
+namespace dht::bench {
+
+/// Prints `table` to stdout -- as CSV when the harness was invoked with
+/// --csv (for replotting), aligned text otherwise.
+inline void emit(const core::Table& table, int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--csv") {
+      table.print_csv(std::cout);
+      return;
+    }
+  }
+  table.print(std::cout);
+}
+
+/// Percentages 0, 5, ..., 90 as failure probabilities (the x-axis of the
+/// paper's Figs. 6 and 7(a)).
+inline std::vector<double> paper_q_grid() {
+  std::vector<double> qs;
+  for (int percent = 0; percent <= 90; percent += 5) {
+    qs.push_back(percent / 100.0);
+  }
+  return qs;
+}
+
+/// Formats a probability as a percentage with one decimal.
+inline std::string pct(double value) {
+  return strfmt("%.1f", value * 100.0);
+}
+
+/// Formats a probability as a percentage with three decimals (for curves
+/// that live close to 0 or 100%).
+inline std::string pct3(double value) {
+  return strfmt("%.3f", value * 100.0);
+}
+
+}  // namespace dht::bench

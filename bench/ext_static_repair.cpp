@@ -1,0 +1,92 @@
+// Extension: from static resilience toward churn (paper Section 1).
+//
+// The static model is the zero-repair limit of a repair process.  This
+// harness interpolates: after failures land, each dead tree/XOR table entry
+// has been repaired with probability rho (re-pointed at an alive member of
+// its class).  rho = 0 is the paper's model; rho = 1 is a fully converged
+// repair protocol.  The reference columns evaluate the static analytical
+// model at the effective failure probability q_eff = q (1 - rho) -- exact
+// for large neighbor classes, optimistic for the deepest levels whose
+// classes are single nodes.
+#include <iostream>
+#include <memory>
+
+#include "bench_util.hpp"
+#include "common/strfmt.hpp"
+#include "core/registry.hpp"
+#include "core/report.hpp"
+#include "core/routability.hpp"
+#include "math/rng.hpp"
+#include "sim/monte_carlo.hpp"
+#include "sim/repair.hpp"
+#include "sim/xor_overlay.hpp"
+
+namespace {
+
+constexpr int kBits = 14;
+constexpr std::uint64_t kPairs = 20000;
+
+double xor_failed_with_repair(const dht::sim::IdSpace& space,
+                              const dht::sim::PrefixTable& table, double q,
+                              double rho, std::uint64_t seed) {
+  using namespace dht;
+  if (q == 0.0) {
+    return 0.0;
+  }
+  math::Rng fail_rng(seed);
+  const sim::FailureScenario failures(space, q, fail_rng);
+  math::Rng repair_rng(seed + 1);
+  const auto repaired =
+      sim::repair_prefix_table(table, space, failures, rho, repair_rng);
+  const sim::XorOverlay overlay(space, repaired);
+  math::Rng route_rng(seed + 2);
+  return 1.0 - sim::estimate_routability(overlay, failures, {.pairs = kPairs},
+                                         route_rng)
+                   .routability();
+}
+
+}  // namespace
+
+int main() {
+  using namespace dht;
+  const sim::IdSpace space(kBits);
+  math::Rng build_rng(99);
+  const sim::PrefixTable table(space, build_rng);
+  const auto xor_geo = core::make_geometry(core::GeometryKind::kXor);
+
+  core::Table out(strfmt(
+      "Static-repair extension -- XOR geometry, N = 2^%d: percent failed "
+      "paths as repair completeness rho grows",
+      kBits));
+  out.set_header({"q%", "rho=0 (paper)", "rho=0.5", "rho=0.9", "rho=1",
+                  "ana q_eff=q/2", "ana q_eff=q/10"});
+  std::uint64_t seed = 1;
+  for (double q : bench::paper_q_grid()) {
+    const auto analytical_at = [&](double q_eff) {
+      if (q_eff >= 1.0) {
+        return 1.0;
+      }
+      return 1.0 - core::evaluate_routability(*xor_geo, kBits, q_eff)
+                       .conditional_success;
+    };
+    out.add_row({bench::pct(q),
+                 bench::pct(xor_failed_with_repair(space, table, q, 0.0, seed)),
+                 bench::pct(
+                     xor_failed_with_repair(space, table, q, 0.5, seed + 3)),
+                 bench::pct(
+                     xor_failed_with_repair(space, table, q, 0.9, seed + 6)),
+                 bench::pct(
+                     xor_failed_with_repair(space, table, q, 1.0, seed + 9)),
+                 bench::pct(analytical_at(q * 0.5)),
+                 bench::pct(analytical_at(q * 0.1))});
+    seed += 100;
+  }
+  out.add_note(
+      "entries die at effective rate q(1-rho): the rho = 0.5 and 0.9 "
+      "columns shadow the static curves at q_eff = q/2 and q/10 (scaled by "
+      "Eq. 6's documented knee optimism), and rho = 1 leaves only "
+      "whole-class die-offs -- near-total recovery even at q = 90%.  The "
+      "paper's static model is the worst case of this repair spectrum");
+  out.print(std::cout);
+  return 0;
+}

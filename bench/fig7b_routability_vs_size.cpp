@@ -1,0 +1,62 @@
+// Reproduces Fig. 7(b): routability (%) vs system size at q = 0.1 for all
+// five geometries (Symphony kn = ks = 1).  The paper's x-axis spans
+// ~10^5..10^10; this table covers N = 2^4 .. 2^100 to show both the paper's
+// window and the approach to the asymptote.
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/strfmt.hpp"
+#include "core/registry.hpp"
+#include "core/report.hpp"
+#include "core/routability.hpp"
+#include "core/scalability.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dht;
+  const double q = 0.1;
+  const auto geometries = core::make_all_geometries(core::SymphonyParams{1, 1});
+
+  core::Table table(
+      "Fig. 7(b) -- routability (%) vs system size, q = 0.1 "
+      "(Symphony kn = ks = 1)");
+  table.set_header(
+      {"d", "N", "cube", "chord", "xor", "tree", "symphony"});
+  const std::vector<int> ds{4,  8,  12, 16, 17, 20, 23,
+                            27, 30, 33, 40, 60, 80, 100};
+  for (int d : ds) {
+    std::vector<std::string> row{strfmt("%d", d), strfmt("%.2e", std::exp2(d))};
+    const auto routability_at = [&](core::GeometryKind kind) {
+      for (const auto& g : geometries) {
+        if (g->kind() == kind) {
+          return core::evaluate_routability(*g, d, q).routability;
+        }
+      }
+      return 0.0;
+    };
+    row.push_back(bench::pct(routability_at(core::GeometryKind::kHypercube)));
+    row.push_back(bench::pct(routability_at(core::GeometryKind::kRing)));
+    row.push_back(bench::pct(routability_at(core::GeometryKind::kXor)));
+    row.push_back(bench::pct(routability_at(core::GeometryKind::kTree)));
+    row.push_back(bench::pct(routability_at(core::GeometryKind::kSymphony)));
+    table.add_row(std::move(row));
+  }
+  // The asymptotes (Definition 2's limit).
+  std::vector<std::string> limit_row{"inf", "inf"};
+  for (core::GeometryKind kind :
+       {core::GeometryKind::kHypercube, core::GeometryKind::kRing,
+        core::GeometryKind::kXor, core::GeometryKind::kTree,
+        core::GeometryKind::kSymphony}) {
+    const auto geometry = core::make_geometry(kind);
+    limit_row.push_back(bench::pct(core::limit_routability(*geometry, q)));
+  }
+  table.add_row(std::move(limit_row));
+  table.add_note(
+      "paper's reading: tree and symphony degrade monotonically toward 0 "
+      "(unscalable) while hypercube, chord and xor stay flat and positive "
+      "out to billions of nodes (scalable)");
+  table.add_note("d = 17..33 covers the paper's 10^5..10^10 x-axis window");
+  dht::bench::emit(table, argc, argv);
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Extension: routing latency under failure.
+//
+// The paper's evaluation covers routability only; its Markov chains also
+// predict the expected hop count of *successful* routes (including the
+// suboptimal hops of the fallback rules).  This harness prints the
+// chain-predicted mean hops next to the simulated mean hops at N = 2^14 --
+// quantifying how failures stretch the surviving routes in each geometry.
+#include <iostream>
+#include <memory>
+
+#include "bench_util.hpp"
+#include "common/strfmt.hpp"
+#include "core/latency.hpp"
+#include "core/registry.hpp"
+#include "core/report.hpp"
+#include "math/rng.hpp"
+#include "sim/chord_overlay.hpp"
+#include "sim/hypercube_overlay.hpp"
+#include "sim/monte_carlo.hpp"
+#include "sim/tree_overlay.hpp"
+#include "sim/xor_overlay.hpp"
+
+namespace {
+constexpr int kBits = 14;
+constexpr std::uint64_t kPairs = 20000;
+
+double simulated_hops(const dht::sim::Overlay& overlay, double q,
+                      std::uint64_t seed) {
+  using namespace dht;
+  math::Rng fail_rng(seed);
+  const sim::FailureScenario failures(overlay.space(), q, fail_rng);
+  math::Rng route_rng(seed + 1);
+  return sim::estimate_routability(overlay, failures, {.pairs = kPairs},
+                                   route_rng)
+      .hops.mean();
+}
+
+}  // namespace
+
+int main() {
+  using namespace dht;
+  const sim::IdSpace space(kBits);
+  math::Rng build_rng(11);
+  const sim::TreeOverlay tree_overlay(space, build_rng);
+  const sim::XorOverlay xor_overlay(space, build_rng);
+  const sim::HypercubeOverlay cube_overlay(space);
+  const sim::ChordOverlay ring_overlay(space, build_rng);
+
+  core::Table table(strfmt(
+      "Routing latency under failure -- mean hops of successful routes, "
+      "N = 2^%d (chain prediction vs simulation)",
+      kBits));
+  table.set_header({"q%", "tree chain", "tree sim", "cube chain", "cube sim",
+                    "xor chain", "xor sim", "ring chain", "ring sim"});
+  std::uint64_t seed = 40;
+  for (double q : {0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7}) {
+    const auto chain_hops = [&](core::GeometryKind kind) {
+      const auto geometry = core::make_geometry(kind);
+      return core::expected_latency(*geometry, kBits, q)
+          .mean_hops_given_success;
+    };
+    table.add_row(
+        {bench::pct(q), strfmt("%.2f", chain_hops(core::GeometryKind::kTree)),
+         strfmt("%.2f", simulated_hops(tree_overlay, q, seed)),
+         strfmt("%.2f", chain_hops(core::GeometryKind::kHypercube)),
+         strfmt("%.2f", simulated_hops(cube_overlay, q, seed + 2)),
+         strfmt("%.2f", chain_hops(core::GeometryKind::kXor)),
+         strfmt("%.2f", simulated_hops(xor_overlay, q, seed + 4)),
+         strfmt("%.2f", chain_hops(core::GeometryKind::kRing)),
+         strfmt("%.2f", simulated_hops(ring_overlay, q, seed + 6))});
+    seed += 10;
+  }
+  table.add_note(
+      "tree/hypercube: successful routes always take exactly their "
+      "distance, but survivorship biases the mean downward as q grows "
+      "(long routes die first) -- visible identically in chain and sim");
+  table.add_note(
+      "xor: fallback hops stretch surviving routes before survivorship "
+      "wins; ring: the chain charges one hop per PHASE (distance halving, "
+      "~d-1 of them) while classic Chord's binary decomposition needs only "
+      "~d/2 real hops -- already at q = 0 the chain is a latency upper "
+      "bound, and its non-progressing suboptimal hops widen that bound "
+      "with q");
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Ablation: reachable component vs connected component (paper Section 1).
+//
+// Percolation theory talks about connectivity, but "because of how messages
+// get routed ... all pairs belonging to the same connected component need
+// not be reachable".  This harness measures both quantities on simulated
+// overlays: the largest-connected-component fraction (graph view) and the
+// mean reachable-component fraction (protocol view), showing the gap RCM
+// exists to capture.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/strfmt.hpp"
+#include "core/report.hpp"
+#include "math/rng.hpp"
+#include "percolation/components.hpp"
+#include "sim/chord_overlay.hpp"
+#include "sim/hypercube_overlay.hpp"
+#include "sim/tree_overlay.hpp"
+#include "sim/xor_overlay.hpp"
+
+namespace {
+
+constexpr int kBits = 9;  // reachable sets are O(N^2 hops): keep N small
+constexpr int kSources = 24;
+
+struct GapRow {
+  double connected = 0.0;
+  double reachable = 0.0;
+};
+
+GapRow measure(const dht::sim::Overlay& overlay, double q,
+               std::uint64_t seed) {
+  using namespace dht;
+  math::Rng fail_rng(seed);
+  const sim::FailureScenario failures(overlay.space(), q, fail_rng);
+  GapRow row;
+  const perc::ComponentSummary summary =
+      perc::analyze_components(overlay, failures);
+  row.connected = summary.largest_fraction();
+  math::Rng route_rng(seed + 1);
+  double total = 0.0;
+  for (int i = 0; i < kSources; ++i) {
+    const sim::NodeId source = failures.sample_alive(route_rng);
+    total += static_cast<double>(perc::reachable_component_size(
+                 overlay, failures, source, route_rng)) /
+             static_cast<double>(failures.alive_count() - 1);
+  }
+  row.reachable = total / kSources;
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  using namespace dht;
+  const sim::IdSpace space(kBits);
+  math::Rng build_rng(55);
+  const sim::TreeOverlay tree(space, build_rng);
+  const sim::XorOverlay xr(space, build_rng);
+  const sim::HypercubeOverlay cube(space);
+  const sim::ChordOverlay ring(space, build_rng);
+
+  core::Table table(strfmt(
+      "Connectivity vs routability -- largest connected component fraction "
+      "(graph) vs mean reachable fraction (protocol), N = 2^%d",
+      kBits));
+  table.set_header({"q%", "tree conn", "tree reach", "xor conn", "xor reach",
+                    "cube conn", "cube reach", "ring conn", "ring reach"});
+  std::uint64_t seed = 600;
+  for (double q : {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7}) {
+    const GapRow t = measure(tree, q, seed);
+    const GapRow x = measure(xr, q, seed + 1);
+    const GapRow c = measure(cube, q, seed + 2);
+    const GapRow r = measure(ring, q, seed + 3);
+    table.add_row({bench::pct(q), bench::pct(t.connected),
+                   bench::pct(t.reachable), bench::pct(x.connected),
+                   bench::pct(x.reachable), bench::pct(c.connected),
+                   bench::pct(c.reachable), bench::pct(r.connected),
+                   bench::pct(r.reachable)});
+    seed += 10;
+  }
+  table.add_note(
+      "connectivity stays near 100% long after greedy reachability has "
+      "collapsed (most dramatically for the tree): component size does not "
+      "give routability, which is why RCM analyzes the protocol, not the "
+      "graph (paper Section 1)");
+  table.print(std::cout);
+  return 0;
+}

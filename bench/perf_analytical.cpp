@@ -1,0 +1,83 @@
+// google-benchmark microbenchmarks for the analytical core: routability
+// evaluation across geometries and identifier lengths, phase-failure
+// kernels, Markov-chain solving, and the scalability classifier.
+#include <benchmark/benchmark.h>
+
+#include "core/registry.hpp"
+#include "core/routability.hpp"
+#include "core/scalability.hpp"
+#include "markov/absorption.hpp"
+#include "markov/builders.hpp"
+
+namespace {
+
+using dht::core::GeometryKind;
+
+void BM_Routability(benchmark::State& state, GeometryKind kind) {
+  const auto geometry = dht::core::make_geometry(kind);
+  const int d = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        dht::core::evaluate_routability(*geometry, d, 0.2).routability);
+  }
+}
+BENCHMARK_CAPTURE(BM_Routability, tree, GeometryKind::kTree)
+    ->Arg(16)->Arg(100)->Arg(1000);
+BENCHMARK_CAPTURE(BM_Routability, hypercube, GeometryKind::kHypercube)
+    ->Arg(16)->Arg(100)->Arg(1000);
+BENCHMARK_CAPTURE(BM_Routability, xor, GeometryKind::kXor)
+    ->Arg(16)->Arg(100)->Arg(1000);
+BENCHMARK_CAPTURE(BM_Routability, ring, GeometryKind::kRing)
+    ->Arg(16)->Arg(100)->Arg(1000);
+BENCHMARK_CAPTURE(BM_Routability, symphony, GeometryKind::kSymphony)
+    ->Arg(16)->Arg(100)->Arg(1000);
+
+void BM_PhaseFailureXor(benchmark::State& state) {
+  const auto geometry = dht::core::make_geometry(GeometryKind::kXor);
+  const int m = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(geometry->phase_failure(m, 0.3, 4096));
+  }
+}
+BENCHMARK(BM_PhaseFailureXor)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_MarkovChainBuildAndSolveXor(benchmark::State& state) {
+  const int h = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    const auto built = dht::markov::build_xor_chain(h, 0.3);
+    benchmark::DoNotOptimize(dht::markov::absorption_probability_dag(
+        built.chain, built.start, built.success));
+  }
+}
+BENCHMARK(BM_MarkovChainBuildAndSolveXor)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_MarkovChainBuildAndSolveRing(benchmark::State& state) {
+  const int h = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    const auto built = dht::markov::build_ring_chain(h, 0.3);
+    benchmark::DoNotOptimize(dht::markov::absorption_probability_dag(
+        built.chain, built.start, built.success));
+  }
+}
+BENCHMARK(BM_MarkovChainBuildAndSolveRing)->Arg(8)->Arg(12)->Arg(16);
+
+void BM_LimitRoutability(benchmark::State& state) {
+  const auto geometry = dht::core::make_geometry(GeometryKind::kRing);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dht::core::limit_routability(*geometry, 0.2));
+  }
+}
+BENCHMARK(BM_LimitRoutability);
+
+void BM_ScalabilityAnalysis(benchmark::State& state) {
+  const auto geometry = dht::core::make_geometry(GeometryKind::kXor);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        dht::core::analyze_scalability(*geometry, 0.3).numeric_agrees);
+  }
+}
+BENCHMARK(BM_ScalabilityAnalysis);
+
+}  // namespace
+
+BENCHMARK_MAIN();

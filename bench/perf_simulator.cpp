@@ -1,0 +1,117 @@
+// google-benchmark microbenchmarks for the simulator substrate: overlay
+// construction and routing throughput at the paper's N = 2^16 scale.
+#include <benchmark/benchmark.h>
+
+#include <optional>
+
+#include "math/rng.hpp"
+#include "sim/chord_overlay.hpp"
+#include "sim/hypercube_overlay.hpp"
+#include "sim/monte_carlo.hpp"
+#include "sim/symphony_overlay.hpp"
+#include "sim/tree_overlay.hpp"
+#include "sim/xor_overlay.hpp"
+
+namespace {
+
+using namespace dht;
+
+constexpr int kBits = 16;
+
+void BM_BuildPrefixTable(benchmark::State& state) {
+  const sim::IdSpace space(kBits);
+  math::Rng rng(1);
+  for (auto _ : state) {
+    const sim::PrefixTable table(space, rng);
+    benchmark::DoNotOptimize(table.neighbor(0, 1));
+  }
+}
+BENCHMARK(BM_BuildPrefixTable)->Unit(benchmark::kMillisecond);
+
+void BM_BuildChordRandomized(benchmark::State& state) {
+  const sim::IdSpace space(kBits);
+  math::Rng rng(2);
+  for (auto _ : state) {
+    const sim::ChordOverlay overlay(space, rng,
+                                    sim::ChordFingers::kRandomized);
+    benchmark::DoNotOptimize(overlay.finger(0, 1));
+  }
+}
+BENCHMARK(BM_BuildChordRandomized)->Unit(benchmark::kMillisecond);
+
+template <typename OverlayT>
+void route_throughput(benchmark::State& state, const OverlayT& overlay,
+                      double q) {
+  math::Rng fail_rng(3);
+  const sim::FailureScenario failures(overlay.space(), q, fail_rng);
+  const sim::Router router(overlay, failures);
+  math::Rng rng(4);
+  std::uint64_t routes = 0;
+  for (auto _ : state) {
+    const sim::NodeId s = failures.sample_alive(rng);
+    sim::NodeId t = failures.sample_alive(rng);
+    while (t == s) {
+      t = failures.sample_alive(rng);
+    }
+    benchmark::DoNotOptimize(router.route(s, t, rng).hops);
+    ++routes;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(routes));
+}
+
+void BM_RouteTree(benchmark::State& state) {
+  const sim::IdSpace space(kBits);
+  math::Rng rng(5);
+  const sim::TreeOverlay overlay(space, rng);
+  route_throughput(state, overlay, 0.1);
+}
+BENCHMARK(BM_RouteTree);
+
+void BM_RouteXor(benchmark::State& state) {
+  const sim::IdSpace space(kBits);
+  math::Rng rng(6);
+  const sim::XorOverlay overlay(space, rng);
+  route_throughput(state, overlay, 0.1);
+}
+BENCHMARK(BM_RouteXor);
+
+void BM_RouteHypercube(benchmark::State& state) {
+  const sim::IdSpace space(kBits);
+  const sim::HypercubeOverlay overlay(space);
+  route_throughput(state, overlay, 0.1);
+}
+BENCHMARK(BM_RouteHypercube);
+
+void BM_RouteChord(benchmark::State& state) {
+  const sim::IdSpace space(kBits);
+  math::Rng rng(7);
+  const sim::ChordOverlay overlay(space, rng);
+  route_throughput(state, overlay, 0.1);
+}
+BENCHMARK(BM_RouteChord);
+
+void BM_RouteSymphony(benchmark::State& state) {
+  const sim::IdSpace space(kBits);
+  math::Rng rng(8);
+  const sim::SymphonyOverlay overlay(space, 1, 1, rng);
+  route_throughput(state, overlay, 0.1);
+}
+BENCHMARK(BM_RouteSymphony);
+
+void BM_EstimateRoutability10k(benchmark::State& state) {
+  const sim::IdSpace space(kBits);
+  const sim::HypercubeOverlay overlay(space);
+  math::Rng fail_rng(9);
+  const sim::FailureScenario failures(space, 0.2, fail_rng);
+  math::Rng rng(10);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sim::estimate_routability(overlay, failures, {.pairs = 10000}, rng)
+            .routability());
+  }
+}
+BENCHMARK(BM_EstimateRoutability10k)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,218 @@
+// dhtscale_cli -- the library's command-line front end.
+//
+// Subcommands:
+//   analyze <geometry> <d> <q>        one (d, q) point: routability, limits
+//   sweep-q <geometry> <d>            failure sweep (the Fig. 6 axis)
+//   sweep-n <geometry> <q>            size sweep (the Fig. 7(b) axis)
+//   scalability [q]                   Section 5 verdict table
+//   simulate <geometry> <d> <q> [pairs] [seed]
+//                                     static-resilience measurement
+//   latency <geometry> <d> <q>        chain-predicted hops of survivors
+//
+// Geometries: tree | hypercube | xor | ring | symphony.
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/strfmt.hpp"
+#include "core/latency.hpp"
+#include "core/registry.hpp"
+#include "core/report.hpp"
+#include "core/routability.hpp"
+#include "core/scalability.hpp"
+#include "math/rng.hpp"
+#include "sim/chord_overlay.hpp"
+#include "sim/hypercube_overlay.hpp"
+#include "sim/monte_carlo.hpp"
+#include "sim/symphony_overlay.hpp"
+#include "sim/tree_overlay.hpp"
+#include "sim/xor_overlay.hpp"
+
+namespace {
+
+using namespace dht;
+
+int usage() {
+  std::cerr <<
+      "usage: dhtscale_cli <command> [...]\n"
+      "  analyze <geometry> <d> <q>\n"
+      "  sweep-q <geometry> <d>\n"
+      "  sweep-n <geometry> <q>\n"
+      "  scalability [q]\n"
+      "  simulate <geometry> <d> <q> [pairs] [seed]\n"
+      "  latency <geometry> <d> <q>\n"
+      "geometries: tree | hypercube | xor | ring | symphony\n";
+  return 1;
+}
+
+int cmd_analyze(const std::string& name, int d, double q) {
+  const auto geometry = core::make_geometry(name);
+  const auto point = core::evaluate_routability(*geometry, d, q);
+  std::cout << strfmt("geometry:            %s (%s)\n",
+                      std::string(geometry->name()).c_str(),
+                      std::string(geometry->dht_system()).c_str());
+  std::cout << strfmt("N = 2^%d, q = %.4f\n", d, q);
+  std::cout << strfmt("routability (Eq. 3): %.6f\n", point.routability);
+  std::cout << strfmt("failed paths:        %.6f\n", point.failed_fraction);
+  std::cout << strfmt("model exactness:     %s\n",
+                      to_string(geometry->exactness()));
+  if (q > 0.0) {
+    const auto report = core::analyze_scalability(*geometry, q);
+    std::cout << strfmt("scalability:         %s (numeric: %s, %s)\n",
+                        to_string(report.analytic),
+                        math::to_string(report.numeric.verdict),
+                        report.numeric_agrees ? "agree" : "DISAGREE");
+    std::cout << strfmt("limit routability:   %.6f\n",
+                        report.limit_routability);
+    std::cout << "argument:            "
+              << std::string(geometry->scalability_argument()) << "\n";
+  }
+  return 0;
+}
+
+int cmd_sweep_q(const std::string& name, int d) {
+  const auto geometry = core::make_geometry(name);
+  core::Table table(
+      strfmt("%s: routability vs q at N = 2^%d", name.c_str(), d));
+  table.set_header({"q", "routability", "failed_fraction"});
+  for (int percent = 0; percent <= 95; percent += 5) {
+    const double q = percent / 100.0;
+    const auto point = core::evaluate_routability(*geometry, d, q);
+    table.add_row({strfmt("%.2f", q), strfmt("%.6f", point.routability),
+                   strfmt("%.6f", point.failed_fraction)});
+  }
+  table.print_csv(std::cout);
+  return 0;
+}
+
+int cmd_sweep_n(const std::string& name, double q) {
+  const auto geometry = core::make_geometry(name);
+  core::Table table(
+      strfmt("%s: routability vs system size at q = %.2f", name.c_str(), q));
+  table.set_header({"d", "N", "routability"});
+  for (int d : {4, 8, 12, 16, 20, 24, 28, 32, 40, 48, 64, 80, 100}) {
+    const auto point = core::evaluate_routability(*geometry, d, q);
+    table.add_row({strfmt("%d", d), strfmt("%.3e", std::exp2(d)),
+                   strfmt("%.6f", point.routability)});
+  }
+  table.add_row({"inf", "inf",
+                 strfmt("%.6f", core::limit_routability(*geometry, q))});
+  table.print_csv(std::cout);
+  return 0;
+}
+
+int cmd_scalability(double q) {
+  core::Table table(strfmt("scalability under random failure (q = %.2f)", q));
+  table.set_header({"geometry", "verdict", "numeric", "limit routability"});
+  for (const auto& geometry : core::make_all_geometries()) {
+    const auto report = core::analyze_scalability(*geometry, q);
+    table.add_row({std::string(geometry->name()), to_string(report.analytic),
+                   math::to_string(report.numeric.verdict),
+                   strfmt("%.6f", report.limit_routability)});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+std::unique_ptr<sim::Overlay> make_overlay(const std::string& name,
+                                           const sim::IdSpace& space,
+                                           math::Rng& rng) {
+  if (name == "tree") {
+    return std::make_unique<sim::TreeOverlay>(space, rng);
+  }
+  if (name == "hypercube") {
+    return std::make_unique<sim::HypercubeOverlay>(space);
+  }
+  if (name == "xor") {
+    return std::make_unique<sim::XorOverlay>(space, rng);
+  }
+  if (name == "ring") {
+    return std::make_unique<sim::ChordOverlay>(space, rng);
+  }
+  if (name == "symphony") {
+    return std::make_unique<sim::SymphonyOverlay>(space, 1, 1, rng);
+  }
+  return nullptr;
+}
+
+int cmd_simulate(const std::string& name, int d, double q,
+                 std::uint64_t pairs, std::uint64_t seed) {
+  if (d > 20) {
+    std::cerr << "simulate: d capped at 20 (table memory)\n";
+    return 1;
+  }
+  const sim::IdSpace space(d);
+  math::Rng rng(seed);
+  const auto overlay = make_overlay(name, space, rng);
+  if (overlay == nullptr) {
+    return usage();
+  }
+  const sim::FailureScenario failures(space, q, rng);
+  const auto estimate =
+      sim::estimate_routability(*overlay, failures, {.pairs = pairs}, rng);
+  const auto ci = estimate.confidence95();
+  const auto geometry = core::make_geometry(name);
+  const auto point = core::evaluate_routability(*geometry, d, q);
+  std::cout << strfmt("simulated routability: %.6f  (95%% CI [%.6f, %.6f])\n",
+                      estimate.routability(), ci.lo, ci.hi);
+  std::cout << strfmt("analytical prediction: %.6f  (%s)\n",
+                      point.conditional_success,
+                      to_string(geometry->exactness()));
+  std::cout << strfmt("mean hops on success:  %.3f\n", estimate.hops.mean());
+  std::cout << strfmt("alive nodes:           %llu / %llu\n",
+                      static_cast<unsigned long long>(failures.alive_count()),
+                      static_cast<unsigned long long>(space.size()));
+  return 0;
+}
+
+int cmd_latency(const std::string& name, int d, double q) {
+  const auto geometry = core::make_geometry(name);
+  const auto point = core::expected_latency(*geometry, d, q);
+  std::cout << strfmt(
+      "chain-predicted mean hops of successful routes: %.4f\n",
+      point.mean_hops_given_success);
+  std::cout << strfmt("fraction of pairs routable: %.6f\n",
+                      point.success_fraction);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    return usage();
+  }
+  const std::string command = argv[1];
+  try {
+    if (command == "analyze" && argc == 5) {
+      return cmd_analyze(argv[2], std::atoi(argv[3]), std::atof(argv[4]));
+    }
+    if (command == "sweep-q" && argc == 4) {
+      return cmd_sweep_q(argv[2], std::atoi(argv[3]));
+    }
+    if (command == "sweep-n" && argc == 4) {
+      return cmd_sweep_n(argv[2], std::atof(argv[3]));
+    }
+    if (command == "scalability") {
+      return cmd_scalability(argc >= 3 ? std::atof(argv[2]) : 0.1);
+    }
+    if (command == "simulate" && argc >= 5) {
+      const std::uint64_t pairs =
+          argc >= 6 ? std::strtoull(argv[5], nullptr, 10) : 20000;
+      const std::uint64_t seed =
+          argc >= 7 ? std::strtoull(argv[6], nullptr, 10) : 1;
+      return cmd_simulate(argv[2], std::atoi(argv[3]), std::atof(argv[4]),
+                          pairs, seed);
+    }
+    if (command == "latency" && argc == 5) {
+      return cmd_latency(argv[2], std::atoi(argv[3]), std::atof(argv[4]));
+    }
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    return 2;
+  }
+  return usage();
+}

@@ -1,0 +1,239 @@
+#include "churn/churn.hpp"
+
+#include <bit>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace dht::churn {
+
+namespace {
+
+void check_params(const ChurnParams& params) {
+  DHT_CHECK(params.death_per_round > 0.0 && params.death_per_round < 1.0,
+            "death_per_round must be in (0, 1)");
+  DHT_CHECK(params.rebirth_per_round > 0.0 && params.rebirth_per_round < 1.0,
+            "rebirth_per_round must be in (0, 1)");
+  DHT_CHECK(params.death_per_round + params.rebirth_per_round <= 1.0,
+            "pd + pr must not exceed 1 (two-state chain mixing factor)");
+  DHT_CHECK(params.refresh_interval >= 1, "refresh interval must be >= 1");
+}
+
+}  // namespace
+
+double availability(const ChurnParams& params) {
+  check_params(params);
+  return params.rebirth_per_round /
+         (params.death_per_round + params.rebirth_per_round);
+}
+
+double dead_given_age(const ChurnParams& params, int age) {
+  check_params(params);
+  DHT_CHECK(age >= 0, "entry age must be >= 0");
+  const double lambda =
+      1.0 - params.death_per_round - params.rebirth_per_round;
+  return (1.0 - availability(params)) *
+         (1.0 - std::pow(lambda, static_cast<double>(age)));
+}
+
+double effective_q(const ChurnParams& params) {
+  check_params(params);
+  const double lambda =
+      1.0 - params.death_per_round - params.rebirth_per_round;
+  const double r = static_cast<double>(params.refresh_interval);
+  // Average of dead_given_age over ages 0 .. R-1; the geometric partial sum
+  // (1 - lambda^R)/(1 - lambda) degenerates to R when lambda == 1, which
+  // check_params excludes (pd + pr > 0).
+  const double mean_alive_term =
+      (1.0 - std::pow(lambda, r)) / (r * (1.0 - lambda));
+  return (1.0 - availability(params)) * (1.0 - mean_alive_term);
+}
+
+ChurnSimulator::ChurnSimulator(const sim::IdSpace& space,
+                               const ChurnParams& params, math::Rng& rng)
+    : space_(space),
+      params_(params),
+      lifecycle_rng_(rng.fork(1)),
+      table_rng_(rng.fork(2)) {
+  check_params(params);
+  const std::uint64_t n = space_.size();
+  const int d = space_.bits();
+  const double a = availability(params);
+  alive_.resize(n);
+  for (std::uint64_t v = 0; v < n; ++v) {
+    alive_[v] = lifecycle_rng_.bernoulli(a) ? 1 : 0;
+    alive_count_ += alive_[v];
+  }
+  entries_.resize(n * static_cast<std::uint64_t>(d));
+  refreshed_at_.resize(entries_.size());
+  for (std::uint64_t v = 0; v < n; ++v) {
+    for (int level = 1; level <= d; ++level) {
+      refresh_entry(v, level);
+      // Stagger initial phases so refreshes spread over the interval and
+      // entry ages start uniform, matching the q_eff derivation.
+      refreshed_at_[v * static_cast<std::uint64_t>(d) +
+                    static_cast<std::uint64_t>(level - 1)] =
+          -static_cast<std::int32_t>(
+              table_rng_.uniform_below(
+                  static_cast<std::uint64_t>(params_.refresh_interval)));
+    }
+  }
+}
+
+void ChurnSimulator::refresh_entry(sim::NodeId node, int level) {
+  const int d = space_.bits();
+  const int suffix_bits = d - level;
+  const sim::NodeId base = (sim::flip_level(node, level, d) >> suffix_bits)
+                           << suffix_bits;
+  const std::uint64_t count = std::uint64_t{1} << suffix_bits;
+  // Prefer an alive class member; keep the old entry if the class is dead
+  // (bounded rejection, then exact scan -- classes die only when tiny).
+  sim::NodeId chosen = base + table_rng_.uniform_below(count);
+  if (!alive_[chosen]) {
+    bool found = false;
+    for (int attempt = 0; attempt < 32 && !found; ++attempt) {
+      const sim::NodeId candidate = base + table_rng_.uniform_below(count);
+      if (alive_[candidate]) {
+        chosen = candidate;
+        found = true;
+      }
+    }
+    if (!found) {
+      for (std::uint64_t offset = 0; offset < count && !found; ++offset) {
+        if (alive_[base + offset]) {
+          chosen = base + offset;
+          found = true;
+        }
+      }
+    }
+  }
+  const std::uint64_t slot = node * static_cast<std::uint64_t>(d) +
+                             static_cast<std::uint64_t>(level - 1);
+  entries_[slot] = static_cast<std::uint32_t>(chosen);
+  refreshed_at_[slot] = static_cast<std::int32_t>(round_);
+}
+
+void ChurnSimulator::rebuild_node(sim::NodeId node) {
+  for (int level = 1; level <= space_.bits(); ++level) {
+    refresh_entry(node, level);
+  }
+}
+
+void ChurnSimulator::step() {
+  ++round_;
+  const std::uint64_t n = space_.size();
+  // Lifecycle flips first (a rejoiner builds its table against the new
+  // world state).
+  std::vector<sim::NodeId> rejoined;
+  for (std::uint64_t v = 0; v < n; ++v) {
+    if (alive_[v]) {
+      if (lifecycle_rng_.bernoulli(params_.death_per_round)) {
+        alive_[v] = 0;
+        --alive_count_;
+      }
+    } else if (lifecycle_rng_.bernoulli(params_.rebirth_per_round)) {
+      alive_[v] = 1;
+      ++alive_count_;
+      rejoined.push_back(v);
+    }
+  }
+  for (const sim::NodeId v : rejoined) {
+    rebuild_node(v);
+  }
+  // Due refreshes for alive nodes (dead nodes' tables stay frozen).
+  const int d = space_.bits();
+  for (std::uint64_t v = 0; v < n; ++v) {
+    if (!alive_[v]) {
+      continue;
+    }
+    for (int level = 1; level <= d; ++level) {
+      const std::uint64_t slot = v * static_cast<std::uint64_t>(d) +
+                                 static_cast<std::uint64_t>(level - 1);
+      if (round_ - refreshed_at_[slot] >= params_.refresh_interval) {
+        refresh_entry(v, level);
+      }
+    }
+  }
+}
+
+void ChurnSimulator::run(int rounds) {
+  DHT_CHECK(rounds >= 0, "round count must be >= 0");
+  for (int i = 0; i < rounds; ++i) {
+    step();
+  }
+}
+
+double ChurnSimulator::alive_fraction() const noexcept {
+  return static_cast<double>(alive_count_) /
+         static_cast<double>(space_.size());
+}
+
+bool ChurnSimulator::route(sim::NodeId source, sim::NodeId target) const {
+  const int d = space_.bits();
+  sim::NodeId current = source;
+  std::uint64_t guard = space_.size();
+  while (current != target) {
+    if (guard-- == 0) {
+      DHT_CHECK(false, "churn route exceeded N hops: protocol bug");
+    }
+    sim::NodeId diff = sim::xor_distance(current, target);
+    sim::NodeId next = current;
+    while (diff != 0) {
+      const int level = d - std::bit_width(diff) + 1;
+      const sim::NodeId candidate =
+          entries_[current * static_cast<std::uint64_t>(d) +
+                   static_cast<std::uint64_t>(level - 1)];
+      // Staleness only affects liveness, not progress: any member of the
+      // (prefix, flipped-bit) class resolves this level and is strictly
+      // closer in XOR distance, so an alive entry is always a greedy hop.
+      if (alive_[candidate]) {
+        next = candidate;
+        break;
+      }
+      diff &= ~(sim::NodeId{1} << (d - level));
+    }
+    if (next == current) {
+      return false;  // dropped
+    }
+    current = next;
+  }
+  return true;
+}
+
+math::Proportion ChurnSimulator::measure_routability(std::uint64_t pairs,
+                                                     math::Rng& rng) {
+  DHT_CHECK(alive_count_ >= 2, "need at least two alive nodes");
+  math::Proportion result;
+  for (std::uint64_t i = 0; i < pairs; ++i) {
+    sim::NodeId source = rng.uniform_below(space_.size());
+    while (!alive_[source]) {
+      source = rng.uniform_below(space_.size());
+    }
+    sim::NodeId target = rng.uniform_below(space_.size());
+    while (!alive_[target] || target == source) {
+      target = rng.uniform_below(space_.size());
+    }
+    result.record(route(source, target));
+  }
+  return result;
+}
+
+double ChurnSimulator::mean_entry_age() const {
+  double total = 0.0;
+  std::uint64_t counted = 0;
+  const int d = space_.bits();
+  for (std::uint64_t v = 0; v < space_.size(); ++v) {
+    if (!alive_[v]) {
+      continue;
+    }
+    for (int level = 0; level < d; ++level) {
+      total += round_ -
+               refreshed_at_[v * static_cast<std::uint64_t>(d) +
+                             static_cast<std::uint64_t>(level)];
+      ++counted;
+    }
+  }
+  return counted == 0 ? 0.0 : total / static_cast<double>(counted);
+}
+
+}  // namespace dht::churn

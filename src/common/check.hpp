@@ -1,0 +1,52 @@
+// Checked preconditions for dhtscale.
+//
+// Library entry points validate their arguments with DHT_CHECK, which throws
+// std::invalid_argument with a message naming the violated condition.  The
+// checks stay enabled in release builds: every quantity in this library is a
+// probability, a count, or an identifier-space size, and silently accepting
+// an out-of-domain value (q = 1.2, d = -3, h > d) would produce plausible
+// looking garbage instead of a crash.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace dht {
+
+/// Thrown by DHT_CHECK when a precondition is violated.
+class PreconditionError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+namespace detail {
+
+[[noreturn]] inline void raise_precondition(const char* condition,
+                                            const char* file, int line,
+                                            const std::string& message) {
+  std::string what = "precondition failed: ";
+  what += condition;
+  what += " (";
+  what += file;
+  what += ':';
+  what += std::to_string(line);
+  what += ')';
+  if (!message.empty()) {
+    what += ": ";
+    what += message;
+  }
+  throw PreconditionError(what);
+}
+
+}  // namespace detail
+}  // namespace dht
+
+/// Validates a caller-supplied argument; throws dht::PreconditionError when
+/// the condition does not hold.  Always on, independent of NDEBUG.
+#define DHT_CHECK(cond, message)                                         \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      ::dht::detail::raise_precondition(#cond, __FILE__, __LINE__,       \
+                                        (message));                     \
+    }                                                                    \
+  } while (false)

@@ -1,0 +1,30 @@
+#include "common/strfmt.hpp"
+
+#include <cstdio>
+#include <vector>
+
+namespace dht {
+
+std::string vstrfmt(const char* format, std::va_list args) {
+  std::va_list args_copy;
+  va_copy(args_copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, format, args_copy);
+  va_end(args_copy);
+  if (needed < 0) {
+    return {};
+  }
+  // +1 for the terminating NUL vsnprintf writes past the reported length.
+  std::vector<char> buffer(static_cast<size_t>(needed) + 1);
+  std::vsnprintf(buffer.data(), buffer.size(), format, args);
+  return std::string(buffer.data(), static_cast<size_t>(needed));
+}
+
+std::string strfmt(const char* format, ...) {
+  std::va_list args;
+  va_start(args, format);
+  std::string out = vstrfmt(format, args);
+  va_end(args);
+  return out;
+}
+
+}  // namespace dht

@@ -1,0 +1,20 @@
+// Minimal printf-style string formatting.
+//
+// GCC 12's libstdc++ does not ship std::format, and iostream manipulators
+// make tabular benchmark output unreadable at the call site.  strfmt() wraps
+// vsnprintf with the usual two-pass sizing idiom and returns a std::string.
+#pragma once
+
+#include <cstdarg>
+#include <string>
+
+namespace dht {
+
+/// Returns the printf-formatted string.  Formatting errors (invalid format
+/// string reported by the C library) yield an empty string.
+[[gnu::format(printf, 1, 2)]] std::string strfmt(const char* format, ...);
+
+/// va_list variant of strfmt().
+std::string vstrfmt(const char* format, std::va_list args);
+
+}  // namespace dht

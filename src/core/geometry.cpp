@@ -1,0 +1,73 @@
+#include "core/geometry.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "math/summation.hpp"
+
+namespace dht::core {
+
+Geometry::~Geometry() = default;
+
+math::LogReal Geometry::space_size(int d) const {
+  DHT_CHECK(d >= 1, "identifier length d must be >= 1");
+  return math::LogReal::exp2_int(d);
+}
+
+const char* to_string(GeometryKind kind) noexcept {
+  switch (kind) {
+    case GeometryKind::kTree:
+      return "tree";
+    case GeometryKind::kHypercube:
+      return "hypercube";
+    case GeometryKind::kXor:
+      return "xor";
+    case GeometryKind::kRing:
+      return "ring";
+    case GeometryKind::kSymphony:
+      return "symphony";
+  }
+  return "unknown";
+}
+
+const char* to_string(ScalabilityClass c) noexcept {
+  switch (c) {
+    case ScalabilityClass::kScalable:
+      return "scalable";
+    case ScalabilityClass::kUnscalable:
+      return "unscalable";
+  }
+  return "unknown";
+}
+
+const char* to_string(Exactness e) noexcept {
+  switch (e) {
+    case Exactness::kExact:
+      return "exact";
+    case Exactness::kLowerBound:
+      return "lower bound";
+    case Exactness::kApproximate:
+      return "approximate";
+  }
+  return "unknown";
+}
+
+double Geometry::log_success_probability(int h, double q, int d) const {
+  DHT_CHECK(h >= 1 && h <= d, "success probability requires 1 <= h <= d");
+  DHT_CHECK(q >= 0.0 && q <= 1.0, "failure probability q must be in [0, 1]");
+  math::NeumaierSum log_product;
+  for (int m = 1; m <= h; ++m) {
+    const double failure = phase_failure(m, q, d);
+    if (failure >= 1.0) {
+      return -std::numeric_limits<double>::infinity();
+    }
+    log_product.add(std::log1p(-failure));
+  }
+  return log_product.total();
+}
+
+double Geometry::success_probability(int h, double q, int d) const {
+  return std::exp(log_success_probability(h, q, d));
+}
+
+}  // namespace dht::core

@@ -1,0 +1,120 @@
+// The Geometry abstraction at the heart of the Reachable Component Method.
+//
+// RCM (paper Section 4.1) reduces the routability analysis of a DHT routing
+// system to two ingredients:
+//
+//   n(h)  -- the routing-distance distribution: how many of the N-1 other
+//            nodes sit h hops/phases away from a root node in a fully
+//            populated d-bit identifier space;
+//   Q(m)  -- the probability that the route fails while crossing phase m,
+//            read off the geometry's routing Markov chain.
+//
+// Everything else is generic: p(h, q) = prod_{m=1..h} (1 - Q(m)) (Eq. 5),
+// E[S] = sum_h n(h) p(h, q), and r = E[S] / ((1-q) 2^d - 1) (Eq. 3), all
+// implemented once over this interface (see routability.hpp).
+#pragma once
+
+#include <memory>
+#include <string_view>
+
+#include "math/logreal.hpp"
+
+namespace dht::core {
+
+/// The five routing geometries analyzed in the paper (Section 3).
+enum class GeometryKind {
+  kTree,       // Plaxton / Tapestry-style prefix routing, no fallback
+  kHypercube,  // CAN: correct differing bits in any order
+  kXor,        // Kademlia: prefix routing with fallback to lower-order bits
+  kRing,       // Chord: greedy clockwise finger routing
+  kSymphony,   // small-world ring: near neighbors + harmonic shortcuts
+};
+
+const char* to_string(GeometryKind kind) noexcept;
+
+/// Scalability verdict per Definition 2 of the paper.
+enum class ScalabilityClass {
+  kScalable,    // lim_{N->inf} r(N, q) > 0 for all 0 < q < 1 - pc
+  kUnscalable,  // lim_{N->inf} r(N, q) = 0
+};
+
+const char* to_string(ScalabilityClass c) noexcept;
+
+/// How the analytical p(h, q) relates to the behavior of the basic routing
+/// protocol it models.
+enum class Exactness {
+  /// p(h, q) is exact for the basic protocol (tree, hypercube, XOR).
+  kExact,
+  /// p(h, q) is a lower bound: suboptimal hops make real progress that the
+  /// Markov chain ignores (ring/Chord, paper Section 4.3.3).
+  kLowerBound,
+  /// The chain itself involves modeling approximations (Symphony's capped
+  /// suboptimal-hop count and constant phase-advance probability).
+  kApproximate,
+};
+
+const char* to_string(Exactness e) noexcept;
+
+/// Configuration for the Symphony geometry: the number of near (sequential)
+/// neighbors and the number of long-range shortcuts per node.  The paper's
+/// Fig. 7 uses kn = ks = 1.
+struct SymphonyParams {
+  int near_neighbors = 1;
+  int shortcuts = 1;
+};
+
+/// A DHT routing geometry as seen by the Reachable Component Method.
+///
+/// Implementations are immutable and cheap to copy around behind a
+/// unique_ptr; all methods are const and thread-safe.
+class Geometry {
+ public:
+  virtual ~Geometry();
+
+  virtual GeometryKind kind() const noexcept = 0;
+
+  /// Short lowercase identifier: "tree", "hypercube", "xor", "ring",
+  /// "symphony".  Stable; used by the registry and the report tables.
+  virtual std::string_view name() const noexcept = 0;
+
+  /// The deployed system the paper associates with the geometry.
+  virtual std::string_view dht_system() const noexcept = 0;
+
+  /// n(h): the number of nodes at routing distance h from a root node in a
+  /// fully populated d-digit space.  Domain: 1 <= h <= d; values outside
+  /// the domain return zero.  Returned in log space because C(100, 50) and
+  /// 2^(h-1) for h ~ 100 are routine inputs (paper Fig. 7).
+  virtual math::LogReal distance_count(int h, int d) const = 0;
+
+  /// N: the number of identifiers in a fully populated d-digit space.
+  /// 2^d for the binary geometries (the paper's setting); the base-b tree
+  /// generalization (paper Section 3: "any other base besides 2 can be
+  /// used") overrides this with b^d.  Always satisfies
+  /// sum_h distance_count(h, d) = space_size(d) - 1.
+  virtual math::LogReal space_size(int d) const;
+
+  /// Q(m): probability of failing at the m-th phase of the routing process
+  /// (paper Section 4.3).  `d` is the identifier length; only Symphony's
+  /// Q depends on it.  Preconditions: m >= 1, 0 <= q <= 1, d >= 1.
+  virtual double phase_failure(int m, double q, int d) const = 0;
+
+  /// p(h, q) = prod_{m=1..h} (1 - Q(m)) (Eq. 5).  The default accumulates
+  /// log1p(-Q(m)); overriding is only an optimization.
+  virtual double success_probability(int h, double q, int d) const;
+
+  /// log p(h, q); usable when p underflows (unscalable geometries at large
+  /// h).  Returns -infinity when some Q(m) >= 1.
+  virtual double log_success_probability(int h, double q, int d) const;
+
+  /// The paper's analytic scalability verdict for this geometry (Section 5).
+  virtual ScalabilityClass scalability_class() const noexcept = 0;
+
+  /// One-sentence justification of the verdict via Knopp's theorem.
+  virtual std::string_view scalability_argument() const noexcept = 0;
+
+  /// Whether p(h, q) is exact, a bound, or an approximation for the basic
+  /// protocol.
+  virtual Exactness exactness() const noexcept = 0;
+};
+
+}  // namespace dht::core

@@ -1,0 +1,24 @@
+#include "core/hypercube_geometry.hpp"
+
+#include "common/check.hpp"
+#include "math/binomial.hpp"
+#include "math/stable.hpp"
+
+namespace dht::core {
+
+math::LogReal HypercubeGeometry::distance_count(int h, int d) const {
+  DHT_CHECK(d >= 1, "identifier length d must be >= 1");
+  if (h < 1 || h > d) {
+    return math::LogReal::zero();
+  }
+  return math::binomial(d, h);
+}
+
+double HypercubeGeometry::phase_failure(int m, double q, int d) const {
+  DHT_CHECK(m >= 1, "phase index m must be >= 1");
+  DHT_CHECK(d >= 1, "identifier length d must be >= 1");
+  DHT_CHECK(q >= 0.0 && q <= 1.0, "failure probability q must be in [0, 1]");
+  return math::pow_q(q, static_cast<double>(m));
+}
+
+}  // namespace dht::core

@@ -1,0 +1,41 @@
+// Hypercube (CAN) routing geometry -- paper Sections 3.2, 4.2.
+//
+// Node distance is Hamming distance and greedy routing may correct the
+// differing bits in any order, so at a node with m bits left to correct any
+// of m neighbors makes progress.  The Markov chain (Fig. 4(b)) yields
+// Q(m) = q^m and p(h, q) = prod_{m=1..h} (1 - q^m) (Eq. 2); the worked
+// example of Figs. 1-3 is the d = 3 instance of this class.
+//
+// sum q^m is geometric, hence convergent: the geometry is scalable
+// (Section 5.2).
+#pragma once
+
+#include "core/geometry.hpp"
+
+namespace dht::core {
+
+class HypercubeGeometry final : public Geometry {
+ public:
+  GeometryKind kind() const noexcept override {
+    return GeometryKind::kHypercube;
+  }
+  std::string_view name() const noexcept override { return "hypercube"; }
+  std::string_view dht_system() const noexcept override { return "CAN"; }
+
+  /// n(h) = C(d, h): nodes at Hamming distance h.
+  math::LogReal distance_count(int h, int d) const override;
+
+  /// Q(m) = q^m: all m bit-correcting neighbors must be dead.
+  double phase_failure(int m, double q, int d) const override;
+
+  ScalabilityClass scalability_class() const noexcept override {
+    return ScalabilityClass::kScalable;
+  }
+  std::string_view scalability_argument() const noexcept override {
+    return "Q(m) = q^m is geometric, so sum Q(m) = q/(1-q) converges and "
+           "p(h, q) has a positive limit (Knopp)";
+  }
+  Exactness exactness() const noexcept override { return Exactness::kExact; }
+};
+
+}  // namespace dht::core

@@ -1,0 +1,89 @@
+#include "core/latency.hpp"
+
+#include "common/check.hpp"
+#include "markov/absorption.hpp"
+#include "markov/builders.hpp"
+#include "math/logreal.hpp"
+
+namespace dht::core {
+
+namespace {
+
+markov::RoutingChain build_chain(const Geometry& geometry, int h, int d,
+                                 double q, const SymphonyParams& params) {
+  switch (geometry.kind()) {
+    case GeometryKind::kTree:
+      return markov::build_tree_chain(h, q);
+    case GeometryKind::kHypercube:
+      return markov::build_hypercube_chain(h, q);
+    case GeometryKind::kXor:
+      return markov::build_xor_chain(h, q);
+    case GeometryKind::kRing:
+      return markov::build_ring_chain(h, q);
+    case GeometryKind::kSymphony:
+      return markov::build_symphony_chain(h, d, q, params.near_neighbors,
+                                          params.shortcuts);
+  }
+  DHT_CHECK(false, "unknown geometry kind");
+  return markov::build_tree_chain(1, 0.0);  // unreachable
+}
+
+bool chain_is_exponential(GeometryKind kind) {
+  return kind == GeometryKind::kRing || kind == GeometryKind::kSymphony;
+}
+
+}  // namespace
+
+DistanceLatency latency_at_distance(const Geometry& geometry, int h, int d,
+                                    double q, SymphonyParams params) {
+  DHT_CHECK(h >= 1 && h <= d, "latency requires 1 <= h <= d");
+  DHT_CHECK(q >= 0.0 && q < 1.0, "latency requires q in [0, 1)");
+  DHT_CHECK(!chain_is_exponential(geometry.kind()) || h <= 20,
+            "ring/symphony chains grow as 2^h; h capped at 20");
+  const markov::RoutingChain built = build_chain(geometry, h, d, q, params);
+  const markov::ConditionalAbsorption absorption =
+      markov::conditional_absorption_dag(built.chain, built.start,
+                                         built.success);
+  DistanceLatency out;
+  out.success_probability = absorption.probability;
+  out.expected_hops = absorption.expected_steps;
+  return out;
+}
+
+LatencyPoint expected_latency(const Geometry& geometry, int d, double q,
+                              SymphonyParams params) {
+  DHT_CHECK(d >= 1, "identifier length d must be >= 1");
+  DHT_CHECK(!chain_is_exponential(geometry.kind()) || d <= 20,
+            "ring/symphony latency needs d <= 20 (chain size 2^d)");
+  using math::LogReal;
+  // Weighted means over h: weights n(h) p(h, q) can span hundreds of
+  // orders of magnitude, so accumulate in log space and divide at the end.
+  math::LogSum successful_mass;  // sum n(h) p(h)
+  math::LogSum hop_mass;         // sum n(h) p(h) E[hops | h]
+  math::LogSum total_mass;       // sum n(h)
+  for (int h = 1; h <= d; ++h) {
+    const LogReal n_h = geometry.distance_count(h, d);
+    total_mass.add(n_h);
+    const DistanceLatency at_h = latency_at_distance(geometry, h, d, q,
+                                                     params);
+    if (at_h.success_probability <= 0.0) {
+      continue;
+    }
+    const LogReal mass =
+        n_h * LogReal::from_value(at_h.success_probability);
+    successful_mass.add(mass);
+    hop_mass.add(mass * LogReal::from_value(at_h.expected_hops));
+  }
+  LatencyPoint out;
+  out.d = d;
+  out.q = q;
+  if (!successful_mass.total().is_zero()) {
+    out.mean_hops_given_success =
+        (hop_mass.total() / successful_mass.total()).value();
+    out.success_fraction =
+        (successful_mass.total() / total_mass.total()).value();
+  }
+  return out;
+}
+
+}  // namespace dht::core

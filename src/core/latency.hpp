@@ -1,0 +1,45 @@
+// Routing latency under failure.
+//
+// The paper quotes the failure-free latencies (O(log N) hops for the DHTs,
+// O(log^2 N) for Symphony) but the evaluation only covers routability.  The
+// routing Markov chains carry the latency information too: the expected
+// number of steps of a trajectory absorbed at the success state is the
+// expected hop count of a successful route, including the suboptimal hops
+// the fallback rules take.  This module averages that quantity over the
+// distance distribution n(h), producing the latency counterpart of Eq. 3.
+//
+// Caveats mirror the routability ones: exact for tree/hypercube (every hop
+// advances a phase, so hops == h), the paper's fallback accounting for XOR,
+// an overestimate for ring (real suboptimal hops preserve progress, the
+// chain's do not), and Eq. 7's capped-hop approximation for Symphony.
+#pragma once
+
+#include "core/geometry.hpp"
+
+namespace dht::core {
+
+/// Latency of routes to targets exactly h phases away.
+struct DistanceLatency {
+  double success_probability = 0.0;  ///< p(h, q)
+  double expected_hops = 0.0;        ///< E[hops | success]
+};
+
+/// Chain-derived latency at one distance.  Preconditions: 1 <= h <= d,
+/// q in [0, 1); ring/symphony chains grow exponentially in h, so h is
+/// capped at 20 for those geometries.
+DistanceLatency latency_at_distance(const Geometry& geometry, int h, int d,
+                                    double q, SymphonyParams params = {});
+
+/// Pair-averaged latency: E[hops | route succeeds] for a uniformly random
+/// target, weighting each distance by n(h) p(h, q).
+struct LatencyPoint {
+  int d = 0;
+  double q = 0.0;
+  double mean_hops_given_success = 0.0;
+  double success_fraction = 0.0;  ///< sum n(h) p(h) / sum n(h)
+};
+
+LatencyPoint expected_latency(const Geometry& geometry, int d, double q,
+                              SymphonyParams params = {});
+
+}  // namespace dht::core

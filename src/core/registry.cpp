@@ -1,0 +1,57 @@
+#include "core/registry.hpp"
+
+#include "common/check.hpp"
+#include "common/strfmt.hpp"
+#include "core/hypercube_geometry.hpp"
+#include "core/ring_geometry.hpp"
+#include "core/symphony_geometry.hpp"
+#include "core/tree_geometry.hpp"
+#include "core/xor_geometry.hpp"
+
+namespace dht::core {
+
+std::unique_ptr<Geometry> make_geometry(GeometryKind kind,
+                                        SymphonyParams params) {
+  switch (kind) {
+    case GeometryKind::kTree:
+      return std::make_unique<TreeGeometry>();
+    case GeometryKind::kHypercube:
+      return std::make_unique<HypercubeGeometry>();
+    case GeometryKind::kXor:
+      return std::make_unique<XorGeometry>();
+    case GeometryKind::kRing:
+      return std::make_unique<RingGeometry>();
+    case GeometryKind::kSymphony:
+      return std::make_unique<SymphonyGeometry>(params);
+  }
+  DHT_CHECK(false, "unknown geometry kind");
+  return nullptr;  // unreachable
+}
+
+std::unique_ptr<Geometry> make_geometry(std::string_view name,
+                                        SymphonyParams params) {
+  for (GeometryKind kind : all_geometry_kinds()) {
+    if (name == to_string(kind)) {
+      return make_geometry(kind, params);
+    }
+  }
+  DHT_CHECK(false, strfmt("unknown geometry name '%.*s'",
+                          static_cast<int>(name.size()), name.data()));
+  return nullptr;  // unreachable
+}
+
+std::vector<GeometryKind> all_geometry_kinds() {
+  return {GeometryKind::kTree, GeometryKind::kHypercube, GeometryKind::kXor,
+          GeometryKind::kRing, GeometryKind::kSymphony};
+}
+
+std::vector<std::unique_ptr<Geometry>> make_all_geometries(
+    SymphonyParams params) {
+  std::vector<std::unique_ptr<Geometry>> out;
+  for (GeometryKind kind : all_geometry_kinds()) {
+    out.push_back(make_geometry(kind, params));
+  }
+  return out;
+}
+
+}  // namespace dht::core

@@ -1,0 +1,29 @@
+// Factory for the five paper geometries.
+#pragma once
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "core/geometry.hpp"
+
+namespace dht::core {
+
+/// Creates the geometry for `kind`.  `symphony` (the only parameterized
+/// geometry) is configured via `params`; the other kinds ignore it.
+std::unique_ptr<Geometry> make_geometry(GeometryKind kind,
+                                        SymphonyParams params = {});
+
+/// Creates a geometry by its stable name ("tree", "hypercube", "xor",
+/// "ring", "symphony"); throws dht::PreconditionError for unknown names.
+std::unique_ptr<Geometry> make_geometry(std::string_view name,
+                                        SymphonyParams params = {});
+
+/// All five kinds in the paper's presentation order.
+std::vector<GeometryKind> all_geometry_kinds();
+
+/// Convenience: instantiates all five geometries (Symphony with `params`).
+std::vector<std::unique_ptr<Geometry>> make_all_geometries(
+    SymphonyParams params = {});
+
+}  // namespace dht::core

@@ -1,0 +1,82 @@
+#include "core/report.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "common/check.hpp"
+
+namespace dht::core {
+
+Table::Table(std::string title) : title_(std::move(title)) {}
+
+void Table::set_header(std::vector<std::string> header) {
+  DHT_CHECK(rows_.empty(), "set_header must precede add_row");
+  header_ = std::move(header);
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  DHT_CHECK(!header_.empty(), "set_header must be called first");
+  DHT_CHECK(row.size() == header_.size(),
+            "row arity must match the header");
+  rows_.push_back(std::move(row));
+}
+
+void Table::add_note(std::string note) { notes_.push_back(std::move(note)); }
+
+void Table::print(std::ostream& os) const {
+  std::vector<size_t> width(header_.size(), 0);
+  for (size_t c = 0; c < header_.size(); ++c) {
+    width[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+
+  os << "== " << title_ << " ==\n";
+  const auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "" : "  ");
+      os << row[c];
+      for (size_t pad = row[c].size(); pad < width[c]; ++pad) {
+        os << ' ';
+      }
+    }
+    os << '\n';
+  };
+  print_row(header_);
+  size_t total = header_.empty() ? 0 : (header_.size() - 1) * 2;
+  for (size_t w : width) {
+    total += w;
+  }
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) {
+    print_row(row);
+  }
+  for (const auto& note : notes_) {
+    os << "note: " << note << '\n';
+  }
+}
+
+void Table::print_csv(std::ostream& os) const {
+  os << "# " << title_ << '\n';
+  const auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) {
+        os << ',';
+      }
+      os << row[c];
+    }
+    os << '\n';
+  };
+  print_row(header_);
+  for (const auto& row : rows_) {
+    print_row(row);
+  }
+  for (const auto& note : notes_) {
+    os << "# " << note << '\n';
+  }
+}
+
+}  // namespace dht::core

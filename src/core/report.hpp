@@ -1,0 +1,44 @@
+// Plain-text tables and CSV output for the benchmark harnesses.
+//
+// Every figure/table reproduction prints two artifacts: an aligned
+// human-readable table (what lands in EXPERIMENTS.md) and optionally a CSV
+// block for replotting.  This keeps the bench binaries free of formatting
+// noise.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace dht::core {
+
+/// A simple column-aligned text table with a title and optional footnotes.
+class Table {
+ public:
+  explicit Table(std::string title);
+
+  /// Sets the header row; must be called before add_row.
+  void set_header(std::vector<std::string> header);
+
+  /// Appends a data row; its arity must match the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Appends a footnote line printed under the table.
+  void add_note(std::string note);
+
+  /// Renders with aligned columns.
+  void print(std::ostream& os) const;
+
+  /// Renders as CSV (header + rows; title/notes become '#' comments).
+  void print_csv(std::ostream& os) const;
+
+  int row_count() const noexcept { return static_cast<int>(rows_.size()); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<std::string> notes_;
+};
+
+}  // namespace dht::core

@@ -1,0 +1,52 @@
+#include "core/ring_geometry.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "math/stable.hpp"
+
+namespace dht::core {
+
+RingGeometry::RingGeometry(int successor_links)
+    : successor_links_(successor_links) {
+  DHT_CHECK(successor_links >= 0, "successor link count must be >= 0");
+  // Offsets +1..+s that are powers of two duplicate fingers; there are
+  // floor(log2 s) + 1 = bit_width(s) of them.
+  effective_extra_ =
+      successor_links == 0
+          ? 0
+          : successor_links -
+                std::bit_width(static_cast<unsigned>(successor_links));
+}
+
+math::LogReal RingGeometry::distance_count(int h, int d) const {
+  DHT_CHECK(d >= 1, "identifier length d must be >= 1");
+  if (h < 1 || h > d) {
+    return math::LogReal::zero();
+  }
+  return math::LogReal::exp2_int(h - 1);
+}
+
+double RingGeometry::phase_failure(int m, double q, int d) const {
+  DHT_CHECK(m >= 1, "phase index m must be >= 1");
+  DHT_CHECK(d >= 1, "identifier length d must be >= 1");
+  DHT_CHECK(q >= 0.0 && q <= 1.0, "failure probability q must be in [0, 1]");
+  if (q == 0.0) {
+    return 0.0;
+  }
+  if (q == 1.0) {
+    return 1.0;
+  }
+  const double s = static_cast<double>(effective_extra_);
+  const double x =
+      q * math::one_minus_pow(q, static_cast<double>(m - 1) + s);
+  // 2^{m-1} suboptimal-hop slots; exp2 saturates to +inf for m > ~1024,
+  // which geometric_sum treats as the infinite series -- the correct limit.
+  const double slots = std::exp2(static_cast<double>(m - 1));
+  const double qms = math::pow_q(q, static_cast<double>(m) + s);
+  return std::clamp(qms * math::geometric_sum(x, slots), 0.0, 1.0);
+}
+
+}  // namespace dht::core

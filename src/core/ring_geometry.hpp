@@ -1,0 +1,77 @@
+// Ring (Chord) routing geometry -- paper Sections 3.4, 4.3.3.
+//
+// Nodes sit on a numeric ring with log N randomized fingers; routing is
+// greedy clockwise.  Unlike XOR routing, a suboptimal hop keeps all m
+// next-hop choices available, and up to 2^{m-1} suboptimal hops fit inside
+// phase m, giving
+//
+//   Q(m) = q^m * sum_{k=0}^{2^{m-1}-1} [q (1-q^{m-1})]^k
+//        = q^m * (1 - x^{2^{m-1}}) / (1 - x),   x = q (1 - q^{m-1}).
+//
+// The chain deliberately ignores the distance progress a suboptimal hop
+// makes (modeling it exactly blows up the state space, Section 4.3.3), so
+// p(h, q) is a LOWER bound for the true success probability and the
+// resulting failed-path percentage an upper bound (Fig. 6(b)).
+//
+// Q(m) <= q^m / (1 - q), so sum Q(m) converges: scalable (Section 5.4).
+#pragma once
+
+#include "core/geometry.hpp"
+
+namespace dht::core {
+
+class RingGeometry final : public Geometry {
+ public:
+  /// `successor_links` models the sequential-neighbor knob the paper's
+  /// Sections 1-2 repeatedly invoke ("the designer can always add enough
+  /// sequential neighbors"): a node additionally keeps its s clockwise
+  /// successors (offsets +1 .. +s).  In a fully populated space the
+  /// offsets that are powers of two already ARE fingers, so only
+  /// s_eff = s - (floor(log2 s) + 1) genuinely new links join the table
+  /// (s = 2 adds nothing; s = 4 adds one node, +3; s = 8 adds four).
+  /// Each hop then fails only when the m phase fingers and the s_eff extra
+  /// successors are all dead:
+  ///
+  ///   Q_s(m) = q^{m+s_eff} sum_{k=0}^{2^{m-1}-1} [q(1-q^{m-1+s_eff})]^k.
+  ///
+  /// s = 0 is the paper's basic geometry.  The model treats every extra
+  /// successor as useful in all phases; in the real end game (distance
+  /// < s) some overshoot, so for s > 0 the expression is an approximation
+  /// rather than a bound.  Precondition: s >= 0.
+  explicit RingGeometry(int successor_links = 0);
+
+  GeometryKind kind() const noexcept override { return GeometryKind::kRing; }
+  std::string_view name() const noexcept override { return "ring"; }
+  std::string_view dht_system() const noexcept override { return "Chord"; }
+
+  int successor_links() const noexcept { return successor_links_; }
+
+  /// Successor-list members that do not coincide with a finger.
+  int effective_extra_links() const noexcept { return effective_extra_; }
+
+  /// n(h) = 2^{h-1}: identifiers at clockwise distance in [2^{h-1}, 2^h).
+  math::LogReal distance_count(int h, int d) const override;
+
+  /// Closed-form geometric sum above; stable for any m (the x^{2^{m-1}}
+  /// term underflows harmlessly once 2^{m-1} log x < -745).
+  double phase_failure(int m, double q, int d) const override;
+
+  ScalabilityClass scalability_class() const noexcept override {
+    return ScalabilityClass::kScalable;
+  }
+  std::string_view scalability_argument() const noexcept override {
+    return "Q(m) <= q^m / (1 - q(1-q^{m-1})) is dominated by a geometric "
+           "series, so sum Q(m) converges (Knopp); also p_ring >= p_xor "
+           "term-by-term (Section 5.4)";
+  }
+  Exactness exactness() const noexcept override {
+    return successor_links_ == 0 ? Exactness::kLowerBound
+                                 : Exactness::kApproximate;
+  }
+
+ private:
+  int successor_links_;
+  int effective_extra_;
+};
+
+}  // namespace dht::core

@@ -1,0 +1,68 @@
+#include "core/scalability.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "math/summation.hpp"
+
+namespace dht::core {
+
+double limit_success_probability(const Geometry& geometry, double q,
+                                 const LimitOptions& options) {
+  DHT_CHECK(q >= 0.0 && q < 1.0,
+            "limit success probability requires q in [0, 1)");
+  DHT_CHECK(options.d_reference >= 1, "d_reference must be >= 1");
+  DHT_CHECK(options.max_factors > 0, "max_factors must be positive");
+  if (q == 0.0) {
+    return 1.0;
+  }
+  math::NeumaierSum log_product;
+  for (int m = 1; m <= options.max_factors; ++m) {
+    const double failure = geometry.phase_failure(m, q, options.d_reference);
+    if (failure >= 1.0) {
+      return 0.0;
+    }
+    log_product.add(std::log1p(-failure));
+    if (failure < options.tail_epsilon) {
+      // Remaining factors change log p by less than ~sum_{k>m} Q(k); for
+      // every geometry in the library Q decays at least geometrically once
+      // below tail_epsilon, so the tail is below tail_epsilon/(1-q).
+      break;
+    }
+    if (log_product.total() < -745.0) {
+      return 0.0;  // product already underflows double range
+    }
+  }
+  return std::exp(log_product.total());
+}
+
+double limit_routability(const Geometry& geometry, double q,
+                         const LimitOptions& options) {
+  DHT_CHECK(q >= 0.0 && q < 1.0, "limit routability requires q in [0, 1)");
+  return limit_success_probability(geometry, q, options) / (1.0 - q);
+}
+
+ScalabilityReport analyze_scalability(const Geometry& geometry, double q,
+                                      const LimitOptions& options) {
+  DHT_CHECK(q > 0.0 && q < 1.0, "analyze_scalability requires q in (0, 1)");
+  ScalabilityReport report;
+  report.kind = geometry.kind();
+  report.q = q;
+  report.analytic = geometry.scalability_class();
+  report.numeric = math::diagnose_series(
+      [&geometry, q, &options](int m) {
+        return geometry.phase_failure(m, q, options.d_reference);
+      });
+  const bool numeric_convergent =
+      report.numeric.verdict == math::SeriesVerdict::kConvergent;
+  const bool analytic_scalable =
+      report.analytic == ScalabilityClass::kScalable;
+  report.numeric_agrees =
+      (report.numeric.verdict != math::SeriesVerdict::kInconclusive) &&
+      (numeric_convergent == analytic_scalable);
+  report.limit_success = limit_success_probability(geometry, q, options);
+  report.limit_routability = limit_routability(geometry, q, options);
+  return report;
+}
+
+}  // namespace dht::core

@@ -1,0 +1,65 @@
+// Scalability analysis (paper Section 5).
+//
+// A geometry is scalable iff lim_{h->inf} p(h, q) > 0, which by Knopp's
+// theorem (Theorem 1) holds iff sum_m Q(m) converges.  This module combines
+// each geometry's analytic verdict with an independent numeric diagnosis of
+// the Q(m) series, and evaluates the limiting quantities
+//
+//   p_inf(q) = prod_{m=1}^{inf} (1 - Q(m))          (limit success prob.)
+//   r_inf(q) = p_inf(q) / (1 - q)                   (limit routability)
+//
+// The r_inf formula follows from Eq. 3: as d -> inf the distance
+// distributions concentrate on h -> inf (Binomial(d, 1/2) mass for the
+// C(d, h) geometries, the 2^{h-1} tail for the ring ones), so
+// E[S] / (2^d - 1) -> p_inf and the (1-q) survivor factor remains.
+#pragma once
+
+#include "core/geometry.hpp"
+#include "math/series.hpp"
+
+namespace dht::core {
+
+/// Options for the limiting-product evaluation.
+struct LimitOptions {
+  /// Identifier length fed to Q(m) for geometries whose Q depends on d
+  /// (Symphony).  The analytic limit d -> inf sends Symphony's Q to a
+  /// positive constant, so any moderately large value gives the same
+  /// verdict; 128 matches the Fig. 7(a) regime.
+  int d_reference = 128;
+  /// Stop extending the product once Q(m) falls below this tail threshold...
+  double tail_epsilon = 1e-18;
+  /// ...or after this many factors (divergent series never pass the
+  /// threshold; by then the partial product has long since underflowed).
+  int max_factors = 100000;
+};
+
+/// p_inf(q): the h -> infinity limit of p(h, q).  Returns 0 for unscalable
+/// geometries (their partial products underflow).  Precondition: q in [0,1).
+double limit_success_probability(const Geometry& geometry, double q,
+                                 const LimitOptions& options = {});
+
+/// r_inf(q) = p_inf(q) / (1 - q): the N -> infinity limit of routability.
+double limit_routability(const Geometry& geometry, double q,
+                         const LimitOptions& options = {});
+
+/// Combined analytic + numeric scalability report for one geometry at one q.
+struct ScalabilityReport {
+  GeometryKind kind = GeometryKind::kTree;
+  double q = 0.0;
+  /// The paper's analytic verdict (Section 5).
+  ScalabilityClass analytic = ScalabilityClass::kUnscalable;
+  /// Numeric diagnosis of sum_m Q(m).
+  math::SeriesDiagnosis numeric;
+  /// True when the numeric verdict corroborates the analytic one.
+  bool numeric_agrees = false;
+  double limit_success = 0.0;      ///< p_inf(q)
+  double limit_routability = 0.0;  ///< r_inf(q)
+};
+
+/// Runs the numeric series diagnosis against the analytic verdict and
+/// evaluates the limits.  Precondition: 0 < q < 1 (at q = 0 every geometry
+/// trivially routes, so scalability is not in question).
+ScalabilityReport analyze_scalability(const Geometry& geometry, double q,
+                                      const LimitOptions& options = {});
+
+}  // namespace dht::core

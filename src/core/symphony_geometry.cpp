@@ -1,0 +1,49 @@
+#include "core/symphony_geometry.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "math/stable.hpp"
+
+namespace dht::core {
+
+SymphonyGeometry::SymphonyGeometry(SymphonyParams params) : params_(params) {
+  DHT_CHECK(params.near_neighbors >= 1,
+            "symphony requires at least one near neighbor");
+  DHT_CHECK(params.shortcuts >= 1, "symphony requires at least one shortcut");
+}
+
+math::LogReal SymphonyGeometry::distance_count(int h, int d) const {
+  DHT_CHECK(d >= 1, "identifier length d must be >= 1");
+  if (h < 1 || h > d) {
+    return math::LogReal::zero();
+  }
+  return math::LogReal::exp2_int(h - 1);
+}
+
+double SymphonyGeometry::phase_failure(int m, double q, int d) const {
+  DHT_CHECK(m >= 1, "phase index m must be >= 1");
+  DHT_CHECK(d >= 1, "identifier length d must be >= 1");
+  DHT_CHECK(q >= 0.0 && q < 1.0,
+            "symphony phase failure requires q in [0, 1)");
+  if (q == 0.0) {
+    return 0.0;
+  }
+  const double links =
+      static_cast<double>(params_.near_neighbors + params_.shortcuts);
+  const double y = math::pow_q(q, links);  // all links dead
+  const double x =
+      static_cast<double>(params_.shortcuts) / static_cast<double>(d);
+  // Suboptimal-hop probability; negative only when ks/d + q^{kn+ks} > 1
+  // (tiny d with large q), where the paper's model leaves its domain.
+  const double z = std::clamp(1.0 - x - y, 0.0, 1.0);
+  const double max_suboptimal =
+      std::ceil(static_cast<double>(d) / (1.0 - q));
+  // Eq. 7 sums j = 0 .. ceil(d/(1-q)) inclusive: that is max_suboptimal + 1
+  // terms.
+  return std::clamp(y * math::geometric_sum(z, max_suboptimal + 1.0), 0.0,
+                    1.0);
+}
+
+}  // namespace dht::core

@@ -1,0 +1,60 @@
+// Small-world (Symphony) routing geometry -- paper Sections 3.5, 4.3.4.
+//
+// Nodes sit on a ring with kn near neighbors and ks long-range shortcuts
+// drawn from a harmonic (1/distance) distribution; routing is greedy.  Per
+// hop, a phase (distance halving) completes with probability x = ks/d, the
+// route dies when all kn + ks links are dead (probability y = q^{kn+ks}),
+// and otherwise a suboptimal hop is taken, at most ceil(d/(1-q)) times
+// (Fig. 8(b)).  This yields the phase-independent failure probability
+// (Eq. 7)
+//
+//   Q = y * sum_{j=0}^{ceil(d/(1-q))} (1 - ks/d - y)^j.
+//
+// Q is constant in m, so sum_m Q(m) diverges for every q > 0: the basic
+// Symphony routing system is unscalable (Section 5.5).  As the paper
+// stresses, a deployment can still provision larger kn/ks for any target
+// network size -- see the symphony_provisioning example and ablation.
+#pragma once
+
+#include "core/geometry.hpp"
+
+namespace dht::core {
+
+class SymphonyGeometry final : public Geometry {
+ public:
+  /// Constructs with the given link counts (paper's Fig. 7 uses kn=ks=1).
+  /// Preconditions: near_neighbors >= 1, shortcuts >= 1.
+  explicit SymphonyGeometry(SymphonyParams params = {});
+
+  GeometryKind kind() const noexcept override {
+    return GeometryKind::kSymphony;
+  }
+  std::string_view name() const noexcept override { return "symphony"; }
+  std::string_view dht_system() const noexcept override { return "Symphony"; }
+
+  /// n(h) = 2^{h-1}, as for the ring geometry (phases halve ring distance).
+  math::LogReal distance_count(int h, int d) const override;
+
+  /// Eq. 7 (exact truncated geometric sum; the suboptimal-hop probability
+  /// 1 - ks/d - q^{kn+ks} is clamped at 0 when the model leaves its domain,
+  /// which happens only for tiny d combined with large q).
+  double phase_failure(int m, double q, int d) const override;
+
+  SymphonyParams params() const noexcept { return params_; }
+
+  ScalabilityClass scalability_class() const noexcept override {
+    return ScalabilityClass::kUnscalable;
+  }
+  std::string_view scalability_argument() const noexcept override {
+    return "Q(m) is constant in m, so sum Q(m) diverges and p(h, q) -> 0 "
+           "as h -> infinity (Knopp)";
+  }
+  Exactness exactness() const noexcept override {
+    return Exactness::kApproximate;
+  }
+
+ private:
+  SymphonyParams params_;
+};
+
+}  // namespace dht::core

@@ -1,0 +1,58 @@
+#include "core/tree_geometry.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "math/binomial.hpp"
+
+namespace dht::core {
+
+TreeGeometry::TreeGeometry(int base) : base_(base) {
+  DHT_CHECK(base >= 2, "digit base must be >= 2");
+}
+
+math::LogReal TreeGeometry::distance_count(int h, int d) const {
+  DHT_CHECK(d >= 1, "identifier length d must be >= 1");
+  if (h < 1 || h > d) {
+    return math::LogReal::zero();
+  }
+  // C(d, h) ways to pick the differing digit positions, (b-1) wrong values
+  // per position.
+  return math::binomial(d, h) *
+         pow(math::LogReal::from_value(static_cast<double>(base_ - 1)),
+             static_cast<double>(h));
+}
+
+math::LogReal TreeGeometry::space_size(int d) const {
+  DHT_CHECK(d >= 1, "identifier length d must be >= 1");
+  return pow(math::LogReal::from_value(static_cast<double>(base_)),
+             static_cast<double>(d));
+}
+
+double TreeGeometry::phase_failure(int m, double q, int d) const {
+  DHT_CHECK(m >= 1, "phase index m must be >= 1");
+  DHT_CHECK(d >= 1, "identifier length d must be >= 1");
+  DHT_CHECK(q >= 0.0 && q <= 1.0, "failure probability q must be in [0, 1]");
+  return q;
+}
+
+double TreeGeometry::closed_form_routability(int d, double q, int base) {
+  DHT_CHECK(d >= 1, "identifier length d must be >= 1");
+  DHT_CHECK(q >= 0.0 && q < 1.0, "closed form requires q in [0, 1)");
+  DHT_CHECK(base >= 2, "digit base must be >= 2");
+  // ((1 + (b-1)(1-q))^d - 1) / ((1-q) b^d - 1), evaluated in log space so
+  // d = 100 works.  b = 2 gives the paper's ((2-q)^d - 1)/((1-q) 2^d - 1).
+  using math::LogReal;
+  const LogReal numerator =
+      pow(LogReal::from_value(1.0 + (base - 1) * (1.0 - q)),
+          static_cast<double>(d)) -
+      LogReal::one();
+  const LogReal denominator =
+      LogReal::from_value(1.0 - q) *
+          pow(LogReal::from_value(static_cast<double>(base)),
+              static_cast<double>(d)) -
+      LogReal::one();
+  return (numerator / denominator).value();
+}
+
+}  // namespace dht::core

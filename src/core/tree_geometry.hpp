@@ -1,0 +1,67 @@
+// Tree (Plaxton / Tapestry) routing geometry -- paper Sections 3.1, 4.3.1.
+//
+// Each node keeps one neighbor per identifier level; routing corrects the
+// highest-order differing bit at every hop, with no fallback.  The routing
+// Markov chain (Fig. 4(a)) gives the constant phase-failure probability
+// Q(m) = q, hence p(h, q) = (1-q)^h and the closed-form routability
+//
+//     r = ((2-q)^d - 1) / ((1-q) 2^d - 1).
+//
+// Because sum_m Q(m) = sum_m q diverges for every q > 0, the geometry is
+// unscalable (Section 5.1).
+#pragma once
+
+#include "core/geometry.hpp"
+
+namespace dht::core {
+
+class TreeGeometry final : public Geometry {
+ public:
+  /// `base` is the digit base of the identifiers (paper Section 3: "we will
+  /// use binary strings as identifiers although any other base besides 2
+  /// can be used"; Tapestry and Pastry deploy base 16).  Identifiers are d
+  /// digits base b, so N = b^d, n(h) = C(d, h)(b-1)^h, and the per-level
+  /// correction still needs one specific neighbor: Q(m) = q.  The closed
+  /// form generalizes to
+  ///
+  ///     r = ((1 + (b-1)(1-q))^d - 1) / ((1-q) b^d - 1).
+  ///
+  /// Precondition: base >= 2.
+  explicit TreeGeometry(int base = 2);
+
+  GeometryKind kind() const noexcept override { return GeometryKind::kTree; }
+  std::string_view name() const noexcept override { return "tree"; }
+  std::string_view dht_system() const noexcept override {
+    return "Plaxton / Tapestry";
+  }
+
+  int base() const noexcept { return base_; }
+
+  /// n(h) = C(d, h)(b-1)^h: nodes differing in exactly h digits.
+  math::LogReal distance_count(int h, int d) const override;
+
+  /// N = b^d.
+  math::LogReal space_size(int d) const override;
+
+  /// Q(m) = q: the unique neighbor correcting the leftmost digit must be
+  /// alive.
+  double phase_failure(int m, double q, int d) const override;
+
+  /// Closed form ((1 + (b-1)(1-q))^d - 1) / ((1-q) b^d - 1) (Section 4.3.1
+  /// for b = 2); used by the tests to validate the generic Eq. 3 evaluator.
+  static double closed_form_routability(int d, double q, int base = 2);
+
+  ScalabilityClass scalability_class() const noexcept override {
+    return ScalabilityClass::kUnscalable;
+  }
+  std::string_view scalability_argument() const noexcept override {
+    return "Q(m) = q is constant, so sum Q(m) diverges and "
+           "p(h, q) = (1-q)^h -> 0 as h -> infinity (Knopp)";
+  }
+  Exactness exactness() const noexcept override { return Exactness::kExact; }
+
+ private:
+  int base_;
+};
+
+}  // namespace dht::core

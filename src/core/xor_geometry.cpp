@@ -1,0 +1,60 @@
+#include "core/xor_geometry.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "math/binomial.hpp"
+#include "math/stable.hpp"
+#include "math/summation.hpp"
+
+namespace dht::core {
+
+math::LogReal XorGeometry::distance_count(int h, int d) const {
+  DHT_CHECK(d >= 1, "identifier length d must be >= 1");
+  if (h < 1 || h > d) {
+    return math::LogReal::zero();
+  }
+  return math::binomial(d, h);
+}
+
+double XorGeometry::phase_failure(int m, double q, int d) const {
+  DHT_CHECK(m >= 1, "phase index m must be >= 1");
+  DHT_CHECK(d >= 1, "identifier length d must be >= 1");
+  DHT_CHECK(q >= 0.0 && q <= 1.0, "failure probability q must be in [0, 1]");
+  if (q == 0.0) {
+    return 0.0;
+  }
+  if (q == 1.0) {
+    return 1.0;
+  }
+  // Q(m) = q^m [1 + sum_{k=1}^{m-1} prod_{j=m-k}^{m-1} (1 - q^j)].
+  // The k-th product extends the (k-1)-th downward by the factor
+  // (1 - q^{m-k}), so the whole sum costs O(m).
+  math::NeumaierSum bracket;
+  bracket.add(1.0);
+  double running_product = 1.0;
+  for (int k = 1; k <= m - 1; ++k) {
+    running_product *= math::one_minus_pow(q, static_cast<double>(m - k));
+    bracket.add(running_product);
+  }
+  const double qm = math::pow_q(q, static_cast<double>(m));
+  return std::clamp(qm * bracket.total(), 0.0, 1.0);
+}
+
+double XorGeometry::phase_failure_approximation(int m, double q) {
+  DHT_CHECK(m >= 1, "phase index m must be >= 1");
+  DHT_CHECK(q >= 0.0 && q < 1.0, "approximation requires q in [0, 1)");
+  if (q == 0.0) {
+    return 0.0;
+  }
+  const double qm = math::pow_q(q, static_cast<double>(m));
+  const double qm1 = math::pow_q(q, static_cast<double>(m - 1));
+  const double tail =
+      (q / (1.0 - q)) *
+      (qm1 * static_cast<double>(m - 1) -
+       math::one_minus_pow(q, static_cast<double>(m + 1)) / (1.0 - q));
+  return std::clamp(qm * (static_cast<double>(m) + tail), 0.0, 1.0);
+}
+
+}  // namespace dht::core

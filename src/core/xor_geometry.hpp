@@ -1,0 +1,49 @@
+// XOR (Kademlia) routing geometry -- paper Sections 3.3, 4.3.2.
+//
+// Neighbor selection is equivalent to the tree geometry's, but when the
+// neighbor that would correct the highest-order bit is dead the protocol may
+// fall back to correcting a lower-order differing bit (which still shrinks
+// the XOR distance).  Each fallback consumes one of the phase's m-1 spare
+// options; the Markov chain of Fig. 5(b) yields (Eq. 6)
+//
+//   Q(m) = q^m + sum_{k=1}^{m-1} q^m prod_{j=m-k}^{m-1} (1 - q^j).
+//
+// Q(m) decays like m q^m, so sum Q(m) converges: scalable (Section 5.3).
+#pragma once
+
+#include "core/geometry.hpp"
+
+namespace dht::core {
+
+class XorGeometry final : public Geometry {
+ public:
+  GeometryKind kind() const noexcept override { return GeometryKind::kXor; }
+  std::string_view name() const noexcept override { return "xor"; }
+  std::string_view dht_system() const noexcept override {
+    return "Kademlia (eDonkey/Kad)";
+  }
+
+  /// n(h) = C(d, h), exactly as in the tree geometry (same neighbor rule).
+  math::LogReal distance_count(int h, int d) const override;
+
+  /// Eq. 6, evaluated exactly with a running product in O(m).
+  double phase_failure(int m, double q, int d) const override;
+
+  /// The paper's closed-form approximation of Eq. 6 (obtained via
+  /// 1 - x ~= e^{-x}), exposed for the approximation-quality ablation:
+  ///   Q(m) ~= q^m (m + q/(1-q) (q^{m-1}(m-1) - (1-q^{m+1})/(1-q))).
+  /// The raw expression can leave [0, 1] outside the small-q regime; the
+  /// returned value is clamped to [0, 1].
+  static double phase_failure_approximation(int m, double q);
+
+  ScalabilityClass scalability_class() const noexcept override {
+    return ScalabilityClass::kScalable;
+  }
+  std::string_view scalability_argument() const noexcept override {
+    return "Q(m) consists of q^m and m q^m terms, so sum Q(m) converges by "
+           "the ratio test (Knopp)";
+  }
+  Exactness exactness() const noexcept override { return Exactness::kExact; }
+};
+
+}  // namespace dht::core

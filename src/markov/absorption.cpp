@@ -1,0 +1,165 @@
+#include "markov/absorption.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/check.hpp"
+#include "math/summation.hpp"
+
+namespace dht::markov {
+
+double absorption_probability_dag(const Chain& chain, StateId start,
+                                  StateId target) {
+  DHT_CHECK(chain.is_absorbing(target),
+            "absorption target must be an absorbing state");
+  const auto order = chain.topological_order();
+  DHT_CHECK(order.has_value(),
+            "absorption_probability_dag requires an acyclic chain");
+
+  // Walk the topological order backwards: by the time we evaluate a state,
+  // every successor already has its absorption probability.
+  std::vector<double> prob(static_cast<size_t>(chain.state_count()), 0.0);
+  prob[static_cast<size_t>(target)] = 1.0;
+  for (auto it = order->rbegin(); it != order->rend(); ++it) {
+    const StateId s = *it;
+    if (chain.is_absorbing(s)) {
+      continue;  // target already seeded; other absorbing states stay 0
+    }
+    math::NeumaierSum acc;
+    for (const Transition& t : chain.transitions_from(s)) {
+      acc.add(t.probability * prob[static_cast<size_t>(t.to)]);
+    }
+    prob[static_cast<size_t>(s)] = acc.total();
+  }
+  return std::clamp(prob[static_cast<size_t>(start)], 0.0, 1.0);
+}
+
+ConditionalAbsorption conditional_absorption_dag(const Chain& chain,
+                                                 StateId start,
+                                                 StateId target) {
+  DHT_CHECK(chain.is_absorbing(target),
+            "absorption target must be an absorbing state");
+  const auto order = chain.topological_order();
+  DHT_CHECK(order.has_value(),
+            "conditional_absorption_dag requires an acyclic chain");
+
+  // prob(v)   = P(absorbed at target | start v)
+  // weight(v) = E[steps * 1{absorbed at target} | start v]
+  // Recurrence over edges e = (v -> w, p): weight(v) += p (weight(w) +
+  // prob(w)) -- the +prob(w) charges the step along e to every eventually
+  // successful trajectory through it.
+  std::vector<double> prob(static_cast<size_t>(chain.state_count()), 0.0);
+  std::vector<double> weight(static_cast<size_t>(chain.state_count()), 0.0);
+  prob[static_cast<size_t>(target)] = 1.0;
+  for (auto it = order->rbegin(); it != order->rend(); ++it) {
+    const StateId s = *it;
+    if (chain.is_absorbing(s)) {
+      continue;
+    }
+    math::NeumaierSum p_acc;
+    math::NeumaierSum w_acc;
+    for (const Transition& t : chain.transitions_from(s)) {
+      const double child_prob = prob[static_cast<size_t>(t.to)];
+      p_acc.add(t.probability * child_prob);
+      w_acc.add(t.probability *
+                (weight[static_cast<size_t>(t.to)] + child_prob));
+    }
+    prob[static_cast<size_t>(s)] = p_acc.total();
+    weight[static_cast<size_t>(s)] = w_acc.total();
+  }
+  ConditionalAbsorption out;
+  out.probability = std::clamp(prob[static_cast<size_t>(start)], 0.0, 1.0);
+  if (out.probability > 0.0) {
+    out.expected_steps =
+        weight[static_cast<size_t>(start)] / out.probability;
+  }
+  return out;
+}
+
+double absorption_probability_dense(const Chain& chain, StateId start,
+                                    StateId target) {
+  DHT_CHECK(chain.is_absorbing(target),
+            "absorption target must be an absorbing state");
+  if (start == target) {
+    return 1.0;
+  }
+  if (chain.is_absorbing(start)) {
+    return 0.0;
+  }
+
+  // Index the transient (non-absorbing) states.
+  const int n = chain.state_count();
+  std::vector<int> transient_index(static_cast<size_t>(n), -1);
+  std::vector<StateId> transient_states;
+  for (StateId s = 0; s < n; ++s) {
+    if (!chain.is_absorbing(s)) {
+      transient_index[static_cast<size_t>(s)] =
+          static_cast<int>(transient_states.size());
+      transient_states.push_back(s);
+    }
+  }
+  const int t = static_cast<int>(transient_states.size());
+
+  // Solve (I - T) x = b where T is the transient-to-transient transition
+  // matrix and b(i) = P(one-step absorption at target from transient i).
+  std::vector<std::vector<double>> a(static_cast<size_t>(t),
+                                     std::vector<double>(static_cast<size_t>(t), 0.0));
+  std::vector<double> b(static_cast<size_t>(t), 0.0);
+  for (int i = 0; i < t; ++i) {
+    a[static_cast<size_t>(i)][static_cast<size_t>(i)] = 1.0;
+    for (const Transition& tr :
+         chain.transitions_from(transient_states[static_cast<size_t>(i)])) {
+      const int j = transient_index[static_cast<size_t>(tr.to)];
+      if (j >= 0) {
+        a[static_cast<size_t>(i)][static_cast<size_t>(j)] -= tr.probability;
+      } else if (tr.to == target) {
+        b[static_cast<size_t>(i)] += tr.probability;
+      }
+    }
+  }
+
+  // Gaussian elimination with partial pivoting.
+  for (int col = 0; col < t; ++col) {
+    int pivot = col;
+    for (int row = col + 1; row < t; ++row) {
+      if (std::abs(a[static_cast<size_t>(row)][static_cast<size_t>(col)]) >
+          std::abs(a[static_cast<size_t>(pivot)][static_cast<size_t>(col)])) {
+        pivot = row;
+      }
+    }
+    DHT_CHECK(
+        std::abs(a[static_cast<size_t>(pivot)][static_cast<size_t>(col)]) >
+            1e-14,
+        "singular transient system: some state never reaches absorption");
+    std::swap(a[static_cast<size_t>(col)], a[static_cast<size_t>(pivot)]);
+    std::swap(b[static_cast<size_t>(col)], b[static_cast<size_t>(pivot)]);
+    const double diag = a[static_cast<size_t>(col)][static_cast<size_t>(col)];
+    for (int row = col + 1; row < t; ++row) {
+      const double factor =
+          a[static_cast<size_t>(row)][static_cast<size_t>(col)] / diag;
+      if (factor == 0.0) {
+        continue;
+      }
+      for (int k = col; k < t; ++k) {
+        a[static_cast<size_t>(row)][static_cast<size_t>(k)] -=
+            factor * a[static_cast<size_t>(col)][static_cast<size_t>(k)];
+      }
+      b[static_cast<size_t>(row)] -= factor * b[static_cast<size_t>(col)];
+    }
+  }
+  std::vector<double> x(static_cast<size_t>(t), 0.0);
+  for (int row = t - 1; row >= 0; --row) {
+    double rhs = b[static_cast<size_t>(row)];
+    for (int k = row + 1; k < t; ++k) {
+      rhs -= a[static_cast<size_t>(row)][static_cast<size_t>(k)] *
+             x[static_cast<size_t>(k)];
+    }
+    x[static_cast<size_t>(row)] =
+        rhs / a[static_cast<size_t>(row)][static_cast<size_t>(row)];
+  }
+  const int start_idx = transient_index[static_cast<size_t>(start)];
+  return std::clamp(x[static_cast<size_t>(start_idx)], 0.0, 1.0);
+}
+
+}  // namespace dht::markov

@@ -1,0 +1,44 @@
+// Absorption-probability solvers.
+//
+// Given an absorbing chain, computes the probability that a walk started at
+// `start` is eventually absorbed at `target`.  Two independent solvers are
+// provided:
+//
+//  * absorption_probability_dag -- linear-time dynamic programming over a
+//    topological order; applicable to the paper's routing chains (acyclic).
+//  * absorption_probability_dense -- Gaussian elimination on the transient
+//    sub-matrix (I - T) x = b; works for cyclic chains, used to cross-check
+//    the DAG solver in tests.
+#pragma once
+
+#include "markov/chain.hpp"
+
+namespace dht::markov {
+
+/// DP solver for acyclic chains.  Throws dht::PreconditionError if the chain
+/// has a cycle or `target` is not absorbing.
+double absorption_probability_dag(const Chain& chain, StateId start,
+                                  StateId target);
+
+/// Dense linear-algebra solver; O(n^3).  Throws if `target` is not absorbing
+/// or if the transient system is singular (walk can avoid absorption).
+double absorption_probability_dense(const Chain& chain, StateId start,
+                                    StateId target);
+
+/// Absorption probability together with the conditional expected number of
+/// steps E[steps | absorbed at target].  For a routing chain this is the
+/// expected hop count of a *successful* route -- the latency axis of the
+/// geometry under failure.
+struct ConditionalAbsorption {
+  double probability = 0.0;
+  /// Defined as 0 when probability == 0.
+  double expected_steps = 0.0;
+};
+
+/// DAG solver for probability and conditional steps in one pass.
+/// Preconditions as absorption_probability_dag.
+ConditionalAbsorption conditional_absorption_dag(const Chain& chain,
+                                                 StateId start,
+                                                 StateId target);
+
+}  // namespace dht::markov

@@ -1,0 +1,192 @@
+#include "markov/builders.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/strfmt.hpp"
+#include "math/stable.hpp"
+
+namespace dht::markov {
+
+namespace {
+
+void check_h_q(int h, double q) {
+  DHT_CHECK(h >= 1, "routing chains need h >= 1");
+  DHT_CHECK(q >= 0.0 && q <= 1.0, "failure probability q must be in [0, 1]");
+}
+
+/// Adds the phase states S_0 .. S_h plus the failure state; returns ids.
+struct Skeleton {
+  std::vector<StateId> phase;  // phase[i] == S_i
+  StateId failure;
+};
+
+Skeleton add_skeleton(Chain& chain, int h) {
+  Skeleton s;
+  s.phase.reserve(static_cast<size_t>(h) + 1);
+  for (int i = 0; i <= h; ++i) {
+    s.phase.push_back(chain.add_state(strfmt("S%d", i)));
+  }
+  s.failure = chain.add_state("F");
+  return s;
+}
+
+RoutingChain finish(Chain&& chain, const Skeleton& s) {
+  RoutingChain out;
+  out.chain = std::move(chain);
+  out.start = s.phase.front();
+  out.success = s.phase.back();
+  out.failure = s.failure;
+  out.chain.validate();
+  return out;
+}
+
+}  // namespace
+
+RoutingChain build_tree_chain(int h, double q) {
+  check_h_q(h, q);
+  Chain chain;
+  Skeleton s = add_skeleton(chain, h);
+  for (int i = 0; i < h; ++i) {
+    // The single neighbor that corrects the leftmost bit must be alive.
+    chain.add_transition(s.phase[static_cast<size_t>(i)],
+                         s.phase[static_cast<size_t>(i) + 1], 1.0 - q);
+    chain.add_transition(s.phase[static_cast<size_t>(i)], s.failure, q);
+  }
+  return finish(std::move(chain), s);
+}
+
+RoutingChain build_hypercube_chain(int h, double q) {
+  check_h_q(h, q);
+  Chain chain;
+  Skeleton s = add_skeleton(chain, h);
+  for (int i = 0; i < h; ++i) {
+    // h - i differing bits remain; any of the h - i correcting neighbors
+    // advances, failure requires all of them dead.
+    const double fail = math::pow_q(q, static_cast<double>(h - i));
+    chain.add_transition(s.phase[static_cast<size_t>(i)],
+                         s.phase[static_cast<size_t>(i) + 1], 1.0 - fail);
+    chain.add_transition(s.phase[static_cast<size_t>(i)], s.failure, fail);
+  }
+  return finish(std::move(chain), s);
+}
+
+RoutingChain build_xor_chain(int h, double q) {
+  check_h_q(h, q);
+  Chain chain;
+  Skeleton s = add_skeleton(chain, h);
+  for (int i = 0; i < h; ++i) {
+    const int m = h - i;  // phases still to cross
+    // Suboptimal states (i, 1) .. (i, m-1): each suboptimal hop corrects one
+    // of the lower-order bits, so the pool of useful neighbors shrinks.
+    std::vector<StateId> sub;
+    sub.reserve(static_cast<size_t>(m > 0 ? m - 1 : 0));
+    for (int j = 1; j <= m - 1; ++j) {
+      sub.push_back(chain.add_state(strfmt("(%d,%d)", i, j)));
+    }
+    const auto state_at = [&](int j) {
+      // j == 0 is the phase state itself, j >= 1 the suboptimal states.
+      return j == 0 ? s.phase[static_cast<size_t>(i)]
+                    : sub[static_cast<size_t>(j) - 1];
+    };
+    for (int j = 0; j <= m - 1; ++j) {
+      const StateId from = state_at(j);
+      // Optimal neighbor (corrects the leftmost unresolved bit) alive.
+      chain.add_transition(from, s.phase[static_cast<size_t>(i) + 1], 1.0 - q);
+      // All m - j still-useful neighbors dead.
+      chain.add_transition(from, s.failure,
+                           math::pow_q(q, static_cast<double>(m - j)));
+      // Optimal dead but one of the m - j - 1 lower-order neighbors alive.
+      if (j < m - 1) {
+        const double sub_prob =
+            q * math::one_minus_pow(q, static_cast<double>(m - j - 1));
+        chain.add_transition(from, state_at(j + 1), sub_prob);
+      }
+    }
+  }
+  return finish(std::move(chain), s);
+}
+
+RoutingChain build_ring_chain(int h, double q) {
+  check_h_q(h, q);
+  DHT_CHECK(h <= 20, "ring chain has 2^h states; h capped at 20");
+  Chain chain;
+  Skeleton s = add_skeleton(chain, h);
+  for (int i = 0; i < h; ++i) {
+    const int m = h - i;
+    // In Chord a suboptimal hop preserves all m next-hop choices; the only
+    // bound is geometric: at most 2^{m-1} - 1 suboptimal hops fit inside the
+    // phase's distance window.
+    const long long max_sub = (1LL << (m - 1)) - 1;
+    const double fail = math::pow_q(q, static_cast<double>(m));
+    const double sub_prob =
+        q * math::one_minus_pow(q, static_cast<double>(m - 1));
+    std::vector<StateId> sub;
+    sub.reserve(static_cast<size_t>(max_sub));
+    for (long long j = 1; j <= max_sub; ++j) {
+      sub.push_back(chain.add_state(strfmt("(%d,%lld)", i, j)));
+    }
+    const auto state_at = [&](long long j) {
+      return j == 0 ? s.phase[static_cast<size_t>(i)]
+                    : sub[static_cast<size_t>(j) - 1];
+    };
+    for (long long j = 0; j <= max_sub; ++j) {
+      const StateId from = state_at(j);
+      chain.add_transition(from, s.failure, fail);
+      if (j < max_sub) {
+        chain.add_transition(from, s.phase[static_cast<size_t>(i) + 1],
+                             1.0 - q);
+        chain.add_transition(from, state_at(j + 1), sub_prob);
+      } else {
+        // Last suboptimal slot: the paper's Q(m) series ends here, so the
+        // leftover suboptimal mass folds into the advance edge.
+        chain.add_transition(from, s.phase[static_cast<size_t>(i) + 1],
+                             1.0 - fail);
+      }
+    }
+  }
+  return finish(std::move(chain), s);
+}
+
+RoutingChain build_symphony_chain(int h, int d, double q, int kn, int ks) {
+  check_h_q(h, q);
+  DHT_CHECK(q < 1.0, "symphony chain requires q < 1");
+  DHT_CHECK(d >= 1 && h <= d, "symphony chain requires 1 <= h <= d");
+  DHT_CHECK(kn >= 1 && ks >= 1, "symphony requires kn >= 1 and ks >= 1");
+  const double x = static_cast<double>(ks) / static_cast<double>(d);
+  const double y = math::pow_q(q, static_cast<double>(kn + ks));
+  DHT_CHECK(x + y <= 1.0,
+            "symphony model out of domain: ks/d + q^(kn+ks) > 1");
+  const double z = 1.0 - x - y;
+  const long long max_sub =
+      static_cast<long long>(std::ceil(static_cast<double>(d) / (1.0 - q)));
+
+  Chain chain;
+  Skeleton s = add_skeleton(chain, h);
+  for (int i = 0; i < h; ++i) {
+    std::vector<StateId> sub;
+    sub.reserve(static_cast<size_t>(max_sub));
+    for (long long j = 1; j <= max_sub; ++j) {
+      sub.push_back(chain.add_state(strfmt("(%d,%lld)", i, j)));
+    }
+    const auto state_at = [&](long long j) {
+      return j == 0 ? s.phase[static_cast<size_t>(i)]
+                    : sub[static_cast<size_t>(j) - 1];
+    };
+    for (long long j = 0; j <= max_sub; ++j) {
+      const StateId from = state_at(j);
+      chain.add_transition(from, s.failure, y);
+      if (j < max_sub) {
+        chain.add_transition(from, s.phase[static_cast<size_t>(i) + 1], x);
+        chain.add_transition(from, state_at(j + 1), z);
+      } else {
+        chain.add_transition(from, s.phase[static_cast<size_t>(i) + 1],
+                             1.0 - y);
+      }
+    }
+  }
+  return finish(std::move(chain), s);
+}
+
+}  // namespace dht::markov

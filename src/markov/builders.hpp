@@ -1,0 +1,54 @@
+// Constructors for the paper's routing Markov chains.
+//
+// Each builder materializes the chain that models routing to a target h
+// phases away under node-failure probability q, exactly as drawn in the
+// paper's figures:
+//
+//   * Tree      -- Fig. 4(a): S_i --(1-q)--> S_{i+1}, --(q)--> F.
+//   * Hypercube -- Fig. 4(b): S_i --(1-q^{h-i})--> S_{i+1}, --(q^{h-i})--> F.
+//   * XOR       -- Fig. 5(b): suboptimal states (i, j); correcting a lower
+//     order bit consumes one of the m-1 fallback options of the phase.
+//   * Ring      -- Fig. 8(a): suboptimal hops keep all m next-hop choices;
+//     up to 2^{m-1} suboptimal hops fit inside phase m.
+//   * Symphony  -- Fig. 8(b): constant phase-advance probability x = ks/d,
+//     failure y = q^{kn+ks}, at most ceil(d/(1-q)) suboptimal hops.
+//
+// Where the paper's truncated chains leave the last suboptimal state's
+// "take another suboptimal hop" probability dangling (ring, symphony), the
+// builders fold it into the phase-advance edge; this reproduces the paper's
+// Q(m) series exactly (the series only counts failure paths).
+#pragma once
+
+#include "markov/chain.hpp"
+
+namespace dht::markov {
+
+/// A built routing chain together with its distinguished states.
+struct RoutingChain {
+  Chain chain;
+  StateId start = 0;    // S_0
+  StateId success = 0;  // S_h (absorbing)
+  StateId failure = 0;  // F   (absorbing)
+};
+
+/// Tree (Plaxton) routing chain for a target h ordered bits away.
+/// Preconditions: h >= 1, q in [0, 1].
+RoutingChain build_tree_chain(int h, double q);
+
+/// Hypercube (CAN) routing chain for a target at Hamming distance h.
+RoutingChain build_hypercube_chain(int h, double q);
+
+/// XOR (Kademlia) routing chain for a target h phases away.
+RoutingChain build_xor_chain(int h, double q);
+
+/// Ring (Chord) routing chain for a target h phases away.  State count grows
+/// as 2^h (one state per possible suboptimal hop); h is capped at 20.
+RoutingChain build_ring_chain(int h, double q);
+
+/// Symphony routing chain for a target h phases away in a d-bit space with
+/// kn near neighbors and ks shortcuts.  Preconditions: 1 <= h <= d,
+/// kn >= 1, ks >= 1, q in [0, 1), and ks/d + q^{kn+ks} <= 1 (the model's
+/// domain; see SymphonyGeometry for the clamped analytical variant).
+RoutingChain build_symphony_chain(int h, int d, double q, int kn, int ks);
+
+}  // namespace dht::markov

@@ -1,0 +1,95 @@
+#include "markov/chain.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/strfmt.hpp"
+
+namespace dht::markov {
+
+StateId Chain::add_state(std::string name) {
+  edges_.emplace_back();
+  names_.push_back(std::move(name));
+  return static_cast<StateId>(edges_.size() - 1);
+}
+
+void Chain::check_state(StateId s) const {
+  DHT_CHECK(s >= 0 && s < state_count(), "state id out of range");
+}
+
+void Chain::add_transition(StateId from, StateId to, double probability) {
+  check_state(from);
+  check_state(to);
+  DHT_CHECK(probability >= -1e-15 && probability <= 1.0 + 1e-15,
+            strfmt("transition probability %g outside [0, 1]", probability));
+  if (probability <= 0.0) {
+    return;
+  }
+  edges_[static_cast<size_t>(from)].push_back(
+      Transition{to, std::min(probability, 1.0)});
+}
+
+const std::string& Chain::state_name(StateId s) const {
+  check_state(s);
+  return names_[static_cast<size_t>(s)];
+}
+
+const std::vector<Transition>& Chain::transitions_from(StateId s) const {
+  check_state(s);
+  return edges_[static_cast<size_t>(s)];
+}
+
+bool Chain::is_absorbing(StateId s) const {
+  check_state(s);
+  return edges_[static_cast<size_t>(s)].empty();
+}
+
+void Chain::validate(double tolerance) const {
+  for (StateId s = 0; s < state_count(); ++s) {
+    const auto& out = edges_[static_cast<size_t>(s)];
+    if (out.empty()) {
+      continue;  // absorbing
+    }
+    double total = 0.0;
+    for (const Transition& t : out) {
+      total += t.probability;
+    }
+    DHT_CHECK(std::abs(total - 1.0) <= tolerance,
+              strfmt("state '%s' outgoing probabilities sum to %.12f",
+                     state_name(s).c_str(), total));
+  }
+}
+
+std::optional<std::vector<StateId>> Chain::topological_order() const {
+  const int n = state_count();
+  std::vector<int> indegree(static_cast<size_t>(n), 0);
+  for (StateId s = 0; s < n; ++s) {
+    for (const Transition& t : edges_[static_cast<size_t>(s)]) {
+      ++indegree[static_cast<size_t>(t.to)];
+    }
+  }
+  std::vector<StateId> ready;
+  for (StateId s = 0; s < n; ++s) {
+    if (indegree[static_cast<size_t>(s)] == 0) {
+      ready.push_back(s);
+    }
+  }
+  std::vector<StateId> order;
+  order.reserve(static_cast<size_t>(n));
+  while (!ready.empty()) {
+    const StateId s = ready.back();
+    ready.pop_back();
+    order.push_back(s);
+    for (const Transition& t : edges_[static_cast<size_t>(s)]) {
+      if (--indegree[static_cast<size_t>(t.to)] == 0) {
+        ready.push_back(t.to);
+      }
+    }
+  }
+  if (static_cast<int>(order.size()) != n) {
+    return std::nullopt;  // cycle
+  }
+  return order;
+}
+
+}  // namespace dht::markov

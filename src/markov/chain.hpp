@@ -1,0 +1,59 @@
+// Absorbing discrete-time Markov chains.
+//
+// Section 4 of the paper derives each geometry's per-phase failure
+// probability Q(m) by inspecting a routing Markov chain (Figs. 4(a), 4(b),
+// 5(b), 8(a), 8(b)).  This module represents those chains explicitly so that
+// the closed-form Q(m) products used by the core library can be validated
+// against numerically computed absorption probabilities on the actual chains.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace dht::markov {
+
+using StateId = int;
+
+/// A single outgoing edge of a chain state.
+struct Transition {
+  StateId to = 0;
+  double probability = 0.0;
+};
+
+/// A finite Markov chain under construction/inspection.  States with no
+/// outgoing transitions are absorbing.  validate() checks stochasticity.
+class Chain {
+ public:
+  /// Adds a state and returns its id.  Names are for diagnostics only.
+  StateId add_state(std::string name);
+
+  /// Adds an edge; zero-probability edges are dropped.  Probabilities are
+  /// validated in aggregate by validate(), not per edge.
+  void add_transition(StateId from, StateId to, double probability);
+
+  int state_count() const noexcept { return static_cast<int>(edges_.size()); }
+  const std::string& state_name(StateId s) const;
+  const std::vector<Transition>& transitions_from(StateId s) const;
+
+  /// True iff the state has no outgoing edges.
+  bool is_absorbing(StateId s) const;
+
+  /// Throws dht::PreconditionError unless every non-absorbing state's
+  /// outgoing probabilities sum to 1 within `tolerance` and every
+  /// probability lies in [0, 1].
+  void validate(double tolerance = 1e-9) const;
+
+  /// Topological order of the states when the chain is acyclic (all routing
+  /// chains in the paper are: every transition strictly advances phase or
+  /// suboptimal-hop count, or absorbs).  Returns nullopt when a cycle exists.
+  std::optional<std::vector<StateId>> topological_order() const;
+
+ private:
+  void check_state(StateId s) const;
+
+  std::vector<std::vector<Transition>> edges_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace dht::markov

@@ -1,0 +1,42 @@
+#include "markov/walker.hpp"
+
+#include "common/check.hpp"
+
+namespace dht::markov {
+
+StateId walk_to_absorption(const Chain& chain, StateId start, math::Rng& rng) {
+  StateId current = start;
+  for (std::int64_t step = 0; step < (std::int64_t{1} << 31); ++step) {
+    if (chain.is_absorbing(current)) {
+      return current;
+    }
+    const double u = rng.uniform01();
+    double cumulative = 0.0;
+    const auto& out = chain.transitions_from(current);
+    StateId next = out.back().to;  // guard against rounding at u ~= 1
+    for (const Transition& t : out) {
+      cumulative += t.probability;
+      if (u < cumulative) {
+        next = t.to;
+        break;
+      }
+    }
+    current = next;
+  }
+  DHT_CHECK(false, "walk did not absorb within 2^31 steps");
+  return current;  // unreachable
+}
+
+math::Proportion estimate_absorption(const Chain& chain, StateId start,
+                                     StateId target, std::uint64_t trials,
+                                     math::Rng& rng) {
+  DHT_CHECK(chain.is_absorbing(target),
+            "estimate_absorption target must be absorbing");
+  math::Proportion result;
+  for (std::uint64_t i = 0; i < trials; ++i) {
+    result.record(walk_to_absorption(chain, start, rng) == target);
+  }
+  return result;
+}
+
+}  // namespace dht::markov

@@ -1,0 +1,26 @@
+// Monte-Carlo chain walker.
+//
+// A third, independent estimate of p(h, q): simulate trajectories through a
+// routing chain and count absorptions at the success state.  Used by tests
+// to cross-check the DP and dense solvers, and by the perf benchmarks.
+#pragma once
+
+#include <cstdint>
+
+#include "markov/chain.hpp"
+#include "math/rng.hpp"
+#include "math/stats.hpp"
+
+namespace dht::markov {
+
+/// Walks the chain from `start` until absorption; returns the absorbing
+/// state.  Throws if a state's outgoing probabilities do not cover the
+/// sampled uniform (validate() the chain first) or after 2^31 steps.
+StateId walk_to_absorption(const Chain& chain, StateId start, math::Rng& rng);
+
+/// Runs `trials` walks and returns the fraction absorbed at `target`.
+math::Proportion estimate_absorption(const Chain& chain, StateId start,
+                                     StateId target, std::uint64_t trials,
+                                     math::Rng& rng);
+
+}  // namespace dht::markov

@@ -1,0 +1,83 @@
+#include "math/logreal.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace dht::math {
+
+namespace {
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+constexpr double kLn2 = 0.6931471805599453094172321214581766;
+}  // namespace
+
+LogReal LogReal::from_value(double value) {
+  DHT_CHECK(!std::isnan(value), "LogReal cannot represent NaN");
+  DHT_CHECK(value >= 0.0, "LogReal represents non-negative values only");
+  return from_log(std::log(value));
+}
+
+LogReal LogReal::exp2_int(long long k) noexcept {
+  return from_log(static_cast<double>(k) * kLn2);
+}
+
+LogReal& LogReal::operator*=(LogReal rhs) noexcept {
+  if (is_zero() || rhs.is_zero()) {
+    // 0 * x == 0 even when the other factor's log is +inf; adding the raw
+    // logs would produce NaN from (-inf) + (+inf).
+    log_ = kNegInf;
+    return *this;
+  }
+  log_ += rhs.log_;
+  return *this;
+}
+
+LogReal& LogReal::operator/=(LogReal rhs) {
+  DHT_CHECK(!rhs.is_zero(), "LogReal division by zero");
+  if (is_zero()) {
+    return *this;
+  }
+  log_ -= rhs.log_;
+  return *this;
+}
+
+LogReal& LogReal::operator+=(LogReal rhs) noexcept {
+  if (rhs.is_zero()) {
+    return *this;
+  }
+  if (is_zero()) {
+    log_ = rhs.log_;
+    return *this;
+  }
+  // log(e^a + e^b) = max + log1p(e^(min - max)); keeping the max outside the
+  // exponential avoids overflow for large magnitudes.
+  const double hi = std::max(log_, rhs.log_);
+  const double lo = std::min(log_, rhs.log_);
+  log_ = hi + std::log1p(std::exp(lo - hi));
+  return *this;
+}
+
+LogReal& LogReal::operator-=(LogReal rhs) {
+  if (rhs.is_zero()) {
+    return *this;
+  }
+  DHT_CHECK(rhs.log_ <= log_,
+            "LogReal subtraction would produce a negative value");
+  if (rhs.log_ == log_) {
+    log_ = kNegInf;
+    return *this;
+  }
+  // log(e^a - e^b) = a + log1p(-e^(b - a)) with b < a.
+  log_ += std::log1p(-std::exp(rhs.log_ - log_));
+  return *this;
+}
+
+LogReal pow(LogReal x, double exponent) {
+  if (x.is_zero()) {
+    DHT_CHECK(exponent > 0.0, "0 raised to a non-positive power");
+    return LogReal::zero();
+  }
+  return LogReal::from_log(x.log() * exponent);
+}
+
+}  // namespace dht::math

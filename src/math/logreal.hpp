@@ -1,0 +1,107 @@
+// Log-domain non-negative reals.
+//
+// The RCM routability formula (paper Eq. 3) divides sums of terms like
+// C(d, h) * p(h, q) by (1-q)*2^d - 1.  Figure 7(a) evaluates this at
+// d = 100 and the library supports arbitrary d, so all aggregation runs in
+// log space.  LogReal stores log(x) for x >= 0 (zero is represented by
+// -infinity) and provides exact-rounding-friendly +, -, *, / built on
+// log1p/expm1.
+#pragma once
+
+#include <cmath>
+#include <limits>
+
+namespace dht::math {
+
+/// A non-negative real number stored as its natural logarithm.
+///
+/// Supports the four arithmetic operations (subtraction requires a
+/// non-negative result), integer/real powers, and comparisons.  The value
+/// zero is representable (log = -infinity); negative values are not.
+class LogReal {
+ public:
+  /// Zero.
+  constexpr LogReal() noexcept
+      : log_(-std::numeric_limits<double>::infinity()) {}
+
+  /// Wraps a number already in log space.
+  static constexpr LogReal from_log(double log_value) noexcept {
+    LogReal r;
+    r.log_ = log_value;
+    return r;
+  }
+
+  /// Converts a plain non-negative value.  Throws dht::PreconditionError for
+  /// negative or NaN input.
+  static LogReal from_value(double value);
+
+  /// The constant 1.
+  static constexpr LogReal one() noexcept { return from_log(0.0); }
+
+  /// The constant 0.
+  static constexpr LogReal zero() noexcept { return LogReal(); }
+
+  /// exp2_int(k) == 2^k, exact in log space for any integer k (also huge k).
+  static LogReal exp2_int(long long k) noexcept;
+
+  /// Natural logarithm of the stored value (-infinity for zero).
+  constexpr double log() const noexcept { return log_; }
+
+  /// The stored value as a double.  Overflows to +infinity or underflows to
+  /// zero when outside double range; that is the caller's concern.
+  double value() const noexcept { return std::exp(log_); }
+
+  constexpr bool is_zero() const noexcept {
+    return log_ == -std::numeric_limits<double>::infinity();
+  }
+
+  LogReal& operator*=(LogReal rhs) noexcept;
+  LogReal& operator/=(LogReal rhs);
+  LogReal& operator+=(LogReal rhs) noexcept;
+  /// Subtraction; throws dht::PreconditionError if rhs > *this.
+  LogReal& operator-=(LogReal rhs);
+
+  friend LogReal operator*(LogReal a, LogReal b) noexcept { return a *= b; }
+  friend LogReal operator/(LogReal a, LogReal b) { return a /= b; }
+  friend LogReal operator+(LogReal a, LogReal b) noexcept { return a += b; }
+  friend LogReal operator-(LogReal a, LogReal b) { return a -= b; }
+
+  friend constexpr bool operator==(LogReal a, LogReal b) noexcept {
+    return a.log_ == b.log_;
+  }
+  friend constexpr bool operator<(LogReal a, LogReal b) noexcept {
+    return a.log_ < b.log_;
+  }
+  friend constexpr bool operator>(LogReal a, LogReal b) noexcept {
+    return b < a;
+  }
+  friend constexpr bool operator<=(LogReal a, LogReal b) noexcept {
+    return !(b < a);
+  }
+  friend constexpr bool operator>=(LogReal a, LogReal b) noexcept {
+    return !(a < b);
+  }
+  friend constexpr bool operator!=(LogReal a, LogReal b) noexcept {
+    return !(a == b);
+  }
+
+ private:
+  double log_;
+};
+
+/// x^e for real exponent e >= 0 (e < 0 allowed when x > 0).
+LogReal pow(LogReal x, double exponent);
+
+/// Sums values in log space with a running log-sum-exp accumulator.
+/// Equivalent to repeated operator+= but kept as a named helper for clarity
+/// at call sites that fold over distance distributions.
+class LogSum {
+ public:
+  void add(LogReal term) noexcept { total_ += term; }
+  LogReal total() const noexcept { return total_; }
+
+ private:
+  LogReal total_;
+};
+
+}  // namespace dht::math

@@ -1,0 +1,78 @@
+#include "math/rng.hpp"
+
+#include <bit>
+
+namespace dht::math {
+
+std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+Rng::Rng(std::uint64_t seed) noexcept : lineage_(seed) {
+  std::uint64_t sm = seed;
+  for (auto& word : s_) {
+    word = splitmix64(sm);
+  }
+}
+
+std::uint64_t Rng::next_u64() noexcept {
+  const std::uint64_t result = std::rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = std::rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform01() noexcept {
+  // Top 53 bits scaled by 2^-53: uniform on [0, 1), every double reachable.
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+std::uint64_t Rng::uniform_below(std::uint64_t bound) noexcept {
+  // Lemire-style rejection: accept unless the draw falls into the biased
+  // remainder zone of size (2^64 mod bound).
+  const std::uint64_t threshold = (0 - bound) % bound;
+  for (;;) {
+    const std::uint64_t r = next_u64();
+    if (r >= threshold) {
+      return r % bound;
+    }
+  }
+}
+
+std::uint64_t Rng::uniform_range(std::uint64_t lo, std::uint64_t hi) noexcept {
+  const std::uint64_t width = hi - lo + 1;
+  if (width == 0) {  // full 64-bit range
+    return next_u64();
+  }
+  return lo + uniform_below(width);
+}
+
+bool Rng::bernoulli(double p) noexcept {
+  if (p <= 0.0) {
+    return false;
+  }
+  if (p >= 1.0) {
+    return true;
+  }
+  return uniform01() < p;
+}
+
+Rng Rng::fork(std::uint64_t stream_id) const noexcept {
+  // Derive a child seed by mixing the lineage with the stream id through two
+  // SplitMix64 rounds; distinct (lineage, stream_id) pairs give distinct,
+  // well-separated child states.
+  std::uint64_t mix = lineage_ ^ (0x9e3779b97f4a7c15ULL + stream_id);
+  (void)splitmix64(mix);
+  const std::uint64_t child_seed = splitmix64(mix);
+  return Rng(child_seed);
+}
+
+}  // namespace dht::math

@@ -1,0 +1,59 @@
+// Deterministic pseudo-random number generation.
+//
+// Every random quantity in the simulator (routing-table suffixes, failure
+// masks, pair sampling, Markov-chain walks) must be reproducible from a
+// seed so that benchmark tables and statistical tests are stable.  Rng wraps
+// xoshiro256** (Blackman & Vigna, public domain) seeded via SplitMix64, and
+// provides the unbiased integer/real/Bernoulli draws the library needs.
+#pragma once
+
+#include <cstdint>
+
+namespace dht::math {
+
+/// SplitMix64 step; used for seeding and as a cheap stateless mixer.
+std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+/// xoshiro256** generator with convenience distributions.
+/// Satisfies std::uniform_random_bit_generator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four 64-bit words from SplitMix64(seed); any seed (including
+  /// zero) yields a valid, well-mixed state.
+  explicit Rng(std::uint64_t seed) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~result_type{0}; }
+
+  /// Next raw 64-bit output.
+  result_type operator()() noexcept { return next_u64(); }
+  std::uint64_t next_u64() noexcept;
+
+  /// Uniform double in [0, 1) with 53 random bits.
+  double uniform01() noexcept;
+
+  /// Uniform integer in [0, bound); unbiased via rejection sampling.
+  /// Precondition: bound > 0.
+  std::uint64_t uniform_below(std::uint64_t bound) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive.  Precondition: lo <= hi.
+  std::uint64_t uniform_range(std::uint64_t lo, std::uint64_t hi) noexcept;
+
+  /// True with probability p (p clamped to [0, 1]).
+  bool bernoulli(double p) noexcept;
+
+  /// An independent generator derived from this one's seed lineage and the
+  /// given stream id; forking with distinct ids yields decorrelated streams
+  /// regardless of how much either stream is consumed.
+  Rng fork(std::uint64_t stream_id) const noexcept;
+
+ private:
+  Rng() = default;
+
+  std::uint64_t s_[4] = {};
+  std::uint64_t lineage_ = 0;  // remembers the seed for fork()
+};
+
+}  // namespace dht::math

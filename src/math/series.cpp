@@ -1,0 +1,107 @@
+#include "math/series.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/strfmt.hpp"
+#include "math/summation.hpp"
+
+namespace dht::math {
+
+const char* to_string(SeriesVerdict verdict) noexcept {
+  switch (verdict) {
+    case SeriesVerdict::kConvergent:
+      return "convergent";
+    case SeriesVerdict::kDivergent:
+      return "divergent";
+    case SeriesVerdict::kInconclusive:
+      return "inconclusive";
+  }
+  return "unknown";
+}
+
+SeriesDiagnosis diagnose_series(const std::function<double(int)>& term,
+                                const SeriesOptions& options) {
+  DHT_CHECK(options.max_terms >= 64, "diagnose_series needs >= 64 terms");
+
+  // Evaluate the inspected prefix.
+  std::vector<double> terms;
+  terms.reserve(static_cast<size_t>(options.max_terms));
+  NeumaierSum partial;
+  for (int m = 1; m <= options.max_terms; ++m) {
+    const double t = term(m);
+    DHT_CHECK(t >= 0.0, "series terms must be non-negative");
+    terms.push_back(t);
+    partial.add(t);
+  }
+
+  SeriesDiagnosis out;
+  out.partial_sum = partial.total();
+  out.last_term = terms.back();
+
+  // Dyadic block masses B_k = sum of terms with index in [2^k, 2^{k+1}).
+  // For a convergent series the block masses vanish; for the divergent
+  // series RCM meets (constant Q, harmonic-like tails) consecutive blocks
+  // carry comparable or growing mass.  Blocks sidestep the weakness of a
+  // per-term ratio test, which cannot tell a slowly decaying geometric tail
+  // from a harmonic one.
+  std::vector<double> block_mass;
+  std::vector<int> block_begin;  // first index (1-based) of each block
+  for (int begin = 16; 2 * begin <= options.max_terms + 1; begin *= 2) {
+    NeumaierSum mass;
+    for (int m = begin; m < 2 * begin; ++m) {
+      mass.add(terms[static_cast<size_t>(m) - 1]);
+    }
+    block_mass.push_back(mass.total());
+    block_begin.push_back(begin);
+  }
+  DHT_CHECK(block_mass.size() >= 2,
+            "diagnose_series needs max_terms >= 64 for two dyadic blocks");
+
+  const double last_block = block_mass.back();
+  const double prev_block = block_mass[block_mass.size() - 2];
+  out.tail_ratio = prev_block > 0.0 ? last_block / prev_block
+                                    : 0.0;
+
+  // Shortcut: the tail already underflowed -- certainly summable.
+  if (last_block <= options.zero_epsilon) {
+    out.verdict = SeriesVerdict::kConvergent;
+    out.explanation = strfmt(
+        "vanishing tail: the block of terms [%d, %d) sums below %.1e",
+        block_begin.back(), 2 * block_begin.back(), options.zero_epsilon);
+    return out;
+  }
+
+  if (out.tail_ratio <= options.convergent_block_ratio) {
+    out.verdict = SeriesVerdict::kConvergent;
+    out.explanation = strfmt(
+        "block test: mass of terms [%d, %d) is %.3e, a factor %.4f of the "
+        "previous block -- geometric-type decay",
+        block_begin.back(), 2 * block_begin.back(), last_block,
+        out.tail_ratio);
+    return out;
+  }
+
+  if (out.tail_ratio >= options.divergent_block_ratio &&
+      last_block > options.divergence_floor) {
+    out.verdict = SeriesVerdict::kDivergent;
+    out.explanation = strfmt(
+        "block test: consecutive dyadic blocks carry non-decreasing mass "
+        "(%.3e then %.3e, ratio %.4f) -- the tail cannot sum to a finite "
+        "value at this rate",
+        prev_block, last_block, out.tail_ratio);
+    return out;
+  }
+
+  out.verdict = SeriesVerdict::kInconclusive;
+  out.explanation = strfmt(
+      "block-mass ratio %.4f sits between the convergent (<= %.2f) and "
+      "divergent (>= %.2f) thresholds; extend max_terms for a sharper "
+      "diagnosis",
+      out.tail_ratio, options.convergent_block_ratio,
+      options.divergent_block_ratio);
+  return out;
+}
+
+}  // namespace dht::math

@@ -1,0 +1,65 @@
+// Numeric diagnosis of infinite-series convergence.
+//
+// The paper's scalability criterion (Section 5, via Knopp's theorem) reduces
+// to: does sum_m Q(m) converge?  Each geometry carries an analytic answer;
+// this module provides an independent *numeric* corroboration used by the
+// scalability classifier and its tests.
+//
+// Method: dyadic block masses B_k = sum_{m in [2^k, 2^{k+1})} term(m)
+// (Cauchy condensation, evaluated numerically).  Geometric-type tails --
+// every scalable geometry in the paper -- send B_{k+1}/B_k to 0; constant
+// or harmonic-type tails -- the unscalable ones -- keep B_{k+1}/B_k >= 1.
+// The result is a best-effort verdict with the evidence attached; it is a
+// diagnostic, not a proof, and borderline decay rates report inconclusive.
+#pragma once
+
+#include <functional>
+#include <string>
+
+namespace dht::math {
+
+/// Outcome of a numeric convergence diagnosis of sum_{m>=1} term(m).
+enum class SeriesVerdict {
+  kConvergent,
+  kDivergent,
+  kInconclusive,
+};
+
+const char* to_string(SeriesVerdict verdict) noexcept;
+
+/// Evidence gathered while diagnosing a series.
+struct SeriesDiagnosis {
+  SeriesVerdict verdict = SeriesVerdict::kInconclusive;
+  /// Partial sum over the inspected prefix.
+  double partial_sum = 0.0;
+  /// Last inspected term.
+  double last_term = 0.0;
+  /// Mass ratio of the last two dyadic blocks (0 when the tail vanished).
+  double tail_ratio = 0.0;
+  /// Human-readable explanation of which rule produced the verdict.
+  std::string explanation;
+};
+
+/// Tuning knobs for diagnose_series.
+struct SeriesOptions {
+  /// Number of leading terms to inspect (>= 64 so at least two dyadic
+  /// blocks, [16,32) and [32,64), are available).
+  int max_terms = 4096;
+  /// A dyadic block summing below this counts as a vanished tail.
+  double zero_epsilon = 1e-280;
+  /// Block-mass ratio at or below which the tail is called geometric-type
+  /// (convergent).
+  double convergent_block_ratio = 0.7;
+  /// Block-mass ratio at or above which the tail is called divergent,
+  /// provided the block mass also exceeds divergence_floor.
+  double divergent_block_ratio = 0.95;
+  /// Minimum last-block mass for a divergence verdict.
+  double divergence_floor = 1e-12;
+};
+
+/// Diagnoses sum_{m=1}^{infinity} term(m).  `term` must return non-negative
+/// values (the paper's Q(m) are probabilities); negative values throw.
+SeriesDiagnosis diagnose_series(const std::function<double(int)>& term,
+                                const SeriesOptions& options = {});
+
+}  // namespace dht::math

@@ -1,0 +1,97 @@
+#include "math/stable.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "common/check.hpp"
+
+namespace dht::math {
+
+double pow_int(double x, std::uint64_t n) {
+  DHT_CHECK(std::isfinite(x), "pow_int requires finite base");
+  double result = 1.0;
+  double base = x;
+  while (n != 0) {
+    if (n & 1) {
+      result *= base;
+    }
+    base *= base;
+    n >>= 1;
+  }
+  return result;
+}
+
+double pow_q(double q, double e) {
+  DHT_CHECK(q >= 0.0 && q <= 1.0, "pow_q requires q in [0, 1]");
+  DHT_CHECK(e >= 0.0, "pow_q requires non-negative exponent");
+  if (e == 0.0) {
+    return 1.0;
+  }
+  if (q == 0.0) {
+    return 0.0;
+  }
+  if (q == 1.0) {
+    return 1.0;
+  }
+  return std::exp(e * std::log(q));
+}
+
+double one_minus_pow(double q, double m) {
+  DHT_CHECK(q >= 0.0 && q <= 1.0, "one_minus_pow requires q in [0, 1]");
+  DHT_CHECK(m >= 0.0, "one_minus_pow requires m >= 0");
+  if (m == 0.0) {
+    return 0.0;
+  }
+  if (q == 0.0) {
+    return 1.0;
+  }
+  if (q == 1.0) {
+    return 0.0;
+  }
+  // 1 - q^m = 1 - exp(m log q) = -expm1(m log q); expm1 keeps precision when
+  // m log q is tiny (q -> 1) where 1 - exp(...) would cancel.
+  return -std::expm1(m * std::log(q));
+}
+
+double log_one_minus_pow(double q, double m) {
+  DHT_CHECK(q >= 0.0 && q <= 1.0, "log_one_minus_pow requires q in [0, 1]");
+  DHT_CHECK(m >= 0.0, "log_one_minus_pow requires m >= 0");
+  if (m == 0.0 || q == 1.0) {
+    return -std::numeric_limits<double>::infinity();
+  }
+  if (q == 0.0) {
+    return 0.0;
+  }
+  const double log_pow = m * std::log(q);  // log(q^m), always <= 0
+  if (log_pow > -1e-12) {
+    // q^m is within a rounding error of 1; 1 - q^m ~= -log_pow.
+    return std::log(-log_pow);
+  }
+  return std::log1p(-std::exp(log_pow));
+}
+
+double geometric_sum(double x, double terms) {
+  DHT_CHECK(x >= 0.0 && x <= 1.0, "geometric_sum requires x in [0, 1]");
+  DHT_CHECK(terms >= 0.0, "geometric_sum requires terms >= 0");
+  if (terms == 0.0) {
+    return 0.0;
+  }
+  if (x == 0.0) {
+    return 1.0;  // only the j = 0 term survives
+  }
+  if (x == 1.0) {
+    return terms;
+  }
+  const double log_x = std::log(x);
+  if (terms * (-log_x) < 1e-8) {
+    // x^terms ~= 1: the series is effectively `terms` identical terms.  The
+    // closed form would divide two quantities that both cancel to ~0.
+    return terms;
+  }
+  // (1 - x^terms) / (1 - x), both pieces via expm1 for stability near x = 1.
+  const double numerator = -std::expm1(terms * log_x);
+  const double denominator = -std::expm1(log_x);
+  return numerator / denominator;
+}
+
+}  // namespace dht::math

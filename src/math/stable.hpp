@@ -1,0 +1,37 @@
+// Numerically stable elementary kernels.
+//
+// Every Q(m) expression in the paper is built from powers q^m, complements
+// 1 - q^m and truncated geometric series.  Evaluated naively these lose all
+// precision exactly where the paper's claims live (q near 0, m large, ratios
+// near 1), so the kernels here route through log1p/expm1.
+#pragma once
+
+#include <cstdint>
+
+namespace dht::math {
+
+/// x^n for integer n >= 0 by binary exponentiation.  Underflows to 0
+/// gracefully; x must be finite.
+double pow_int(double x, std::uint64_t n);
+
+/// q^e for real exponent e where 0 <= q <= 1, computed as exp(e*log q).
+/// Returns 1 for e == 0 (including q == 0, matching the combinatorial
+/// convention q^0 = 1) and 0 for q == 0, e > 0.
+double pow_q(double q, double e);
+
+/// 1 - q^m computed as -expm1(m * log q); exact to one ulp even when q^m is
+/// denormal or when q is within 1e-16 of 1.  Preconditions: 0 <= q <= 1,
+/// m >= 0.  m == 0 returns 0.
+double one_minus_pow(double q, double m);
+
+/// log(1 - q^m) (== log(one_minus_pow)) staying in log space.
+/// Returns -infinity when q == 1 and m > 0.  Preconditions as above.
+double log_one_minus_pow(double q, double m);
+
+/// Truncated geometric series sum_{j=0}^{terms-1} x^j for 0 <= x <= 1,
+/// terms >= 0.  Stable for x near 1 (returns ~terms) and for astronomically
+/// large `terms` (converges to 1/(1-x)); `terms` is a double so callers can
+/// pass 2^(m-1) for m far beyond 64 (paper's ring Q(m)).
+double geometric_sum(double x, double terms);
+
+}  // namespace dht::math

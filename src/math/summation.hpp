@@ -1,0 +1,38 @@
+// Compensated summation.
+//
+// Routability sums accumulate up to d binomially weighted terms spanning many
+// orders of magnitude; Monte-Carlo statistics accumulate millions of samples.
+// NeumaierSum (improved Kahan-Babuska) keeps the error independent of length.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace dht::math {
+
+/// Running compensated sum (Neumaier's variant of Kahan summation).
+/// Unlike plain Kahan it remains correct when an addend is larger in
+/// magnitude than the running total.
+class NeumaierSum {
+ public:
+  void add(double value) noexcept;
+  /// The compensated total.
+  double total() const noexcept { return sum_ + compensation_; }
+  void reset() noexcept {
+    sum_ = 0.0;
+    compensation_ = 0.0;
+  }
+
+ private:
+  double sum_ = 0.0;
+  double compensation_ = 0.0;
+};
+
+/// Compensated sum of a range.
+double sum_compensated(std::span<const double> values) noexcept;
+
+/// Pairwise (cascade) summation; O(log n) error growth, used as an
+/// independent reference in tests.
+double sum_pairwise(std::span<const double> values) noexcept;
+
+}  // namespace dht::math

@@ -1,0 +1,44 @@
+#include "percolation/union_find.hpp"
+
+#include "common/check.hpp"
+
+namespace dht::perc {
+
+UnionFind::UnionFind(std::uint64_t n)
+    : parent_(n), size_(n, 1), set_count_(n) {
+  for (std::uint64_t i = 0; i < n; ++i) {
+    parent_[i] = i;
+  }
+}
+
+void UnionFind::check(std::uint64_t x) const {
+  DHT_CHECK(x < parent_.size(), "element out of range");
+}
+
+std::uint64_t UnionFind::find(std::uint64_t x) {
+  check(x);
+  while (parent_[x] != x) {
+    parent_[x] = parent_[parent_[x]];  // path halving
+    x = parent_[x];
+  }
+  return x;
+}
+
+bool UnionFind::unite(std::uint64_t a, std::uint64_t b) {
+  std::uint64_t ra = find(a);
+  std::uint64_t rb = find(b);
+  if (ra == rb) {
+    return false;
+  }
+  if (size_[ra] < size_[rb]) {
+    std::swap(ra, rb);
+  }
+  parent_[rb] = ra;
+  size_[ra] += size_[rb];
+  --set_count_;
+  return true;
+}
+
+std::uint64_t UnionFind::set_size(std::uint64_t x) { return size_[find(x)]; }
+
+}  // namespace dht::perc

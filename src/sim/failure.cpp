@@ -1,0 +1,57 @@
+#include "sim/failure.hpp"
+
+#include "common/check.hpp"
+
+namespace dht::sim {
+
+FailureScenario::FailureScenario(std::uint64_t size, double q)
+    : size_(size), q_(q), alive_(size, 1), alive_count_(size) {}
+
+FailureScenario::FailureScenario(const IdSpace& space, double q,
+                                 math::Rng& rng)
+    : FailureScenario(space.size(), q) {
+  DHT_CHECK(q >= 0.0 && q <= 1.0, "failure probability q must be in [0, 1]");
+  if (q == 0.0) {
+    return;
+  }
+  alive_count_ = 0;
+  for (std::uint64_t id = 0; id < size_; ++id) {
+    const bool up = !rng.bernoulli(q);
+    alive_[id] = up ? 1 : 0;
+    alive_count_ += up ? 1 : 0;
+  }
+}
+
+FailureScenario FailureScenario::all_alive(const IdSpace& space) {
+  return FailureScenario(space.size(), 0.0);
+}
+
+NodeId FailureScenario::sample_alive(math::Rng& rng) const {
+  DHT_CHECK(alive_count_ > 0, "no alive node to sample");
+  // Rejection sampling: at the failure probabilities of interest (q <= 0.9)
+  // the expected number of draws is at most 10.
+  for (;;) {
+    const NodeId id = rng.uniform_below(size_);
+    if (alive_[id] != 0) {
+      return id;
+    }
+  }
+}
+
+void FailureScenario::kill(NodeId id) {
+  DHT_CHECK(id < size_, "node id out of range");
+  if (alive_[id] != 0) {
+    alive_[id] = 0;
+    --alive_count_;
+  }
+}
+
+void FailureScenario::revive(NodeId id) {
+  DHT_CHECK(id < size_, "node id out of range");
+  if (alive_[id] == 0) {
+    alive_[id] = 1;
+    ++alive_count_;
+  }
+}
+
+}  // namespace dht::sim

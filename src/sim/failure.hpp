@@ -1,0 +1,51 @@
+// The static-resilience failure model (paper Section 1).
+//
+// Every node fails independently with probability q; routing tables are not
+// repaired ("static": a node's table stays as built, minus the dead
+// entries).  A FailureScenario is an immutable liveness mask over an
+// IdSpace, built deterministically from a seed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "math/rng.hpp"
+#include "sim/id_space.hpp"
+
+namespace dht::sim {
+
+/// Immutable i.i.d. Bernoulli(1-q) liveness mask over an identifier space.
+class FailureScenario {
+ public:
+  /// Fails each node independently with probability q.  Preconditions:
+  /// q in [0, 1].
+  FailureScenario(const IdSpace& space, double q, math::Rng& rng);
+
+  /// A scenario where every node is alive (q = 0) -- the baseline topology.
+  static FailureScenario all_alive(const IdSpace& space);
+
+  bool alive(NodeId id) const { return alive_[id] != 0; }
+  std::uint64_t alive_count() const noexcept { return alive_count_; }
+  double alive_fraction() const noexcept {
+    return static_cast<double>(alive_count_) / static_cast<double>(size_);
+  }
+  double failure_probability() const noexcept { return q_; }
+  std::uint64_t size() const noexcept { return size_; }
+
+  /// Uniformly samples an alive node.  Precondition: alive_count() > 0.
+  NodeId sample_alive(math::Rng& rng) const;
+
+  /// Test hooks: force a node's state (updates the alive count).
+  void kill(NodeId id);
+  void revive(NodeId id);
+
+ private:
+  FailureScenario(std::uint64_t size, double q);
+
+  std::uint64_t size_;
+  double q_;
+  std::vector<std::uint8_t> alive_;
+  std::uint64_t alive_count_ = 0;
+};
+
+}  // namespace dht::sim

@@ -1,0 +1,43 @@
+#include "sim/hypercube_overlay.hpp"
+
+#include "common/check.hpp"
+
+namespace dht::sim {
+
+HypercubeOverlay::HypercubeOverlay(const IdSpace& space) : space_(space) {}
+
+std::optional<NodeId> HypercubeOverlay::next_hop(
+    NodeId current, NodeId target, const FailureScenario& failures,
+    math::Rng& rng) const {
+  DHT_CHECK(current != target, "next_hop requires current != target");
+  // Reservoir-sample uniformly among alive bit-correcting neighbors.
+  NodeId chosen = 0;
+  std::uint64_t alive_candidates = 0;
+  NodeId diff = current ^ target;
+  while (diff != 0) {
+    const NodeId lowest_bit = diff & (~diff + 1);
+    const NodeId candidate = current ^ lowest_bit;
+    if (failures.alive(candidate)) {
+      ++alive_candidates;
+      if (rng.uniform_below(alive_candidates) == 0) {
+        chosen = candidate;
+      }
+    }
+    diff ^= lowest_bit;
+  }
+  if (alive_candidates == 0) {
+    return std::nullopt;
+  }
+  return chosen;
+}
+
+std::vector<NodeId> HypercubeOverlay::links(NodeId node) const {
+  std::vector<NodeId> out;
+  out.reserve(static_cast<size_t>(space_.bits()));
+  for (int level = 1; level <= space_.bits(); ++level) {
+    out.push_back(flip_level(node, level, space_.bits()));
+  }
+  return out;
+}
+
+}  // namespace dht::sim

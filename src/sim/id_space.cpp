@@ -1,0 +1,11 @@
+#include "sim/id_space.hpp"
+
+#include "common/check.hpp"
+
+namespace dht::sim {
+
+IdSpace::IdSpace(int d) : d_(d) {
+  DHT_CHECK(d >= 1 && d <= 26, "IdSpace supports 1 <= d <= 26");
+}
+
+}  // namespace dht::sim

@@ -1,0 +1,27 @@
+// The fully populated identifier space (paper Section 4.1: every one of the
+// 2^d identifiers hosts a node).
+#pragma once
+
+#include <cstdint>
+
+#include "sim/node_id.hpp"
+
+namespace dht::sim {
+
+/// A fully populated d-bit identifier space, N = 2^d nodes.
+class IdSpace {
+ public:
+  /// Precondition: 1 <= d <= 26 (the simulator materializes per-node
+  /// routing tables; 2^26 nodes * log N entries is the practical ceiling).
+  explicit IdSpace(int d);
+
+  int bits() const noexcept { return d_; }
+  std::uint64_t size() const noexcept { return std::uint64_t{1} << d_; }
+
+  bool contains(NodeId id) const noexcept { return id < size(); }
+
+ private:
+  int d_;
+};
+
+}  // namespace dht::sim

@@ -1,0 +1,29 @@
+#include "sim/metrics.hpp"
+
+#include "common/check.hpp"
+#include "sim/router.hpp"
+
+namespace dht::sim {
+
+math::RunningStat failure_free_hops(const Overlay& overlay,
+                                    std::uint64_t samples, math::Rng& rng) {
+  DHT_CHECK(samples > 0, "failure_free_hops needs at least one sample");
+  const FailureScenario alive = FailureScenario::all_alive(overlay.space());
+  const Router router(overlay, alive);
+  math::RunningStat hops;
+  const std::uint64_t size = overlay.space().size();
+  for (std::uint64_t i = 0; i < samples; ++i) {
+    const NodeId source = rng.uniform_below(size);
+    NodeId target = rng.uniform_below(size);
+    while (target == source) {
+      target = rng.uniform_below(size);
+    }
+    const RouteResult result = router.route(source, target, rng);
+    DHT_CHECK(result.success(),
+              "failure-free route did not arrive: overlay protocol bug");
+    hops.add(static_cast<double>(result.hops));
+  }
+  return hops;
+}
+
+}  // namespace dht::sim

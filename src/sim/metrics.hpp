@@ -1,0 +1,22 @@
+// Hop-count metrics on the failure-free overlay.
+//
+// Used to sanity-check the simulator against the latency claims the paper
+// quotes for each geometry (O(log N) for the DHTs, O(log^2 N) for
+// Symphony), and by the perf benchmarks.
+#pragma once
+
+#include <cstdint>
+
+#include "math/stats.hpp"
+#include "sim/overlay.hpp"
+
+namespace dht::sim {
+
+/// Routes `samples` random (distinct) pairs on the all-alive scenario and
+/// returns the hop-count statistics.  Every route must arrive; a drop or a
+/// hop-limit hit throws (it would mean the overlay's basic protocol is
+/// broken, since with q = 0 all five geometries route deterministically).
+math::RunningStat failure_free_hops(const Overlay& overlay,
+                                    std::uint64_t samples, math::Rng& rng);
+
+}  // namespace dht::sim

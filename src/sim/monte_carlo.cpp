@@ -1,0 +1,62 @@
+#include "sim/monte_carlo.hpp"
+
+#include "common/check.hpp"
+
+namespace dht::sim {
+
+namespace {
+
+void record_route(const RouteResult& result, RoutabilityEstimate& estimate) {
+  estimate.routed.record(result.success());
+  if (result.success()) {
+    estimate.hops.add(static_cast<double>(result.hops));
+  } else if (result.status == RouteStatus::kHopLimit) {
+    ++estimate.hop_limit_hits;
+  }
+}
+
+}  // namespace
+
+RoutabilityEstimate estimate_routability(const Overlay& overlay,
+                                         const FailureScenario& failures,
+                                         const EstimateOptions& options,
+                                         math::Rng& rng) {
+  DHT_CHECK(failures.alive_count() >= 2,
+            "routability needs at least two alive nodes");
+  DHT_CHECK(options.pairs > 0, "at least one pair must be sampled");
+  const Router router(overlay, failures, options.max_hops);
+  RoutabilityEstimate estimate;
+  for (std::uint64_t i = 0; i < options.pairs; ++i) {
+    const NodeId source = failures.sample_alive(rng);
+    NodeId target = failures.sample_alive(rng);
+    while (target == source) {
+      target = failures.sample_alive(rng);
+    }
+    record_route(router.route(source, target, rng), estimate);
+  }
+  return estimate;
+}
+
+RoutabilityEstimate exact_routability(const Overlay& overlay,
+                                      const FailureScenario& failures,
+                                      math::Rng& rng) {
+  DHT_CHECK(failures.alive_count() >= 2,
+            "routability needs at least two alive nodes");
+  const Router router(overlay, failures);
+  RoutabilityEstimate estimate;
+  const std::uint64_t size = failures.size();
+  for (NodeId source = 0; source < size; ++source) {
+    if (!failures.alive(source)) {
+      continue;
+    }
+    for (NodeId target = 0; target < size; ++target) {
+      if (target == source || !failures.alive(target)) {
+        continue;
+      }
+      record_route(router.route(source, target, rng), estimate);
+    }
+  }
+  return estimate;
+}
+
+}  // namespace dht::sim

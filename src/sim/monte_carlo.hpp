@@ -1,0 +1,50 @@
+// The static-resilience experiment of Gummadi et al. [2], re-implemented.
+//
+// Sample ordered pairs of *alive* nodes, route between them under the basic
+// protocol, and report the failed-path fraction -- the quantity plotted in
+// the paper's Fig. 6 against the RCM prediction.  Also provides the exact
+// (all-alive-pairs) variant for small spaces, which removes sampling noise
+// from tests.
+#pragma once
+
+#include <cstdint>
+
+#include "math/stats.hpp"
+#include "sim/overlay.hpp"
+#include "sim/router.hpp"
+
+namespace dht::sim {
+
+struct EstimateOptions {
+  /// Number of ordered (source, target) pairs to sample.
+  std::uint64_t pairs = 20000;
+  /// Safety hop cap forwarded to the Router (0 = default N).
+  std::uint64_t max_hops = 0;
+};
+
+/// Aggregated routability measurement.
+struct RoutabilityEstimate {
+  math::Proportion routed;        ///< successes over attempted pairs
+  math::RunningStat hops;         ///< hop counts of successful routes
+  std::uint64_t hop_limit_hits = 0;  ///< should stay 0; protocol-bug canary
+
+  double routability() const noexcept { return routed.point(); }
+  double failed_fraction() const noexcept { return 1.0 - routed.point(); }
+  /// 95% Wilson interval on the routability.
+  math::Interval confidence95() const { return routed.wilson(1.96); }
+};
+
+/// Monte-Carlo estimate over sampled alive pairs.  Preconditions: at least
+/// two alive nodes.
+RoutabilityEstimate estimate_routability(const Overlay& overlay,
+                                         const FailureScenario& failures,
+                                         const EstimateOptions& options,
+                                         math::Rng& rng);
+
+/// Exact measurement over every ordered pair of alive nodes; O(N^2 * hops),
+/// intended for spaces up to ~2^10.
+RoutabilityEstimate exact_routability(const Overlay& overlay,
+                                      const FailureScenario& failures,
+                                      math::Rng& rng);
+
+}  // namespace dht::sim

@@ -1,0 +1,75 @@
+#include "sim/node_id.hpp"
+
+#include <bit>
+
+#include "common/check.hpp"
+
+namespace dht::sim {
+
+namespace {
+
+void check_level(int level, int d) {
+  DHT_CHECK(d >= 1 && d <= 63, "identifier length d must be in [1, 63]");
+  DHT_CHECK(level >= 1 && level <= d, "level must be in [1, d]");
+}
+
+void check_id(NodeId id, int d) {
+  DHT_CHECK(d >= 1 && d <= 63, "identifier length d must be in [1, 63]");
+  DHT_CHECK(id < (NodeId{1} << d), "node id does not fit in d bits");
+}
+
+}  // namespace
+
+int hamming_distance(NodeId a, NodeId b) noexcept {
+  return std::popcount(a ^ b);
+}
+
+std::uint64_t xor_distance(NodeId a, NodeId b) noexcept { return a ^ b; }
+
+int msb_diff_level(NodeId a, NodeId b, int d) {
+  check_id(a, d);
+  check_id(b, d);
+  const NodeId x = a ^ b;
+  if (x == 0) {
+    return 0;
+  }
+  // bit_width gives the position of the highest set bit counted from the
+  // LSB (1-based); converting to a 1-based level from the MSB of d bits.
+  return d - std::bit_width(x) + 1;
+}
+
+std::uint64_t ring_distance(NodeId a, NodeId b, int d) {
+  check_id(a, d);
+  check_id(b, d);
+  const NodeId size = NodeId{1} << d;
+  return (b - a) & (size - 1);
+}
+
+bool bit_at_level(NodeId id, int level, int d) {
+  check_level(level, d);
+  check_id(id, d);
+  return ((id >> (d - level)) & 1U) != 0;
+}
+
+NodeId flip_level(NodeId id, int level, int d) {
+  check_level(level, d);
+  check_id(id, d);
+  return id ^ (NodeId{1} << (d - level));
+}
+
+bool shares_prefix(NodeId a, NodeId b, int levels, int d) {
+  DHT_CHECK(levels >= 0 && levels <= d, "prefix length must be in [0, d]");
+  check_id(a, d);
+  check_id(b, d);
+  if (levels == 0) {
+    return true;
+  }
+  return ((a ^ b) >> (d - levels)) == 0;
+}
+
+int phase_of_distance(std::uint64_t dist) {
+  DHT_CHECK(dist >= 1, "phase is defined for positive distances");
+  return std::bit_width(dist);
+}
+
+}  // namespace dht::sim

@@ -1,0 +1,44 @@
+// Node identifiers and the distance functions of the five geometries.
+//
+// Identifiers are the low d bits of a uint64_t; the identifier space is
+// fully populated (paper Section 4.1: d = log2 N).  Levels are 1-based from
+// the most significant of the d bits, matching the paper's "correct bits
+// from left to right" convention.
+#pragma once
+
+#include <cstdint>
+
+namespace dht::sim {
+
+using NodeId = std::uint64_t;
+
+/// Number of differing bits (CAN/hypercube distance).
+int hamming_distance(NodeId a, NodeId b) noexcept;
+
+/// Kademlia distance: numeric value of a XOR b.
+std::uint64_t xor_distance(NodeId a, NodeId b) noexcept;
+
+/// 1-based level (from the most significant of d bits) of the highest-order
+/// differing bit; 0 when a == b.  Precondition: 1 <= d <= 63 and both ids
+/// fit in d bits.
+int msb_diff_level(NodeId a, NodeId b, int d);
+
+/// Clockwise ring distance from a to b in a 2^d space: (b - a) mod 2^d.
+std::uint64_t ring_distance(NodeId a, NodeId b, int d);
+
+/// The bit of `id` at 1-based level (level 1 = most significant of d bits).
+bool bit_at_level(NodeId id, int level, int d);
+
+/// `id` with the bit at `level` flipped.
+NodeId flip_level(NodeId id, int level, int d);
+
+/// True when a and b agree on the first `levels` bits (levels may be 0).
+bool shares_prefix(NodeId a, NodeId b, int levels, int d);
+
+/// The routing phase of a positive distance: h such that
+/// dist in [2^{h-1}, 2^h); i.e. floor(log2 dist) + 1.  Precondition:
+/// dist >= 1.  This is the paper's phase notion for ring/Symphony
+/// (n(h) = 2^{h-1} identifiers per phase).
+int phase_of_distance(std::uint64_t dist);
+
+}  // namespace dht::sim

@@ -1,0 +1,49 @@
+// Shared routing-table construction for the tree and XOR geometries.
+//
+// Both geometries use the same neighbor rule (paper Section 3.3: "matching
+// the first i-1 bits of one's identifier, flipping the ith bit, and choose
+// random bits for the rest"); they differ only in the forwarding rule.
+// PrefixTable materializes the level-i neighbor of every node, so the
+// tree-vs-XOR ablation can run both protocols on the *same* tables.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "math/rng.hpp"
+#include "sim/id_space.hpp"
+#include "sim/node_id.hpp"
+
+namespace dht::sim {
+
+class PrefixTable {
+ public:
+  /// Builds the full table: for every node v and level i in [1, d], a
+  /// uniformly random node agreeing with v on the first i-1 bits and
+  /// differing at bit i.  Deterministic given the rng state.
+  PrefixTable(const IdSpace& space, math::Rng& rng);
+
+  /// Adopts pre-built entries (row-major [node][level-1]).  Every entry
+  /// must satisfy the class constraint (shared i-1 prefix, flipped bit i);
+  /// violations throw.  Used by the repair model (repair.hpp) and tests.
+  PrefixTable(const IdSpace& space, std::vector<std::uint32_t> entries);
+
+  /// The level-i neighbor of `node`.  Preconditions: node in space,
+  /// 1 <= level <= d.
+  NodeId neighbor(NodeId node, int level) const;
+
+  int levels() const noexcept { return d_; }
+
+  /// The raw entries (row-major [node][level-1]); for repair and tests.
+  const std::vector<std::uint32_t>& entries() const noexcept {
+    return entries_;
+  }
+
+ private:
+  int d_;
+  std::uint64_t size_;
+  // Row-major [node][level-1]; 32-bit entries (IdSpace caps d at 26).
+  std::vector<std::uint32_t> entries_;
+};
+
+}  // namespace dht::sim

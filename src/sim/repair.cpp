@@ -1,0 +1,78 @@
+#include "sim/repair.hpp"
+
+#include <optional>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace dht::sim {
+
+namespace {
+
+/// Uniformly samples an alive member of the class [base, base + count), or
+/// returns nullopt when none is alive.  Rejection sampling with a bounded
+/// number of tries, then an exact scan (rare: the class is nearly dead).
+std::optional<NodeId> sample_alive_in_class(NodeId base, std::uint64_t count,
+                                            const FailureScenario& failures,
+                                            math::Rng& rng) {
+  constexpr int kRejectionTries = 64;
+  for (int attempt = 0; attempt < kRejectionTries; ++attempt) {
+    const NodeId candidate = base + rng.uniform_below(count);
+    if (failures.alive(candidate)) {
+      return candidate;
+    }
+  }
+  // Exact fallback: collect the alive members and pick uniformly.
+  std::vector<NodeId> alive;
+  for (std::uint64_t offset = 0; offset < count; ++offset) {
+    if (failures.alive(base + offset)) {
+      alive.push_back(base + offset);
+    }
+  }
+  if (alive.empty()) {
+    return std::nullopt;
+  }
+  return alive[rng.uniform_below(alive.size())];
+}
+
+}  // namespace
+
+std::shared_ptr<const PrefixTable> repair_prefix_table(
+    const PrefixTable& table, const IdSpace& space,
+    const FailureScenario& failures, double repair_probability,
+    math::Rng& rng) {
+  DHT_CHECK(repair_probability >= 0.0 && repair_probability <= 1.0,
+            "repair probability must be in [0, 1]");
+  DHT_CHECK(table.levels() == space.bits(),
+            "table level count must match the id space");
+  DHT_CHECK(failures.size() == space.size(),
+            "failure scenario must match the id space");
+
+  const int d = space.bits();
+  std::vector<std::uint32_t> entries = table.entries();
+  for (NodeId v = 0; v < space.size(); ++v) {
+    for (int level = 1; level <= d; ++level) {
+      auto& entry = entries[v * static_cast<std::uint64_t>(d) +
+                            static_cast<std::uint64_t>(level - 1)];
+      if (failures.alive(entry)) {
+        continue;  // nothing to repair
+      }
+      if (!rng.bernoulli(repair_probability)) {
+        continue;  // repair has not happened yet (static regime)
+      }
+      // The entry's class: ids sharing v's first level-1 bits with bit
+      // `level` flipped -- a contiguous range once the suffix is freed.
+      const int suffix_bits = d - level;
+      const NodeId base = (flip_level(v, level, d) >> suffix_bits)
+                          << suffix_bits;
+      const auto replacement = sample_alive_in_class(
+          base, std::uint64_t{1} << suffix_bits, failures, rng);
+      if (replacement.has_value()) {
+        entry = static_cast<std::uint32_t>(*replacement);
+      }
+    }
+  }
+  return std::make_shared<const PrefixTable>(space, std::move(entries));
+}
+
+}  // namespace dht::sim

@@ -1,0 +1,40 @@
+// The static-repair model: between "static resilience" and full recovery.
+//
+// The paper's Section 1 motivates the static failure model by the time-scale
+// gap: "very fast detection of faults is generally possible ... but
+// establishing new connections to replace the faulty nodes is more time and
+// resource consuming".  This module interpolates between the two regimes
+// for the prefix-table geometries (tree/XOR): after the failures land, each
+// dead routing-table entry is independently repaired with probability
+// `repair_probability`, i.e. re-pointed at a uniformly random *alive* member
+// of the same (prefix, flipped-bit) class.  rho = 0 reproduces the paper's
+// static model; rho = 1 models a fully converged repair protocol, whose
+// only residual losses are classes with no alive member (the level-d class
+// has a single candidate, so the deepest entries stay irreparable).
+//
+// Analytically, an entry at level i survives with probability
+//   1 - q_eff(i),  q_eff(i) = q (1 - rho (1 - q^{2^{d-i} - 1})),
+// which reduces to q (1 - rho) when the class is large -- the reference
+// curve the ext_static_repair benchmark prints.
+#pragma once
+
+#include <memory>
+
+#include "math/rng.hpp"
+#include "sim/failure.hpp"
+#include "sim/prefix_table.hpp"
+
+namespace dht::sim {
+
+/// Returns a repaired copy of `table`: each entry that is dead under
+/// `failures` is independently re-drawn, with probability
+/// `repair_probability`, uniformly among the alive members of its class;
+/// entries whose class has no alive member are left as they are.
+/// Preconditions: repair_probability in [0, 1]; table/failures sized to
+/// `space`.
+std::shared_ptr<const PrefixTable> repair_prefix_table(
+    const PrefixTable& table, const IdSpace& space,
+    const FailureScenario& failures, double repair_probability,
+    math::Rng& rng);
+
+}  // namespace dht::sim

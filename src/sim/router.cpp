@@ -1,0 +1,88 @@
+#include "sim/router.hpp"
+
+#include "common/check.hpp"
+
+namespace dht::sim {
+
+Overlay::~Overlay() = default;
+
+const char* to_string(RouteStatus status) noexcept {
+  switch (status) {
+    case RouteStatus::kArrived:
+      return "arrived";
+    case RouteStatus::kDropped:
+      return "dropped";
+    case RouteStatus::kHopLimit:
+      return "hop-limit";
+  }
+  return "unknown";
+}
+
+Router::Router(const Overlay& overlay, const FailureScenario& failures,
+               std::uint64_t max_hops)
+    : overlay_(overlay),
+      failures_(failures),
+      max_hops_(max_hops == 0 ? overlay.space().size() : max_hops) {
+  DHT_CHECK(failures.size() == overlay.space().size(),
+            "failure scenario and overlay must share the id space");
+}
+
+RouteResult Router::route(NodeId source, NodeId target,
+                          math::Rng& rng) const {
+  DHT_CHECK(overlay_.space().contains(source), "source out of range");
+  DHT_CHECK(overlay_.space().contains(target), "target out of range");
+  DHT_CHECK(source != target, "route requires source != target");
+
+  RouteResult result;
+  NodeId current = source;
+  while (current != target) {
+    if (static_cast<std::uint64_t>(result.hops) >= max_hops_) {
+      result.status = RouteStatus::kHopLimit;
+      result.last_node = current;
+      return result;
+    }
+    const auto next = overlay_.next_hop(current, target, failures_, rng);
+    if (!next.has_value()) {
+      result.status = RouteStatus::kDropped;
+      result.last_node = current;
+      return result;
+    }
+    current = *next;
+    ++result.hops;
+  }
+  result.status = RouteStatus::kArrived;
+  result.last_node = current;
+  return result;
+}
+
+RouteTrace Router::route_traced(NodeId source, NodeId target,
+                                math::Rng& rng) const {
+  DHT_CHECK(overlay_.space().contains(source), "source out of range");
+  DHT_CHECK(overlay_.space().contains(target), "target out of range");
+  DHT_CHECK(source != target, "route requires source != target");
+
+  RouteTrace trace;
+  trace.path.push_back(source);
+  NodeId current = source;
+  while (current != target) {
+    if (static_cast<std::uint64_t>(trace.result.hops) >= max_hops_) {
+      trace.result.status = RouteStatus::kHopLimit;
+      trace.result.last_node = current;
+      return trace;
+    }
+    const auto next = overlay_.next_hop(current, target, failures_, rng);
+    if (!next.has_value()) {
+      trace.result.status = RouteStatus::kDropped;
+      trace.result.last_node = current;
+      return trace;
+    }
+    current = *next;
+    trace.path.push_back(current);
+    ++trace.result.hops;
+  }
+  trace.result.status = RouteStatus::kArrived;
+  trace.result.last_node = current;
+  return trace;
+}
+
+}  // namespace dht::sim

@@ -1,0 +1,62 @@
+// Route execution over an overlay.
+//
+// Iterates Overlay::next_hop until the message arrives, is dropped, or a
+// safety hop cap fires (all five protocols make strictly monotone progress,
+// so the cap exists only to turn a protocol bug into a loud failure).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/overlay.hpp"
+
+namespace dht::sim {
+
+/// Why a route ended.
+enum class RouteStatus {
+  kArrived,   // message reached the target
+  kDropped,   // a node had no admissible alive neighbor (failed path)
+  kHopLimit,  // safety cap exceeded -- indicates a protocol bug
+};
+
+const char* to_string(RouteStatus status) noexcept;
+
+struct RouteResult {
+  RouteStatus status = RouteStatus::kDropped;
+  int hops = 0;
+  NodeId last_node = 0;  // where the route ended (target on success)
+
+  bool success() const noexcept { return status == RouteStatus::kArrived; }
+};
+
+/// A route with its full node sequence (source first); for the examples and
+/// for debugging, not the hot path.
+struct RouteTrace {
+  RouteResult result;
+  std::vector<NodeId> path;
+};
+
+/// Stateless route executor bound to an overlay + failure scenario.
+class Router {
+ public:
+  /// `max_hops` of 0 selects the default cap N (strict progress bounds any
+  /// route by N - 1 hops).
+  Router(const Overlay& overlay, const FailureScenario& failures,
+         std::uint64_t max_hops = 0);
+
+  /// Routes from source toward target (source != target).  Liveness of the
+  /// endpoints is the caller's business: the static-resilience metric
+  /// samples alive pairs, but the router itself only consults the mask for
+  /// forwarding decisions.
+  RouteResult route(NodeId source, NodeId target, math::Rng& rng) const;
+
+  /// Same, recording every node on the path.
+  RouteTrace route_traced(NodeId source, NodeId target, math::Rng& rng) const;
+
+ private:
+  const Overlay& overlay_;
+  const FailureScenario& failures_;
+  std::uint64_t max_hops_;
+};
+
+}  // namespace dht::sim

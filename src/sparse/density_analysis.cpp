@@ -1,0 +1,20 @@
+#include "sparse/density_analysis.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace dht::sparse {
+
+int effective_bits(std::uint64_t node_count) {
+  DHT_CHECK(node_count >= 2, "effective_bits requires >= 2 nodes");
+  return static_cast<int>(
+      std::lround(std::log2(static_cast<double>(node_count))));
+}
+
+core::RoutabilityPoint predict_sparse_routability(
+    const core::Geometry& geometry, std::uint64_t node_count, double q) {
+  return core::evaluate_routability(geometry, effective_bits(node_count), q);
+}
+
+}  // namespace dht::sparse

@@ -1,0 +1,29 @@
+// The density reduction: predicting sparse-DHT routability with the dense
+// RCM model.
+//
+// In an N-node network over a 2^d key space (N << 2^d), each node's routing
+// state collapses to the occupancy scale: Chord has ~log2 N *distinct*
+// fingers (all fingers past the mean gap hit the same few successors) and
+// Kademlia has ~log2 N non-empty buckets.  The natural extension of the
+// paper's analysis -- its Section 6 future work -- is therefore to evaluate
+// the fully-populated model at the *effective* identifier length
+// d' = log2 N.  The ext_sparse_population benchmark and test_sparse verify
+// this reduction: measured sparse routability is essentially independent of
+// the key-space size and matches the dense model at d'.
+#pragma once
+
+#include "core/geometry.hpp"
+#include "core/routability.hpp"
+
+namespace dht::sparse {
+
+/// The effective identifier length of an N-node network: round(log2 N).
+/// Precondition: node_count >= 2.
+int effective_bits(std::uint64_t node_count);
+
+/// Dense-model prediction for a sparse system: Eq. 3 evaluated at
+/// d' = effective_bits(node_count).
+core::RoutabilityPoint predict_sparse_routability(
+    const core::Geometry& geometry, std::uint64_t node_count, double q);
+
+}  // namespace dht::sparse

@@ -1,0 +1,66 @@
+#include "sparse/sparse_chord.hpp"
+
+#include "common/check.hpp"
+
+namespace dht::sparse {
+
+SparseChordOverlay::SparseChordOverlay(const SparseIdSpace& space)
+    : space_(&space) {
+  const int d = space.bits();
+  const std::uint64_t n = space.node_count();
+  const std::uint64_t size = space.key_space_size();
+  fingers_.resize(n * static_cast<std::uint64_t>(d));
+  for (NodeIndex v = 0; v < n; ++v) {
+    const sim::NodeId base = space.id_of(v);
+    for (int i = 1; i <= d; ++i) {
+      const sim::NodeId key =
+          (base + (std::uint64_t{1} << (d - i))) & (size - 1);
+      fingers_[v * static_cast<std::uint64_t>(d) +
+               static_cast<std::uint64_t>(i - 1)] = space.successor_of_key(key);
+    }
+  }
+}
+
+NodeIndex SparseChordOverlay::finger(NodeIndex node, int index) const {
+  DHT_CHECK(node < space_->node_count(), "node index out of range");
+  DHT_CHECK(index >= 1 && index <= space_->bits(),
+            "finger index out of range");
+  return fingers_[node * static_cast<std::uint64_t>(space_->bits()) +
+                  static_cast<std::uint64_t>(index - 1)];
+}
+
+std::optional<NodeIndex> SparseChordOverlay::next_hop(
+    NodeIndex current, NodeIndex target,
+    const SparseFailure& failures) const {
+  DHT_CHECK(current != target, "next_hop requires current != target");
+  const int d = space_->bits();
+  const sim::NodeId current_id = space_->id_of(current);
+  const std::uint64_t distance =
+      sim::ring_distance(current_id, space_->id_of(target), d);
+  // Greedy clockwise without overshoot.  Sparse finger offsets are not
+  // strictly ordered by index (each is a successor jump past the dyadic
+  // point), so scan all fingers and keep the best admissible alive one.
+  std::uint64_t best_progress = 0;
+  NodeIndex best = current;
+  for (int i = 1; i <= d; ++i) {
+    const NodeIndex f = finger(current, i);
+    if (f == current) {
+      continue;  // finger wrapped onto ourselves (tiny networks)
+    }
+    const std::uint64_t progress =
+        sim::ring_distance(current_id, space_->id_of(f), d);
+    if (progress > distance || progress <= best_progress) {
+      continue;
+    }
+    if (failures.alive(f)) {
+      best_progress = progress;
+      best = f;
+    }
+  }
+  if (best_progress == 0) {
+    return std::nullopt;
+  }
+  return best;
+}
+
+}  // namespace dht::sparse

@@ -1,0 +1,37 @@
+// Chord over a non-fully-populated identifier space.
+//
+// Node v keeps d fingers: finger i points to successor(id(v) + 2^{d-i}),
+// the standard Chord rule.  With N << 2^d nodes only ~log2 N of the fingers
+// are distinct -- which is exactly why the dense RCM model evaluated at
+// d' = log2 N predicts the sparse system's routability (see
+// density_analysis.hpp and the ext_sparse_population benchmark).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sparse/sparse_overlay.hpp"
+
+namespace dht::sparse {
+
+class SparseChordOverlay final : public SparseOverlay {
+ public:
+  explicit SparseChordOverlay(const SparseIdSpace& space);
+
+  std::string_view name() const noexcept override { return "sparse-ring"; }
+  const SparseIdSpace& space() const noexcept override { return *space_; }
+
+  /// The i-th finger (1-based): successor(id + 2^{bits-i}).
+  NodeIndex finger(NodeIndex node, int index) const;
+
+  std::optional<NodeIndex> next_hop(
+      NodeIndex current, NodeIndex target,
+      const SparseFailure& failures) const override;
+
+ private:
+  const SparseIdSpace* space_;
+  // Row-major [node][i-1] finger node indices.
+  std::vector<NodeIndex> fingers_;
+};
+
+}  // namespace dht::sparse

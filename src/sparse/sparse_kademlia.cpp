@@ -1,0 +1,76 @@
+#include "sparse/sparse_kademlia.hpp"
+
+#include <bit>
+
+#include "common/check.hpp"
+
+namespace dht::sparse {
+
+SparseKademliaOverlay::SparseKademliaOverlay(const SparseIdSpace& space,
+                                             math::Rng& rng)
+    : space_(&space) {
+  const int d = space.bits();
+  const std::uint64_t n = space.node_count();
+  contacts_.resize(n * static_cast<std::uint64_t>(d), kEmpty);
+  for (NodeIndex v = 0; v < n; ++v) {
+    const sim::NodeId base = space.id_of(v);
+    for (int i = 1; i <= d; ++i) {
+      // Bucket i's identifier set is the contiguous range obtained by
+      // flipping bit i of `base` and freeing the i..d suffix bits.
+      const int suffix_bits = d - i;
+      const sim::NodeId lo = (sim::flip_level(base, i, d) >> suffix_bits)
+                             << suffix_bits;
+      const sim::NodeId hi = lo + ((std::uint64_t{1} << suffix_bits) - 1);
+      const auto [first, last] = space.index_range(lo, hi);
+      if (first == last) {
+        continue;  // empty bucket: nobody lives in this subtree
+      }
+      const auto pick = static_cast<NodeIndex>(
+          first + rng.uniform_below(last - first));
+      contacts_[v * static_cast<std::uint64_t>(d) +
+                static_cast<std::uint64_t>(i - 1)] = pick;
+    }
+  }
+}
+
+std::optional<NodeIndex> SparseKademliaOverlay::contact(NodeIndex node,
+                                                        int bucket) const {
+  DHT_CHECK(node < space_->node_count(), "node index out of range");
+  DHT_CHECK(bucket >= 1 && bucket <= space_->bits(),
+            "bucket index out of range");
+  const NodeIndex entry =
+      contacts_[node * static_cast<std::uint64_t>(space_->bits()) +
+                static_cast<std::uint64_t>(bucket - 1)];
+  if (entry == kEmpty) {
+    return std::nullopt;
+  }
+  return entry;
+}
+
+std::optional<NodeIndex> SparseKademliaOverlay::next_hop(
+    NodeIndex current, NodeIndex target,
+    const SparseFailure& failures) const {
+  DHT_CHECK(current != target, "next_hop requires current != target");
+  const int d = space_->bits();
+  const sim::NodeId current_id = space_->id_of(current);
+  const sim::NodeId target_id = space_->id_of(target);
+  const std::uint64_t current_distance =
+      sim::xor_distance(current_id, target_id);
+  // Buckets at levels where current and target differ, highest order first;
+  // the first alive contact strictly closer to the target is the greedy
+  // choice (correcting a higher-order bit dominates any suffix noise).
+  sim::NodeId diff = current_distance;
+  while (diff != 0) {
+    const int level = d - std::bit_width(diff) + 1;
+    const auto entry = contact(current, level);
+    if (entry.has_value() && failures.alive(*entry) &&
+        sim::xor_distance(space_->id_of(*entry), target_id) <
+            current_distance) {
+      return entry;
+    }
+    diff &= ~(sim::NodeId{1} << (d - level));
+  }
+  return std::nullopt;
+}
+
+}  // namespace dht::sparse

@@ -1,0 +1,40 @@
+// Kademlia over a non-fully-populated identifier space.
+//
+// Bucket i of node v covers identifiers at XOR distance [2^{d-i}, 2^{d-i+1})
+// from id(v) -- equivalently, ids sharing the first i-1 bits of id(v) and
+// differing at bit i.  In a sparse space a bucket may be empty; otherwise
+// the basic protocol keeps one uniformly random contact per bucket.
+// Forwarding is greedy in realized XOR distance: the highest-order
+// non-empty bucket whose alive contact is strictly closer to the target.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sparse/sparse_overlay.hpp"
+
+namespace dht::sparse {
+
+class SparseKademliaOverlay final : public SparseOverlay {
+ public:
+  SparseKademliaOverlay(const SparseIdSpace& space, math::Rng& rng);
+
+  std::string_view name() const noexcept override { return "sparse-xor"; }
+  const SparseIdSpace& space() const noexcept override { return *space_; }
+
+  /// The bucket-i contact of `node`, or nullopt when the bucket is empty.
+  std::optional<NodeIndex> contact(NodeIndex node, int bucket) const;
+
+  std::optional<NodeIndex> next_hop(
+      NodeIndex current, NodeIndex target,
+      const SparseFailure& failures) const override;
+
+ private:
+  static constexpr NodeIndex kEmpty = ~NodeIndex{0};
+
+  const SparseIdSpace* space_;
+  // Row-major [node][i-1] contact indices (kEmpty for empty buckets).
+  std::vector<NodeIndex> contacts_;
+};
+
+}  // namespace dht::sparse

@@ -1,0 +1,75 @@
+// Overlay interface for non-fully-populated identifier spaces.
+//
+// Mirrors sim::Overlay, but over node *indices* (0..N-1 in ring order)
+// rather than identifiers, since most keys host no node.
+#pragma once
+
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "math/rng.hpp"
+#include "sparse/sparse_space.hpp"
+
+namespace dht::sparse {
+
+/// i.i.d. Bernoulli liveness over node indices (the sparse counterpart of
+/// sim::FailureScenario).
+class SparseFailure {
+ public:
+  SparseFailure(const SparseIdSpace& space, double q, math::Rng& rng);
+
+  bool alive(NodeIndex index) const { return alive_[index] != 0; }
+  std::uint64_t alive_count() const noexcept { return alive_count_; }
+  std::uint64_t node_count() const noexcept { return alive_.size(); }
+
+  /// Uniformly samples an alive node index.
+  NodeIndex sample_alive(math::Rng& rng) const;
+
+ private:
+  std::vector<std::uint8_t> alive_;
+  std::uint64_t alive_count_ = 0;
+};
+
+class SparseOverlay {
+ public:
+  virtual ~SparseOverlay();
+
+  virtual std::string_view name() const noexcept = 0;
+  virtual const SparseIdSpace& space() const noexcept = 0;
+
+  /// One forwarding step toward `target` (current != target); nullopt when
+  /// the basic protocol drops the message.
+  virtual std::optional<NodeIndex> next_hop(
+      NodeIndex current, NodeIndex target,
+      const SparseFailure& failures) const = 0;
+};
+
+/// Routes source -> target; returns hop count on success, nullopt on drop.
+std::optional<int> route(const SparseOverlay& overlay,
+                         const SparseFailure& failures, NodeIndex source,
+                         NodeIndex target);
+
+/// Monte-Carlo routability over sampled alive index pairs.
+struct SparseEstimate {
+  std::uint64_t attempts = 0;
+  std::uint64_t successes = 0;
+  double total_hops = 0.0;
+
+  double routability() const noexcept {
+    return attempts == 0
+               ? 0.0
+               : static_cast<double>(successes) /
+                     static_cast<double>(attempts);
+  }
+  double failed_fraction() const noexcept { return 1.0 - routability(); }
+  double mean_hops() const noexcept {
+    return successes == 0 ? 0.0 : total_hops / static_cast<double>(successes);
+  }
+};
+
+SparseEstimate estimate_routability(const SparseOverlay& overlay,
+                                    const SparseFailure& failures,
+                                    std::uint64_t pairs, math::Rng& rng);
+
+}  // namespace dht::sparse

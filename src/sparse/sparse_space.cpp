@@ -1,0 +1,73 @@
+#include "sparse/sparse_space.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/check.hpp"
+
+namespace dht::sparse {
+
+SparseIdSpace::SparseIdSpace(int bits, std::uint64_t node_count,
+                             math::Rng& rng)
+    : bits_(bits) {
+  DHT_CHECK(bits >= 1 && bits <= 40, "sparse space supports 1 <= bits <= 40");
+  DHT_CHECK(node_count >= 2, "sparse space needs at least two nodes");
+  DHT_CHECK(node_count <= (std::uint64_t{1} << std::min(bits, 26)),
+            "node_count must fit the key space and stay <= 2^26");
+
+  const std::uint64_t size = std::uint64_t{1} << bits_;
+  if (node_count == size) {
+    // Fully populated: the sparse machinery degenerates to the dense case.
+    ids_.resize(node_count);
+    for (std::uint64_t i = 0; i < node_count; ++i) {
+      ids_[i] = i;
+    }
+    return;
+  }
+  // Rejection sampling of distinct ids; density is at most 1/2 whenever
+  // node_count < 2^bits <= 2 * node_count cannot hold with bits <= 26 --
+  // and for the typical sparse regime (density << 1) this is near-linear.
+  std::unordered_set<sim::NodeId> seen;
+  seen.reserve(node_count * 2);
+  ids_.reserve(node_count);
+  while (ids_.size() < node_count) {
+    const sim::NodeId candidate = rng.uniform_below(size);
+    if (seen.insert(candidate).second) {
+      ids_.push_back(candidate);
+    }
+  }
+  std::sort(ids_.begin(), ids_.end());
+}
+
+sim::NodeId SparseIdSpace::id_of(NodeIndex index) const {
+  DHT_CHECK(index < ids_.size(), "node index out of range");
+  return ids_[index];
+}
+
+NodeIndex SparseIdSpace::successor_of_key(sim::NodeId key) const {
+  DHT_CHECK(key < key_space_size(), "key out of range");
+  const auto it = std::lower_bound(ids_.begin(), ids_.end(), key);
+  if (it == ids_.end()) {
+    return 0;  // wrap to the smallest identifier
+  }
+  return static_cast<NodeIndex>(it - ids_.begin());
+}
+
+NodeIndex SparseIdSpace::ring_step(NodeIndex index,
+                                   std::uint64_t steps) const {
+  DHT_CHECK(index < ids_.size(), "node index out of range");
+  return static_cast<NodeIndex>(
+      (index + steps) % static_cast<std::uint64_t>(ids_.size()));
+}
+
+std::pair<NodeIndex, NodeIndex> SparseIdSpace::index_range(
+    sim::NodeId lo, sim::NodeId hi) const {
+  DHT_CHECK(lo <= hi, "index_range requires lo <= hi");
+  DHT_CHECK(hi < key_space_size(), "key out of range");
+  const auto first = std::lower_bound(ids_.begin(), ids_.end(), lo);
+  const auto last = std::upper_bound(first, ids_.end(), hi);
+  return {static_cast<NodeIndex>(first - ids_.begin()),
+          static_cast<NodeIndex>(last - ids_.begin())};
+}
+
+}  // namespace dht::sparse

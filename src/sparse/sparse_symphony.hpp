@@ -1,0 +1,47 @@
+// Symphony over a non-fully-populated identifier space.
+//
+// Exactly Symphony's construction (Manku et al.): nodes draw shortcut
+// *keys* from the harmonic density over key distance and link to the key's
+// owner (successor), plus kn near links to the next nodes in ring order.
+// Forwarding is greedy clockwise on key distance without overshoot, as in
+// the dense overlay.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sparse/sparse_overlay.hpp"
+
+namespace dht::sparse {
+
+class SparseSymphonyOverlay final : public SparseOverlay {
+ public:
+  /// Preconditions: near_neighbors >= 1, shortcuts >= 1, and
+  /// near_neighbors + shortcuts < node_count.
+  SparseSymphonyOverlay(const SparseIdSpace& space, int near_neighbors,
+                        int shortcuts, math::Rng& rng);
+
+  std::string_view name() const noexcept override {
+    return "sparse-symphony";
+  }
+  const SparseIdSpace& space() const noexcept override { return *space_; }
+
+  int near_neighbors() const noexcept { return kn_; }
+  int shortcuts() const noexcept { return ks_; }
+
+  /// The j-th shortcut of `node` (0-based, j < shortcuts()).
+  NodeIndex shortcut(NodeIndex node, int j) const;
+
+  std::optional<NodeIndex> next_hop(
+      NodeIndex current, NodeIndex target,
+      const SparseFailure& failures) const override;
+
+ private:
+  const SparseIdSpace* space_;
+  int kn_;
+  int ks_;
+  // Row-major [node][j] shortcut node indices.
+  std::vector<NodeIndex> shortcuts_;
+};
+
+}  // namespace dht::sparse

@@ -1,0 +1,181 @@
+// The churn extension: lifecycle model, the q_eff bridge, and the dynamic
+// simulator's agreement with the static analysis (the paper's Section 1
+// open question for this churn model).
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "churn/churn.hpp"
+#include "common/check.hpp"
+#include "core/registry.hpp"
+#include "core/routability.hpp"
+#include "math/rng.hpp"
+
+namespace dht::churn {
+namespace {
+
+TEST(ChurnModel, AvailabilityIsStationaryDistribution) {
+  EXPECT_NEAR(availability({.death_per_round = 0.01,
+                            .rebirth_per_round = 0.04,
+                            .refresh_interval = 5}),
+              0.8, 1e-12);
+  EXPECT_NEAR(availability({.death_per_round = 0.05,
+                            .rebirth_per_round = 0.05,
+                            .refresh_interval = 5}),
+              0.5, 1e-12);
+}
+
+TEST(ChurnModel, DeadGivenAgeGrowsToStationary) {
+  const ChurnParams params{.death_per_round = 0.02,
+                           .rebirth_per_round = 0.08,
+                           .refresh_interval = 10};
+  EXPECT_EQ(dead_given_age(params, 0), 0.0);  // just refreshed to alive
+  double previous = 0.0;
+  for (int age = 1; age <= 200; age += 10) {
+    const double p = dead_given_age(params, age);
+    EXPECT_GT(p, previous);
+    previous = p;
+  }
+  // Long ages approach the stationary dead probability 1 - a = 0.2.
+  EXPECT_NEAR(dead_given_age(params, 2000), 0.2, 1e-9);
+}
+
+TEST(ChurnModel, EffectiveQLimits) {
+  ChurnParams params{.death_per_round = 0.02,
+                     .rebirth_per_round = 0.08,
+                     .refresh_interval = 1};
+  // Continuous refresh: entries are always fresh, q_eff = dead_given_age(0).
+  EXPECT_NEAR(effective_q(params), 0.0, 1e-12);
+  // Rare refresh: q_eff approaches the stationary dead probability.
+  params.refresh_interval = 100000;
+  EXPECT_NEAR(effective_q(params), 0.2, 1e-3);
+}
+
+TEST(ChurnModel, EffectiveQMonotoneInRefreshLag) {
+  ChurnParams params{.death_per_round = 0.02,
+                     .rebirth_per_round = 0.08,
+                     .refresh_interval = 1};
+  double previous = -1.0;
+  for (int r : {1, 2, 5, 10, 30, 100, 1000}) {
+    params.refresh_interval = r;
+    const double q = effective_q(params);
+    EXPECT_GT(q, previous) << "R=" << r;
+    EXPECT_LE(q, 0.2 + 1e-12);
+    previous = q;
+  }
+}
+
+TEST(ChurnModel, EffectiveQMatchesDirectAverage) {
+  const ChurnParams params{.death_per_round = 0.03,
+                           .rebirth_per_round = 0.07,
+                           .refresh_interval = 17};
+  double direct = 0.0;
+  for (int age = 0; age < params.refresh_interval; ++age) {
+    direct += dead_given_age(params, age);
+  }
+  direct /= params.refresh_interval;
+  EXPECT_NEAR(effective_q(params), direct, 1e-12);
+}
+
+TEST(ChurnModel, RejectsBadParameters) {
+  EXPECT_THROW(availability({.death_per_round = 0.0,
+                             .rebirth_per_round = 0.5,
+                             .refresh_interval = 5}),
+               PreconditionError);
+  EXPECT_THROW(availability({.death_per_round = 0.6,
+                             .rebirth_per_round = 0.6,
+                             .refresh_interval = 5}),
+               PreconditionError);
+  EXPECT_THROW(effective_q({.death_per_round = 0.1,
+                            .rebirth_per_round = 0.1,
+                            .refresh_interval = 0}),
+               PreconditionError);
+}
+
+TEST(ChurnSimulator, AliveFractionTracksAvailability) {
+  const sim::IdSpace space(12);
+  const ChurnParams params{.death_per_round = 0.02,
+                           .rebirth_per_round = 0.08,
+                           .refresh_interval = 10};
+  math::Rng rng(1);
+  ChurnSimulator simulator(space, params, rng);
+  simulator.run(100);
+  // a = 0.8; N = 4096 => SE ~ 0.006 plus autocorrelation; 5x band.
+  EXPECT_NEAR(simulator.alive_fraction(), 0.8, 0.04);
+  EXPECT_EQ(simulator.round(), 100);
+}
+
+TEST(ChurnSimulator, MeanEntryAgeMatchesUniformAssumption) {
+  // With lifetimes >> R, entry ages should hover near (R-1)/2.
+  const sim::IdSpace space(12);
+  const ChurnParams params{.death_per_round = 0.005,
+                           .rebirth_per_round = 0.02,
+                           .refresh_interval = 10};
+  math::Rng rng(2);
+  ChurnSimulator simulator(space, params, rng);
+  simulator.run(60);
+  EXPECT_NEAR(simulator.mean_entry_age(), 4.5, 1.2);
+}
+
+TEST(ChurnSimulator, PerfectStabilityRoutesEverything) {
+  // Tiny churn, instant refresh: routability ~ 1.
+  const sim::IdSpace space(10);
+  const ChurnParams params{.death_per_round = 1e-6,
+                           .rebirth_per_round = 0.5,
+                           .refresh_interval = 1};
+  math::Rng rng(3);
+  ChurnSimulator simulator(space, params, rng);
+  simulator.run(10);
+  const auto measured = simulator.measure_routability(3000, rng);
+  EXPECT_GT(measured.point(), 0.999);
+}
+
+TEST(ChurnSimulator, StaticModelAtEffectiveQPredictsChurnRoutability) {
+  // The headline: run the dynamic system, compare against the static XOR
+  // analysis evaluated at q_eff.  Tolerance covers Eq. 6's documented knee
+  // bias plus Monte-Carlo noise (the benchmark prints the full curves).
+  const sim::IdSpace space(12);
+  const auto xor_geo = core::make_geometry(core::GeometryKind::kXor);
+  for (int refresh : {5, 20}) {
+    const ChurnParams params{.death_per_round = 0.02,
+                             .rebirth_per_round = 0.08,
+                             .refresh_interval = refresh};
+    math::Rng rng(100 + static_cast<std::uint64_t>(refresh));
+    ChurnSimulator simulator(space, params, rng);
+    simulator.run(3 * refresh + 50);  // warm past several refresh cycles
+    math::Rng measure_rng(4);
+    const double measured =
+        simulator.measure_routability(20000, measure_rng).point();
+    const double q_eff = effective_q(params);
+    const double predicted =
+        core::evaluate_routability(*xor_geo, space.bits(), q_eff)
+            .conditional_success;
+    EXPECT_NEAR(measured, predicted, 0.08)
+        << "R=" << refresh << " q_eff=" << q_eff;
+    // More refresh lag must hurt.
+    if (refresh == 20) {
+      EXPECT_LT(measured, 0.995);
+    }
+  }
+}
+
+TEST(ChurnSimulator, SlowerRefreshLowersRoutability) {
+  const sim::IdSpace space(12);
+  double previous = 1.1;
+  for (int refresh : {2, 10, 40}) {
+    const ChurnParams params{.death_per_round = 0.03,
+                             .rebirth_per_round = 0.07,
+                             .refresh_interval = refresh};
+    math::Rng rng(200 + static_cast<std::uint64_t>(refresh));
+    ChurnSimulator simulator(space, params, rng);
+    simulator.run(3 * refresh + 30);
+    math::Rng measure_rng(5);
+    const double measured =
+        simulator.measure_routability(15000, measure_rng).point();
+    EXPECT_LT(measured, previous + 0.02) << "R=" << refresh;
+    previous = measured;
+  }
+}
+
+}  // namespace
+}  // namespace dht::churn

@@ -1,0 +1,117 @@
+// The base-b generalization of the tree geometry (paper Section 3: "any
+// other base besides 2 can be used"; Tapestry/Pastry deploy base 16).
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "core/routability.hpp"
+#include "core/tree_geometry.hpp"
+#include "math/logreal.hpp"
+
+namespace dht::core {
+namespace {
+
+TEST(DigitBase, DefaultIsBinaryAndUnchanged) {
+  const TreeGeometry binary;
+  EXPECT_EQ(binary.base(), 2);
+  const TreeGeometry explicit_binary(2);
+  for (double q : {0.1, 0.5}) {
+    for (int d : {8, 16}) {
+      EXPECT_EQ(evaluate_routability(binary, d, q).routability,
+                evaluate_routability(explicit_binary, d, q).routability);
+    }
+  }
+}
+
+TEST(DigitBase, SpaceSizeIsBToTheD) {
+  for (int base : {2, 3, 16}) {
+    const TreeGeometry tree(base);
+    for (int d : {1, 4, 10}) {
+      EXPECT_NEAR(tree.space_size(d).log(),
+                  d * std::log(static_cast<double>(base)), 1e-12)
+          << "base=" << base << " d=" << d;
+    }
+  }
+}
+
+TEST(DigitBase, DistanceCountsSumToPeers) {
+  // sum_h C(d,h)(b-1)^h = b^d - 1.
+  for (int base : {2, 3, 4, 16}) {
+    const TreeGeometry tree(base);
+    for (int d : {3, 6, 10}) {
+      math::LogSum sum;
+      for (int h = 1; h <= d; ++h) {
+        sum.add(tree.distance_count(h, d));
+      }
+      const double expected =
+          std::pow(static_cast<double>(base), d) - 1.0;
+      EXPECT_NEAR(sum.total().value(), expected, 1e-6 * expected)
+          << "base=" << base << " d=" << d;
+    }
+  }
+}
+
+TEST(DigitBase, ClosedFormMatchesGenericEvaluator) {
+  for (int base : {2, 4, 16}) {
+    const TreeGeometry tree(base);
+    for (int d : {3, 6, 12}) {
+      for (double q : {0.05, 0.2, 0.5}) {
+        EXPECT_NEAR(evaluate_routability(tree, d, q).routability,
+                    std::min(1.0, TreeGeometry::closed_form_routability(
+                                      d, q, base)),
+                    1e-10)
+            << "base=" << base << " d=" << d << " q=" << q;
+      }
+    }
+  }
+}
+
+TEST(DigitBase, HigherBaseIsMoreResilientAtFixedN) {
+  // N = 2^12 = 4096 nodes organized as d digits base b: (b, d) in
+  // {(2,12), (4,6), (16,3)}.  Fewer sequential corrections => higher
+  // routability at the same q (the design argument for Tapestry's base 16,
+  // paid for with d(b-1) routing-table entries instead of d).
+  const double q = 0.2;
+  const double r_b2 =
+      evaluate_routability(TreeGeometry(2), 12, q).routability;
+  const double r_b4 =
+      evaluate_routability(TreeGeometry(4), 6, q).routability;
+  const double r_b16 =
+      evaluate_routability(TreeGeometry(16), 3, q).routability;
+  EXPECT_GT(r_b4, r_b2);
+  EXPECT_GT(r_b16, r_b4);
+}
+
+TEST(DigitBase, StillUnscalableInN) {
+  // The base does not rescue the tree geometry: Q(m) = q stays constant,
+  // so r -> 0 as d grows for any base.
+  const TreeGeometry hex(16);
+  EXPECT_EQ(hex.scalability_class(), ScalabilityClass::kUnscalable);
+  const double r_small = evaluate_routability(hex, 8, 0.1).routability;
+  const double r_large = evaluate_routability(hex, 64, 0.1).routability;
+  EXPECT_GT(r_small, r_large);
+  EXPECT_LT(r_large, 0.01);
+}
+
+TEST(DigitBase, SuccessProbabilityIndependentOfBase) {
+  // p(h, q) = (1-q)^h regardless of base: the base changes how many nodes
+  // sit at each distance, not the per-correction survival.
+  const TreeGeometry hex(16);
+  const TreeGeometry binary(2);
+  for (int h = 1; h <= 10; ++h) {
+    EXPECT_EQ(hex.success_probability(h, 0.3, 10),
+              binary.success_probability(h, 0.3, 10));
+  }
+}
+
+TEST(DigitBase, RejectsBadBase) {
+  EXPECT_THROW(TreeGeometry(1), PreconditionError);
+  EXPECT_THROW(TreeGeometry(0), PreconditionError);
+  EXPECT_THROW(TreeGeometry(-4), PreconditionError);
+  EXPECT_THROW(TreeGeometry::closed_form_routability(8, 0.1, 1),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace dht::core

@@ -1,0 +1,127 @@
+#include "sim/failure.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace dht::sim {
+namespace {
+
+TEST(FailureScenario, AllAliveBaseline) {
+  const IdSpace space(8);
+  const FailureScenario scenario = FailureScenario::all_alive(space);
+  EXPECT_EQ(scenario.alive_count(), 256u);
+  EXPECT_EQ(scenario.alive_fraction(), 1.0);
+  for (NodeId id = 0; id < 256; ++id) {
+    EXPECT_TRUE(scenario.alive(id));
+  }
+}
+
+TEST(FailureScenario, QZeroKillsNobody) {
+  const IdSpace space(10);
+  math::Rng rng(1);
+  const FailureScenario scenario(space, 0.0, rng);
+  EXPECT_EQ(scenario.alive_count(), space.size());
+}
+
+TEST(FailureScenario, AliveFractionTracksQ) {
+  const IdSpace space(14);  // 16384 nodes
+  for (double q : {0.1, 0.3, 0.5, 0.9}) {
+    math::Rng rng(static_cast<std::uint64_t>(q * 1000));
+    const FailureScenario scenario(space, q, rng);
+    // SE = sqrt(q(1-q)/16384) <= 0.004; allow 5 sigma.
+    EXPECT_NEAR(scenario.alive_fraction(), 1.0 - q, 0.02) << "q=" << q;
+  }
+}
+
+TEST(FailureScenario, DeterministicGivenSeed) {
+  const IdSpace space(10);
+  math::Rng rng_a(77);
+  math::Rng rng_b(77);
+  const FailureScenario a(space, 0.4, rng_a);
+  const FailureScenario b(space, 0.4, rng_b);
+  for (NodeId id = 0; id < space.size(); ++id) {
+    EXPECT_EQ(a.alive(id), b.alive(id));
+  }
+}
+
+TEST(FailureScenario, DifferentSeedsDiffer) {
+  const IdSpace space(10);
+  math::Rng rng_a(1);
+  math::Rng rng_b(2);
+  const FailureScenario a(space, 0.5, rng_a);
+  const FailureScenario b(space, 0.5, rng_b);
+  int differences = 0;
+  for (NodeId id = 0; id < space.size(); ++id) {
+    differences += a.alive(id) != b.alive(id) ? 1 : 0;
+  }
+  EXPECT_GT(differences, 100);  // expected ~512
+}
+
+TEST(FailureScenario, SampleAliveOnlyReturnsAliveNodes) {
+  const IdSpace space(8);
+  math::Rng rng(5);
+  FailureScenario scenario(space, 0.6, rng);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(scenario.alive(scenario.sample_alive(rng)));
+  }
+}
+
+TEST(FailureScenario, SampleAliveIsRoughlyUniform) {
+  const IdSpace space(4);
+  math::Rng rng(11);
+  FailureScenario scenario(space, 0.0, rng);
+  scenario.kill(3);
+  std::vector<int> histogram(16, 0);
+  const int draws = 30000;
+  for (int i = 0; i < draws; ++i) {
+    ++histogram[scenario.sample_alive(rng)];
+  }
+  EXPECT_EQ(histogram[3], 0);
+  for (NodeId id = 0; id < 16; ++id) {
+    if (id == 3) {
+      continue;
+    }
+    EXPECT_NEAR(histogram[id], draws / 15, 350) << "id=" << id;
+  }
+}
+
+TEST(FailureScenario, KillAndReviveMaintainCount) {
+  const IdSpace space(6);
+  FailureScenario scenario = FailureScenario::all_alive(space);
+  scenario.kill(7);
+  scenario.kill(7);  // idempotent
+  EXPECT_FALSE(scenario.alive(7));
+  EXPECT_EQ(scenario.alive_count(), 63u);
+  scenario.revive(7);
+  scenario.revive(7);
+  EXPECT_TRUE(scenario.alive(7));
+  EXPECT_EQ(scenario.alive_count(), 64u);
+}
+
+TEST(FailureScenario, RejectsBadArguments) {
+  const IdSpace space(6);
+  math::Rng rng(1);
+  EXPECT_THROW(FailureScenario(space, -0.1, rng), PreconditionError);
+  EXPECT_THROW(FailureScenario(space, 1.1, rng), PreconditionError);
+  FailureScenario scenario = FailureScenario::all_alive(space);
+  EXPECT_THROW(scenario.kill(64), PreconditionError);
+  EXPECT_THROW(scenario.revive(64), PreconditionError);
+}
+
+TEST(IdSpace, SizeAndContains) {
+  const IdSpace space(16);
+  EXPECT_EQ(space.bits(), 16);
+  EXPECT_EQ(space.size(), 65536u);
+  EXPECT_TRUE(space.contains(0));
+  EXPECT_TRUE(space.contains(65535));
+  EXPECT_FALSE(space.contains(65536));
+}
+
+TEST(IdSpace, RejectsBadWidth) {
+  EXPECT_THROW(IdSpace(0), PreconditionError);
+  EXPECT_THROW(IdSpace(27), PreconditionError);
+}
+
+}  // namespace
+}  // namespace dht::sim

@@ -1,0 +1,117 @@
+#include "core/hypercube_geometry.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "core/routability.hpp"
+#include "math/binomial.hpp"
+
+namespace dht::core {
+namespace {
+
+TEST(HypercubeGeometry, Identity) {
+  const HypercubeGeometry cube;
+  EXPECT_EQ(cube.kind(), GeometryKind::kHypercube);
+  EXPECT_EQ(cube.name(), "hypercube");
+  EXPECT_EQ(cube.exactness(), Exactness::kExact);
+  EXPECT_EQ(cube.scalability_class(), ScalabilityClass::kScalable);
+}
+
+TEST(HypercubeGeometry, PhaseFailureIsGeometric) {
+  const HypercubeGeometry cube;
+  for (double q : {0.1, 0.4, 0.8}) {
+    for (int m = 1; m <= 30; ++m) {
+      EXPECT_NEAR(cube.phase_failure(m, q, 30), std::pow(q, m), 1e-14)
+          << "q=" << q << " m=" << m;
+    }
+  }
+}
+
+TEST(HypercubeGeometry, PaperFig3SuccessProbability) {
+  // Fig. 3: p(3, q) = (1 - q^3)(1 - q^2)(1 - q).
+  const HypercubeGeometry cube;
+  for (double q : {0.0, 0.1, 0.25, 0.5, 0.75, 0.9}) {
+    const double expected = (1 - q * q * q) * (1 - q * q) * (1 - q);
+    EXPECT_NEAR(cube.success_probability(3, q, 3), expected, 1e-13)
+        << "q=" << q;
+  }
+}
+
+TEST(HypercubeGeometry, PaperFig3TransitionTable) {
+  // Fig. 3's table: Pr(S_h -> S_{h+1}) = 1 - q^{remaining}; with h the
+  // number of *remaining* hops at distances 3, 2, 1 the factors are
+  // 1-q^3, 1-q^2, 1-q.  phase_failure(m) is the failure probability with m
+  // phases remaining, so 1 - phase_failure(m) reproduces the table rows.
+  const HypercubeGeometry cube;
+  const double q = 0.3;
+  EXPECT_NEAR(1.0 - cube.phase_failure(3, q, 3), 1.0 - q * q * q, 1e-15);
+  EXPECT_NEAR(1.0 - cube.phase_failure(2, q, 3), 1.0 - q * q, 1e-15);
+  EXPECT_NEAR(1.0 - cube.phase_failure(1, q, 3), 1.0 - q, 1e-15);
+}
+
+TEST(HypercubeGeometry, EightNodeExampleRoutability) {
+  // The worked example of Figs. 1-3: d = 3, n(h) = {3, 3, 1}.
+  const HypercubeGeometry cube;
+  for (double q : {0.1, 0.3, 0.5}) {
+    const double p1 = 1 - q;
+    const double p2 = (1 - q * q) * (1 - q);
+    const double p3 = (1 - q * q * q) * (1 - q * q) * (1 - q);
+    const double expected_reachable = 3 * p1 + 3 * p2 + 1 * p3;
+    const double expected_r = expected_reachable / ((1 - q) * 8.0 - 1.0);
+    const RoutabilityPoint point = evaluate_routability(cube, 3, q);
+    EXPECT_NEAR(point.routability, std::min(expected_r, 1.0), 1e-12)
+        << "q=" << q;
+  }
+}
+
+TEST(HypercubeGeometry, SuccessProbabilityDecreasesInH) {
+  const HypercubeGeometry cube;
+  for (double q : {0.2, 0.6}) {
+    double previous = 1.0;
+    for (int h = 1; h <= 40; ++h) {
+      const double p = cube.success_probability(h, q, 40);
+      EXPECT_LE(p, previous + 1e-15) << "q=" << q << " h=" << h;
+      previous = p;
+    }
+  }
+}
+
+TEST(HypercubeGeometry, SuccessProbabilityHasPositiveLimit) {
+  // Scalability: p(h, q) converges to a positive value as h grows; the
+  // product tail beyond h = 50 changes nothing at double precision for
+  // q = 0.5.
+  const HypercubeGeometry cube;
+  const double p50 = cube.success_probability(50, 0.5, 1000);
+  const double p1000 = cube.success_probability(1000, 0.5, 1000);
+  EXPECT_GT(p1000, 0.28);  // Euler function phi(0.5) ~ 0.2887880951
+  EXPECT_NEAR(p50, p1000, 1e-12);
+}
+
+TEST(HypercubeGeometry, EulerFunctionKnownValue) {
+  // prod_{m>=1} (1 - q^m) at q = 0.5 is 0.2887880950866...
+  const HypercubeGeometry cube;
+  EXPECT_NEAR(cube.success_probability(200, 0.5, 200), 0.288788095087,
+              1e-9);
+}
+
+TEST(HypercubeGeometry, RoutabilityMonotoneInQ) {
+  const HypercubeGeometry cube;
+  double previous = 1.0;
+  for (double q = 0.0; q < 0.95; q += 0.05) {
+    const double r = evaluate_routability(cube, 16, q).routability;
+    EXPECT_LE(r, previous + 1e-12) << "q=" << q;
+    previous = r;
+  }
+}
+
+TEST(HypercubeGeometry, RejectsBadArguments) {
+  const HypercubeGeometry cube;
+  EXPECT_THROW(cube.phase_failure(0, 0.5, 8), PreconditionError);
+  EXPECT_THROW(cube.phase_failure(2, 1.2, 8), PreconditionError);
+  EXPECT_THROW(cube.distance_count(1, -1), PreconditionError);
+}
+
+}  // namespace
+}  // namespace dht::core

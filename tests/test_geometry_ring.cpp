@@ -1,0 +1,138 @@
+#include "core/ring_geometry.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "core/xor_geometry.hpp"
+#include "math/logreal.hpp"
+
+namespace dht::core {
+namespace {
+
+/// Direct evaluation of the ring Q(m) series:
+/// Q(m) = q^m sum_{k=0}^{2^{m-1}-1} [q(1-q^{m-1})]^k.
+double ring_q_direct(int m, double q) {
+  const double x = q * (1.0 - std::pow(q, m - 1));
+  const long long terms = 1LL << (m - 1);
+  double total = 0.0;
+  double power = 1.0;
+  for (long long k = 0; k < terms; ++k) {
+    total += power;
+    power *= x;
+  }
+  return std::pow(q, m) * total;
+}
+
+TEST(RingGeometry, Identity) {
+  const RingGeometry ring;
+  EXPECT_EQ(ring.kind(), GeometryKind::kRing);
+  EXPECT_EQ(ring.name(), "ring");
+  EXPECT_EQ(ring.exactness(), Exactness::kLowerBound);
+  EXPECT_EQ(ring.scalability_class(), ScalabilityClass::kScalable);
+}
+
+TEST(RingGeometry, DistanceCountIsPowersOfTwo) {
+  // n(h) = 2^{h-1}: identifiers at clockwise distance in [2^{h-1}, 2^h).
+  const RingGeometry ring;
+  for (int d : {4, 10, 20}) {
+    for (int h = 1; h <= d; ++h) {
+      EXPECT_NEAR(ring.distance_count(h, d).log(),
+                  (h - 1) * std::log(2.0), 1e-12)
+          << "d=" << d << " h=" << h;
+    }
+  }
+}
+
+TEST(RingGeometry, DistanceCountsSumToPeers) {
+  // sum_h 2^{h-1} = 2^d - 1.
+  const RingGeometry ring;
+  for (int d : {6, 12, 18}) {
+    math::LogSum sum;
+    for (int h = 1; h <= d; ++h) {
+      sum.add(ring.distance_count(h, d));
+    }
+    EXPECT_NEAR(sum.total().value(), std::exp2(d) - 1.0, 1e-6);
+  }
+}
+
+TEST(RingGeometry, PhaseFailureMatchesDirectSeries) {
+  const RingGeometry ring;
+  for (double q : {0.05, 0.2, 0.4, 0.6, 0.8}) {
+    for (int m = 1; m <= 16; ++m) {
+      EXPECT_NEAR(ring.phase_failure(m, q, 16), ring_q_direct(m, q), 1e-12)
+          << "q=" << q << " m=" << m;
+    }
+  }
+}
+
+TEST(RingGeometry, FirstPhaseEqualsQ) {
+  const RingGeometry ring;
+  for (double q : {0.1, 0.5, 0.9}) {
+    EXPECT_NEAR(ring.phase_failure(1, q, 8), q, 1e-15);
+  }
+}
+
+TEST(RingGeometry, LargeMSaturatesAtClosedForm) {
+  // For large m the truncated geometric series reaches its infinite-sum
+  // limit q^m / (1 - x); the implementation must not overflow computing
+  // 2^{m-1} for m in the thousands.
+  const RingGeometry ring;
+  const double q = 0.5;
+  for (int m : {64, 200, 1500, 4000}) {
+    const double x = q * (1.0 - std::pow(q, m - 1));
+    const double expected = std::pow(q, m) / (1.0 - x);
+    EXPECT_NEAR(ring.phase_failure(m, q, 4096), expected,
+                1e-12 * (expected + 1e-300))
+        << "m=" << m;
+  }
+}
+
+TEST(RingGeometry, NoWorseThanXorPerPhase) {
+  // Section 5.4: ring's suboptimal hops keep all choices, so
+  // Q_ring(m) <= Q_xor(m) and p_ring >= p_xor.
+  const RingGeometry ring;
+  const XorGeometry xr;
+  for (double q : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    for (int m = 1; m <= 16; ++m) {
+      EXPECT_LE(ring.phase_failure(m, q, 16),
+                xr.phase_failure(m, q, 16) + 1e-12)
+          << "q=" << q << " m=" << m;
+    }
+    for (int h = 1; h <= 16; ++h) {
+      EXPECT_GE(ring.success_probability(h, q, 16) + 1e-12,
+                xr.success_probability(h, q, 16))
+          << "q=" << q << " h=" << h;
+    }
+  }
+}
+
+TEST(RingGeometry, DegenerateQ) {
+  const RingGeometry ring;
+  for (int m = 1; m <= 12; ++m) {
+    EXPECT_EQ(ring.phase_failure(m, 0.0, 12), 0.0);
+    EXPECT_EQ(ring.phase_failure(m, 1.0, 12), 1.0);
+  }
+}
+
+TEST(RingGeometry, PhaseFailureDecaysGeometrically) {
+  const RingGeometry ring;
+  const double q = 0.6;
+  // Q(m) <= q^m / (1 - q) -- the envelope used in the scalability proof.
+  for (int m = 1; m <= 40; ++m) {
+    EXPECT_LE(ring.phase_failure(m, q, 40),
+              std::pow(q, m) / (1.0 - q) + 1e-15)
+        << "m=" << m;
+  }
+}
+
+TEST(RingGeometry, RejectsBadArguments) {
+  const RingGeometry ring;
+  EXPECT_THROW(ring.phase_failure(0, 0.5, 8), PreconditionError);
+  EXPECT_THROW(ring.phase_failure(2, -0.1, 8), PreconditionError);
+  EXPECT_THROW(ring.distance_count(1, 0), PreconditionError);
+}
+
+}  // namespace
+}  // namespace dht::core

@@ -1,0 +1,144 @@
+#include "core/symphony_geometry.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "core/ring_geometry.hpp"
+
+namespace dht::core {
+namespace {
+
+/// Direct evaluation of Eq. 7:
+/// Q = q^{kn+ks} sum_{j=0}^{ceil(d/(1-q))} (1 - ks/d - q^{kn+ks})^j.
+double eq7_direct(double q, int d, int kn, int ks) {
+  const double y = std::pow(q, kn + ks);
+  const double z = 1.0 - static_cast<double>(ks) / d - y;
+  const long long cap =
+      static_cast<long long>(std::ceil(d / (1.0 - q)));
+  double total = 0.0;
+  double power = 1.0;
+  for (long long j = 0; j <= cap; ++j) {
+    total += power;
+    power *= z;
+  }
+  return y * total;
+}
+
+TEST(SymphonyGeometry, Identity) {
+  const SymphonyGeometry sym;
+  EXPECT_EQ(sym.kind(), GeometryKind::kSymphony);
+  EXPECT_EQ(sym.name(), "symphony");
+  EXPECT_EQ(sym.exactness(), Exactness::kApproximate);
+  EXPECT_EQ(sym.scalability_class(), ScalabilityClass::kUnscalable);
+  EXPECT_EQ(sym.params().near_neighbors, 1);
+  EXPECT_EQ(sym.params().shortcuts, 1);
+}
+
+TEST(SymphonyGeometry, DistanceCountMatchesRing) {
+  const SymphonyGeometry sym;
+  const RingGeometry ring;
+  for (int d : {4, 12, 20}) {
+    for (int h = 1; h <= d; ++h) {
+      EXPECT_EQ(sym.distance_count(h, d).log(),
+                ring.distance_count(h, d).log());
+    }
+  }
+}
+
+TEST(SymphonyGeometry, PhaseFailureMatchesDirectEq7) {
+  for (const SymphonyParams params :
+       {SymphonyParams{1, 1}, SymphonyParams{2, 1}, SymphonyParams{1, 4},
+        SymphonyParams{3, 3}}) {
+    const SymphonyGeometry sym(params);
+    for (double q : {0.05, 0.2, 0.5, 0.8}) {
+      for (int d : {16, 64, 128}) {
+        EXPECT_NEAR(
+            sym.phase_failure(1, q, d),
+            eq7_direct(q, d, params.near_neighbors, params.shortcuts),
+            1e-11)
+            << "q=" << q << " d=" << d;
+      }
+    }
+  }
+}
+
+TEST(SymphonyGeometry, PhaseFailureIsConstantInM) {
+  const SymphonyGeometry sym;
+  for (double q : {0.1, 0.5}) {
+    const double first = sym.phase_failure(1, q, 32);
+    for (int m = 2; m <= 32; ++m) {
+      EXPECT_EQ(sym.phase_failure(m, q, 32), first) << "m=" << m;
+    }
+  }
+}
+
+TEST(SymphonyGeometry, MoreLinksReduceFailure) {
+  // The paper's provisioning remark: a designer can buy routability with
+  // kn/ks.  Q must be monotone non-increasing in both parameters.
+  const double q = 0.3;
+  const int d = 64;
+  double previous = 1.0;
+  for (int kn = 1; kn <= 6; ++kn) {
+    const SymphonyGeometry sym({kn, 1});
+    const double failure = sym.phase_failure(1, q, d);
+    EXPECT_LT(failure, previous) << "kn=" << kn;
+    previous = failure;
+  }
+  previous = 1.0;
+  for (int ks = 1; ks <= 6; ++ks) {
+    const SymphonyGeometry sym({1, ks});
+    const double failure = sym.phase_failure(1, q, d);
+    EXPECT_LT(failure, previous) << "ks=" << ks;
+    previous = failure;
+  }
+}
+
+TEST(SymphonyGeometry, QZeroIsPerfect) {
+  const SymphonyGeometry sym;
+  EXPECT_EQ(sym.phase_failure(1, 0.0, 16), 0.0);
+  EXPECT_EQ(sym.success_probability(16, 0.0, 16), 1.0);
+}
+
+TEST(SymphonyGeometry, LargeDLimitIsSevere) {
+  // As d grows with kn = ks = 1 the phase-advance probability ks/d
+  // vanishes, so Q approaches 1 x (the race y/(x+y) with the hop cap):
+  // Q(d = 4096, q = 0.1) must be large (> 0.8), the driver of Fig. 7(a)'s
+  // step-function behavior.
+  const SymphonyGeometry sym;
+  EXPECT_GT(sym.phase_failure(1, 0.1, 4096), 0.8);
+}
+
+TEST(SymphonyGeometry, Fig7OperatingPointKnownValue) {
+  // d = 16, q = 0.1, kn = ks = 1 (hand-computed from Eq. 7):
+  // y = 0.01, x = 0.0625, z = 0.9275, cap = ceil(16/0.9) = 18,
+  // Q = 0.01 * (1 - z^19)/(1 - z) = 0.104969...
+  const SymphonyGeometry sym;
+  const double y = 0.01;
+  const double z = 1.0 - 0.0625 - y;
+  const double expected = y * (1.0 - std::pow(z, 19)) / (1.0 - z);
+  EXPECT_NEAR(sym.phase_failure(1, 0.1, 16), expected, 1e-12);
+  EXPECT_NEAR(sym.phase_failure(1, 0.1, 16), 0.1050, 5e-4);
+}
+
+TEST(SymphonyGeometry, OutOfDomainClampsToCertainFailure) {
+  // d = 2, q = 0.9, kn = ks = 1: ks/d + q^2 = 0.5 + 0.81 > 1; the clamped
+  // suboptimal probability collapses the sum to y * 1 <= 1.
+  const SymphonyGeometry sym;
+  const double failure = sym.phase_failure(1, 0.9, 2);
+  EXPECT_GE(failure, 0.0);
+  EXPECT_LE(failure, 1.0);
+}
+
+TEST(SymphonyGeometry, RejectsBadArguments) {
+  EXPECT_THROW(SymphonyGeometry({0, 1}), PreconditionError);
+  EXPECT_THROW(SymphonyGeometry({1, 0}), PreconditionError);
+  const SymphonyGeometry sym;
+  EXPECT_THROW(sym.phase_failure(1, 1.0, 16), PreconditionError);
+  EXPECT_THROW(sym.phase_failure(0, 0.5, 16), PreconditionError);
+  EXPECT_THROW(sym.phase_failure(1, 0.5, 0), PreconditionError);
+}
+
+}  // namespace
+}  // namespace dht::core

@@ -1,0 +1,141 @@
+#include "core/xor_geometry.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "core/tree_geometry.hpp"
+#include "math/binomial.hpp"
+
+namespace dht::core {
+namespace {
+
+/// Direct (unoptimized) evaluation of Eq. 6 for cross-checking:
+/// Q(m) = q^m + sum_{k=1}^{m-1} q^m prod_{j=m-k}^{m-1} (1 - q^j).
+double eq6_direct(int m, double q) {
+  double total = std::pow(q, m);
+  for (int k = 1; k <= m - 1; ++k) {
+    double product = 1.0;
+    for (int j = m - k; j <= m - 1; ++j) {
+      product *= 1.0 - std::pow(q, j);
+    }
+    total += std::pow(q, m) * product;
+  }
+  return total;
+}
+
+TEST(XorGeometry, Identity) {
+  const XorGeometry x;
+  EXPECT_EQ(x.kind(), GeometryKind::kXor);
+  EXPECT_EQ(x.name(), "xor");
+  EXPECT_EQ(x.exactness(), Exactness::kExact);
+  EXPECT_EQ(x.scalability_class(), ScalabilityClass::kScalable);
+}
+
+TEST(XorGeometry, DistanceCountMatchesTree) {
+  // Section 4.3.2: n(h) = C(d, h), "just as in the tree case".
+  const XorGeometry x;
+  const TreeGeometry tree;
+  for (int d : {4, 12, 24}) {
+    for (int h = 1; h <= d; ++h) {
+      EXPECT_EQ(x.distance_count(h, d).log(), tree.distance_count(h, d).log())
+          << "d=" << d << " h=" << h;
+    }
+  }
+}
+
+TEST(XorGeometry, PhaseFailureMatchesDirectEq6) {
+  const XorGeometry x;
+  for (double q : {0.05, 0.1, 0.3, 0.5, 0.7, 0.9}) {
+    for (int m = 1; m <= 25; ++m) {
+      EXPECT_NEAR(x.phase_failure(m, q, 25), eq6_direct(m, q), 1e-12)
+          << "q=" << q << " m=" << m;
+    }
+  }
+}
+
+TEST(XorGeometry, FirstPhaseEqualsTree) {
+  // Q(1) = q: with one bit left there is no fallback.
+  const XorGeometry x;
+  for (double q : {0.1, 0.5, 0.9}) {
+    EXPECT_NEAR(x.phase_failure(1, q, 8), q, 1e-15);
+  }
+}
+
+TEST(XorGeometry, FallbackNeverHurts) {
+  // Q_xor(m) <= q = Q_tree(m): failing with fallback options requires at
+  // least the optimal neighbor dead.
+  const XorGeometry x;
+  for (double q : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    for (int m = 1; m <= 30; ++m) {
+      EXPECT_LE(x.phase_failure(m, q, 30), q + 1e-15)
+          << "q=" << q << " m=" << m;
+    }
+  }
+}
+
+TEST(XorGeometry, PhaseFailureVanishesGeometrically) {
+  // Scalability hinges on Q(m) ~ m q^m -> 0; check the envelope.
+  const XorGeometry x;
+  const double q = 0.5;
+  for (int m = 2; m <= 40; ++m) {
+    const double bound =
+        static_cast<double>(m) * std::pow(q, m);  // bracket <= m
+    EXPECT_LE(x.phase_failure(m, q, 40), bound + 1e-15) << "m=" << m;
+  }
+}
+
+TEST(XorGeometry, DegenerateQ) {
+  const XorGeometry x;
+  for (int m = 1; m <= 10; ++m) {
+    EXPECT_EQ(x.phase_failure(m, 0.0, 10), 0.0);
+    EXPECT_EQ(x.phase_failure(m, 1.0, 10), 1.0);
+  }
+}
+
+TEST(XorGeometry, ApproximationTracksExactAtSmallQ) {
+  // The paper's 1 - x ~= e^{-x} approximation of Eq. 6 is asymptotically
+  // tight for small q; at q = 0.05 it should be within 10% relative for
+  // moderate m.
+  for (int m = 2; m <= 10; ++m) {
+    const double exact = eq6_direct(m, 0.05);
+    const double approx = XorGeometry::phase_failure_approximation(m, 0.05);
+    EXPECT_NEAR(approx, exact, 0.1 * exact) << "m=" << m;
+  }
+}
+
+TEST(XorGeometry, ApproximationIsClamped) {
+  // Outside its small-q domain the raw approximation can leave [0, 1]; the
+  // implementation must clamp.
+  for (double q : {0.3, 0.6, 0.9}) {
+    for (int m = 1; m <= 20; ++m) {
+      const double approx = XorGeometry::phase_failure_approximation(m, q);
+      EXPECT_GE(approx, 0.0);
+      EXPECT_LE(approx, 1.0);
+    }
+  }
+}
+
+TEST(XorGeometry, SuccessAtLeastTree) {
+  const XorGeometry x;
+  const TreeGeometry tree;
+  for (double q : {0.1, 0.3, 0.6}) {
+    for (int h = 1; h <= 20; ++h) {
+      EXPECT_GE(x.success_probability(h, q, 20) + 1e-13,
+                tree.success_probability(h, q, 20))
+          << "q=" << q << " h=" << h;
+    }
+  }
+}
+
+TEST(XorGeometry, RejectsBadArguments) {
+  const XorGeometry x;
+  EXPECT_THROW(x.phase_failure(0, 0.5, 8), PreconditionError);
+  EXPECT_THROW(x.phase_failure(3, -0.2, 8), PreconditionError);
+  EXPECT_THROW(XorGeometry::phase_failure_approximation(2, 1.0),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace dht::core

@@ -1,0 +1,113 @@
+#include "markov/chain.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace dht::markov {
+namespace {
+
+TEST(Chain, AddStateAssignsSequentialIds) {
+  Chain chain;
+  EXPECT_EQ(chain.add_state("a"), 0);
+  EXPECT_EQ(chain.add_state("b"), 1);
+  EXPECT_EQ(chain.state_count(), 2);
+  EXPECT_EQ(chain.state_name(0), "a");
+  EXPECT_EQ(chain.state_name(1), "b");
+}
+
+TEST(Chain, AbsorbingIffNoOutgoingEdges) {
+  Chain chain;
+  const StateId a = chain.add_state("a");
+  const StateId b = chain.add_state("b");
+  chain.add_transition(a, b, 1.0);
+  EXPECT_FALSE(chain.is_absorbing(a));
+  EXPECT_TRUE(chain.is_absorbing(b));
+}
+
+TEST(Chain, ZeroProbabilityEdgesAreDropped) {
+  Chain chain;
+  const StateId a = chain.add_state("a");
+  const StateId b = chain.add_state("b");
+  chain.add_transition(a, b, 0.0);
+  EXPECT_TRUE(chain.transitions_from(a).empty());
+  EXPECT_TRUE(chain.is_absorbing(a));
+}
+
+TEST(Chain, ValidateAcceptsStochasticRows) {
+  Chain chain;
+  const StateId a = chain.add_state("a");
+  const StateId b = chain.add_state("b");
+  const StateId c = chain.add_state("c");
+  chain.add_transition(a, b, 0.3);
+  chain.add_transition(a, c, 0.7);
+  EXPECT_NO_THROW(chain.validate());
+}
+
+TEST(Chain, ValidateRejectsLeakyRows) {
+  Chain chain;
+  const StateId a = chain.add_state("a");
+  const StateId b = chain.add_state("b");
+  chain.add_transition(a, b, 0.5);
+  EXPECT_THROW(chain.validate(), PreconditionError);
+}
+
+TEST(Chain, RejectsOutOfRangeProbability) {
+  Chain chain;
+  const StateId a = chain.add_state("a");
+  const StateId b = chain.add_state("b");
+  EXPECT_THROW(chain.add_transition(a, b, 1.5), PreconditionError);
+  EXPECT_THROW(chain.add_transition(a, b, -0.5), PreconditionError);
+}
+
+TEST(Chain, RejectsUnknownStates) {
+  Chain chain;
+  const StateId a = chain.add_state("a");
+  EXPECT_THROW(chain.add_transition(a, 7, 1.0), PreconditionError);
+  EXPECT_THROW(chain.add_transition(7, a, 1.0), PreconditionError);
+  EXPECT_THROW(chain.state_name(3), PreconditionError);
+  EXPECT_THROW((void)chain.is_absorbing(-1), PreconditionError);
+}
+
+TEST(Chain, TopologicalOrderOnDag) {
+  Chain chain;
+  const StateId a = chain.add_state("a");
+  const StateId b = chain.add_state("b");
+  const StateId c = chain.add_state("c");
+  chain.add_transition(a, b, 0.5);
+  chain.add_transition(a, c, 0.5);
+  chain.add_transition(b, c, 1.0);
+  const auto order = chain.topological_order();
+  ASSERT_TRUE(order.has_value());
+  ASSERT_EQ(order->size(), 3u);
+  // a must precede b, b must precede c.
+  auto pos = [&](StateId s) {
+    for (size_t i = 0; i < order->size(); ++i) {
+      if ((*order)[i] == s) {
+        return i;
+      }
+    }
+    return size_t{99};
+  };
+  EXPECT_LT(pos(a), pos(b));
+  EXPECT_LT(pos(b), pos(c));
+}
+
+TEST(Chain, TopologicalOrderDetectsCycle) {
+  Chain chain;
+  const StateId a = chain.add_state("a");
+  const StateId b = chain.add_state("b");
+  chain.add_transition(a, b, 1.0);
+  chain.add_transition(b, a, 1.0);
+  EXPECT_FALSE(chain.topological_order().has_value());
+}
+
+TEST(Chain, SelfLoopIsACycle) {
+  Chain chain;
+  const StateId a = chain.add_state("a");
+  chain.add_transition(a, a, 1.0);
+  EXPECT_FALSE(chain.topological_order().has_value());
+}
+
+}  // namespace
+}  // namespace dht::markov

@@ -1,0 +1,111 @@
+#include "sim/node_id.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace dht::sim {
+namespace {
+
+TEST(NodeIdDistances, Hamming) {
+  EXPECT_EQ(hamming_distance(0b0000, 0b0000), 0);
+  EXPECT_EQ(hamming_distance(0b1010, 0b0101), 4);
+  EXPECT_EQ(hamming_distance(0b1010, 0b1000), 1);
+  EXPECT_EQ(hamming_distance(~NodeId{0}, 0), 64);
+}
+
+TEST(NodeIdDistances, Xor) {
+  EXPECT_EQ(xor_distance(0b011, 0b101), 0b110u);
+  EXPECT_EQ(xor_distance(7, 7), 0u);
+}
+
+TEST(NodeIdDistances, MsbDiffLevel) {
+  // d = 3, level 1 = most significant of the 3 bits.
+  EXPECT_EQ(msb_diff_level(0b000, 0b100, 3), 1);
+  EXPECT_EQ(msb_diff_level(0b000, 0b010, 3), 2);
+  EXPECT_EQ(msb_diff_level(0b000, 0b001, 3), 3);
+  EXPECT_EQ(msb_diff_level(0b010, 0b011, 3), 3);
+  EXPECT_EQ(msb_diff_level(0b101, 0b101, 3), 0);
+  // Paper Fig. 5(a): source 010, target 101 differ at the first level.
+  EXPECT_EQ(msb_diff_level(0b010, 0b101, 3), 1);
+}
+
+TEST(NodeIdDistances, RingDistance) {
+  EXPECT_EQ(ring_distance(0, 5, 3), 5u);
+  EXPECT_EQ(ring_distance(5, 0, 3), 3u);  // wraps around 8
+  EXPECT_EQ(ring_distance(7, 0, 3), 1u);
+  EXPECT_EQ(ring_distance(3, 3, 3), 0u);
+  EXPECT_EQ(ring_distance(0, 65535, 16), 65535u);
+}
+
+TEST(NodeIdDistances, RingDistanceAsymmetry) {
+  // Clockwise distance: d(a, b) + d(b, a) = N for a != b.
+  for (NodeId a : {0u, 3u, 7u}) {
+    for (NodeId b : {1u, 4u, 6u}) {
+      if (a == b) {
+        continue;
+      }
+      EXPECT_EQ(ring_distance(a, b, 3) + ring_distance(b, a, 3), 8u);
+    }
+  }
+}
+
+TEST(NodeIdBits, BitAtLevel) {
+  // id 0b101, d = 3: level 1 -> 1, level 2 -> 0, level 3 -> 1.
+  EXPECT_TRUE(bit_at_level(0b101, 1, 3));
+  EXPECT_FALSE(bit_at_level(0b101, 2, 3));
+  EXPECT_TRUE(bit_at_level(0b101, 3, 3));
+}
+
+TEST(NodeIdBits, FlipLevel) {
+  EXPECT_EQ(flip_level(0b000, 1, 3), 0b100u);
+  EXPECT_EQ(flip_level(0b000, 3, 3), 0b001u);
+  EXPECT_EQ(flip_level(0b111, 2, 3), 0b101u);
+  // Involution.
+  EXPECT_EQ(flip_level(flip_level(0b011, 2, 3), 2, 3), 0b011u);
+}
+
+TEST(NodeIdBits, SharesPrefix) {
+  EXPECT_TRUE(shares_prefix(0b1010, 0b1011, 3, 4));
+  EXPECT_FALSE(shares_prefix(0b1010, 0b1011, 4, 4));
+  EXPECT_TRUE(shares_prefix(0b1010, 0b0011, 0, 4));
+  EXPECT_FALSE(shares_prefix(0b1010, 0b0010, 1, 4));
+  EXPECT_TRUE(shares_prefix(0b1010, 0b1010, 4, 4));
+}
+
+TEST(NodeIdPhases, PhaseOfDistance) {
+  // Phase h: distance in [2^{h-1}, 2^h).
+  EXPECT_EQ(phase_of_distance(1), 1);
+  EXPECT_EQ(phase_of_distance(2), 2);
+  EXPECT_EQ(phase_of_distance(3), 2);
+  EXPECT_EQ(phase_of_distance(4), 3);
+  EXPECT_EQ(phase_of_distance(7), 3);
+  EXPECT_EQ(phase_of_distance(8), 4);
+  EXPECT_EQ(phase_of_distance((1ull << 15)), 16);
+  EXPECT_EQ(phase_of_distance((1ull << 16) - 1), 16);
+}
+
+TEST(NodeIdPhases, PhasePopulationMatchesPaper) {
+  // n(h) = 2^{h-1}: count distances in [1, 2^d) falling in each phase.
+  const int d = 10;
+  std::vector<int> count(static_cast<size_t>(d) + 1, 0);
+  for (std::uint64_t dist = 1; dist < (1ull << d); ++dist) {
+    ++count[static_cast<size_t>(phase_of_distance(dist))];
+  }
+  for (int h = 1; h <= d; ++h) {
+    EXPECT_EQ(count[static_cast<size_t>(h)], 1 << (h - 1)) << "h=" << h;
+  }
+}
+
+TEST(NodeIdChecks, RejectBadArguments) {
+  EXPECT_THROW(msb_diff_level(0b1000, 0, 3), PreconditionError);
+  EXPECT_THROW(ring_distance(8, 0, 3), PreconditionError);
+  EXPECT_THROW(bit_at_level(0, 0, 3), PreconditionError);
+  EXPECT_THROW(bit_at_level(0, 4, 3), PreconditionError);
+  EXPECT_THROW(flip_level(0, 1, 0), PreconditionError);
+  EXPECT_THROW(shares_prefix(0, 0, 5, 4), PreconditionError);
+  EXPECT_THROW(phase_of_distance(0), PreconditionError);
+}
+
+}  // namespace
+}  // namespace dht::sim

@@ -1,0 +1,104 @@
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "common/strfmt.hpp"
+#include "core/registry.hpp"
+#include "core/report.hpp"
+#include "core/symphony_geometry.hpp"
+
+namespace dht::core {
+namespace {
+
+TEST(Registry, MakesAllFiveKinds) {
+  const auto kinds = all_geometry_kinds();
+  ASSERT_EQ(kinds.size(), 5u);
+  for (GeometryKind kind : kinds) {
+    const auto geometry = make_geometry(kind);
+    ASSERT_NE(geometry, nullptr);
+    EXPECT_EQ(geometry->kind(), kind);
+    EXPECT_EQ(geometry->name(), to_string(kind));
+    EXPECT_FALSE(geometry->dht_system().empty());
+  }
+}
+
+TEST(Registry, MakeByName) {
+  for (GeometryKind kind : all_geometry_kinds()) {
+    const auto geometry = make_geometry(std::string_view(to_string(kind)));
+    EXPECT_EQ(geometry->kind(), kind);
+  }
+}
+
+TEST(Registry, UnknownNameThrows) {
+  EXPECT_THROW(make_geometry("pastry"), PreconditionError);
+  EXPECT_THROW(make_geometry(""), PreconditionError);
+}
+
+TEST(Registry, SymphonyParamsAreForwarded) {
+  const auto geometry =
+      make_geometry(GeometryKind::kSymphony, SymphonyParams{3, 5});
+  const auto* symphony = dynamic_cast<const SymphonyGeometry*>(geometry.get());
+  ASSERT_NE(symphony, nullptr);
+  EXPECT_EQ(symphony->params().near_neighbors, 3);
+  EXPECT_EQ(symphony->params().shortcuts, 5);
+}
+
+TEST(Registry, MakeAllGeometriesCoversEveryKind) {
+  const auto geometries = make_all_geometries();
+  ASSERT_EQ(geometries.size(), 5u);
+  for (size_t i = 0; i < geometries.size(); ++i) {
+    EXPECT_EQ(geometries[i]->kind(), all_geometry_kinds()[i]);
+  }
+}
+
+TEST(Table, RendersAlignedColumns) {
+  Table table("demo");
+  table.set_header({"q", "routability"});
+  table.add_row({"0.1", "0.99"});
+  table.add_row({"0.25", "0.9"});
+  table.add_note("values are illustrative");
+  std::ostringstream os;
+  table.print(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("== demo =="), std::string::npos);
+  EXPECT_NE(text.find("q"), std::string::npos);
+  EXPECT_NE(text.find("0.25"), std::string::npos);
+  EXPECT_NE(text.find("note: values are illustrative"), std::string::npos);
+}
+
+TEST(Table, RendersCsv) {
+  Table table("csv demo");
+  table.set_header({"a", "b"});
+  table.add_row({"1", "2"});
+  std::ostringstream os;
+  table.print_csv(os);
+  EXPECT_EQ(os.str(), "# csv demo\na,b\n1,2\n");
+}
+
+TEST(Table, RowCountTracksRows) {
+  Table table("t");
+  table.set_header({"x"});
+  EXPECT_EQ(table.row_count(), 0);
+  table.add_row({"1"});
+  table.add_row({"2"});
+  EXPECT_EQ(table.row_count(), 2);
+}
+
+TEST(Table, EnforcesHeaderDiscipline) {
+  Table table("t");
+  EXPECT_THROW(table.add_row({"1"}), PreconditionError);
+  table.set_header({"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), PreconditionError);
+  table.add_row({"1", "2"});
+  EXPECT_THROW(table.set_header({"too", "late"}), PreconditionError);
+}
+
+TEST(Strfmt, FormatsLikePrintf) {
+  EXPECT_EQ(strfmt("%d-%s-%.2f", 7, "x", 1.5), "7-x-1.50");
+  EXPECT_EQ(strfmt("no args"), "no args");
+  EXPECT_EQ(strfmt("%5.1f%%", 12.34), " 12.3%");
+}
+
+}  // namespace
+}  // namespace dht::core

@@ -1,0 +1,150 @@
+#include "core/scalability.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "core/registry.hpp"
+#include "core/routability.hpp"
+
+namespace dht::core {
+namespace {
+
+TEST(Scalability, PaperSection5Verdicts) {
+  // The headline result: {hypercube, xor, ring} scalable,
+  // {tree, symphony} unscalable.
+  EXPECT_EQ(make_geometry(GeometryKind::kTree)->scalability_class(),
+            ScalabilityClass::kUnscalable);
+  EXPECT_EQ(make_geometry(GeometryKind::kHypercube)->scalability_class(),
+            ScalabilityClass::kScalable);
+  EXPECT_EQ(make_geometry(GeometryKind::kXor)->scalability_class(),
+            ScalabilityClass::kScalable);
+  EXPECT_EQ(make_geometry(GeometryKind::kRing)->scalability_class(),
+            ScalabilityClass::kScalable);
+  EXPECT_EQ(make_geometry(GeometryKind::kSymphony)->scalability_class(),
+            ScalabilityClass::kUnscalable);
+}
+
+class ScalabilityAllGeometries
+    : public ::testing::TestWithParam<GeometryKind> {};
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, ScalabilityAllGeometries,
+                         ::testing::ValuesIn(all_geometry_kinds()),
+                         [](const auto& info) {
+                           return std::string(to_string(info.param));
+                         });
+
+TEST_P(ScalabilityAllGeometries, NumericDiagnosisAgreesWithAnalytic) {
+  const auto geometry = make_geometry(GetParam());
+  for (double q : {0.1, 0.3, 0.5}) {
+    const ScalabilityReport report = analyze_scalability(*geometry, q);
+    EXPECT_TRUE(report.numeric_agrees)
+        << to_string(GetParam()) << " q=" << q << ": numeric verdict "
+        << math::to_string(report.numeric.verdict) << " vs analytic "
+        << to_string(report.analytic) << " -- "
+        << report.numeric.explanation;
+  }
+}
+
+TEST_P(ScalabilityAllGeometries, LimitConsistentWithVerdict) {
+  const auto geometry = make_geometry(GetParam());
+  for (double q : {0.1, 0.3}) {
+    const ScalabilityReport report = analyze_scalability(*geometry, q);
+    if (report.analytic == ScalabilityClass::kScalable) {
+      EXPECT_GT(report.limit_success, 0.0) << "q=" << q;
+      EXPECT_GT(report.limit_routability, 0.0) << "q=" << q;
+    } else {
+      EXPECT_EQ(report.limit_success, 0.0) << "q=" << q;
+      EXPECT_EQ(report.limit_routability, 0.0) << "q=" << q;
+    }
+    EXPECT_LE(report.limit_routability, 1.0 + 1e-12);
+  }
+}
+
+TEST_P(ScalabilityAllGeometries, FiniteRoutabilityApproachesLimit) {
+  // Definition 2 in action: r(N, q) at growing d must approach the
+  // computed limit.
+  const auto geometry = make_geometry(GetParam());
+  const double q = 0.15;
+  const double limit = limit_routability(*geometry, q);
+  const double r_big = evaluate_routability(*geometry, 256, q).routability;
+  EXPECT_NEAR(r_big, limit, 0.01)
+      << to_string(GetParam()) << ": r(2^256) vs limit";
+}
+
+TEST(Scalability, HypercubeLimitIsEulerProduct) {
+  // p_inf(q) = prod (1 - q^m); at q = 0.5 that is 0.288788...; the limit
+  // routability divides by (1-q).
+  const auto cube = make_geometry(GeometryKind::kHypercube);
+  EXPECT_NEAR(limit_success_probability(*cube, 0.5), 0.288788095087, 1e-9);
+  EXPECT_NEAR(limit_routability(*cube, 0.5), 0.288788095087 / 0.5, 1e-9);
+}
+
+TEST(Scalability, LimitAtQZeroIsOne) {
+  for (GeometryKind kind : all_geometry_kinds()) {
+    const auto geometry = make_geometry(kind);
+    EXPECT_EQ(limit_success_probability(*geometry, 0.0), 1.0)
+        << to_string(kind);
+  }
+}
+
+TEST(Scalability, OrderingOfScalableLimits) {
+  // Per-phase: Q_ring <= Q_xor; and hypercube has the mildest Q of all
+  // three at the same q.  The limits must order accordingly.
+  for (double q : {0.1, 0.3, 0.5}) {
+    const double cube =
+        limit_routability(*make_geometry(GeometryKind::kHypercube), q);
+    const double ring =
+        limit_routability(*make_geometry(GeometryKind::kRing), q);
+    const double xr = limit_routability(*make_geometry(GeometryKind::kXor), q);
+    EXPECT_GE(ring + 1e-12, xr) << "q=" << q;
+    EXPECT_GE(cube + 1e-12, xr) << "q=" << q;
+  }
+}
+
+TEST(Scalability, LimitsDecreaseInQ) {
+  const auto xr = make_geometry(GeometryKind::kXor);
+  double previous = 1.0;
+  for (double q = 0.05; q < 0.9; q += 0.05) {
+    const double limit = limit_routability(*xr, q);
+    EXPECT_LE(limit, previous + 1e-12) << "q=" << q;
+    previous = limit;
+  }
+}
+
+TEST(Scalability, SymphonyProvisioningRaisesFiniteSizeRoutability) {
+  // More links cannot rescue asymptotic scalability (Q stays constant in
+  // m), but they do raise routability at any finite size -- the paper's
+  // deployment guidance.
+  const double q = 0.2;
+  const int d = 20;
+  const auto sparse = make_geometry(GeometryKind::kSymphony, {1, 1});
+  const auto dense = make_geometry(GeometryKind::kSymphony, {4, 4});
+  EXPECT_EQ(dense->scalability_class(), ScalabilityClass::kUnscalable);
+  EXPECT_GT(evaluate_routability(*dense, d, q).routability,
+            evaluate_routability(*sparse, d, q).routability + 0.1);
+}
+
+TEST(Scalability, ReportCarriesEvidence) {
+  const auto tree = make_geometry(GeometryKind::kTree);
+  const ScalabilityReport report = analyze_scalability(*tree, 0.25);
+  EXPECT_EQ(report.kind, GeometryKind::kTree);
+  EXPECT_EQ(report.q, 0.25);
+  EXPECT_FALSE(report.numeric.explanation.empty());
+  EXPECT_EQ(report.numeric.verdict, math::SeriesVerdict::kDivergent);
+}
+
+TEST(Scalability, RejectsBadArguments) {
+  const auto tree = make_geometry(GeometryKind::kTree);
+  EXPECT_THROW(analyze_scalability(*tree, 0.0), PreconditionError);
+  EXPECT_THROW(analyze_scalability(*tree, 1.0), PreconditionError);
+  EXPECT_THROW(limit_success_probability(*tree, -0.1), PreconditionError);
+  LimitOptions bad;
+  bad.d_reference = 0;
+  EXPECT_THROW(limit_success_probability(*tree, 0.5, bad),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace dht::core

@@ -1,0 +1,82 @@
+#include "math/series.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "math/stable.hpp"
+
+namespace dht::math {
+namespace {
+
+TEST(SeriesDiagnosis, GeometricConverges) {
+  const auto diagnosis =
+      diagnose_series([](int m) { return std::pow(0.5, m); });
+  EXPECT_EQ(diagnosis.verdict, SeriesVerdict::kConvergent);
+  EXPECT_NEAR(diagnosis.partial_sum, 1.0, 1e-9);
+}
+
+TEST(SeriesDiagnosis, SlowGeometricConverges) {
+  const auto diagnosis =
+      diagnose_series([](int m) { return std::pow(0.97, m); });
+  EXPECT_EQ(diagnosis.verdict, SeriesVerdict::kConvergent);
+}
+
+TEST(SeriesDiagnosis, ConstantDiverges) {
+  const auto diagnosis = diagnose_series([](int) { return 0.25; });
+  EXPECT_EQ(diagnosis.verdict, SeriesVerdict::kDivergent);
+}
+
+TEST(SeriesDiagnosis, TinyConstantDiverges) {
+  // The paper's Symphony Q is constant; even a small constant diverges.
+  const auto diagnosis = diagnose_series([](int) { return 1e-4; });
+  EXPECT_EQ(diagnosis.verdict, SeriesVerdict::kDivergent);
+}
+
+TEST(SeriesDiagnosis, MTimesGeometricConverges) {
+  // The XOR geometry's Q(m) ~ m q^m shape.
+  const auto diagnosis = diagnose_series(
+      [](int m) { return static_cast<double>(m) * std::pow(0.6, m); });
+  EXPECT_EQ(diagnosis.verdict, SeriesVerdict::kConvergent);
+}
+
+TEST(SeriesDiagnosis, VanishingTailShortcut) {
+  // Fast-decaying series whose tail underflows within the window.
+  const auto diagnosis =
+      diagnose_series([](int m) { return std::pow(0.01, m); });
+  EXPECT_EQ(diagnosis.verdict, SeriesVerdict::kConvergent);
+}
+
+TEST(SeriesDiagnosis, HarmonicIsNotCalledConvergent) {
+  // 1/m diverges; a ratio test cannot prove it, but the diagnosis must not
+  // claim convergence (divergent or inconclusive are both acceptable).
+  const auto diagnosis =
+      diagnose_series([](int m) { return 1.0 / static_cast<double>(m); });
+  EXPECT_NE(diagnosis.verdict, SeriesVerdict::kConvergent);
+}
+
+TEST(SeriesDiagnosis, ExplanationIsPopulated) {
+  const auto diagnosis = diagnose_series([](int) { return 0.5; });
+  EXPECT_FALSE(diagnosis.explanation.empty());
+}
+
+TEST(SeriesDiagnosis, RejectsNegativeTerms) {
+  EXPECT_THROW(diagnose_series([](int) { return -1.0; }), PreconditionError);
+}
+
+TEST(SeriesDiagnosis, RejectsBadOptions) {
+  SeriesOptions options;
+  options.max_terms = 4;  // fewer than the two dyadic blocks required
+  EXPECT_THROW(diagnose_series([](int) { return 0.1; }, options),
+               PreconditionError);
+}
+
+TEST(SeriesVerdictToString, AllValues) {
+  EXPECT_STREQ(to_string(SeriesVerdict::kConvergent), "convergent");
+  EXPECT_STREQ(to_string(SeriesVerdict::kDivergent), "divergent");
+  EXPECT_STREQ(to_string(SeriesVerdict::kInconclusive), "inconclusive");
+}
+
+}  // namespace
+}  // namespace dht::math

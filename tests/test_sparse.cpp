@@ -1,0 +1,328 @@
+// Non-fully-populated identifier spaces (the paper's Section 6 future
+// work): structural invariants, dense-limit equivalence, and the density
+// reduction (sparse systems behave like the dense model at d' = log2 N).
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "core/registry.hpp"
+#include "sparse/density_analysis.hpp"
+#include "sparse/sparse_chord.hpp"
+#include "sparse/sparse_kademlia.hpp"
+#include "sparse/sparse_space.hpp"
+#include "sparse/sparse_symphony.hpp"
+
+namespace dht::sparse {
+namespace {
+
+TEST(SparseIdSpace, IdsAreDistinctSortedAndInRange) {
+  math::Rng rng(1);
+  const SparseIdSpace space(20, 2000, rng);
+  EXPECT_EQ(space.node_count(), 2000u);
+  EXPECT_EQ(space.bits(), 20);
+  EXPECT_NEAR(space.density(), 2000.0 / (1 << 20), 1e-12);
+  std::set<sim::NodeId> seen;
+  sim::NodeId previous = 0;
+  for (NodeIndex i = 0; i < space.node_count(); ++i) {
+    const sim::NodeId id = space.id_of(i);
+    EXPECT_LT(id, space.key_space_size());
+    if (i > 0) {
+      EXPECT_GT(id, previous);  // strictly ascending => distinct
+    }
+    previous = id;
+    seen.insert(id);
+  }
+  EXPECT_EQ(seen.size(), 2000u);
+}
+
+TEST(SparseIdSpace, FullyPopulatedDegeneratesToIdentity) {
+  math::Rng rng(2);
+  const SparseIdSpace space(8, 256, rng);
+  for (NodeIndex i = 0; i < 256; ++i) {
+    EXPECT_EQ(space.id_of(i), i);
+  }
+}
+
+TEST(SparseIdSpace, SuccessorOfKey) {
+  math::Rng rng(3);
+  const SparseIdSpace space(16, 100, rng);
+  // The successor of a node's own id is that node.
+  for (NodeIndex i = 0; i < space.node_count(); ++i) {
+    EXPECT_EQ(space.successor_of_key(space.id_of(i)), i);
+  }
+  // A key past the largest id wraps to node 0.
+  const sim::NodeId largest = space.id_of(
+      static_cast<NodeIndex>(space.node_count() - 1));
+  if (largest + 1 < space.key_space_size()) {
+    EXPECT_EQ(space.successor_of_key(largest + 1), 0u);
+  }
+}
+
+TEST(SparseIdSpace, IndexRangeCountsMembers) {
+  math::Rng rng(4);
+  const SparseIdSpace space(12, 512, rng);
+  const auto [first, last] = space.index_range(0, space.key_space_size() - 1);
+  EXPECT_EQ(first, 0u);
+  EXPECT_EQ(last, space.node_count());
+  // Singleton ranges.
+  const sim::NodeId some_id = space.id_of(17);
+  const auto [a, b] = space.index_range(some_id, some_id);
+  EXPECT_EQ(a, 17u);
+  EXPECT_EQ(b, 18u);
+}
+
+TEST(SparseIdSpace, RingStepWraps) {
+  math::Rng rng(5);
+  const SparseIdSpace space(12, 100, rng);
+  EXPECT_EQ(space.ring_step(99, 1), 0u);
+  EXPECT_EQ(space.ring_step(50, 100), 50u);
+}
+
+TEST(SparseIdSpace, RejectsBadArguments) {
+  math::Rng rng(6);
+  EXPECT_THROW(SparseIdSpace(0, 2, rng), PreconditionError);
+  EXPECT_THROW(SparseIdSpace(41, 2, rng), PreconditionError);
+  EXPECT_THROW(SparseIdSpace(8, 1, rng), PreconditionError);
+  EXPECT_THROW(SparseIdSpace(8, 257, rng), PreconditionError);
+}
+
+TEST(SparseFailure, TracksAliveCount) {
+  math::Rng rng(7);
+  const SparseIdSpace space(14, 4096, rng);
+  const SparseFailure failures(space, 0.3, rng);
+  EXPECT_NEAR(static_cast<double>(failures.alive_count()) / 4096.0, 0.7,
+              0.05);
+  std::uint64_t count = 0;
+  for (NodeIndex i = 0; i < 4096; ++i) {
+    count += failures.alive(i) ? 1 : 0;
+  }
+  EXPECT_EQ(count, failures.alive_count());
+}
+
+TEST(SparseChord, DenseLimitFingersMatchClassicChord) {
+  // Fully populated: successor(id + 2^{d-i}) == id + 2^{d-i} exactly.
+  math::Rng rng(8);
+  const SparseIdSpace space(8, 256, rng);
+  const SparseChordOverlay overlay(space);
+  for (NodeIndex v = 0; v < 256; v += 7) {
+    for (int i = 1; i <= 8; ++i) {
+      EXPECT_EQ(space.id_of(overlay.finger(v, i)),
+                (v + (1u << (8 - i))) % 256);
+    }
+  }
+}
+
+TEST(SparseChord, FingersAreSuccessorsOfDyadicPoints) {
+  math::Rng rng(9);
+  const SparseIdSpace space(20, 1024, rng);
+  const SparseChordOverlay overlay(space);
+  for (NodeIndex v = 0; v < space.node_count(); v += 101) {
+    const sim::NodeId base = space.id_of(v);
+    for (int i = 1; i <= 20; ++i) {
+      const sim::NodeId key =
+          (base + (std::uint64_t{1} << (20 - i))) & (space.key_space_size() - 1);
+      EXPECT_EQ(overlay.finger(v, i), space.successor_of_key(key));
+    }
+  }
+}
+
+TEST(SparseChord, FailureFreeRoutesArrive) {
+  math::Rng rng(10);
+  const SparseIdSpace space(20, 1024, rng);
+  const SparseChordOverlay overlay(space);
+  const SparseFailure none(space, 0.0, rng);
+  for (int i = 0; i < 500; ++i) {
+    const auto s = static_cast<NodeIndex>(rng.uniform_below(1024));
+    auto t = static_cast<NodeIndex>(rng.uniform_below(1024));
+    if (s == t) {
+      continue;
+    }
+    const auto hops = route(overlay, none, s, t);
+    ASSERT_TRUE(hops.has_value());
+    // O(log N) routing: generously bounded by the key-space bits.
+    EXPECT_LE(*hops, 20);
+  }
+}
+
+TEST(SparseKademlia, BucketsRespectXorRanges) {
+  math::Rng rng(11);
+  const SparseIdSpace space(16, 512, rng);
+  const SparseKademliaOverlay overlay(space, rng);
+  for (NodeIndex v = 0; v < space.node_count(); v += 37) {
+    const sim::NodeId base = space.id_of(v);
+    for (int i = 1; i <= 16; ++i) {
+      const auto entry = overlay.contact(v, i);
+      if (!entry.has_value()) {
+        continue;
+      }
+      const std::uint64_t distance =
+          sim::xor_distance(base, space.id_of(*entry));
+      EXPECT_GE(distance, std::uint64_t{1} << (16 - i));
+      EXPECT_LT(distance, std::uint64_t{2} << (16 - i));
+    }
+  }
+}
+
+TEST(SparseKademlia, TopBucketsAreNeverEmptyAtModerateDensity) {
+  // Bucket 1 covers half the key space; with 512 nodes it is essentially
+  // never empty.  Deep buckets (singleton ranges) are mostly empty.
+  math::Rng rng(12);
+  const SparseIdSpace space(16, 512, rng);
+  const SparseKademliaOverlay overlay(space, rng);
+  int empty_top = 0;
+  int empty_bottom = 0;
+  for (NodeIndex v = 0; v < space.node_count(); ++v) {
+    empty_top += overlay.contact(v, 1).has_value() ? 0 : 1;
+    empty_bottom += overlay.contact(v, 16).has_value() ? 0 : 1;
+  }
+  EXPECT_EQ(empty_top, 0);
+  EXPECT_GT(empty_bottom, 400);  // density 2^-7: most flip-ids unoccupied
+}
+
+TEST(SparseKademlia, FailureFreeRoutesArrive) {
+  math::Rng rng(13);
+  const SparseIdSpace space(20, 1024, rng);
+  const SparseKademliaOverlay overlay(space, rng);
+  const SparseFailure none(space, 0.0, rng);
+  for (int i = 0; i < 500; ++i) {
+    const auto s = static_cast<NodeIndex>(rng.uniform_below(1024));
+    auto t = static_cast<NodeIndex>(rng.uniform_below(1024));
+    if (s == t) {
+      continue;
+    }
+    const auto hops = route(overlay, none, s, t);
+    ASSERT_TRUE(hops.has_value());
+    EXPECT_LE(*hops, 20);
+  }
+}
+
+TEST(DensityAnalysis, EffectiveBits) {
+  EXPECT_EQ(effective_bits(2), 1);
+  EXPECT_EQ(effective_bits(1024), 10);
+  EXPECT_EQ(effective_bits(1000), 10);   // rounds
+  EXPECT_EQ(effective_bits(1u << 20), 20);
+  EXPECT_THROW(effective_bits(1), PreconditionError);
+}
+
+TEST(DensityAnalysis, SparseChordTracksDenseModelAtOccupancyScale) {
+  // The density reduction: routability of 2^10 nodes scattered in a large
+  // key space tracks the dense ring model at d' = 10, independent of the
+  // key-space size.  The reduction is approximate, not a bound: sparse
+  // Chord fails slightly *more* than the dense model at small q because
+  // deep fingers collapse onto the same few successors (correlated
+  // failures), so the assertion is a tolerance band, not an inequality.
+  const auto ring = core::make_geometry(core::GeometryKind::kRing);
+  for (double q : {0.1, 0.2}) {
+    const double predicted =
+        predict_sparse_routability(*ring, 1024, q).conditional_success;
+    for (int bits : {14, 20}) {
+      math::Rng rng(100 + bits);
+      const SparseIdSpace space(bits, 1024, rng);
+      const SparseChordOverlay overlay(space);
+      const SparseFailure failures(space, q, rng);
+      const auto estimate = estimate_routability(overlay, failures, 20000, rng);
+      EXPECT_NEAR(estimate.routability(), predicted, 0.08)
+          << "bits=" << bits << " q=" << q;
+    }
+  }
+}
+
+TEST(DensityAnalysis, SparseKademliaIndependentOfKeySpaceSize) {
+  // Same N, very different key-space sizes: measured routability must
+  // agree with itself across densities (the density reduction).
+  const double q = 0.2;
+  double reference = -1.0;
+  for (int bits : {12, 18, 24}) {
+    math::Rng rng(200 + bits);
+    const SparseIdSpace space(bits, 1024, rng);
+    const SparseKademliaOverlay overlay(space, rng);
+    const SparseFailure failures(space, q, rng);
+    const auto estimate = estimate_routability(overlay, failures, 20000, rng);
+    if (reference < 0.0) {
+      reference = estimate.routability();
+    } else {
+      EXPECT_NEAR(estimate.routability(), reference, 0.05)
+          << "bits=" << bits;
+    }
+  }
+}
+
+TEST(SparseSymphony, ShortcutsPointToKeyOwners) {
+  math::Rng rng(31);
+  const SparseIdSpace space(18, 512, rng);
+  const SparseSymphonyOverlay overlay(space, 1, 2, rng);
+  EXPECT_EQ(overlay.near_neighbors(), 1);
+  EXPECT_EQ(overlay.shortcuts(), 2);
+  for (NodeIndex v = 0; v < space.node_count(); v += 19) {
+    for (int j = 0; j < 2; ++j) {
+      const NodeIndex link = overlay.shortcut(v, j);
+      EXPECT_LT(link, space.node_count());
+      EXPECT_NE(link, v);
+    }
+  }
+}
+
+TEST(SparseSymphony, FailureFreeRoutesArrive) {
+  math::Rng rng(32);
+  const SparseIdSpace space(18, 512, rng);
+  const SparseSymphonyOverlay overlay(space, 1, 1, rng);
+  const SparseFailure none(space, 0.0, rng);
+  for (int i = 0; i < 300; ++i) {
+    const auto s = static_cast<NodeIndex>(rng.uniform_below(512));
+    auto t = static_cast<NodeIndex>(rng.uniform_below(512));
+    if (s == t) {
+      continue;
+    }
+    const auto hops = route(overlay, none, s, t);
+    ASSERT_TRUE(hops.has_value());
+    // O(log^2 N) expected; bound loosely by N.
+    EXPECT_LT(*hops, 512);
+  }
+}
+
+TEST(SparseSymphony, DegradesWithFailureAndRecoversWithLinks) {
+  math::Rng rng(33);
+  const SparseIdSpace space(18, 1024, rng);
+  const double q = 0.2;
+  const auto measure = [&](int kn, int ks, std::uint64_t seed) {
+    math::Rng build_rng(seed);
+    const SparseSymphonyOverlay overlay(space, kn, ks, build_rng);
+    math::Rng fail_rng(seed + 1);
+    const SparseFailure failures(space, q, fail_rng);
+    math::Rng route_rng(seed + 2);
+    return estimate_routability(overlay, failures, 8000, route_rng)
+        .routability();
+  };
+  const double sparse_links = measure(1, 1, 100);
+  const double dense_links = measure(3, 3, 200);
+  EXPECT_LT(sparse_links, 0.9);  // minimal provisioning suffers at q = 0.2
+  EXPECT_GT(dense_links, sparse_links + 0.1);
+}
+
+TEST(SparseRoute, DropsWhenIsolated) {
+  // Kill everything except source and target: with all contacts dead the
+  // route must drop, not loop.
+  math::Rng rng(14);
+  const SparseIdSpace space(14, 256, rng);
+  const SparseKademliaOverlay overlay(space, rng);
+  SparseFailure failures(space, 0.0, rng);
+  // No kill API on SparseFailure: emulate by a q = 1-epsilon scenario
+  // instead -- route between two alive nodes across a dead sea.
+  math::Rng harsh_rng(15);
+  const SparseFailure harsh(space, 0.98, harsh_rng);
+  if (harsh.alive_count() >= 2) {
+    const NodeIndex s = harsh.sample_alive(harsh_rng);
+    NodeIndex t = harsh.sample_alive(harsh_rng);
+    if (t != s) {
+      const auto hops = route(overlay, harsh, s, t);
+      // Either it found a miracle path or it dropped; both are legal --
+      // the point is that it returns.
+      SUCCEED();
+      (void)hops;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dht::sparse

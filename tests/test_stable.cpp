@@ -1,0 +1,132 @@
+#include "math/stable.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace dht::math {
+namespace {
+
+TEST(PowInt, MatchesStdPow) {
+  EXPECT_DOUBLE_EQ(pow_int(2.0, 10), 1024.0);
+  EXPECT_DOUBLE_EQ(pow_int(0.5, 3), 0.125);
+  EXPECT_DOUBLE_EQ(pow_int(7.0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(pow_int(0.0, 5), 0.0);
+  EXPECT_DOUBLE_EQ(pow_int(0.0, 0), 1.0);
+  EXPECT_NEAR(pow_int(0.9, 100), std::pow(0.9, 100), 1e-15);
+}
+
+TEST(PowInt, GracefulUnderflow) {
+  EXPECT_EQ(pow_int(0.5, 2000), 0.0);
+}
+
+TEST(PowQ, Basics) {
+  EXPECT_DOUBLE_EQ(pow_q(0.3, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(pow_q(0.0, 3.0), 0.0);
+  EXPECT_DOUBLE_EQ(pow_q(0.0, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(pow_q(1.0, 7.0), 1.0);
+  EXPECT_NEAR(pow_q(0.3, 4.0), 0.0081, 1e-15);
+}
+
+TEST(PowQ, RejectsOutOfDomain) {
+  EXPECT_THROW(pow_q(-0.1, 2.0), PreconditionError);
+  EXPECT_THROW(pow_q(1.1, 2.0), PreconditionError);
+  EXPECT_THROW(pow_q(0.5, -1.0), PreconditionError);
+}
+
+TEST(OneMinusPow, MatchesNaiveInEasyRange) {
+  for (double q : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    for (int m = 1; m <= 30; ++m) {
+      EXPECT_NEAR(one_minus_pow(q, m), 1.0 - std::pow(q, m), 1e-14)
+          << "q=" << q << " m=" << m;
+    }
+  }
+}
+
+TEST(OneMinusPow, PrecisionNearQOne) {
+  // q = 1 - 1e-12 (as stored in double).  The reference values are computed
+  // from the *stored* q: 1 - q is exact by Sterbenz, and
+  // 1 - q^2 = (1-q)(1+q).  expm1 must track them to ~1 ulp even though the
+  // naive 1 - pow(q, m) would cancel catastrophically.
+  const double q = 1.0 - 1e-12;
+  const double one_minus_q = 1.0 - q;  // exact
+  EXPECT_NEAR(one_minus_pow(q, 1.0), one_minus_q, 1e-26);
+  EXPECT_NEAR(one_minus_pow(q, 2.0), one_minus_q * (1.0 + q), 1e-25);
+}
+
+TEST(OneMinusPow, Boundaries) {
+  EXPECT_DOUBLE_EQ(one_minus_pow(0.5, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(one_minus_pow(0.0, 3.0), 1.0);
+  EXPECT_DOUBLE_EQ(one_minus_pow(1.0, 3.0), 0.0);
+}
+
+TEST(LogOneMinusPow, ConsistentWithLinearVersion) {
+  for (double q : {0.05, 0.25, 0.6, 0.95}) {
+    for (int m = 1; m <= 40; ++m) {
+      EXPECT_NEAR(log_one_minus_pow(q, m), std::log(one_minus_pow(q, m)),
+                  1e-12)
+          << "q=" << q << " m=" << m;
+    }
+  }
+}
+
+TEST(LogOneMinusPow, ExtremeTail) {
+  // q = 1 - 1e-14, m = 1: log(1e-14) ~ -32.2; must not be -inf or 0.
+  const double v = log_one_minus_pow(1.0 - 1e-14, 1.0);
+  EXPECT_NEAR(v, std::log(1e-14), 1e-2);
+}
+
+TEST(LogOneMinusPow, Boundaries) {
+  EXPECT_TRUE(std::isinf(log_one_minus_pow(0.5, 0.0)));
+  EXPECT_TRUE(std::isinf(log_one_minus_pow(1.0, 2.0)));
+  EXPECT_DOUBLE_EQ(log_one_minus_pow(0.0, 2.0), 0.0);
+}
+
+TEST(GeometricSum, MatchesDirectSummation) {
+  for (double x : {0.0, 0.1, 0.5, 0.9, 0.99}) {
+    for (int terms = 0; terms <= 50; ++terms) {
+      double direct = 0.0;
+      double power = 1.0;
+      for (int j = 0; j < terms; ++j) {
+        direct += power;
+        power *= x;
+      }
+      EXPECT_NEAR(geometric_sum(x, terms), direct, 1e-9 * (1.0 + direct))
+          << "x=" << x << " terms=" << terms;
+    }
+  }
+}
+
+TEST(GeometricSum, XEqualOneIsTermCount) {
+  EXPECT_DOUBLE_EQ(geometric_sum(1.0, 17.0), 17.0);
+}
+
+TEST(GeometricSum, XNearOneStable) {
+  // x = 1 - 1e-13, 1000 terms: still essentially 1000 terms of ~1.
+  EXPECT_NEAR(geometric_sum(1.0 - 1e-13, 1000.0), 1000.0, 1e-6);
+}
+
+TEST(GeometricSum, AstronomicalTermCountConvergesToLimit) {
+  // The ring geometry passes 2^{m-1} terms; for x < 1 the sum must
+  // saturate at 1/(1-x).
+  EXPECT_NEAR(geometric_sum(0.5, 1e300), 2.0, 1e-12);
+  EXPECT_NEAR(geometric_sum(0.5, std::numeric_limits<double>::infinity()),
+              2.0, 1e-12);
+  EXPECT_NEAR(geometric_sum(0.9, 1e18), 10.0, 1e-9);
+}
+
+TEST(GeometricSum, ZeroTermsIsZero) {
+  EXPECT_DOUBLE_EQ(geometric_sum(0.7, 0.0), 0.0);
+}
+
+TEST(GeometricSum, RejectsOutOfDomain) {
+  EXPECT_THROW(geometric_sum(-0.1, 5.0), PreconditionError);
+  EXPECT_THROW(geometric_sum(1.5, 5.0), PreconditionError);
+  EXPECT_THROW(geometric_sum(0.5, -1.0), PreconditionError);
+}
+
+}  // namespace
+}  // namespace dht::math
