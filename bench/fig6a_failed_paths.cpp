@@ -17,7 +17,7 @@
 #include "core/routability.hpp"
 #include "math/rng.hpp"
 #include "sim/hypercube_overlay.hpp"
-#include "sim/monte_carlo.hpp"
+#include "sim/parallel_monte_carlo.hpp"
 #include "sim/tree_overlay.hpp"
 #include "sim/xor_overlay.hpp"
 
@@ -25,6 +25,10 @@ namespace {
 
 constexpr int kBits = 16;  // N = 65536, the paper's setting
 constexpr std::uint64_t kPairs = 20000;
+
+// Set by --threads N (0 = hardware concurrency); the parallel engine's
+// results do not depend on it.
+unsigned g_threads = 0;
 
 double simulated_failed(const dht::sim::Overlay& overlay, double q,
                         std::uint64_t seed) {
@@ -34,9 +38,10 @@ double simulated_failed(const dht::sim::Overlay& overlay, double q,
   }
   math::Rng fail_rng(seed);
   const sim::FailureScenario failures(overlay.space(), q, fail_rng);
-  math::Rng route_rng(seed + 1);
-  return 1.0 - sim::estimate_routability(overlay, failures, {.pairs = kPairs},
-                                         route_rng)
+  const math::Rng route_rng(seed + 1);
+  return 1.0 - sim::estimate_routability_parallel(
+                   overlay, failures, {.pairs = kPairs, .threads = g_threads},
+                   route_rng)
                    .routability();
 }
 
@@ -44,6 +49,8 @@ double simulated_failed(const dht::sim::Overlay& overlay, double q,
 
 int main(int argc, char** argv) {
   using namespace dht;
+  g_threads = static_cast<unsigned>(
+      bench::parse_flag_u64(argc, argv, "--threads", 0));
   const sim::IdSpace space(kBits);
   math::Rng build_rng(20060328);  // arXiv date of the paper; any seed works
   const sim::TreeOverlay tree_overlay(space, build_rng);

@@ -4,6 +4,7 @@
 // window and the approach to the asymptote.
 #include <cmath>
 #include <iostream>
+#include <memory>
 #include <vector>
 
 #include "bench_util.hpp"
@@ -12,6 +13,45 @@
 #include "core/report.hpp"
 #include "core/routability.hpp"
 #include "core/scalability.hpp"
+#include "math/rng.hpp"
+#include "sim/parallel_monte_carlo.hpp"
+
+namespace {
+
+const char* overlay_name(dht::core::GeometryKind kind) {
+  switch (kind) {
+    case dht::core::GeometryKind::kTree:
+      return "tree";
+    case dht::core::GeometryKind::kHypercube:
+      return "hypercube";
+    case dht::core::GeometryKind::kXor:
+      return "xor";
+    case dht::core::GeometryKind::kRing:
+      return "ring";
+    case dht::core::GeometryKind::kSymphony:
+      return "symphony";
+  }
+  return "tree";
+}
+
+/// One simulated routability point from the parallel deterministic engine.
+double simulated_routability(dht::core::GeometryKind kind, int d, double q,
+                             unsigned threads) {
+  using namespace dht;
+  const sim::IdSpace space(d);
+  math::Rng build_rng(20060328 + static_cast<std::uint64_t>(d));
+  const std::unique_ptr<sim::Overlay> overlay =
+      bench::make_overlay(overlay_name(kind), space, build_rng);
+  math::Rng fail_rng(7 + static_cast<std::uint64_t>(d));
+  const sim::FailureScenario failures(space, q, fail_rng);
+  const math::Rng route_rng(11);
+  return sim::estimate_routability_parallel(
+             *overlay, failures, {.pairs = 20000, .threads = threads},
+             route_rng)
+      .routability();
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace dht;
@@ -58,5 +98,31 @@ int main(int argc, char** argv) {
       "out to billions of nodes (scalable)");
   table.add_note("d = 17..33 covers the paper's 10^5..10^10 x-axis window");
   dht::bench::emit(table, argc, argv);
+
+  // Cross-check the analytical curves against the parallel deterministic
+  // Monte-Carlo engine at the sizes where full overlays fit in memory.
+  const unsigned threads = static_cast<unsigned>(
+      bench::parse_flag_u64(argc, argv, "--threads", 0));
+  core::Table sim_table(
+      "Fig. 7(b) cross-check -- simulated routability (%) from the parallel "
+      "engine, q = 0.1");
+  sim_table.set_header({"d", "N", "cube", "chord", "xor", "tree", "symphony"});
+  for (int d : {4, 8, 12, 16}) {
+    std::vector<std::string> row{strfmt("%d", d), strfmt("%.2e", std::exp2(d))};
+    for (core::GeometryKind kind :
+         {core::GeometryKind::kHypercube, core::GeometryKind::kRing,
+          core::GeometryKind::kXor, core::GeometryKind::kTree,
+          core::GeometryKind::kSymphony}) {
+      row.push_back(bench::pct(simulated_routability(kind, d, q, threads)));
+    }
+    sim_table.add_row(std::move(row));
+  }
+  sim_table.add_note(
+      "20000 sampled alive pairs per point; success fraction among alive "
+      "pairs (the paper's conditional routability)");
+  sim_table.add_note(
+      "--threads N picks the worker count (results are thread-count "
+      "independent)");
+  dht::bench::emit(sim_table, argc, argv);
   return 0;
 }

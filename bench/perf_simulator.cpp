@@ -1,117 +1,190 @@
-// google-benchmark microbenchmarks for the simulator substrate: overlay
-// construction and routing throughput at the paper's N = 2^16 scale.
-#include <benchmark/benchmark.h>
+// Routing-throughput harness for the Monte-Carlo engine.
+//
+// Measures routes/sec of (a) the seed single-threaded path -- the generic
+// virtual-dispatch Router driven by estimate_routability -- and (b) the
+// parallel deterministic engine with flattened kernels at a sweep of thread
+// counts, on the same (N, q, seed).  Emits one machine-readable JSON object
+// per line (JSONL) so the bench trajectory can be tracked across PRs:
+//
+//   {"bench":"perf_simulator","geometry":"ring","path":"parallel",
+//    "threads":8,"n":65536,"q":0.100000,"pairs":200000,"seed":1,
+//    "seconds":0.123,"routes_per_sec":1626016.3,"speedup_vs_seed":5.81,
+//    "routability":0.986535,"identical_across_threads":true}
+//
+// The harness also cross-checks determinism: the parallel estimates at
+// every thread count must be bit-identical; a mismatch exits non-zero.
+//
+// Flags: --bits D (16)  --q Q (0.1)  --pairs P (200000)  --seed S (1)
+//        --threads a,b,c (1,2,4,8)  --geometry NAME|all (ring,xor,hypercube)
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
 
-#include <optional>
-
+#include "bench_util.hpp"
 #include "math/rng.hpp"
-#include "sim/chord_overlay.hpp"
-#include "sim/hypercube_overlay.hpp"
 #include "sim/monte_carlo.hpp"
-#include "sim/symphony_overlay.hpp"
-#include "sim/tree_overlay.hpp"
-#include "sim/xor_overlay.hpp"
+#include "sim/parallel_monte_carlo.hpp"
 
 namespace {
 
 using namespace dht;
 
-constexpr int kBits = 16;
+struct Config {
+  int bits = 16;
+  double q = 0.1;
+  std::uint64_t pairs = 200000;
+  std::uint64_t seed = 1;
+  std::vector<unsigned> threads = {1, 2, 4, 8};
+  // Default to the ring: the geometry the paper's Fig. 6(b) simulates, and
+  // the headline flattened kernel.  --geometry all sweeps every geometry.
+  std::vector<std::string> geometries = {"ring"};
+};
 
-void BM_BuildPrefixTable(benchmark::State& state) {
-  const sim::IdSpace space(kBits);
-  math::Rng rng(1);
-  for (auto _ : state) {
-    const sim::PrefixTable table(space, rng);
-    benchmark::DoNotOptimize(table.neighbor(0, 1));
-  }
-}
-BENCHMARK(BM_BuildPrefixTable)->Unit(benchmark::kMillisecond);
-
-void BM_BuildChordRandomized(benchmark::State& state) {
-  const sim::IdSpace space(kBits);
-  math::Rng rng(2);
-  for (auto _ : state) {
-    const sim::ChordOverlay overlay(space, rng,
-                                    sim::ChordFingers::kRandomized);
-    benchmark::DoNotOptimize(overlay.finger(0, 1));
-  }
-}
-BENCHMARK(BM_BuildChordRandomized)->Unit(benchmark::kMillisecond);
-
-template <typename OverlayT>
-void route_throughput(benchmark::State& state, const OverlayT& overlay,
-                      double q) {
-  math::Rng fail_rng(3);
-  const sim::FailureScenario failures(overlay.space(), q, fail_rng);
-  const sim::Router router(overlay, failures);
-  math::Rng rng(4);
-  std::uint64_t routes = 0;
-  for (auto _ : state) {
-    const sim::NodeId s = failures.sample_alive(rng);
-    sim::NodeId t = failures.sample_alive(rng);
-    while (t == s) {
-      t = failures.sample_alive(rng);
+std::vector<unsigned> parse_thread_list(const char* arg) {
+  std::vector<unsigned> out;
+  const char* p = arg;
+  while (*p != '\0') {
+    char* end = nullptr;
+    const unsigned long v = std::strtoul(p, &end, 10);
+    if (end == p) {
+      break;
     }
-    benchmark::DoNotOptimize(router.route(s, t, rng).hops);
-    ++routes;
+    if (v > 0) {
+      out.push_back(static_cast<unsigned>(v));
+    }
+    p = (*end == ',') ? end + 1 : end;
   }
-  state.SetItemsProcessed(static_cast<int64_t>(routes));
+  return out;
 }
 
-void BM_RouteTree(benchmark::State& state) {
-  const sim::IdSpace space(kBits);
-  math::Rng rng(5);
-  const sim::TreeOverlay overlay(space, rng);
-  route_throughput(state, overlay, 0.1);
-}
-BENCHMARK(BM_RouteTree);
-
-void BM_RouteXor(benchmark::State& state) {
-  const sim::IdSpace space(kBits);
-  math::Rng rng(6);
-  const sim::XorOverlay overlay(space, rng);
-  route_throughput(state, overlay, 0.1);
-}
-BENCHMARK(BM_RouteXor);
-
-void BM_RouteHypercube(benchmark::State& state) {
-  const sim::IdSpace space(kBits);
-  const sim::HypercubeOverlay overlay(space);
-  route_throughput(state, overlay, 0.1);
-}
-BENCHMARK(BM_RouteHypercube);
-
-void BM_RouteChord(benchmark::State& state) {
-  const sim::IdSpace space(kBits);
-  math::Rng rng(7);
-  const sim::ChordOverlay overlay(space, rng);
-  route_throughput(state, overlay, 0.1);
-}
-BENCHMARK(BM_RouteChord);
-
-void BM_RouteSymphony(benchmark::State& state) {
-  const sim::IdSpace space(kBits);
-  math::Rng rng(8);
-  const sim::SymphonyOverlay overlay(space, 1, 1, rng);
-  route_throughput(state, overlay, 0.1);
-}
-BENCHMARK(BM_RouteSymphony);
-
-void BM_EstimateRoutability10k(benchmark::State& state) {
-  const sim::IdSpace space(kBits);
-  const sim::HypercubeOverlay overlay(space);
-  math::Rng fail_rng(9);
-  const sim::FailureScenario failures(space, 0.2, fail_rng);
-  math::Rng rng(10);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        sim::estimate_routability(overlay, failures, {.pairs = 10000}, rng)
-            .routability());
+Config parse_args(int argc, char** argv) {
+  Config cfg;
+  for (int i = 1; i < argc; i += 2) {
+    const std::string flag = argv[i];
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "flag %s requires a value\n", flag.c_str());
+      std::exit(1);
+    }
+    const char* value = argv[i + 1];
+    if (flag == "--bits") {
+      cfg.bits = std::atoi(value);
+    } else if (flag == "--q") {
+      cfg.q = std::atof(value);
+    } else if (flag == "--pairs") {
+      cfg.pairs = std::strtoull(value, nullptr, 10);
+    } else if (flag == "--seed") {
+      cfg.seed = std::strtoull(value, nullptr, 10);
+    } else if (flag == "--threads") {
+      cfg.threads = parse_thread_list(value);
+      if (cfg.threads.empty()) {
+        std::fprintf(stderr, "--threads needs a comma-separated list of "
+                             "positive counts, e.g. 1,2,4,8\n");
+        std::exit(1);
+      }
+    } else if (flag == "--geometry") {
+      if (std::strcmp(value, "all") == 0) {
+        cfg.geometries = {"ring", "xor", "tree", "hypercube", "symphony"};
+      } else {
+        cfg.geometries = {value};
+      }
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
+      std::exit(1);
+    }
   }
+  return cfg;
 }
-BENCHMARK(BM_EstimateRoutability10k)->Unit(benchmark::kMillisecond);
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+void emit(const Config& cfg, const std::string& geometry, const char* path,
+          unsigned threads, double seconds, double routability,
+          double speedup, bool identical) {
+  std::printf(
+      "{\"bench\":\"perf_simulator\",\"geometry\":\"%s\",\"path\":\"%s\","
+      "\"threads\":%u,\"n\":%llu,\"q\":%.6f,\"pairs\":%llu,\"seed\":%llu,"
+      "\"seconds\":%.6f,\"routes_per_sec\":%.1f,\"speedup_vs_seed\":%.3f,"
+      "\"routability\":%.6f,\"identical_across_threads\":%s}\n",
+      geometry.c_str(), path, threads,
+      static_cast<unsigned long long>(std::uint64_t{1} << cfg.bits), cfg.q,
+      static_cast<unsigned long long>(cfg.pairs),
+      static_cast<unsigned long long>(cfg.seed), seconds,
+      static_cast<double>(cfg.pairs) / seconds, speedup, routability,
+      identical ? "true" : "false");
+}
+
+bool identical_estimates(const sim::RoutabilityEstimate& a,
+                         const sim::RoutabilityEstimate& b) {
+  return a.routed.successes == b.routed.successes &&
+         a.routed.trials == b.routed.trials &&
+         a.hops.count() == b.hops.count() && a.hops.sum() == b.hops.sum() &&
+         a.hops.sum_squares() == b.hops.sum_squares() &&
+         a.hops.min() == b.hops.min() && a.hops.max() == b.hops.max() &&
+         a.hop_limit_hits == b.hop_limit_hits;
+}
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const Config cfg = parse_args(argc, argv);
+  const sim::IdSpace space(cfg.bits);
+  bool all_identical = true;
+
+  for (const std::string& geometry : cfg.geometries) {
+    math::Rng build_rng(cfg.seed);
+    const auto overlay = bench::make_overlay(geometry, space, build_rng);
+    if (overlay == nullptr) {
+      std::fprintf(stderr, "unknown geometry: %s\n", geometry.c_str());
+      return 1;
+    }
+    math::Rng fail_rng(cfg.seed + 1);
+    const sim::FailureScenario failures(space, cfg.q, fail_rng);
+
+    // Seed path: sequential sampling + virtual-dispatch routing.
+    math::Rng seed_rng(cfg.seed + 2);
+    auto start = std::chrono::steady_clock::now();
+    const auto seed_estimate = sim::estimate_routability(
+        *overlay, failures, {.pairs = cfg.pairs}, seed_rng);
+    const double seed_seconds = seconds_since(start);
+    emit(cfg, geometry, "seed", 1, seed_seconds, seed_estimate.routability(),
+         1.0, true);
+
+    // Parallel engine across the thread sweep; estimates must agree
+    // bit-for-bit at every thread count.
+    const math::Rng engine_rng(cfg.seed + 2);
+    bool have_reference = false;
+    sim::RoutabilityEstimate reference;
+    for (unsigned threads : cfg.threads) {
+      const sim::ParallelOptions options{.pairs = cfg.pairs,
+                                         .threads = threads};
+      start = std::chrono::steady_clock::now();
+      const auto estimate = sim::estimate_routability_parallel(
+          *overlay, failures, options, engine_rng);
+      const double seconds = seconds_since(start);
+      const bool identical =
+          !have_reference || identical_estimates(reference, estimate);
+      if (!have_reference) {
+        reference = estimate;
+        have_reference = true;
+      }
+      all_identical = all_identical && identical;
+      emit(cfg, geometry, "parallel", threads, seconds,
+           estimate.routability(), seed_seconds / seconds, identical);
+    }
+  }
+
+  if (!all_identical) {
+    std::fprintf(stderr,
+                 "FAIL: parallel estimates differ across thread counts\n");
+    return 1;
+  }
+  return 0;
+}

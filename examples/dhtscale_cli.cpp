@@ -5,16 +5,19 @@
 //   sweep-q <geometry> <d>            failure sweep (the Fig. 6 axis)
 //   sweep-n <geometry> <q>            size sweep (the Fig. 7(b) axis)
 //   scalability [q]                   Section 5 verdict table
-//   simulate <geometry> <d> <q> [pairs] [seed]
-//                                     static-resilience measurement
+//   simulate <geometry> <d> <q> [pairs] [seed] [--threads N]
+//                                     static-resilience measurement on the
+//                                     parallel deterministic engine
 //   latency <geometry> <d> <q>        chain-predicted hops of survivors
 //
 // Geometries: tree | hypercube | xor | ring | symphony.
+#include <chrono>
 #include <cmath>
 #include <cstdlib>
 #include <iostream>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/strfmt.hpp"
@@ -26,7 +29,7 @@
 #include "math/rng.hpp"
 #include "sim/chord_overlay.hpp"
 #include "sim/hypercube_overlay.hpp"
-#include "sim/monte_carlo.hpp"
+#include "sim/parallel_monte_carlo.hpp"
 #include "sim/symphony_overlay.hpp"
 #include "sim/tree_overlay.hpp"
 #include "sim/xor_overlay.hpp"
@@ -42,7 +45,7 @@ int usage() {
       "  sweep-q <geometry> <d>\n"
       "  sweep-n <geometry> <q>\n"
       "  scalability [q]\n"
-      "  simulate <geometry> <d> <q> [pairs] [seed]\n"
+      "  simulate <geometry> <d> <q> [pairs] [seed] [--threads N]\n"
       "  latency <geometry> <d> <q>\n"
       "geometries: tree | hypercube | xor | ring | symphony\n";
   return 1;
@@ -139,7 +142,7 @@ std::unique_ptr<sim::Overlay> make_overlay(const std::string& name,
 }
 
 int cmd_simulate(const std::string& name, int d, double q,
-                 std::uint64_t pairs, std::uint64_t seed) {
+                 std::uint64_t pairs, std::uint64_t seed, unsigned threads) {
   if (d > 20) {
     std::cerr << "simulate: d capped at 20 (table memory)\n";
     return 1;
@@ -151,8 +154,12 @@ int cmd_simulate(const std::string& name, int d, double q,
     return usage();
   }
   const sim::FailureScenario failures(space, q, rng);
-  const auto estimate =
-      sim::estimate_routability(*overlay, failures, {.pairs = pairs}, rng);
+  const auto start = std::chrono::steady_clock::now();
+  const auto estimate = sim::estimate_routability_parallel(
+      *overlay, failures, {.pairs = pairs, .threads = threads}, rng);
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
   const auto ci = estimate.confidence95();
   const auto geometry = core::make_geometry(name);
   const auto point = core::evaluate_routability(*geometry, d, q);
@@ -165,6 +172,11 @@ int cmd_simulate(const std::string& name, int d, double q,
   std::cout << strfmt("alive nodes:           %llu / %llu\n",
                       static_cast<unsigned long long>(failures.alive_count()),
                       static_cast<unsigned long long>(space.size()));
+  // Mirror the engine's thread resolution (hardware count, at least 1).
+  const unsigned hw = std::thread::hardware_concurrency();
+  const unsigned effective = threads != 0 ? threads : (hw == 0 ? 1 : hw);
+  std::cout << strfmt("throughput:            %.0f routes/sec (%u threads)\n",
+                      static_cast<double>(pairs) / seconds, effective);
   return 0;
 }
 
@@ -200,12 +212,26 @@ int main(int argc, char** argv) {
       return cmd_scalability(argc >= 3 ? std::atof(argv[2]) : 0.1);
     }
     if (command == "simulate" && argc >= 5) {
+      // Positional [pairs] [seed], then an optional trailing --threads N.
+      unsigned threads = 0;
+      std::vector<std::string> positional;
+      for (int i = 5; i < argc; ++i) {
+        if (std::string(argv[i]) == "--threads" && i + 1 < argc) {
+          threads = static_cast<unsigned>(std::atoi(argv[i + 1]));
+          ++i;
+        } else {
+          positional.emplace_back(argv[i]);
+        }
+      }
       const std::uint64_t pairs =
-          argc >= 6 ? std::strtoull(argv[5], nullptr, 10) : 20000;
+          !positional.empty() ? std::strtoull(positional[0].c_str(), nullptr, 10)
+                              : 20000;
       const std::uint64_t seed =
-          argc >= 7 ? std::strtoull(argv[6], nullptr, 10) : 1;
+          positional.size() >= 2
+              ? std::strtoull(positional[1].c_str(), nullptr, 10)
+              : 1;
       return cmd_simulate(argv[2], std::atoi(argv[3]), std::atof(argv[4]),
-                          pairs, seed);
+                          pairs, seed, threads);
     }
     if (command == "latency" && argc == 5) {
       return cmd_latency(argv[2], std::atoi(argv[3]), std::atof(argv[4]));

@@ -29,6 +29,13 @@ struct Proportion {
     ++trials;
   }
 
+  /// Pools another experiment's counts into this one.  Exact (integer
+  /// counters), so merging shards in any order equals one combined pass.
+  void merge(const Proportion& other) noexcept {
+    successes += other.successes;
+    trials += other.trials;
+  }
+
   /// Point estimate successes/trials (0 when no trials).
   double point() const noexcept;
 

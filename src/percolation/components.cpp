@@ -14,11 +14,13 @@ UnionFind build_alive_components(const sim::Overlay& overlay,
                                  const sim::FailureScenario& failures) {
   const std::uint64_t size = overlay.space().size();
   UnionFind forest(size);
+  std::vector<sim::NodeId> scratch;  // reused across nodes (links_into)
   for (sim::NodeId v = 0; v < size; ++v) {
     if (!failures.alive(v)) {
       continue;
     }
-    for (sim::NodeId w : overlay.links(v)) {
+    overlay.links_into(v, scratch);
+    for (sim::NodeId w : scratch) {
       if (failures.alive(w)) {
         forest.unite(v, w);
       }

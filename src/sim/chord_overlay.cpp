@@ -10,17 +10,20 @@ ChordOverlay::ChordOverlay(const IdSpace& space, math::Rng& rng,
   DHT_CHECK(successor_links >= 0, "successor link count must be >= 0");
   DHT_CHECK(static_cast<std::uint64_t>(successor_links) < space.size(),
             "successor list must be smaller than the ring");
-  if (variant_ == ChordFingers::kDeterministic) {
-    return;  // fingers are computable on the fly
-  }
   const int d = space_.bits();
   const std::uint64_t size = space_.size();
+  if (variant_ == ChordFingers::kDeterministic && d > kFlattenBitsCap) {
+    return;  // table would not fit; finger() computes entries on the fly
+  }
   fingers_.resize(size * static_cast<std::uint64_t>(d));
   for (NodeId v = 0; v < size; ++v) {
     for (int i = 1; i <= d; ++i) {
-      // Finger i: clockwise offset uniform in [2^{d-i}, 2^{d-i+1}).
+      // Finger i: clockwise offset 2^{d-i} exactly (deterministic) or
+      // uniform in [2^{d-i}, 2^{d-i+1}) (randomized).
       const std::uint64_t lo = std::uint64_t{1} << (d - i);
-      const std::uint64_t offset = lo + rng.uniform_below(lo);
+      const std::uint64_t offset =
+          variant_ == ChordFingers::kDeterministic ? lo
+                                                   : lo + rng.uniform_below(lo);
       fingers_[v * static_cast<std::uint64_t>(d) +
                static_cast<std::uint64_t>(i - 1)] =
           static_cast<std::uint32_t>((v + offset) & (size - 1));
@@ -31,7 +34,7 @@ ChordOverlay::ChordOverlay(const IdSpace& space, math::Rng& rng,
 NodeId ChordOverlay::finger(NodeId node, int index) const {
   DHT_CHECK(space_.contains(node), "node id out of range");
   DHT_CHECK(index >= 1 && index <= space_.bits(), "finger index out of range");
-  if (variant_ == ChordFingers::kDeterministic) {
+  if (fingers_.empty()) {
     const std::uint64_t offset = std::uint64_t{1} << (space_.bits() - index);
     return (node + offset) & (space_.size() - 1);
   }
@@ -81,16 +84,30 @@ std::optional<NodeId> ChordOverlay::next_hop(NodeId current, NodeId target,
   return best;
 }
 
-std::vector<NodeId> ChordOverlay::links(NodeId node) const {
-  std::vector<NodeId> out;
-  out.reserve(static_cast<size_t>(space_.bits() + successor_links_));
-  for (int i = 1; i <= space_.bits(); ++i) {
-    out.push_back(finger(node, i));
+void ChordOverlay::links_into(NodeId node, std::vector<NodeId>& out) const {
+  out.clear();
+  const int d = space_.bits();
+  if (!fingers_.empty()) {
+    const std::uint32_t* row =
+        fingers_.data() + node * static_cast<std::uint64_t>(d);
+    for (int i = 0; i < d; ++i) {
+      out.push_back(row[i]);
+    }
+  } else {
+    for (int i = 1; i <= d; ++i) {
+      out.push_back(finger(node, i));
+    }
   }
   for (int k = 1; k <= successor_links_; ++k) {
     out.push_back((node + static_cast<std::uint64_t>(k)) &
                   (space_.size() - 1));
   }
+}
+
+std::vector<NodeId> ChordOverlay::links(NodeId node) const {
+  std::vector<NodeId> out;
+  out.reserve(static_cast<size_t>(space_.bits() + successor_links_));
+  links_into(node, out);
   return out;
 }
 

@@ -20,6 +20,14 @@
 // Forwarding rule (both variants): greedy clockwise -- among alive fingers
 // that do not overshoot the target, take the one covering the most
 // distance; drop when none exists.
+//
+// Both variants materialize their fingers into one contiguous row-major
+// table at construction (the deterministic variant's entries are the
+// closed-form offsets), so the routing hot path and links_into read
+// straight out of cache-friendly rows instead of recomputing per hop.  At
+// very large d the deterministic table would not fit in memory and the
+// overlay falls back to computing fingers on the fly (same values, property
+// tested).
 #pragma once
 
 #include <cstdint>
@@ -55,18 +63,29 @@ class ChordOverlay final : public Overlay {
                                  math::Rng& rng) const override;
 
   std::vector<NodeId> links(NodeId node) const override;
+  void links_into(NodeId node, std::vector<NodeId>& out) const override;
 
   /// The i-th finger of `node` (1-based; finger i covers clockwise distance
   /// in [2^{d-i}, 2^{d-i+1}), exactly 2^{d-i} for the deterministic
   /// variant).
   NodeId finger(NodeId node, int index) const;
 
+  /// Row-major [node][index-1] materialized finger table; empty only for
+  /// deterministic overlays too large to materialize (bits() > the
+  /// flattening cap), where finger() computes entries on the fly.
+  const std::vector<std::uint32_t>& finger_table() const noexcept {
+    return fingers_;
+  }
+
  private:
+  /// Largest d whose full finger table (2^d * d u32 entries) is
+  /// materialized; 2^21 * 21 * 4 B = 168 MiB.
+  static constexpr int kFlattenBitsCap = 21;
+
   IdSpace space_;
   ChordFingers variant_;
   int successor_links_;
-  // Randomized variant only: row-major [node][index-1] absolute finger ids
-  // (the deterministic variant computes fingers on the fly).
+  // Row-major [node][index-1] absolute finger ids; see finger_table().
   std::vector<std::uint32_t> fingers_;
 };
 

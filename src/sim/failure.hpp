@@ -4,6 +4,12 @@
 // repaired ("static": a node's table stays as built, minus the dead
 // entries).  A FailureScenario is an immutable liveness mask over an
 // IdSpace, built deterministically from a seed.
+//
+// Alongside the byte mask the scenario maintains a dense index of alive
+// node ids, so sample_alive is a single unbiased draw (O(1)) instead of
+// rejection sampling -- the Monte-Carlo engine samples two endpoints per
+// route, and at high failure probabilities rejection would dominate the
+// routing work itself.
 #pragma once
 
 #include <cstdint>
@@ -32,20 +38,39 @@ class FailureScenario {
   double failure_probability() const noexcept { return q_; }
   std::uint64_t size() const noexcept { return size_; }
 
-  /// Uniformly samples an alive node.  Precondition: alive_count() > 0.
+  /// Uniformly samples an alive node with a single rng draw (O(1) via the
+  /// alive-index array).  Precondition: alive_count() > 0.
   NodeId sample_alive(math::Rng& rng) const;
 
-  /// Test hooks: force a node's state (updates the alive count).
+  /// Raw liveness mask (size() bytes, 1 = alive); hot-path routing kernels
+  /// index this directly.
+  const std::uint8_t* alive_data() const noexcept { return alive_.data(); }
+
+  /// The dense array of alive node ids backing sample_alive.  Freshly
+  /// constructed scenarios list ids in increasing order; kill/revive
+  /// maintain the array with swap-remove/append, so the order afterwards is
+  /// deterministic but not sorted.
+  const std::vector<std::uint32_t>& alive_ids() const noexcept {
+    return alive_ids_;
+  }
+
+  /// Test hooks: force a node's state (updates the alive count and index).
   void kill(NodeId id);
   void revive(NodeId id);
 
  private:
   FailureScenario(std::uint64_t size, double q);
 
+  void rebuild_alive_index();
+
+  static constexpr std::uint32_t kDeadPos = ~std::uint32_t{0};
+
   std::uint64_t size_;
   double q_;
   std::vector<std::uint8_t> alive_;
   std::uint64_t alive_count_ = 0;
+  std::vector<std::uint32_t> alive_ids_;  // dense alive ids (sample target)
+  std::vector<std::uint32_t> alive_pos_;  // id -> index in alive_ids_, or kDeadPos
 };
 
 }  // namespace dht::sim

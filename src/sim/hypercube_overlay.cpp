@@ -31,12 +31,18 @@ std::optional<NodeId> HypercubeOverlay::next_hop(
   return chosen;
 }
 
-std::vector<NodeId> HypercubeOverlay::links(NodeId node) const {
-  std::vector<NodeId> out;
-  out.reserve(static_cast<size_t>(space_.bits()));
+void HypercubeOverlay::links_into(NodeId node,
+                                  std::vector<NodeId>& out) const {
+  out.clear();
   for (int level = 1; level <= space_.bits(); ++level) {
     out.push_back(flip_level(node, level, space_.bits()));
   }
+}
+
+std::vector<NodeId> HypercubeOverlay::links(NodeId node) const {
+  std::vector<NodeId> out;
+  out.reserve(static_cast<size_t>(space_.bits()));
+  links_into(node, out);
   return out;
 }
 

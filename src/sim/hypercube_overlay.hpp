@@ -24,6 +24,7 @@ class HypercubeOverlay final : public Overlay {
                                  math::Rng& rng) const override;
 
   std::vector<NodeId> links(NodeId node) const override;
+  void links_into(NodeId node, std::vector<NodeId>& out) const override;
 
  private:
   IdSpace space_;

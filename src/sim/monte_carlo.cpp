@@ -1,21 +1,24 @@
 #include "sim/monte_carlo.hpp"
 
+#include <cmath>
+
 #include "common/check.hpp"
 
 namespace dht::sim {
 
-namespace {
-
-void record_route(const RouteResult& result, RoutabilityEstimate& estimate) {
-  estimate.routed.record(result.success());
-  if (result.success()) {
-    estimate.hops.add(static_cast<double>(result.hops));
-  } else if (result.status == RouteStatus::kHopLimit) {
-    ++estimate.hop_limit_hits;
+double HopStats::variance() const noexcept {
+  if (count_ < 2) {
+    return 0.0;
   }
+  const double n = static_cast<double>(count_);
+  const double mean = static_cast<double>(sum_) / n;
+  // sum_sq - n * mean^2, computed from exact integer sums.
+  const double centered =
+      static_cast<double>(sum_sq_) - n * mean * mean;
+  return (centered < 0.0 ? 0.0 : centered) / (n - 1.0);
 }
 
-}  // namespace
+double HopStats::stddev() const noexcept { return std::sqrt(variance()); }
 
 RoutabilityEstimate estimate_routability(const Overlay& overlay,
                                          const FailureScenario& failures,
@@ -32,7 +35,7 @@ RoutabilityEstimate estimate_routability(const Overlay& overlay,
     while (target == source) {
       target = failures.sample_alive(rng);
     }
-    record_route(router.route(source, target, rng), estimate);
+    estimate.record(router.route(source, target, rng));
   }
   return estimate;
 }
@@ -53,7 +56,7 @@ RoutabilityEstimate exact_routability(const Overlay& overlay,
       if (target == source || !failures.alive(target)) {
         continue;
       }
-      record_route(router.route(source, target, rng), estimate);
+      estimate.record(router.route(source, target, rng));
     }
   }
   return estimate;

@@ -5,6 +5,11 @@
 // the paper's Fig. 6 against the RCM prediction.  Also provides the exact
 // (all-alive-pairs) variant for small spaces, which removes sampling noise
 // from tests.
+//
+// The parallel engine (parallel_monte_carlo.hpp) shards the same experiment
+// across threads; RoutabilityEstimate therefore accumulates hop statistics
+// in exact integer counters, so that merging per-shard estimates in shard
+// order is associative and bit-identical to a single sequential pass.
 #pragma once
 
 #include <cstdint>
@@ -22,11 +27,88 @@ struct EstimateOptions {
   std::uint64_t max_hops = 0;
 };
 
+/// Hop-count accumulator with exact integer state.  Unlike a floating-point
+/// Welford accumulator, merging two HopStats is associative and commutative
+/// bit-for-bit, which is what makes the sharded Monte-Carlo engine
+/// reproducible independent of thread count.  Sums are u64: routes are
+/// bounded by N - 1 < 2^26 hops, so overflow needs > 2^38 recorded routes
+/// even at the worst-case hop count.
+class HopStats {
+ public:
+  void add(std::uint64_t hops) noexcept {
+    ++count_;
+    sum_ += hops;
+    sum_sq_ += hops * hops;
+    if (count_ == 1 || hops < min_) {
+      min_ = hops;
+    }
+    if (count_ == 1 || hops > max_) {
+      max_ = hops;
+    }
+  }
+
+  /// Folds another accumulator into this one; exact.
+  void merge(const HopStats& other) noexcept {
+    if (other.count_ == 0) {
+      return;
+    }
+    if (count_ == 0 || other.min_ < min_) {
+      min_ = other.min_;
+    }
+    if (count_ == 0 || other.max_ > max_) {
+      max_ = other.max_;
+    }
+    count_ += other.count_;
+    sum_ += other.sum_;
+    sum_sq_ += other.sum_sq_;
+  }
+
+  std::uint64_t count() const noexcept { return count_; }
+  std::uint64_t sum() const noexcept { return sum_; }
+  std::uint64_t sum_squares() const noexcept { return sum_sq_; }
+  std::uint64_t min() const noexcept { return min_; }
+  std::uint64_t max() const noexcept { return max_; }
+
+  double mean() const noexcept {
+    return count_ == 0 ? 0.0
+                       : static_cast<double>(sum_) / static_cast<double>(count_);
+  }
+  /// Unbiased sample variance; 0 for fewer than two samples.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+
+ private:
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t sum_sq_ = 0;
+  std::uint64_t min_ = 0;
+  std::uint64_t max_ = 0;
+};
+
 /// Aggregated routability measurement.
 struct RoutabilityEstimate {
   math::Proportion routed;        ///< successes over attempted pairs
-  math::RunningStat hops;         ///< hop counts of successful routes
+  HopStats hops;                  ///< hop counts of successful routes
   std::uint64_t hop_limit_hits = 0;  ///< should stay 0; protocol-bug canary
+
+  /// Folds one route outcome into the estimate.
+  void record(const RouteResult& result) noexcept {
+    routed.record(result.success());
+    if (result.success()) {
+      hops.add(static_cast<std::uint64_t>(result.hops));
+    } else if (result.status == RouteStatus::kHopLimit) {
+      ++hop_limit_hits;
+    }
+  }
+
+  /// Pools another estimate (e.g. a shard's) into this one.  All counters
+  /// are integers, so merging shards in a fixed order is bit-identical to a
+  /// single pass over the concatenated routes.
+  void merge(const RoutabilityEstimate& other) noexcept {
+    routed.merge(other.routed);
+    hops.merge(other.hops);
+    hop_limit_hits += other.hop_limit_hits;
+  }
 
   double routability() const noexcept { return routed.point(); }
   double failed_fraction() const noexcept { return 1.0 - routed.point(); }

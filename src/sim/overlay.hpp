@@ -41,6 +41,13 @@ class Overlay {
 
   /// The node's outgoing links (used for degree/percolation analysis).
   virtual std::vector<NodeId> links(NodeId node) const = 0;
+
+  /// Non-allocating variant: overwrites `out` with the node's outgoing
+  /// links.  Percolation sweeps call this once per node per scenario;
+  /// overlays override it to copy straight out of their contiguous tables,
+  /// reusing the caller's buffer.  The base implementation falls back to
+  /// links().
+  virtual void links_into(NodeId node, std::vector<NodeId>& out) const;
 };
 
 }  // namespace dht::sim

@@ -6,6 +6,11 @@ namespace dht::sim {
 
 Overlay::~Overlay() = default;
 
+void Overlay::links_into(NodeId node, std::vector<NodeId>& out) const {
+  const std::vector<NodeId> all = links(node);
+  out.assign(all.begin(), all.end());
+}
+
 const char* to_string(RouteStatus status) noexcept {
   switch (status) {
     case RouteStatus::kArrived:

@@ -75,16 +75,23 @@ std::optional<NodeId> SymphonyOverlay::next_hop(
   return best;
 }
 
-std::vector<NodeId> SymphonyOverlay::links(NodeId node) const {
-  std::vector<NodeId> out;
-  out.reserve(static_cast<size_t>(kn_ + ks_));
+void SymphonyOverlay::links_into(NodeId node, std::vector<NodeId>& out) const {
+  out.clear();
   const std::uint64_t size = space_.size();
   for (int k = 1; k <= kn_; ++k) {
     out.push_back((node + static_cast<std::uint64_t>(k)) & (size - 1));
   }
+  const std::uint32_t* row =
+      shortcuts_.data() + node * static_cast<std::uint64_t>(ks_);
   for (int j = 0; j < ks_; ++j) {
-    out.push_back(shortcut(node, j));
+    out.push_back(row[j]);
   }
+}
+
+std::vector<NodeId> SymphonyOverlay::links(NodeId node) const {
+  std::vector<NodeId> out;
+  out.reserve(static_cast<size_t>(kn_ + ks_));
+  links_into(node, out);
   return out;
 }
 

@@ -32,6 +32,12 @@ class SymphonyOverlay final : public Overlay {
                                  math::Rng& rng) const override;
 
   std::vector<NodeId> links(NodeId node) const override;
+  void links_into(NodeId node, std::vector<NodeId>& out) const override;
+
+  /// Row-major [node][j] materialized shortcut table (absolute targets).
+  const std::vector<std::uint32_t>& shortcut_table() const noexcept {
+    return shortcuts_;
+  }
 
   int near_neighbors() const noexcept { return kn_; }
   int shortcuts() const noexcept { return ks_; }

@@ -28,6 +28,7 @@ class TreeOverlay final : public Overlay {
                                  math::Rng& rng) const override;
 
   std::vector<NodeId> links(NodeId node) const override;
+  void links_into(NodeId node, std::vector<NodeId>& out) const override;
 
   const std::shared_ptr<const PrefixTable>& table() const noexcept {
     return table_;

@@ -36,12 +36,20 @@ std::optional<NodeId> XorOverlay::next_hop(NodeId current, NodeId target,
   return std::nullopt;
 }
 
+void XorOverlay::links_into(NodeId node, std::vector<NodeId>& out) const {
+  out.clear();
+  const int d = space_.bits();
+  const std::uint32_t* row =
+      table_->entries().data() + node * static_cast<std::uint64_t>(d);
+  for (int i = 0; i < d; ++i) {
+    out.push_back(row[i]);
+  }
+}
+
 std::vector<NodeId> XorOverlay::links(NodeId node) const {
   std::vector<NodeId> out;
   out.reserve(static_cast<size_t>(space_.bits()));
-  for (int level = 1; level <= space_.bits(); ++level) {
-    out.push_back(table_->neighbor(node, level));
-  }
+  links_into(node, out);
   return out;
 }
 

@@ -1,0 +1,298 @@
+// Determinism and correctness of the parallel Monte-Carlo routing engine
+// (parallel_monte_carlo.hpp): bit-identical results across thread counts,
+// merge() associativity, and agreement with the sequential reference
+// implementations.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/check.hpp"
+#include "math/rng.hpp"
+#include "sim/chord_overlay.hpp"
+#include "sim/hypercube_overlay.hpp"
+#include "sim/parallel_monte_carlo.hpp"
+#include "sim/symphony_overlay.hpp"
+#include "sim/tree_overlay.hpp"
+#include "sim/xor_overlay.hpp"
+
+namespace dht::sim {
+namespace {
+
+void expect_identical(const RoutabilityEstimate& a,
+                      const RoutabilityEstimate& b, const char* what) {
+  EXPECT_EQ(a.routed.successes, b.routed.successes) << what;
+  EXPECT_EQ(a.routed.trials, b.routed.trials) << what;
+  EXPECT_EQ(a.hops.count(), b.hops.count()) << what;
+  EXPECT_EQ(a.hops.sum(), b.hops.sum()) << what;
+  EXPECT_EQ(a.hops.sum_squares(), b.hops.sum_squares()) << what;
+  EXPECT_EQ(a.hops.min(), b.hops.min()) << what;
+  EXPECT_EQ(a.hops.max(), b.hops.max()) << what;
+  EXPECT_EQ(a.hop_limit_hits, b.hop_limit_hits) << what;
+}
+
+std::unique_ptr<Overlay> make_named_overlay(const std::string& name,
+                                            const IdSpace& space,
+                                            math::Rng& rng) {
+  if (name == "tree") {
+    return std::make_unique<TreeOverlay>(space, rng);
+  }
+  if (name == "xor") {
+    return std::make_unique<XorOverlay>(space, rng);
+  }
+  if (name == "hypercube") {
+    return std::make_unique<HypercubeOverlay>(space);
+  }
+  if (name == "chord") {
+    return std::make_unique<ChordOverlay>(space, rng);
+  }
+  if (name == "chord-randomized") {
+    return std::make_unique<ChordOverlay>(space, rng,
+                                          ChordFingers::kRandomized);
+  }
+  if (name == "chord-successors") {
+    return std::make_unique<ChordOverlay>(space, rng,
+                                          ChordFingers::kDeterministic, 3);
+  }
+  return std::make_unique<SymphonyOverlay>(space, 2, 2, rng);
+}
+
+TEST(ParallelMonteCarlo, BitIdenticalAcrossThreadCounts) {
+  const IdSpace space(10);
+  for (const std::string name :
+       {"chord", "xor", "hypercube", "chord-randomized", "tree", "symphony"}) {
+    math::Rng build_rng(41);
+    const auto overlay = make_named_overlay(name, space, build_rng);
+    math::Rng fail_rng(42);
+    const FailureScenario failures(space, 0.3, fail_rng);
+    const math::Rng route_rng(43);
+    const ParallelOptions base{.pairs = 4000};
+
+    RoutabilityEstimate reference;
+    bool first = true;
+    for (unsigned threads : {1u, 2u, 8u}) {
+      ParallelOptions options = base;
+      options.threads = threads;
+      const auto estimate = estimate_routability_parallel(
+          *overlay, failures, options, route_rng);
+      if (first) {
+        reference = estimate;
+        first = false;
+        EXPECT_GT(estimate.routed.trials, 0u) << name;
+      } else {
+        expect_identical(reference, estimate, name.c_str());
+      }
+    }
+  }
+}
+
+TEST(ParallelMonteCarlo, RepeatedCallsAreIdentical) {
+  // The engine only forks the caller's rng, so re-running with the same
+  // generator must reproduce the estimate exactly.
+  const IdSpace space(9);
+  math::Rng build_rng(5);
+  const XorOverlay overlay(space, build_rng);
+  math::Rng fail_rng(6);
+  const FailureScenario failures(space, 0.25, fail_rng);
+  const math::Rng route_rng(7);
+  const auto a = estimate_routability_parallel(overlay, failures,
+                                               {.pairs = 3000}, route_rng);
+  const auto b = estimate_routability_parallel(overlay, failures,
+                                               {.pairs = 3000}, route_rng);
+  expect_identical(a, b, "repeat");
+}
+
+TEST(ParallelMonteCarlo, FlatKernelsMatchGenericRouterForRngFreeRules) {
+  // Tree, XOR, ring (both variants, with and without successor lists) and
+  // Symphony forwarding consume no randomness, so the flattened kernels
+  // must reproduce the virtual-dispatch Router path bit for bit.
+  const IdSpace space(9);
+  for (const std::string name :
+       {"tree", "xor", "chord", "chord-randomized", "chord-successors",
+        "symphony"}) {
+    math::Rng build_rng(11);
+    const auto overlay = make_named_overlay(name, space, build_rng);
+    math::Rng fail_rng(12);
+    const FailureScenario failures(space, 0.35, fail_rng);
+    const math::Rng route_rng(13);
+    ParallelOptions flat{.pairs = 3000, .threads = 2};
+    ParallelOptions generic = flat;
+    generic.use_flat_kernels = false;
+    const auto a =
+        estimate_routability_parallel(*overlay, failures, flat, route_rng);
+    const auto b =
+        estimate_routability_parallel(*overlay, failures, generic, route_rng);
+    expect_identical(a, b, name.c_str());
+  }
+}
+
+TEST(ParallelMonteCarlo, HypercubeFlatKernelAgreesStatistically) {
+  // The hypercube kernel draws once per hop instead of once per alive
+  // candidate, so individual routes differ from the generic path; the
+  // estimates must still agree to sampling accuracy.
+  const IdSpace space(10);
+  const HypercubeOverlay overlay(space);
+  math::Rng fail_rng(21);
+  const FailureScenario failures(space, 0.3, fail_rng);
+  const math::Rng route_rng(22);
+  ParallelOptions flat{.pairs = 20000, .threads = 2};
+  ParallelOptions generic = flat;
+  generic.use_flat_kernels = false;
+  const auto a =
+      estimate_routability_parallel(overlay, failures, flat, route_rng);
+  const auto b =
+      estimate_routability_parallel(overlay, failures, generic, route_rng);
+  EXPECT_NEAR(a.routability(), b.routability(), 0.02);
+  EXPECT_NEAR(a.hops.mean(), b.hops.mean(), 0.1);
+}
+
+TEST(ParallelMonteCarlo, AgreesWithSequentialEstimator) {
+  const IdSpace space(10);
+  const HypercubeOverlay overlay(space);
+  math::Rng fail_rng(31);
+  const FailureScenario failures(space, 0.2, fail_rng);
+  math::Rng serial_rng(32);
+  const auto serial =
+      estimate_routability(overlay, failures, {.pairs = 20000}, serial_rng);
+  const math::Rng parallel_rng(33);
+  const auto parallel = estimate_routability_parallel(
+      overlay, failures, {.pairs = 20000, .threads = 4}, parallel_rng);
+  EXPECT_NEAR(parallel.routability(), serial.routability(), 0.02);
+  EXPECT_NEAR(parallel.hops.mean(), serial.hops.mean(), 0.1);
+}
+
+TEST(ParallelMonteCarlo, MergeOfShardsEqualsOnePass) {
+  // Record a deterministic stream of route outcomes once sequentially and
+  // once split across three shard estimates; merging the shards must
+  // reproduce the one-pass accumulator exactly.
+  std::vector<RouteResult> routes;
+  math::Rng rng(77);
+  for (int i = 0; i < 300; ++i) {
+    RouteResult r;
+    const std::uint64_t kind = rng.uniform_below(10);
+    r.status = kind < 7   ? RouteStatus::kArrived
+               : kind < 9 ? RouteStatus::kDropped
+                          : RouteStatus::kHopLimit;
+    r.hops = static_cast<int>(rng.uniform_below(20));
+    routes.push_back(r);
+  }
+
+  RoutabilityEstimate one_pass;
+  for (const RouteResult& r : routes) {
+    one_pass.record(r);
+  }
+
+  RoutabilityEstimate shards[3];
+  for (std::size_t i = 0; i < routes.size(); ++i) {
+    shards[i % 3].record(routes[i]);
+  }
+  RoutabilityEstimate merged;
+  for (const RoutabilityEstimate& shard : shards) {
+    merged.merge(shard);
+  }
+  expect_identical(one_pass, merged, "merge");
+
+  // Merging an empty estimate is the identity.
+  RoutabilityEstimate empty;
+  merged.merge(empty);
+  expect_identical(one_pass, merged, "merge-empty");
+}
+
+TEST(ParallelMonteCarlo, HopStatsMergeHandlesEmptyAndExtrema) {
+  HopStats a;
+  a.add(5);
+  a.add(2);
+  HopStats b;
+  HopStats merged = a;
+  merged.merge(b);  // empty right-hand side
+  EXPECT_EQ(merged.count(), 2u);
+  EXPECT_EQ(merged.min(), 2u);
+  EXPECT_EQ(merged.max(), 5u);
+  b.merge(a);  // empty left-hand side
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_EQ(b.min(), 2u);
+  EXPECT_EQ(b.max(), 5u);
+  HopStats c;
+  c.add(9);
+  c.add(1);
+  b.merge(c);
+  EXPECT_EQ(b.count(), 4u);
+  EXPECT_EQ(b.sum(), 17u);
+  EXPECT_EQ(b.min(), 1u);
+  EXPECT_EQ(b.max(), 9u);
+}
+
+TEST(ParallelMonteCarlo, ExactParallelMatchesSequentialExact) {
+  // With rng-free forwarding rules the sharded exact measurement routes the
+  // same ordered pairs as the sequential one, so the results are equal bit
+  // for bit at every thread count.
+  const IdSpace space(7);
+  for (const std::string name : {"tree", "xor", "chord"}) {
+    math::Rng build_rng(51);
+    const auto overlay = make_named_overlay(name, space, build_rng);
+    math::Rng fail_rng(52);
+    const FailureScenario failures(space, 0.2, fail_rng);
+    math::Rng serial_rng(53);
+    const auto serial = exact_routability(*overlay, failures, serial_rng);
+    for (unsigned threads : {1u, 4u}) {
+      const math::Rng parallel_rng(54);
+      const auto parallel = exact_routability_parallel(
+          *overlay, failures, {.threads = threads}, parallel_rng);
+      expect_identical(serial, parallel, name.c_str());
+    }
+  }
+}
+
+TEST(ParallelMonteCarlo, ExactParallelHypercubeDeterministicAndClose) {
+  const IdSpace space(7);
+  const HypercubeOverlay overlay(space);
+  math::Rng fail_rng(61);
+  const FailureScenario failures(space, 0.2, fail_rng);
+  const math::Rng rng(62);
+  const auto one = exact_routability_parallel(overlay, failures,
+                                              {.threads = 1}, rng);
+  const auto eight = exact_routability_parallel(overlay, failures,
+                                                {.threads = 8}, rng);
+  expect_identical(one, eight, "hypercube-exact");
+  math::Rng serial_rng(63);
+  const auto serial = exact_routability(overlay, failures, serial_rng);
+  EXPECT_EQ(one.routed.trials, serial.routed.trials);
+  EXPECT_NEAR(one.routability(), serial.routability(), 0.02);
+}
+
+TEST(ParallelMonteCarlo, HopLimitHitsAreCountedDeterministically) {
+  const IdSpace space(8);
+  const HypercubeOverlay overlay(space);
+  const FailureScenario alive = FailureScenario::all_alive(space);
+  const math::Rng rng(71);
+  const ParallelOptions options{.pairs = 2000, .max_hops = 1, .threads = 2};
+  const auto a = estimate_routability_parallel(overlay, alive, options, rng);
+  EXPECT_GT(a.hop_limit_hits, 0u);  // Hamming distance > 1 cannot arrive
+  ParallelOptions more_threads = options;
+  more_threads.threads = 8;
+  const auto b =
+      estimate_routability_parallel(overlay, alive, more_threads, rng);
+  expect_identical(a, b, "hop-limit");
+}
+
+TEST(ParallelMonteCarlo, RejectsDegenerateInputs) {
+  const IdSpace space(4);
+  const HypercubeOverlay overlay(space);
+  const math::Rng rng(81);
+  const FailureScenario alive = FailureScenario::all_alive(space);
+  EXPECT_THROW(
+      estimate_routability_parallel(overlay, alive, {.pairs = 0}, rng),
+      PreconditionError);
+  FailureScenario one_alive = FailureScenario::all_alive(space);
+  for (NodeId id = 1; id < space.size(); ++id) {
+    one_alive.kill(id);
+  }
+  EXPECT_THROW(
+      estimate_routability_parallel(overlay, one_alive, {.pairs = 10}, rng),
+      PreconditionError);
+  EXPECT_THROW(exact_routability_parallel(overlay, one_alive, {}, rng),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace dht::sim
