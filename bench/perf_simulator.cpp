@@ -11,11 +11,28 @@
 //    "seconds":0.123,"routes_per_sec":1626016.3,"speedup_vs_seed":5.81,
 //    "routability":0.986535,"identical_across_threads":true}
 //
+// A second JSONL section ("section":"churn") drives the sharded churn
+// trajectory engine (churn/trajectory.hpp) on the XOR geometry across the
+// same thread sweep, so the bench trajectory also records dynamic-regime
+// throughput:
+//
+//   {"bench":"perf_simulator","section":"churn","geometry":"xor",
+//    "threads":8,"n":4096,"shards":8,"warmup_rounds":30,"rounds":4,
+//    "pairs_per_round":2500,"q_eff":0.075,"seed":1,"seconds":0.042,
+//    "shard_rounds_per_sec":6476.2,"routes":80000,
+//    "routability":0.951234,"identical_across_threads":true}
+//
+// Wall time covers world evolution (warmup + measured rounds) plus route
+// sampling, so the churn throughput metric is shard-rounds/sec -- a routes
+// /sec figure here would mostly measure warmup stepping.
+//
 // The harness also cross-checks determinism: the parallel estimates at
-// every thread count must be bit-identical; a mismatch exits non-zero.
+// every thread count must be bit-identical (static AND churn sections); a
+// mismatch exits non-zero.
 //
 // Flags: --bits D (16)  --q Q (0.1)  --pairs P (200000)  --seed S (1)
 //        --threads a,b,c (1,2,4,8)  --geometry NAME|all (ring,xor,hypercube)
+//        --churn-bits D (12)  --churn-rounds R (4, 0 disables the section)
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -25,6 +42,7 @@
 #include <vector>
 
 #include "bench_util.hpp"
+#include "churn/trajectory.hpp"
 #include "math/rng.hpp"
 #include "sim/monte_carlo.hpp"
 #include "sim/parallel_monte_carlo.hpp"
@@ -42,6 +60,10 @@ struct Config {
   // Default to the ring: the geometry the paper's Fig. 6(b) simulates, and
   // the headline flattened kernel.  --geometry all sweeps every geometry.
   std::vector<std::string> geometries = {"ring"};
+  // Churn section: XOR trajectories at a smaller space (each shard evolves
+  // a full replica, so the per-round cost is O(N log N) per shard).
+  int churn_bits = 12;
+  int churn_rounds = 4;  // 0 disables the section
 };
 
 std::vector<unsigned> parse_thread_list(const char* arg) {
@@ -85,6 +107,10 @@ Config parse_args(int argc, char** argv) {
                              "positive counts, e.g. 1,2,4,8\n");
         std::exit(1);
       }
+    } else if (flag == "--churn-bits") {
+      cfg.churn_bits = std::atoi(value);
+    } else if (flag == "--churn-rounds") {
+      cfg.churn_rounds = std::atoi(value);
     } else if (flag == "--geometry") {
       if (std::strcmp(value, "all") == 0) {
         cfg.geometries = {"ring", "xor", "tree", "hypercube", "symphony"};
@@ -178,6 +204,67 @@ int main(int argc, char** argv) {
       all_identical = all_identical && identical;
       emit(cfg, geometry, "parallel", threads, seconds,
            estimate.routability(), seed_seconds / seconds, identical);
+    }
+  }
+
+  // Churn-sweep section: sharded XOR trajectories across the same thread
+  // sweep.  Routability and every per-round estimate must be bit-identical
+  // at every thread count.
+  if (cfg.churn_rounds > 0) {
+    const sim::IdSpace churn_space(cfg.churn_bits);
+    const churn::ChurnParams params{.death_per_round = 0.02,
+                                    .rebirth_per_round = 0.08,
+                                    .refresh_interval = 10};
+    const churn::TrajectoryOptions base{.warmup_rounds = 30,
+                                        .measured_rounds = cfg.churn_rounds,
+                                        .pairs_per_round = 2500,
+                                        .shards = 8};
+    const math::Rng churn_rng(cfg.seed + 3);
+    bool have_reference = false;
+    churn::TrajectoryResult reference;
+    for (unsigned threads : cfg.threads) {
+      churn::TrajectoryOptions options = base;
+      options.threads = threads;
+      const auto start = std::chrono::steady_clock::now();
+      const auto result = churn::run_churn_trajectory(
+          churn::TrajectoryGeometry::kXor, churn_space, params, options,
+          churn_rng);
+      const double seconds = seconds_since(start);
+      bool identical = true;
+      if (have_reference) {
+        identical =
+            identical_estimates(reference.overall, result.overall) &&
+            reference.per_round.size() == result.per_round.size();
+        for (std::size_t r = 0; identical && r < result.per_round.size();
+             ++r) {
+          identical =
+              identical_estimates(reference.per_round[r], result.per_round[r]);
+        }
+      } else {
+        reference = result;
+        have_reference = true;
+      }
+      all_identical = all_identical && identical;
+      const double shard_rounds =
+          static_cast<double>(result.shards) *
+          static_cast<double>(base.warmup_rounds + cfg.churn_rounds);
+      std::printf(
+          "{\"bench\":\"perf_simulator\",\"section\":\"churn\","
+          "\"geometry\":\"xor\",\"threads\":%u,\"n\":%llu,\"shards\":%llu,"
+          "\"warmup_rounds\":%d,\"rounds\":%d,\"pairs_per_round\":%llu,"
+          "\"q_eff\":%.6f,\"seed\":%llu,\"seconds\":%.6f,"
+          "\"shard_rounds_per_sec\":%.1f,\"routes\":%llu,"
+          "\"routability\":%.6f,\"identical_across_threads\":%s}\n",
+          threads,
+          static_cast<unsigned long long>(churn_space.size()),
+          static_cast<unsigned long long>(result.shards),
+          base.warmup_rounds, cfg.churn_rounds,
+          static_cast<unsigned long long>(base.pairs_per_round),
+          churn::effective_q(params),
+          static_cast<unsigned long long>(cfg.seed), seconds,
+          shard_rounds / seconds,
+          static_cast<unsigned long long>(result.overall.routed.trials),
+          result.overall.routability(), identical ? "true" : "false");
     }
   }
 

@@ -8,6 +8,11 @@
 //   simulate <geometry> <d> <q> [pairs] [seed] [--threads N]
 //                                     static-resilience measurement on the
 //                                     parallel deterministic engine
+//   churn <geometry> <d> <pd> <pr> <R> [rounds] [pairs] [seed]
+//         [--threads N] [--shards S] [--rho RHO]
+//                                     sharded dynamic trajectories (xor |
+//                                     tree | ring) vs the static model at
+//                                     q_eff
 //   latency <geometry> <d> <q>        chain-predicted hops of survivors
 //
 // Geometries: tree | hypercube | xor | ring | symphony.
@@ -20,6 +25,7 @@
 #include <thread>
 #include <vector>
 
+#include "churn/trajectory.hpp"
 #include "common/strfmt.hpp"
 #include "core/latency.hpp"
 #include "core/registry.hpp"
@@ -46,6 +52,8 @@ int usage() {
       "  sweep-n <geometry> <q>\n"
       "  scalability [q]\n"
       "  simulate <geometry> <d> <q> [pairs] [seed] [--threads N]\n"
+      "  churn <geometry> <d> <pd> <pr> <R> [rounds] [pairs] [seed]\n"
+      "        [--threads N] [--shards S] [--rho RHO]   (xor | tree | ring)\n"
       "  latency <geometry> <d> <q>\n"
       "geometries: tree | hypercube | xor | ring | symphony\n";
   return 1;
@@ -180,6 +188,76 @@ int cmd_simulate(const std::string& name, int d, double q,
   return 0;
 }
 
+int cmd_churn(const std::string& name, int d, double pd, double pr,
+              int refresh, int rounds, std::uint64_t pairs,
+              std::uint64_t seed, unsigned threads, std::uint64_t shards,
+              double rho) {
+  churn::TrajectoryGeometry geometry;
+  if (!churn::trajectory_geometry_from_name(name, geometry)) {
+    std::cerr << "churn: geometry must be xor, tree, or ring\n";
+    return usage();
+  }
+  if (d > 16) {
+    std::cerr << "churn: d capped at 16 (each shard evolves a full replica)\n";
+    return 1;
+  }
+  const sim::IdSpace space(d);
+  const churn::ChurnParams params{.death_per_round = pd,
+                                  .rebirth_per_round = pr,
+                                  .refresh_interval = refresh};
+  const churn::TrajectoryOptions options{.warmup_rounds = 3 * refresh + 30,
+                                         .measured_rounds = rounds,
+                                         .pairs_per_round = pairs,
+                                         .shards = shards,
+                                         .threads = threads,
+                                         .repair_probability = rho};
+  const math::Rng rng(seed);
+  const auto start = std::chrono::steady_clock::now();
+  const auto result =
+      churn::run_churn_trajectory(geometry, space, params, options, rng);
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  const double q_eff = churn::effective_q(params);
+  const auto geometry_core = core::make_geometry(name);
+  const auto point = core::evaluate_routability(*geometry_core, d, q_eff);
+  const auto ci = result.overall.confidence95();
+  std::cout << strfmt(
+      "churn trajectory:      %s, N = 2^%d, %llu shard replicas, "
+      "%d+%d rounds\n",
+      churn::to_string(geometry), d,
+      static_cast<unsigned long long>(result.shards),
+      options.warmup_rounds, rounds);
+  std::cout << strfmt(
+      "lifecycle:             pd = %.4f, pr = %.4f, a = %.4f, R = %d, "
+      "rho = %.2f\n",
+      pd, pr, churn::availability(params), refresh, rho);
+  std::cout << strfmt("effective q (q_eff):   %.6f\n", q_eff);
+  std::cout << strfmt("dynamic routability:   %.6f  (95%% CI [%.6f, %.6f])\n",
+                      result.overall.routability(), ci.lo, ci.hi);
+  std::cout << strfmt("static model at q_eff: %.6f  (%s)\n",
+                      point.conditional_success,
+                      to_string(geometry_core->exactness()));
+  std::cout << strfmt("mean hops on success:  %.3f\n",
+                      result.overall.hops.mean());
+  std::cout << strfmt("mean alive fraction:   %.4f\n",
+                      result.mean_alive_fraction);
+  std::cout << strfmt("mean entry age:        %.2f rounds\n",
+                      result.mean_entry_age);
+  // Wall time covers world evolution (warmup + measured rounds) plus the
+  // route sampling, so report trajectory throughput, not routes/sec.
+  const double shard_rounds =
+      static_cast<double>(result.shards) *
+      static_cast<double>(options.warmup_rounds + rounds);
+  std::cout << strfmt(
+      "throughput:            %.0f shard-rounds/sec (%llu routes sampled "
+      "in %.2fs)\n",
+      shard_rounds / seconds,
+      static_cast<unsigned long long>(result.overall.routed.trials),
+      seconds);
+  return 0;
+}
+
 int cmd_latency(const std::string& name, int d, double q) {
   const auto geometry = core::make_geometry(name);
   const auto point = core::expected_latency(*geometry, d, q);
@@ -232,6 +310,45 @@ int main(int argc, char** argv) {
               : 1;
       return cmd_simulate(argv[2], std::atoi(argv[3]), std::atof(argv[4]),
                           pairs, seed, threads);
+    }
+    if (command == "churn" && argc >= 7) {
+      // Positional [rounds] [pairs] [seed], then optional --threads /
+      // --shards / --rho flag pairs in any order.
+      unsigned threads = 0;
+      std::uint64_t shards = 0;
+      double rho = 0.0;
+      std::vector<std::string> positional;
+      for (int i = 7; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--threads" && i + 1 < argc) {
+          threads = static_cast<unsigned>(std::atoi(argv[i + 1]));
+          ++i;
+        } else if (arg == "--shards" && i + 1 < argc) {
+          shards = std::strtoull(argv[i + 1], nullptr, 10);
+          ++i;
+        } else if (arg == "--rho" && i + 1 < argc) {
+          rho = std::atof(argv[i + 1]);
+          ++i;
+        } else if (arg.rfind("--", 0) == 0) {
+          std::cerr << "churn: unknown flag " << arg << "\n";
+          return usage();
+        } else {
+          positional.push_back(arg);
+        }
+      }
+      const int rounds =
+          !positional.empty() ? std::atoi(positional[0].c_str()) : 5;
+      const std::uint64_t pairs =
+          positional.size() >= 2
+              ? std::strtoull(positional[1].c_str(), nullptr, 10)
+              : 1000;
+      const std::uint64_t seed =
+          positional.size() >= 3
+              ? std::strtoull(positional[2].c_str(), nullptr, 10)
+              : 1;
+      return cmd_churn(argv[2], std::atoi(argv[3]), std::atof(argv[4]),
+                       std::atof(argv[5]), std::atoi(argv[6]), rounds, pairs,
+                       seed, threads, shards, rho);
     }
     if (command == "latency" && argc == 5) {
       return cmd_latency(argv[2], std::atoi(argv[3]), std::atof(argv[4]));

@@ -1,9 +1,9 @@
 #include "churn/churn.hpp"
 
-#include <bit>
 #include <cmath>
 
 #include "common/check.hpp"
+#include "sim/flat_route.hpp"
 
 namespace dht::churn {
 
@@ -49,13 +49,49 @@ double effective_q(const ChurnParams& params) {
   return (1.0 - availability(params)) * (1.0 - mean_alive_term);
 }
 
-ChurnSimulator::ChurnSimulator(const sim::IdSpace& space,
-                               const ChurnParams& params, math::Rng& rng)
-    : space_(space),
+bool trajectory_geometry_from_name(std::string_view name,
+                                   TrajectoryGeometry& out) {
+  if (name == "xor") {
+    out = TrajectoryGeometry::kXor;
+    return true;
+  }
+  if (name == "tree") {
+    out = TrajectoryGeometry::kTree;
+    return true;
+  }
+  if (name == "ring") {
+    out = TrajectoryGeometry::kRing;
+    return true;
+  }
+  return false;
+}
+
+const char* to_string(TrajectoryGeometry geometry) noexcept {
+  switch (geometry) {
+    case TrajectoryGeometry::kXor:
+      return "xor";
+    case TrajectoryGeometry::kTree:
+      return "tree";
+    case TrajectoryGeometry::kRing:
+      return "ring";
+  }
+  return "?";
+}
+
+ChurnWorld::ChurnWorld(TrajectoryGeometry geometry, const sim::IdSpace& space,
+                       const ChurnParams& params, double repair_probability,
+                       std::uint64_t max_hops, const math::Rng& rng)
+    : geometry_(geometry),
+      space_(space),
       params_(params),
+      repair_probability_(repair_probability),
+      max_hops_(max_hops == 0 ? space.size() : max_hops),
       lifecycle_rng_(rng.fork(1)),
-      table_rng_(rng.fork(2)) {
+      table_rng_(rng.fork(2)),
+      measure_rng_(rng.fork(3)) {
   check_params(params);
+  DHT_CHECK(repair_probability >= 0.0 && repair_probability <= 1.0,
+            "repair probability must be in [0, 1]");
   const std::uint64_t n = space_.size();
   const int d = space_.bits();
   const double a = availability(params);
@@ -80,28 +116,49 @@ ChurnSimulator::ChurnSimulator(const sim::IdSpace& space,
   }
 }
 
-void ChurnSimulator::refresh_entry(sim::NodeId node, int level) {
+sim::NodeId ChurnWorld::class_member(sim::NodeId node, int level,
+                                     std::uint64_t member) const {
+  // The entry class of (node, level) has 2^{d-level} candidates:
+  //   xor/tree  ids sharing node's first level-1 bits, bit level flipped
+  //             (a contiguous block once the suffix is freed)
+  //   ring      the dyadic finger interval node + [2^{d-level},
+  //             2^{d-level+1}) on the ring
+  // Any member resolves its level (xor/tree) or keeps the disjoint
+  // decreasing-interval structure the greedy finger scan relies on (ring).
   const int d = space_.bits();
+  if (geometry_ == TrajectoryGeometry::kRing) {
+    const std::uint64_t lo = std::uint64_t{1} << (d - level);
+    return (node + lo + member) & (space_.size() - 1);
+  }
   const int suffix_bits = d - level;
   const sim::NodeId base = (sim::flip_level(node, level, d) >> suffix_bits)
                            << suffix_bits;
-  const std::uint64_t count = std::uint64_t{1} << suffix_bits;
-  // Prefer an alive class member; keep the old entry if the class is dead
-  // (bounded rejection, then exact scan -- classes die only when tiny).
-  sim::NodeId chosen = base + table_rng_.uniform_below(count);
+  return base + member;
+}
+
+void ChurnWorld::refresh_entry(sim::NodeId node, int level) {
+  const int d = space_.bits();
+  const std::uint64_t count = std::uint64_t{1} << (d - level);
+  // Prefer an alive class member; keep a (dead) random member if the class
+  // is dead (bounded rejection, then exact scan -- classes die only when
+  // tiny).
+  sim::NodeId chosen =
+      class_member(node, level, table_rng_.uniform_below(count));
   if (!alive_[chosen]) {
     bool found = false;
     for (int attempt = 0; attempt < 32 && !found; ++attempt) {
-      const sim::NodeId candidate = base + table_rng_.uniform_below(count);
+      const sim::NodeId candidate =
+          class_member(node, level, table_rng_.uniform_below(count));
       if (alive_[candidate]) {
         chosen = candidate;
         found = true;
       }
     }
     if (!found) {
-      for (std::uint64_t offset = 0; offset < count && !found; ++offset) {
-        if (alive_[base + offset]) {
-          chosen = base + offset;
+      for (std::uint64_t member = 0; member < count && !found; ++member) {
+        const sim::NodeId candidate = class_member(node, level, member);
+        if (alive_[candidate]) {
+          chosen = candidate;
           found = true;
         }
       }
@@ -113,13 +170,13 @@ void ChurnSimulator::refresh_entry(sim::NodeId node, int level) {
   refreshed_at_[slot] = static_cast<std::int32_t>(round_);
 }
 
-void ChurnSimulator::rebuild_node(sim::NodeId node) {
+void ChurnWorld::rebuild_node(sim::NodeId node) {
   for (int level = 1; level <= space_.bits(); ++level) {
     refresh_entry(node, level);
   }
 }
 
-void ChurnSimulator::step() {
+void ChurnWorld::step() {
   ++round_;
   const std::uint64_t n = space_.size();
   // Lifecycle flips first (a rejoiner builds its table against the new
@@ -140,7 +197,11 @@ void ChurnSimulator::step() {
   for (const sim::NodeId v : rejoined) {
     rebuild_node(v);
   }
-  // Due refreshes for alive nodes (dead nodes' tables stay frozen).
+  // Due refreshes for alive nodes (dead nodes' tables stay frozen), plus
+  // the eager-repair channel: an entry pointing at a dead node is detected
+  // and re-pointed with probability rho this round, independent of its
+  // refresh phase -- rho = 0 is the pure lazy-refresh model, rho -> 1
+  // approaches the fully repaired static regime.
   const int d = space_.bits();
   for (std::uint64_t v = 0; v < n; ++v) {
     if (!alive_[v]) {
@@ -151,74 +212,70 @@ void ChurnSimulator::step() {
                                  static_cast<std::uint64_t>(level - 1);
       if (round_ - refreshed_at_[slot] >= params_.refresh_interval) {
         refresh_entry(v, level);
+      } else if (repair_probability_ > 0.0 && !alive_[entries_[slot]] &&
+                 table_rng_.bernoulli(repair_probability_)) {
+        refresh_entry(v, level);
       }
     }
   }
 }
 
-void ChurnSimulator::run(int rounds) {
-  DHT_CHECK(rounds >= 0, "round count must be >= 0");
-  for (int i = 0; i < rounds; ++i) {
-    step();
+sim::RoutabilityEstimate ChurnWorld::measure(std::uint64_t pairs,
+                                             math::Rng& rng) {
+  sim::RoutabilityEstimate estimate;
+  if (alive_count_ < 2) {
+    return estimate;
   }
+  sim::flat::FlatCtx ctx;
+  ctx.d = space_.bits();
+  ctx.mask = space_.size() - 1;
+  ctx.alive = alive_.data();
+  ctx.table = entries_.data();
+  ctx.max_hops = max_hops_;
+  // Single geometry -> kernel dispatch, hoisted out of the pair loop; an
+  // unhandled enumerator leaves `kernel` null and trips -Wswitch.
+  sim::RouteResult (*kernel)(const sim::flat::FlatCtx&, sim::NodeId,
+                             sim::NodeId) = nullptr;
+  switch (geometry_) {
+    case TrajectoryGeometry::kTree:
+      ctx.kind = sim::flat::KernelKind::kTree;
+      kernel = &sim::flat::route_tree;
+      break;
+    case TrajectoryGeometry::kRing:
+      ctx.kind = sim::flat::KernelKind::kChordRandomized;
+      kernel = &sim::flat::route_chord_randomized;
+      break;
+    case TrajectoryGeometry::kXor:
+      ctx.kind = sim::flat::KernelKind::kXor;
+      kernel = &sim::flat::route_xor;
+      break;
+  }
+  DHT_CHECK(kernel != nullptr, "unsupported trajectory geometry");
+  const std::uint64_t n = space_.size();
+  for (std::uint64_t i = 0; i < pairs; ++i) {
+    sim::NodeId source = rng.uniform_below(n);
+    while (!alive_[source]) {
+      source = rng.uniform_below(n);
+    }
+    sim::NodeId target = rng.uniform_below(n);
+    while (!alive_[target] || target == source) {
+      target = rng.uniform_below(n);
+    }
+    estimate.record(kernel(ctx, source, target));
+  }
+  return estimate;
 }
 
-double ChurnSimulator::alive_fraction() const noexcept {
+sim::RoutabilityEstimate ChurnWorld::measure(std::uint64_t pairs) {
+  return measure(pairs, measure_rng_);
+}
+
+double ChurnWorld::alive_fraction() const noexcept {
   return static_cast<double>(alive_count_) /
          static_cast<double>(space_.size());
 }
 
-bool ChurnSimulator::route(sim::NodeId source, sim::NodeId target) const {
-  const int d = space_.bits();
-  sim::NodeId current = source;
-  std::uint64_t guard = space_.size();
-  while (current != target) {
-    if (guard-- == 0) {
-      DHT_CHECK(false, "churn route exceeded N hops: protocol bug");
-    }
-    sim::NodeId diff = sim::xor_distance(current, target);
-    sim::NodeId next = current;
-    while (diff != 0) {
-      const int level = d - std::bit_width(diff) + 1;
-      const sim::NodeId candidate =
-          entries_[current * static_cast<std::uint64_t>(d) +
-                   static_cast<std::uint64_t>(level - 1)];
-      // Staleness only affects liveness, not progress: any member of the
-      // (prefix, flipped-bit) class resolves this level and is strictly
-      // closer in XOR distance, so an alive entry is always a greedy hop.
-      if (alive_[candidate]) {
-        next = candidate;
-        break;
-      }
-      diff &= ~(sim::NodeId{1} << (d - level));
-    }
-    if (next == current) {
-      return false;  // dropped
-    }
-    current = next;
-  }
-  return true;
-}
-
-math::Proportion ChurnSimulator::measure_routability(std::uint64_t pairs,
-                                                     math::Rng& rng) {
-  DHT_CHECK(alive_count_ >= 2, "need at least two alive nodes");
-  math::Proportion result;
-  for (std::uint64_t i = 0; i < pairs; ++i) {
-    sim::NodeId source = rng.uniform_below(space_.size());
-    while (!alive_[source]) {
-      source = rng.uniform_below(space_.size());
-    }
-    sim::NodeId target = rng.uniform_below(space_.size());
-    while (!alive_[target] || target == source) {
-      target = rng.uniform_below(space_.size());
-    }
-    result.record(route(source, target));
-  }
-  return result;
-}
-
-double ChurnSimulator::mean_entry_age() const {
+double ChurnWorld::mean_entry_age() const {
   double total = 0.0;
   std::uint64_t counted = 0;
   const int d = space_.bits();
@@ -234,6 +291,24 @@ double ChurnSimulator::mean_entry_age() const {
     }
   }
   return counted == 0 ? 0.0 : total / static_cast<double>(counted);
+}
+
+ChurnSimulator::ChurnSimulator(const sim::IdSpace& space,
+                               const ChurnParams& params, math::Rng& rng)
+    : world_(TrajectoryGeometry::kXor, space, params,
+             /*repair_probability=*/0.0, /*max_hops=*/0, rng) {}
+
+void ChurnSimulator::run(int rounds) {
+  DHT_CHECK(rounds >= 0, "round count must be >= 0");
+  for (int i = 0; i < rounds; ++i) {
+    world_.step();
+  }
+}
+
+math::Proportion ChurnSimulator::measure_routability(std::uint64_t pairs,
+                                                     math::Rng& rng) {
+  DHT_CHECK(world_.alive_count() >= 2, "need at least two alive nodes");
+  return world_.measure(pairs, rng).routed;
 }
 
 }  // namespace dht::churn

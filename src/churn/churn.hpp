@@ -17,20 +17,26 @@
 //   q_eff(R) = (1-a) [1 - (1 - lambda^R) / (R (1 - lambda))],
 //
 // interpolating from q_eff = 0 (continuous refresh) to 1-a (never
-// refresh: stationary dead probability).  The ChurnSimulator below runs
-// the actual dynamic system for the XOR geometry and the ext_churn
-// benchmark confirms that its routability matches the static model
-// evaluated at q_eff -- answering the paper's open question for this churn
-// model: static resilience analysis applies under churn, at the effective
-// failure probability set by the refresh lag.
+// refresh: stationary dead probability).  ChurnWorld below runs the actual
+// dynamic system -- for the XOR, tree, and ring geometries, routing over
+// the flattened kernels of sim/flat_route.hpp -- and the ext_churn
+// benchmark plus test_churn_trajectory confirm that its routability
+// matches the static model evaluated at q_eff, answering the paper's open
+// question for this churn model: static resilience analysis applies under
+// churn, at the effective failure probability set by the refresh lag.
+// ChurnSimulator is the single-world convenience facade; the sharded sweep
+// engine (churn/trajectory.hpp) runs many ChurnWorlds as independent
+// replicas.
 #pragma once
 
 #include <cstdint>
+#include <string_view>
 #include <vector>
 
 #include "math/rng.hpp"
 #include "math/stats.hpp"
 #include "sim/id_space.hpp"
+#include "sim/monte_carlo.hpp"
 #include "sim/node_id.hpp"
 
 namespace dht::churn {
@@ -51,48 +57,115 @@ double dead_given_age(const ChurnParams& params, int age);
 /// The effective static failure probability q_eff(R) (see file comment).
 double effective_q(const ChurnParams& params);
 
-/// A dynamic XOR (Kademlia) overlay under churn: node lifecycles, lazy
-/// entry refresh, greedy fallback routing against the *current* liveness.
-class ChurnSimulator {
+/// Geometries the churn machinery can evolve.  All three keep one entry
+/// per (node, level) with 2^{d-level} candidates per entry class:
+///   kXor   prefix-class entries, greedy XOR fallback forwarding
+///   kTree  same tables, level-correcting forwarding
+///   kRing  randomized Chord fingers (entry i uniform in the dyadic
+///          interval [2^{d-i}, 2^{d-i+1})), greedy clockwise forwarding
+enum class TrajectoryGeometry {
+  kXor,
+  kTree,
+  kRing,
+};
+
+/// Maps "xor" | "tree" | "ring" to the enum; anything else returns false.
+bool trajectory_geometry_from_name(std::string_view name,
+                                   TrajectoryGeometry& out);
+
+const char* to_string(TrajectoryGeometry geometry) noexcept;
+
+/// One dynamic overlay world under churn: node lifecycles, lazy entry
+/// refresh every R rounds, optional per-round eager repair of entries
+/// observed dead (the rho knob of sim/repair.hpp), and routing against the
+/// *current* liveness via the geometry's flattened kernel.
+///
+/// The constructor only fork()s the caller's generator (lifecycle, table,
+/// and measurement sub-streams), so a world's whole trajectory is a pure
+/// function of (rng lineage, inputs) -- which is what lets the sharded
+/// sweep engine run worlds as independent replicas with bit-reproducible
+/// results at any thread count.
+class ChurnWorld {
  public:
   /// Starts at the stationary state (each node alive w.p. availability),
   /// with fresh tables and refresh phases staggered uniformly.
-  ChurnSimulator(const sim::IdSpace& space, const ChurnParams& params,
-                 math::Rng& rng);
+  /// `max_hops` of 0 selects the default cap N (strict progress bounds any
+  /// route); hits are counted in the estimates' hop_limit_hits canary.
+  ChurnWorld(TrajectoryGeometry geometry, const sim::IdSpace& space,
+             const ChurnParams& params, double repair_probability,
+             std::uint64_t max_hops, const math::Rng& rng);
 
   /// Advances one round: lifecycle flips, rejoiner table rebuilds, due
-  /// refreshes.
+  /// refreshes, and (when rho > 0) eager repair of entries observed dead.
   void step();
 
-  /// Runs `rounds` steps (warm-up convenience).
-  void run(int rounds);
+  /// Samples `pairs` routes among currently-alive pairs against the stored
+  /// (possibly stale) tables, drawing endpoints from `rng`.  With fewer
+  /// than two alive nodes there is nothing to sample: returns an empty
+  /// estimate.
+  sim::RoutabilityEstimate measure(std::uint64_t pairs, math::Rng& rng);
+
+  /// Same, drawing from the world's own measurement sub-stream (the
+  /// sharded engine's path: no external generator to advance).
+  sim::RoutabilityEstimate measure(std::uint64_t pairs);
 
   int round() const noexcept { return round_; }
+  std::uint64_t alive_count() const noexcept { return alive_count_; }
   double alive_fraction() const noexcept;
-
-  /// Routability among currently-alive pairs, sampled with the XOR
-  /// fallback rule against the stored (possibly stale) tables.
-  math::Proportion measure_routability(std::uint64_t pairs, math::Rng& rng);
 
   /// Mean age (rounds since refresh) over all entries of alive nodes --
   /// diagnostic for the q_eff derivation's uniform-age assumption.
   double mean_entry_age() const;
 
  private:
+  sim::NodeId class_member(sim::NodeId node, int level,
+                           std::uint64_t member) const;
   void refresh_entry(sim::NodeId node, int level);
   void rebuild_node(sim::NodeId node);
-  bool route(sim::NodeId source, sim::NodeId target) const;
 
+  const TrajectoryGeometry geometry_;
   const sim::IdSpace space_;
-  ChurnParams params_;
+  const ChurnParams params_;
+  const double repair_probability_;
+  const std::uint64_t max_hops_;
   math::Rng lifecycle_rng_;
   math::Rng table_rng_;
+  math::Rng measure_rng_;
   int round_ = 0;
   std::vector<std::uint8_t> alive_;
   std::uint64_t alive_count_ = 0;
   // Row-major [node][level-1] entries + the round each was last refreshed.
   std::vector<std::uint32_t> entries_;
   std::vector<std::int32_t> refreshed_at_;
+};
+
+/// Single-world convenience facade over ChurnWorld for the XOR geometry
+/// (the original churn extension's interface): no eager repair, external
+/// measurement stream.
+class ChurnSimulator {
+ public:
+  /// `rng` is only fork()ed, never advanced.
+  ChurnSimulator(const sim::IdSpace& space, const ChurnParams& params,
+                 math::Rng& rng);
+
+  /// Advances one round.
+  void step() { world_.step(); }
+
+  /// Runs `rounds` steps (warm-up convenience).
+  void run(int rounds);
+
+  int round() const noexcept { return world_.round(); }
+  double alive_fraction() const noexcept { return world_.alive_fraction(); }
+
+  /// Routability among currently-alive pairs, sampled with the XOR
+  /// fallback rule against the stored (possibly stale) tables.
+  /// Precondition: at least two alive nodes.
+  math::Proportion measure_routability(std::uint64_t pairs, math::Rng& rng);
+
+  double mean_entry_age() const { return world_.mean_entry_age(); }
+
+ private:
+  ChurnWorld world_;
 };
 
 }  // namespace dht::churn

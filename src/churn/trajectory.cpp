@@ -1,0 +1,106 @@
+#include "churn/trajectory.hpp"
+
+#include <utility>
+
+#include "common/check.hpp"
+#include "sim/shard_pool.hpp"
+
+namespace dht::churn {
+
+TrajectoryResult run_churn_trajectory(TrajectoryGeometry geometry,
+                                      const sim::IdSpace& space,
+                                      const ChurnParams& params,
+                                      const TrajectoryOptions& options,
+                                      const math::Rng& rng) {
+  DHT_CHECK(options.warmup_rounds >= 0, "warmup rounds must be >= 0");
+  DHT_CHECK(options.measured_rounds >= 1,
+            "at least one round must be measured");
+  DHT_CHECK(options.pairs_per_round > 0,
+            "at least one pair must be sampled per round");
+  // Lifecycle and repair-probability domains are validated by the
+  // ChurnWorld constructor (common/check.hpp); run them up front so a bad
+  // grid point throws before any shard spins up a world.
+  (void)availability(params);
+  DHT_CHECK(options.repair_probability >= 0.0 &&
+                options.repair_probability <= 1.0,
+            "repair probability must be in [0, 1]");
+
+  const std::uint64_t shards =
+      options.shards != 0 ? options.shards : kDefaultTrajectoryShards;
+  const int rounds = options.measured_rounds;
+  std::vector<std::vector<sim::RoutabilityEstimate>> shard_rounds(shards);
+  std::vector<double> alive_sum(shards, 0.0);
+  std::vector<double> age_sum(shards, 0.0);
+
+  sim::run_sharded(
+      shards, sim::resolve_threads(options.threads), [&](std::uint64_t s) {
+        // Shard s is an independent replica of the whole trajectory, a pure
+        // function of (caller seed, s).
+        ChurnWorld world(geometry, space, params, options.repair_probability,
+                         options.max_hops, rng.fork(s));
+        for (int i = 0; i < options.warmup_rounds; ++i) {
+          world.step();
+        }
+        auto& mine = shard_rounds[s];
+        mine.reserve(static_cast<std::size_t>(rounds));
+        for (int r = 0; r < rounds; ++r) {
+          world.step();
+          mine.push_back(world.measure(options.pairs_per_round));
+          alive_sum[s] += world.alive_fraction();
+          age_sum[s] += world.mean_entry_age();
+        }
+      });
+
+  TrajectoryResult result;
+  result.shards = shards;
+  result.per_round.resize(static_cast<std::size_t>(rounds));
+  for (int r = 0; r < rounds; ++r) {
+    for (std::uint64_t s = 0; s < shards; ++s) {
+      result.per_round[static_cast<std::size_t>(r)].merge(
+          shard_rounds[s][static_cast<std::size_t>(r)]);
+    }
+    result.overall.merge(result.per_round[static_cast<std::size_t>(r)]);
+  }
+  double alive_total = 0.0;
+  double age_total = 0.0;
+  for (std::uint64_t s = 0; s < shards; ++s) {
+    alive_total += alive_sum[s];
+    age_total += age_sum[s];
+  }
+  const double snapshots =
+      static_cast<double>(shards) * static_cast<double>(rounds);
+  result.mean_alive_fraction = alive_total / snapshots;
+  result.mean_entry_age = age_total / snapshots;
+  return result;
+}
+
+std::vector<SweepPoint> run_churn_sweep(const SweepSpec& spec) {
+  DHT_CHECK(!spec.bits.empty(), "sweep needs at least one bits value");
+  DHT_CHECK(!spec.churn.empty(), "sweep needs at least one churn point");
+  DHT_CHECK(!spec.repair.empty(), "sweep needs at least one repair value");
+  const math::Rng root(spec.seed);
+  std::vector<SweepPoint> points;
+  points.reserve(spec.bits.size() * spec.churn.size() * spec.repair.size());
+  std::uint64_t index = 0;
+  for (const int bits : spec.bits) {
+    const sim::IdSpace space(bits);
+    for (const ChurnParams& params : spec.churn) {
+      for (const double rho : spec.repair) {
+        TrajectoryOptions options = spec.options;
+        options.repair_probability = rho;
+        SweepPoint point;
+        point.bits = bits;
+        point.params = params;
+        point.repair_probability = rho;
+        point.q_eff = effective_q(params);
+        point.result = run_churn_trajectory(spec.geometry, space, params,
+                                            options, root.fork(index));
+        points.push_back(std::move(point));
+        ++index;
+      }
+    }
+  }
+  return points;
+}
+
+}  // namespace dht::churn

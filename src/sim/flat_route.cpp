@@ -1,0 +1,47 @@
+#include "sim/flat_route.hpp"
+
+#include "sim/chord_overlay.hpp"
+#include "sim/hypercube_overlay.hpp"
+#include "sim/overlay.hpp"
+#include "sim/symphony_overlay.hpp"
+#include "sim/tree_overlay.hpp"
+#include "sim/xor_overlay.hpp"
+
+namespace dht::sim::flat {
+
+FlatCtx make_ctx(const Overlay& overlay, const FailureScenario& failures,
+                 std::uint64_t max_hops, bool use_flat_kernels) {
+  FlatCtx c;
+  c.d = overlay.space().bits();
+  c.mask = overlay.space().size() - 1;
+  c.alive = failures.alive_data();
+  c.max_hops = max_hops == 0 ? overlay.space().size() : max_hops;
+  if (!use_flat_kernels) {
+    return c;
+  }
+  if (const auto* tree = dynamic_cast<const TreeOverlay*>(&overlay)) {
+    c.kind = KernelKind::kTree;
+    c.table = tree->table()->entries().data();
+  } else if (const auto* xr = dynamic_cast<const XorOverlay*>(&overlay)) {
+    c.kind = KernelKind::kXor;
+    c.table = xr->table()->entries().data();
+  } else if (dynamic_cast<const HypercubeOverlay*>(&overlay) != nullptr) {
+    c.kind = KernelKind::kHypercube;
+  } else if (const auto* chord = dynamic_cast<const ChordOverlay*>(&overlay)) {
+    c.successor_links = chord->successor_links();
+    if (chord->finger_variant() == ChordFingers::kDeterministic) {
+      c.kind = KernelKind::kChordDeterministic;
+    } else {
+      c.kind = KernelKind::kChordRandomized;
+      c.table = chord->finger_table().data();
+    }
+  } else if (const auto* sym = dynamic_cast<const SymphonyOverlay*>(&overlay)) {
+    c.kind = KernelKind::kSymphony;
+    c.kn = sym->near_neighbors();
+    c.ks = sym->shortcuts();
+    c.table = sym->shortcut_table().data();
+  }
+  return c;
+}
+
+}  // namespace dht::sim::flat

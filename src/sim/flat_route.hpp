@@ -1,0 +1,302 @@
+// Flattened per-geometry routing kernels.
+//
+// One tight loop per overlay family reading a contiguous neighbor table
+// (PrefixTable entries, materialized Chord fingers, Symphony shortcut rows)
+// and a raw liveness mask directly -- no virtual dispatch, no
+// std::optional, no precondition re-checks per hop.  Kernels are exact
+// replicas of the corresponding Overlay::next_hop rules (property-tested in
+// test_flat_paths / test_parallel_monte_carlo).
+//
+// Shared by the static parallel Monte-Carlo engine
+// (parallel_monte_carlo.cpp), which builds a FlatCtx over an immutable
+// overlay + FailureScenario, and by the churn trajectory engine
+// (churn/trajectory.cpp), which points the same kernels at the liveness
+// and table state a shard evolves round by round.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+#include "math/rng.hpp"
+#include "sim/router.hpp"
+
+namespace dht::sim {
+
+class Overlay;
+class FailureScenario;
+
+namespace flat {
+
+enum class KernelKind {
+  kGeneric,
+  kTree,
+  kXor,
+  kHypercube,
+  kChordDeterministic,
+  kChordRandomized,
+  kSymphony,
+};
+
+// Flattened routing context: everything a kernel needs, as raw pointers and
+// scalars.  Built once per engine invocation (or once per trajectory round),
+// read-only across threads.
+struct FlatCtx {
+  KernelKind kind = KernelKind::kGeneric;
+  int d = 0;
+  std::uint64_t mask = 0;
+  const std::uint8_t* alive = nullptr;
+  const std::uint32_t* table = nullptr;  // prefix entries / fingers / shortcuts
+  int successor_links = 0;               // chord
+  int kn = 0;                            // symphony near neighbors
+  int ks = 0;                            // symphony shortcuts
+  std::uint64_t max_hops = 0;
+};
+
+inline RouteResult finish(RouteStatus status, int hops, NodeId last) {
+  RouteResult r;
+  r.status = status;
+  r.hops = hops;
+  r.last_node = last;
+  return r;
+}
+
+// Tree (Plaxton): the level-correcting neighbor is the only admissible hop.
+inline RouteResult route_tree(const FlatCtx& c, NodeId source, NodeId target) {
+  NodeId cur = source;
+  int hops = 0;
+  while (cur != target) {
+    if (static_cast<std::uint64_t>(hops) >= c.max_hops) {
+      return finish(RouteStatus::kHopLimit, hops, cur);
+    }
+    const std::uint64_t diff = cur ^ target;
+    const NodeId cand = c.table[cur * static_cast<std::uint64_t>(c.d) +
+                                static_cast<std::uint64_t>(c.d) -
+                                static_cast<std::uint64_t>(std::bit_width(diff))];
+    if (!c.alive[cand]) {
+      return finish(RouteStatus::kDropped, hops, cur);
+    }
+    cur = cand;
+    ++hops;
+  }
+  return finish(RouteStatus::kArrived, hops, cur);
+}
+
+// XOR (Kademlia): greedy, falling back down the differing levels.
+inline RouteResult route_xor(const FlatCtx& c, NodeId source, NodeId target) {
+  NodeId cur = source;
+  int hops = 0;
+  while (cur != target) {
+    if (static_cast<std::uint64_t>(hops) >= c.max_hops) {
+      return finish(RouteStatus::kHopLimit, hops, cur);
+    }
+    const std::uint32_t* row = c.table + cur * static_cast<std::uint64_t>(c.d);
+    std::uint64_t diff = cur ^ target;
+    NodeId next = 0;
+    bool found = false;
+    while (diff != 0) {
+      const int bw = std::bit_width(diff);
+      const NodeId cand = row[c.d - bw];
+      if (c.alive[cand]) {
+        next = cand;
+        found = true;
+        break;
+      }
+      diff &= ~(std::uint64_t{1} << (bw - 1));  // next differing bit down
+    }
+    if (!found) {
+      return finish(RouteStatus::kDropped, hops, cur);
+    }
+    cur = next;
+    ++hops;
+  }
+  return finish(RouteStatus::kArrived, hops, cur);
+}
+
+// Hypercube (CAN): uniform among alive bit-correcting neighbors.  Unlike
+// HypercubeOverlay::next_hop's reservoir sampling (one rng draw per alive
+// candidate), the kernel collects the alive candidate mask first and spends
+// a single uniform_below per hop -- the same uniform choice, sampled along
+// a different path, so hypercube results differ from the generic Router
+// route-for-route while remaining deterministic and identically
+// distributed.
+inline RouteResult route_hypercube(const FlatCtx& c, NodeId source,
+                                   NodeId target, math::Rng& rng) {
+  NodeId cur = source;
+  int hops = 0;
+  while (cur != target) {
+    if (static_cast<std::uint64_t>(hops) >= c.max_hops) {
+      return finish(RouteStatus::kHopLimit, hops, cur);
+    }
+    // Mask of differing bits whose flip lands on an alive node.
+    std::uint64_t alive_mask = 0;
+    std::uint64_t diff = cur ^ target;
+    while (diff != 0) {
+      const std::uint64_t lowest = diff & (~diff + 1);
+      if (c.alive[cur ^ lowest]) {
+        alive_mask |= lowest;
+      }
+      diff ^= lowest;
+    }
+    const int alive_candidates = std::popcount(alive_mask);
+    if (alive_candidates == 0) {
+      return finish(RouteStatus::kDropped, hops, cur);
+    }
+    // Pick the k-th set bit of the alive mask uniformly.
+    std::uint64_t k =
+        rng.uniform_below(static_cast<std::uint64_t>(alive_candidates));
+    while (k > 0) {
+      alive_mask &= alive_mask - 1;  // clear lowest set bit
+      --k;
+    }
+    cur ^= alive_mask & (~alive_mask + 1);
+    ++hops;
+  }
+  return finish(RouteStatus::kArrived, hops, cur);
+}
+
+// Chord successor-list fallback, shared by both finger variants: the
+// farthest non-overshooting alive successor, but only when it outreaches
+// the best alive finger.
+inline bool chord_successor(const FlatCtx& c, NodeId cur,
+                            std::uint64_t distance,
+                            std::uint64_t best_progress, NodeId& out) {
+  for (int k = c.successor_links; k > static_cast<int>(best_progress); --k) {
+    if (static_cast<std::uint64_t>(k) > distance) {
+      continue;  // overshoots
+    }
+    const NodeId succ = (cur + static_cast<std::uint64_t>(k)) & c.mask;
+    if (c.alive[succ]) {
+      out = succ;
+      return true;
+    }
+  }
+  return false;
+}
+
+// Chord with deterministic fingers: offsets are exactly the powers of two,
+// so the greedy scan is pure bit arithmetic -- no table reads at all.
+inline RouteResult route_chord_deterministic(const FlatCtx& c, NodeId source,
+                                             NodeId target) {
+  NodeId cur = source;
+  int hops = 0;
+  while (cur != target) {
+    if (static_cast<std::uint64_t>(hops) >= c.max_hops) {
+      return finish(RouteStatus::kHopLimit, hops, cur);
+    }
+    const std::uint64_t distance = (target - cur) & c.mask;
+    std::uint64_t best_progress = 0;
+    NodeId best = cur;
+    // Largest power-of-two offset <= distance, then downward.
+    for (int k = std::bit_width(distance) - 1; k >= 0; --k) {
+      const NodeId f = (cur + (std::uint64_t{1} << k)) & c.mask;
+      if (c.alive[f]) {
+        best_progress = std::uint64_t{1} << k;
+        best = f;
+        break;
+      }
+    }
+    NodeId next;
+    if (!chord_successor(c, cur, distance, best_progress, next)) {
+      if (best_progress == 0) {
+        return finish(RouteStatus::kDropped, hops, cur);
+      }
+      next = best;
+    }
+    cur = next;
+    ++hops;
+  }
+  return finish(RouteStatus::kArrived, hops, cur);
+}
+
+// Chord with randomized fingers: greedy scan over the node's contiguous
+// finger row (dyadic intervals shrink with the index, so the first alive
+// non-overshooting finger is the greedy choice).
+inline RouteResult route_chord_randomized(const FlatCtx& c, NodeId source,
+                                          NodeId target) {
+  NodeId cur = source;
+  int hops = 0;
+  while (cur != target) {
+    if (static_cast<std::uint64_t>(hops) >= c.max_hops) {
+      return finish(RouteStatus::kHopLimit, hops, cur);
+    }
+    const std::uint64_t distance = (target - cur) & c.mask;
+    const std::uint32_t* row = c.table + cur * static_cast<std::uint64_t>(c.d);
+    std::uint64_t best_progress = 0;
+    NodeId best = cur;
+    for (int i = 0; i < c.d; ++i) {
+      const NodeId f = row[i];
+      const std::uint64_t progress = (f - cur) & c.mask;
+      if (progress > distance) {
+        continue;
+      }
+      if (c.alive[f]) {
+        best_progress = progress;
+        best = f;
+        break;
+      }
+    }
+    NodeId next;
+    if (!chord_successor(c, cur, distance, best_progress, next)) {
+      if (best_progress == 0) {
+        return finish(RouteStatus::kDropped, hops, cur);
+      }
+      next = best;
+    }
+    cur = next;
+    ++hops;
+  }
+  return finish(RouteStatus::kArrived, hops, cur);
+}
+
+// Symphony: greedy clockwise over shortcuts then near neighbors.
+inline RouteResult route_symphony(const FlatCtx& c, NodeId source,
+                                  NodeId target) {
+  NodeId cur = source;
+  int hops = 0;
+  while (cur != target) {
+    if (static_cast<std::uint64_t>(hops) >= c.max_hops) {
+      return finish(RouteStatus::kHopLimit, hops, cur);
+    }
+    const std::uint64_t distance = (target - cur) & c.mask;
+    std::uint64_t best_progress = 0;
+    NodeId best = 0;
+    const std::uint32_t* row = c.table + cur * static_cast<std::uint64_t>(c.ks);
+    for (int j = 0; j < c.ks; ++j) {
+      const NodeId link = row[j];
+      const std::uint64_t progress = (link - cur) & c.mask;
+      if (progress > distance || progress <= best_progress) {
+        continue;
+      }
+      if (c.alive[link]) {
+        best_progress = progress;
+        best = link;
+      }
+    }
+    for (int k = 1; k <= c.kn; ++k) {
+      const std::uint64_t progress = static_cast<std::uint64_t>(k);
+      if (progress > distance || progress <= best_progress) {
+        continue;
+      }
+      const NodeId link = (cur + progress) & c.mask;
+      if (c.alive[link]) {
+        best_progress = progress;
+        best = link;
+      }
+    }
+    if (best_progress == 0) {
+      return finish(RouteStatus::kDropped, hops, cur);
+    }
+    cur = best;
+    ++hops;
+  }
+  return finish(RouteStatus::kArrived, hops, cur);
+}
+
+/// Builds a context over an immutable overlay + failure scenario.  Unknown
+/// overlay types (and use_flat_kernels = false) yield kGeneric, which the
+/// caller routes through the virtual-dispatch Router instead.
+FlatCtx make_ctx(const Overlay& overlay, const FailureScenario& failures,
+                 std::uint64_t max_hops, bool use_flat_kernels);
+
+}  // namespace flat
+}  // namespace dht::sim

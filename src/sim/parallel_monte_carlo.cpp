@@ -1,395 +1,35 @@
 #include "sim/parallel_monte_carlo.hpp"
 
 #include <algorithm>
-#include <atomic>
-#include <bit>
-#include <exception>
-#include <mutex>
-#include <thread>
 #include <vector>
 
 #include "common/check.hpp"
-#include "sim/chord_overlay.hpp"
-#include "sim/hypercube_overlay.hpp"
-#include "sim/symphony_overlay.hpp"
-#include "sim/tree_overlay.hpp"
-#include "sim/xor_overlay.hpp"
+#include "sim/flat_route.hpp"
+#include "sim/shard_pool.hpp"
 
 namespace dht::sim {
 
 namespace {
 
-enum class KernelKind {
-  kGeneric,
-  kTree,
-  kXor,
-  kHypercube,
-  kChordDeterministic,
-  kChordRandomized,
-  kSymphony,
-};
-
-// Flattened routing context: everything a kernel needs, as raw pointers and
-// scalars.  Built once per engine invocation, read-only across threads.
-struct FlatCtx {
-  KernelKind kind = KernelKind::kGeneric;
-  int d = 0;
-  std::uint64_t mask = 0;
-  const std::uint8_t* alive = nullptr;
-  const std::uint32_t* table = nullptr;  // prefix entries / fingers / shortcuts
-  int successor_links = 0;               // chord
-  int kn = 0;                            // symphony near neighbors
-  int ks = 0;                            // symphony shortcuts
-  std::uint64_t max_hops = 0;
-};
-
-inline RouteResult finish(RouteStatus status, int hops, NodeId last) {
-  RouteResult r;
-  r.status = status;
-  r.hops = hops;
-  r.last_node = last;
-  return r;
-}
-
-// Tree (Plaxton): the level-correcting neighbor is the only admissible hop.
-RouteResult route_tree(const FlatCtx& c, NodeId source, NodeId target) {
-  NodeId cur = source;
-  int hops = 0;
-  while (cur != target) {
-    if (static_cast<std::uint64_t>(hops) >= c.max_hops) {
-      return finish(RouteStatus::kHopLimit, hops, cur);
-    }
-    const std::uint64_t diff = cur ^ target;
-    const NodeId cand = c.table[cur * static_cast<std::uint64_t>(c.d) +
-                                static_cast<std::uint64_t>(c.d) -
-                                static_cast<std::uint64_t>(std::bit_width(diff))];
-    if (!c.alive[cand]) {
-      return finish(RouteStatus::kDropped, hops, cur);
-    }
-    cur = cand;
-    ++hops;
-  }
-  return finish(RouteStatus::kArrived, hops, cur);
-}
-
-// XOR (Kademlia): greedy, falling back down the differing levels.
-RouteResult route_xor(const FlatCtx& c, NodeId source, NodeId target) {
-  NodeId cur = source;
-  int hops = 0;
-  while (cur != target) {
-    if (static_cast<std::uint64_t>(hops) >= c.max_hops) {
-      return finish(RouteStatus::kHopLimit, hops, cur);
-    }
-    const std::uint32_t* row = c.table + cur * static_cast<std::uint64_t>(c.d);
-    std::uint64_t diff = cur ^ target;
-    NodeId next = 0;
-    bool found = false;
-    while (diff != 0) {
-      const int bw = std::bit_width(diff);
-      const NodeId cand = row[c.d - bw];
-      if (c.alive[cand]) {
-        next = cand;
-        found = true;
-        break;
-      }
-      diff &= ~(std::uint64_t{1} << (bw - 1));  // next differing bit down
-    }
-    if (!found) {
-      return finish(RouteStatus::kDropped, hops, cur);
-    }
-    cur = next;
-    ++hops;
-  }
-  return finish(RouteStatus::kArrived, hops, cur);
-}
-
-// Hypercube (CAN): uniform among alive bit-correcting neighbors.  Unlike
-// HypercubeOverlay::next_hop's reservoir sampling (one rng draw per alive
-// candidate), the kernel collects the alive candidate mask first and spends
-// a single uniform_below per hop -- the same uniform choice, sampled along
-// a different path, so hypercube results differ from the generic Router
-// route-for-route while remaining deterministic and identically
-// distributed.
-RouteResult route_hypercube(const FlatCtx& c, NodeId source, NodeId target,
-                            math::Rng& rng) {
-  NodeId cur = source;
-  int hops = 0;
-  while (cur != target) {
-    if (static_cast<std::uint64_t>(hops) >= c.max_hops) {
-      return finish(RouteStatus::kHopLimit, hops, cur);
-    }
-    // Mask of differing bits whose flip lands on an alive node.
-    std::uint64_t alive_mask = 0;
-    std::uint64_t diff = cur ^ target;
-    while (diff != 0) {
-      const std::uint64_t lowest = diff & (~diff + 1);
-      if (c.alive[cur ^ lowest]) {
-        alive_mask |= lowest;
-      }
-      diff ^= lowest;
-    }
-    const int alive_candidates = std::popcount(alive_mask);
-    if (alive_candidates == 0) {
-      return finish(RouteStatus::kDropped, hops, cur);
-    }
-    // Pick the k-th set bit of the alive mask uniformly.
-    std::uint64_t k =
-        rng.uniform_below(static_cast<std::uint64_t>(alive_candidates));
-    while (k > 0) {
-      alive_mask &= alive_mask - 1;  // clear lowest set bit
-      --k;
-    }
-    cur ^= alive_mask & (~alive_mask + 1);
-    ++hops;
-  }
-  return finish(RouteStatus::kArrived, hops, cur);
-}
-
-// Chord successor-list fallback, shared by both finger variants: the
-// farthest non-overshooting alive successor, but only when it outreaches
-// the best alive finger.
-inline bool chord_successor(const FlatCtx& c, NodeId cur,
-                            std::uint64_t distance,
-                            std::uint64_t best_progress, NodeId& out) {
-  for (int k = c.successor_links; k > static_cast<int>(best_progress); --k) {
-    if (static_cast<std::uint64_t>(k) > distance) {
-      continue;  // overshoots
-    }
-    const NodeId succ = (cur + static_cast<std::uint64_t>(k)) & c.mask;
-    if (c.alive[succ]) {
-      out = succ;
-      return true;
-    }
-  }
-  return false;
-}
-
-// Chord with deterministic fingers: offsets are exactly the powers of two,
-// so the greedy scan is pure bit arithmetic -- no table reads at all.
-RouteResult route_chord_deterministic(const FlatCtx& c, NodeId source,
-                                      NodeId target) {
-  NodeId cur = source;
-  int hops = 0;
-  while (cur != target) {
-    if (static_cast<std::uint64_t>(hops) >= c.max_hops) {
-      return finish(RouteStatus::kHopLimit, hops, cur);
-    }
-    const std::uint64_t distance = (target - cur) & c.mask;
-    std::uint64_t best_progress = 0;
-    NodeId best = cur;
-    // Largest power-of-two offset <= distance, then downward.
-    for (int k = std::bit_width(distance) - 1; k >= 0; --k) {
-      const NodeId f = (cur + (std::uint64_t{1} << k)) & c.mask;
-      if (c.alive[f]) {
-        best_progress = std::uint64_t{1} << k;
-        best = f;
-        break;
-      }
-    }
-    NodeId next;
-    if (!chord_successor(c, cur, distance, best_progress, next)) {
-      if (best_progress == 0) {
-        return finish(RouteStatus::kDropped, hops, cur);
-      }
-      next = best;
-    }
-    cur = next;
-    ++hops;
-  }
-  return finish(RouteStatus::kArrived, hops, cur);
-}
-
-// Chord with randomized fingers: greedy scan over the node's contiguous
-// finger row (dyadic intervals shrink with the index, so the first alive
-// non-overshooting finger is the greedy choice).
-RouteResult route_chord_randomized(const FlatCtx& c, NodeId source,
-                                   NodeId target) {
-  NodeId cur = source;
-  int hops = 0;
-  while (cur != target) {
-    if (static_cast<std::uint64_t>(hops) >= c.max_hops) {
-      return finish(RouteStatus::kHopLimit, hops, cur);
-    }
-    const std::uint64_t distance = (target - cur) & c.mask;
-    const std::uint32_t* row = c.table + cur * static_cast<std::uint64_t>(c.d);
-    std::uint64_t best_progress = 0;
-    NodeId best = cur;
-    for (int i = 0; i < c.d; ++i) {
-      const NodeId f = row[i];
-      const std::uint64_t progress = (f - cur) & c.mask;
-      if (progress > distance) {
-        continue;
-      }
-      if (c.alive[f]) {
-        best_progress = progress;
-        best = f;
-        break;
-      }
-    }
-    NodeId next;
-    if (!chord_successor(c, cur, distance, best_progress, next)) {
-      if (best_progress == 0) {
-        return finish(RouteStatus::kDropped, hops, cur);
-      }
-      next = best;
-    }
-    cur = next;
-    ++hops;
-  }
-  return finish(RouteStatus::kArrived, hops, cur);
-}
-
-// Symphony: greedy clockwise over shortcuts then near neighbors.
-RouteResult route_symphony(const FlatCtx& c, NodeId source, NodeId target) {
-  NodeId cur = source;
-  int hops = 0;
-  while (cur != target) {
-    if (static_cast<std::uint64_t>(hops) >= c.max_hops) {
-      return finish(RouteStatus::kHopLimit, hops, cur);
-    }
-    const std::uint64_t distance = (target - cur) & c.mask;
-    std::uint64_t best_progress = 0;
-    NodeId best = 0;
-    const std::uint32_t* row = c.table + cur * static_cast<std::uint64_t>(c.ks);
-    for (int j = 0; j < c.ks; ++j) {
-      const NodeId link = row[j];
-      const std::uint64_t progress = (link - cur) & c.mask;
-      if (progress > distance || progress <= best_progress) {
-        continue;
-      }
-      if (c.alive[link]) {
-        best_progress = progress;
-        best = link;
-      }
-    }
-    for (int k = 1; k <= c.kn; ++k) {
-      const std::uint64_t progress = static_cast<std::uint64_t>(k);
-      if (progress > distance || progress <= best_progress) {
-        continue;
-      }
-      const NodeId link = (cur + progress) & c.mask;
-      if (c.alive[link]) {
-        best_progress = progress;
-        best = link;
-      }
-    }
-    if (best_progress == 0) {
-      return finish(RouteStatus::kDropped, hops, cur);
-    }
-    cur = best;
-    ++hops;
-  }
-  return finish(RouteStatus::kArrived, hops, cur);
-}
-
-FlatCtx make_ctx(const Overlay& overlay, const FailureScenario& failures,
-                 std::uint64_t max_hops, bool use_flat_kernels) {
-  FlatCtx c;
-  c.d = overlay.space().bits();
-  c.mask = overlay.space().size() - 1;
-  c.alive = failures.alive_data();
-  c.max_hops = max_hops == 0 ? overlay.space().size() : max_hops;
-  if (!use_flat_kernels) {
-    return c;
-  }
-  if (const auto* tree = dynamic_cast<const TreeOverlay*>(&overlay)) {
-    c.kind = KernelKind::kTree;
-    c.table = tree->table()->entries().data();
-  } else if (const auto* xr = dynamic_cast<const XorOverlay*>(&overlay)) {
-    c.kind = KernelKind::kXor;
-    c.table = xr->table()->entries().data();
-  } else if (dynamic_cast<const HypercubeOverlay*>(&overlay) != nullptr) {
-    c.kind = KernelKind::kHypercube;
-  } else if (const auto* chord = dynamic_cast<const ChordOverlay*>(&overlay)) {
-    c.successor_links = chord->successor_links();
-    if (chord->finger_variant() == ChordFingers::kDeterministic) {
-      c.kind = KernelKind::kChordDeterministic;
-    } else {
-      c.kind = KernelKind::kChordRandomized;
-      c.table = chord->finger_table().data();
-    }
-  } else if (const auto* sym = dynamic_cast<const SymphonyOverlay*>(&overlay)) {
-    c.kind = KernelKind::kSymphony;
-    c.kn = sym->near_neighbors();
-    c.ks = sym->shortcuts();
-    c.table = sym->shortcut_table().data();
-  }
-  return c;
-}
-
-inline RouteResult route_one(const FlatCtx& c, const Router& router,
+inline RouteResult route_one(const flat::FlatCtx& c, const Router& router,
                              NodeId source, NodeId target, math::Rng& rng) {
   switch (c.kind) {
-    case KernelKind::kTree:
-      return route_tree(c, source, target);
-    case KernelKind::kXor:
-      return route_xor(c, source, target);
-    case KernelKind::kHypercube:
-      return route_hypercube(c, source, target, rng);
-    case KernelKind::kChordDeterministic:
-      return route_chord_deterministic(c, source, target);
-    case KernelKind::kChordRandomized:
-      return route_chord_randomized(c, source, target);
-    case KernelKind::kSymphony:
-      return route_symphony(c, source, target);
-    case KernelKind::kGeneric:
+    case flat::KernelKind::kTree:
+      return flat::route_tree(c, source, target);
+    case flat::KernelKind::kXor:
+      return flat::route_xor(c, source, target);
+    case flat::KernelKind::kHypercube:
+      return flat::route_hypercube(c, source, target, rng);
+    case flat::KernelKind::kChordDeterministic:
+      return flat::route_chord_deterministic(c, source, target);
+    case flat::KernelKind::kChordRandomized:
+      return flat::route_chord_randomized(c, source, target);
+    case flat::KernelKind::kSymphony:
+      return flat::route_symphony(c, source, target);
+    case flat::KernelKind::kGeneric:
       break;
   }
   return router.route(source, target, rng);
-}
-
-/// Runs `work(shard_index)` for every shard on `threads` workers pulling
-/// from an atomic counter; rethrows the first worker exception.
-template <typename Work>
-void run_sharded(std::uint64_t shards, unsigned threads, Work&& work) {
-  if (threads <= 1 || shards <= 1) {
-    for (std::uint64_t s = 0; s < shards; ++s) {
-      work(s);
-    }
-    return;
-  }
-  std::atomic<std::uint64_t> next{0};
-  std::atomic<bool> failed{false};
-  std::exception_ptr error;
-  std::mutex error_mutex;
-  const unsigned workers =
-      static_cast<unsigned>(std::min<std::uint64_t>(threads, shards));
-  std::vector<std::thread> pool;
-  pool.reserve(workers);
-  for (unsigned w = 0; w < workers; ++w) {
-    pool.emplace_back([&] {
-      for (;;) {
-        const std::uint64_t s = next.fetch_add(1, std::memory_order_relaxed);
-        if (s >= shards || failed.load(std::memory_order_relaxed)) {
-          return;
-        }
-        try {
-          work(s);
-        } catch (...) {
-          const std::lock_guard<std::mutex> lock(error_mutex);
-          if (!error) {
-            error = std::current_exception();
-          }
-          failed.store(true, std::memory_order_relaxed);
-          return;
-        }
-      }
-    });
-  }
-  for (std::thread& t : pool) {
-    t.join();
-  }
-  if (error) {
-    std::rethrow_exception(error);
-  }
-}
-
-unsigned resolve_threads(unsigned requested) {
-  if (requested != 0) {
-    return requested;
-  }
-  const unsigned hw = std::thread::hardware_concurrency();
-  return hw == 0 ? 1 : hw;
 }
 
 }  // namespace
@@ -401,8 +41,8 @@ RoutabilityEstimate estimate_routability_parallel(
             "routability needs at least two alive nodes");
   DHT_CHECK(options.pairs > 0, "at least one pair must be sampled");
   const Router router(overlay, failures, options.max_hops);
-  const FlatCtx ctx = make_ctx(overlay, failures, options.max_hops,
-                               options.use_flat_kernels);
+  const flat::FlatCtx ctx = flat::make_ctx(overlay, failures, options.max_hops,
+                                           options.use_flat_kernels);
 
   const std::uint64_t shards =
       options.shards != 0 ? options.shards
@@ -441,8 +81,8 @@ RoutabilityEstimate exact_routability_parallel(
   DHT_CHECK(failures.alive_count() >= 2,
             "routability needs at least two alive nodes");
   const Router router(overlay, failures, options.max_hops);
-  const FlatCtx ctx = make_ctx(overlay, failures, options.max_hops,
-                               options.use_flat_kernels);
+  const flat::FlatCtx ctx = flat::make_ctx(overlay, failures, options.max_hops,
+                                           options.use_flat_kernels);
 
   const std::uint64_t size = failures.size();
   const std::uint64_t shards =

@@ -14,13 +14,15 @@
 //    counters are exact integers (see monte_carlo.hpp), so the merge is
 //    associative and equals a single sequential pass over the same routes.
 //
-// Routing itself runs on flattened per-geometry kernels: one tight loop per
-// overlay family reading the contiguous neighbor tables (PrefixTable
-// entries, materialized Chord fingers, Symphony shortcut rows) and the raw
-// liveness mask directly -- no virtual dispatch, no std::optional, no
-// precondition re-checks per hop.  Kernels are exact replicas of the
-// corresponding Overlay::next_hop rules (property-tested), and unknown
-// overlay types fall back to the generic Router path.
+// Routing itself runs on the flattened per-geometry kernels of
+// sim/flat_route.hpp: one tight loop per overlay family reading the
+// contiguous neighbor tables (PrefixTable entries, materialized Chord
+// fingers, Symphony shortcut rows) and the raw liveness mask directly -- no
+// virtual dispatch, no std::optional, no precondition re-checks per hop.
+// Kernels are exact replicas of the corresponding Overlay::next_hop rules
+// (property-tested), and unknown overlay types fall back to the generic
+// Router path.  The shard pool itself lives in sim/shard_pool.hpp; the
+// churn trajectory engine (churn/trajectory.hpp) reuses both pieces.
 #pragma once
 
 #include <cstdint>

@@ -75,4 +75,13 @@ std::shared_ptr<const PrefixTable> repair_prefix_table(
   return std::make_shared<const PrefixTable>(space, std::move(entries));
 }
 
+std::shared_ptr<const PrefixTable> repair_prefix_table(
+    const PrefixTable& table, const IdSpace& space,
+    const FailureScenario& failures, double repair_probability,
+    const math::Rng& rng, std::uint64_t stream_id) {
+  math::Rng stream = rng.fork(stream_id);
+  return repair_prefix_table(table, space, failures, repair_probability,
+                             stream);
+}
+
 }  // namespace dht::sim

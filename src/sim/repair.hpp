@@ -37,4 +37,15 @@ std::shared_ptr<const PrefixTable> repair_prefix_table(
     const FailureScenario& failures, double repair_probability,
     math::Rng& rng);
 
+/// Forkable-stream variant for sharded trajectories: draws from
+/// `rng.fork(stream_id)` instead of advancing the caller's generator, so
+/// the repaired table is a pure function of (rng lineage, stream_id) --
+/// shard k of a sweep can repair its own table from stream k without
+/// coordinating with other shards.  Same preconditions and semantics as
+/// the mutable-rng overload.
+std::shared_ptr<const PrefixTable> repair_prefix_table(
+    const PrefixTable& table, const IdSpace& space,
+    const FailureScenario& failures, double repair_probability,
+    const math::Rng& rng, std::uint64_t stream_id);
+
 }  // namespace dht::sim

@@ -1,0 +1,77 @@
+// The deterministic shard pool shared by the parallel engines.
+//
+// Work is split over a fixed number of shards that does NOT depend on the
+// thread count; worker threads pull shard indices from an atomic counter.
+// Because every shard's computation is a pure function of (caller seed,
+// shard index) and per-shard results are merged in shard order afterwards,
+// results are bit-identical at any thread count.  Used by the static
+// Monte-Carlo engine (parallel_monte_carlo.cpp) and the churn trajectory
+// engine (churn/trajectory.cpp).
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dht::sim {
+
+/// Runs `work(shard_index)` for every shard on `threads` workers pulling
+/// from an atomic counter; rethrows the first worker exception.
+template <typename Work>
+void run_sharded(std::uint64_t shards, unsigned threads, Work&& work) {
+  if (threads <= 1 || shards <= 1) {
+    for (std::uint64_t s = 0; s < shards; ++s) {
+      work(s);
+    }
+    return;
+  }
+  std::atomic<std::uint64_t> next{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr error;
+  std::mutex error_mutex;
+  const unsigned workers =
+      static_cast<unsigned>(std::min<std::uint64_t>(threads, shards));
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (unsigned w = 0; w < workers; ++w) {
+    pool.emplace_back([&] {
+      for (;;) {
+        const std::uint64_t s = next.fetch_add(1, std::memory_order_relaxed);
+        if (s >= shards || failed.load(std::memory_order_relaxed)) {
+          return;
+        }
+        try {
+          work(s);
+        } catch (...) {
+          const std::lock_guard<std::mutex> lock(error_mutex);
+          if (!error) {
+            error = std::current_exception();
+          }
+          failed.store(true, std::memory_order_relaxed);
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& t : pool) {
+    t.join();
+  }
+  if (error) {
+    std::rethrow_exception(error);
+  }
+}
+
+/// Resolves a requested worker count (0 = hardware concurrency, at least 1).
+inline unsigned resolve_threads(unsigned requested) {
+  if (requested != 0) {
+    return requested;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+}  // namespace dht::sim

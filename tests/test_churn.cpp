@@ -77,6 +77,79 @@ TEST(ChurnModel, EffectiveQMatchesDirectAverage) {
   EXPECT_NEAR(effective_q(params), direct, 1e-12);
 }
 
+TEST(ChurnModel, GoldenClosedFormValues) {
+  // pd = 0.1, pr = 0.3: a = 0.75, lambda = 0.6 -- every quantity below is
+  // exact in closed form, so the tolerances are float-roundoff only.
+  const ChurnParams params{.death_per_round = 0.1,
+                           .rebirth_per_round = 0.3,
+                           .refresh_interval = 5};
+  EXPECT_DOUBLE_EQ(availability(params), 0.75);
+  EXPECT_DOUBLE_EQ(dead_given_age(params, 0), 0.0);
+  EXPECT_NEAR(dead_given_age(params, 1), 0.25 * (1.0 - 0.6), 1e-15);   // 0.1
+  EXPECT_NEAR(dead_given_age(params, 2), 0.25 * (1.0 - 0.36), 1e-15);  // 0.16
+  EXPECT_NEAR(dead_given_age(params, 3), 0.25 * (1.0 - 0.216), 1e-15);
+  // q_eff(5) = 0.25 * (1 - (1 - 0.6^5) / (5 * 0.4)) = 0.13472 exactly.
+  EXPECT_NEAR(effective_q(params), 0.13472, 1e-12);
+
+  // pd = 0.2, pr = 0.6, R = 2: lambda = 0.2, a = 0.75;
+  // q_eff = 0.25 * (1 - 0.96 / 1.6) = 0.1 exactly.
+  EXPECT_NEAR(effective_q({.death_per_round = 0.2,
+                           .rebirth_per_round = 0.6,
+                           .refresh_interval = 2}),
+              0.1, 1e-12);
+}
+
+TEST(ChurnModel, GoldenEdgeCaseRefreshEveryRound) {
+  // R = 1: the age average covers only age 0, so q_eff = 0 regardless of
+  // the lifecycle rates.
+  for (const double pd : {0.01, 0.3, 0.5}) {
+    EXPECT_DOUBLE_EQ(effective_q({.death_per_round = pd,
+                                  .rebirth_per_round = 0.5,
+                                  .refresh_interval = 1}),
+                     0.0)
+        << "pd=" << pd;
+  }
+}
+
+TEST(ChurnModel, GoldenEdgeCaseMemorylessChain) {
+  // pd + pr = 1 (lambda = 0): the chain forgets its state in one round, so
+  // every entry of age >= 1 is dead with exactly the stationary probability
+  // 1 - a, and q_eff = (1 - a)(1 - 1/R).
+  const ChurnParams params{.death_per_round = 0.5,
+                           .rebirth_per_round = 0.5,
+                           .refresh_interval = 4};
+  EXPECT_DOUBLE_EQ(availability(params), 0.5);
+  EXPECT_DOUBLE_EQ(dead_given_age(params, 1), 0.5);
+  EXPECT_DOUBLE_EQ(dead_given_age(params, 7), 0.5);
+  EXPECT_NEAR(effective_q(params), 0.5 * 0.75, 1e-15);  // 0.375
+
+  // Asymmetric memoryless chain: pd = 0.6, pr = 0.4 -> a = 0.4.
+  EXPECT_NEAR(effective_q({.death_per_round = 0.6,
+                           .rebirth_per_round = 0.4,
+                           .refresh_interval = 10}),
+              0.6 * 0.9, 1e-15);  // 0.54
+}
+
+TEST(ChurnModel, GoldenEdgeCaseNearZeroLambda) {
+  // lambda -> 0+ continuously approaches the memoryless closed form.
+  const ChurnParams params{.death_per_round = 0.4995,
+                           .rebirth_per_round = 0.4995,
+                           .refresh_interval = 4};  // lambda = 0.001
+  EXPECT_NEAR(effective_q(params), 0.5 * 0.75, 2e-4);
+  EXPECT_NEAR(dead_given_age(params, 1), 0.5 * (1.0 - 0.001), 1e-12);
+}
+
+TEST(ChurnModel, GoldenEdgeCaseSlowChurn) {
+  // lambda -> 1 (pd + pr -> 0): first-order expansion gives
+  // dead_given_age(k) ~ (1-a) k (pd + pr) = k pd, and the age average
+  // gives q_eff ~ pd (R-1)/2.
+  const ChurnParams params{.death_per_round = 1e-5,
+                           .rebirth_per_round = 4e-5,
+                           .refresh_interval = 11};
+  EXPECT_NEAR(dead_given_age(params, 3), 3e-5, 1e-8);
+  EXPECT_NEAR(effective_q(params), 1e-5 * 5.0, 1e-8);
+}
+
 TEST(ChurnModel, RejectsBadParameters) {
   EXPECT_THROW(availability({.death_per_round = 0.0,
                              .rebirth_per_round = 0.5,

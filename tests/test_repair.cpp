@@ -142,6 +142,61 @@ TEST(Repair, FullyRepairedTreeApproachesEffectiveQModel) {
   EXPECT_LT(failed, 0.03);
 }
 
+TEST(Repair, ForkOverloadIsAPureFunctionOfLineageAndStream) {
+  // The forkable-stream overload never advances the caller's generator, so
+  // the repaired table is a pure function of (rng lineage, stream id):
+  // repeated calls are identical, and the result equals forking by hand and
+  // using the mutable-rng overload.
+  const IdSpace space(8);
+  math::Rng rng(30);
+  const PrefixTable original(space, rng);
+  math::Rng fail_rng(31);
+  const FailureScenario failures(space, 0.4, fail_rng);
+  const math::Rng repair_rng(32);
+
+  const auto a =
+      repair_prefix_table(original, space, failures, 0.7, repair_rng, 5);
+  const auto b =
+      repair_prefix_table(original, space, failures, 0.7, repair_rng, 5);
+  EXPECT_EQ(a->entries(), b->entries());
+
+  math::Rng manual = repair_rng.fork(5);
+  const auto by_hand =
+      repair_prefix_table(original, space, failures, 0.7, manual);
+  EXPECT_EQ(a->entries(), by_hand->entries());
+}
+
+TEST(Repair, ForkOverloadStreamsAreDecorrelated) {
+  // Distinct stream ids repair from decorrelated streams; at rho = 1 and
+  // q = 0.5 nearly every node has dead entries with multi-member classes,
+  // so two streams must disagree somewhere.
+  const IdSpace space(8);
+  math::Rng rng(33);
+  const PrefixTable original(space, rng);
+  math::Rng fail_rng(34);
+  const FailureScenario failures(space, 0.5, fail_rng);
+  const math::Rng repair_rng(35);
+  const auto s0 =
+      repair_prefix_table(original, space, failures, 1.0, repair_rng, 0);
+  const auto s1 =
+      repair_prefix_table(original, space, failures, 1.0, repair_rng, 1);
+  EXPECT_NE(s0->entries(), s1->entries());
+}
+
+TEST(Repair, ForkOverloadChecksPreconditions) {
+  const IdSpace space(6);
+  math::Rng rng(36);
+  const PrefixTable table(space, rng);
+  const FailureScenario failures = FailureScenario::all_alive(space);
+  const math::Rng repair_rng(37);
+  EXPECT_THROW(
+      repair_prefix_table(table, space, failures, -0.1, repair_rng, 0),
+      PreconditionError);
+  EXPECT_THROW(
+      repair_prefix_table(table, space, failures, 1.1, repair_rng, 0),
+      PreconditionError);
+}
+
 TEST(Repair, RejectsBadArguments) {
   const IdSpace space(6);
   math::Rng rng(21);

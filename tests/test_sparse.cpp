@@ -7,6 +7,11 @@
 
 #include "common/check.hpp"
 #include "core/registry.hpp"
+#include "core/routability.hpp"
+#include "sim/chord_overlay.hpp"
+#include "sim/parallel_monte_carlo.hpp"
+#include "sim/symphony_overlay.hpp"
+#include "sim/xor_overlay.hpp"
 #include "sparse/density_analysis.hpp"
 #include "sparse/sparse_chord.hpp"
 #include "sparse/sparse_kademlia.hpp"
@@ -246,6 +251,163 @@ TEST(DensityAnalysis, SparseKademliaIndependentOfKeySpaceSize) {
           << "bits=" << bits;
     }
   }
+}
+
+TEST(SparseChord, FullyPopulatedNextHopMatchesDenseOracle) {
+  // A fully populated sparse space degenerates to the identity mapping, so
+  // sparse Chord must make exactly the dense deterministic-finger overlay's
+  // forwarding decision for every ordered pair -- both rules pick the
+  // farthest alive non-overshooting finger.
+  const int d = 8;
+  math::Rng sparse_rng(40);
+  const SparseIdSpace sparse_space(d, 256, sparse_rng);
+  const SparseChordOverlay sparse_overlay(sparse_space);
+  const SparseFailure sparse_none(sparse_space, 0.0, sparse_rng);
+
+  const sim::IdSpace dense_space(d);
+  math::Rng dense_rng(41);
+  const sim::ChordOverlay dense_overlay(dense_space, dense_rng);
+  const sim::FailureScenario dense_none =
+      sim::FailureScenario::all_alive(dense_space);
+
+  math::Rng hop_rng(42);  // unused by chord forwarding
+  for (NodeIndex v = 0; v < 256; ++v) {
+    for (NodeIndex t = 0; t < 256; t += 5) {
+      if (v == t) {
+        continue;
+      }
+      const auto sparse_next = sparse_overlay.next_hop(v, t, sparse_none);
+      const auto dense_next =
+          dense_overlay.next_hop(v, t, dense_none, hop_rng);
+      ASSERT_TRUE(sparse_next.has_value());
+      ASSERT_TRUE(dense_next.has_value());
+      EXPECT_EQ(sparse_space.id_of(*sparse_next), *dense_next)
+          << "v=" << v << " t=" << t;
+    }
+  }
+}
+
+TEST(SparseChord, FullyPopulatedLinkSetsMatchDenseOracle) {
+  // Same degenerate setting, structural form: the finger set of every node
+  // equals the dense overlay's link set.
+  const int d = 8;
+  math::Rng sparse_rng(43);
+  const SparseIdSpace sparse_space(d, 256, sparse_rng);
+  const SparseChordOverlay sparse_overlay(sparse_space);
+  const sim::IdSpace dense_space(d);
+  math::Rng dense_rng(44);
+  const sim::ChordOverlay dense_overlay(dense_space, dense_rng);
+  for (NodeIndex v = 0; v < 256; ++v) {
+    std::set<sim::NodeId> sparse_links;
+    for (int i = 1; i <= d; ++i) {
+      sparse_links.insert(sparse_space.id_of(sparse_overlay.finger(v, i)));
+    }
+    const auto dense = dense_overlay.links(v);
+    const std::set<sim::NodeId> dense_links(dense.begin(), dense.end());
+    EXPECT_EQ(sparse_links, dense_links) << "v=" << v;
+  }
+}
+
+TEST(SparseKademlia, FullyPopulatedContactsSatisfyDenseClassConstraint) {
+  // Fully populated, every bucket has candidates, so no bucket may be
+  // empty, and each contact must satisfy the dense PrefixTable class
+  // constraint: shares the first i-1 bits, differs at bit i.
+  const int d = 8;
+  math::Rng rng(45);
+  const SparseIdSpace space(d, 256, rng);
+  const SparseKademliaOverlay overlay(space, rng);
+  for (NodeIndex v = 0; v < 256; ++v) {
+    for (int i = 1; i <= d; ++i) {
+      const auto entry = overlay.contact(v, i);
+      ASSERT_TRUE(entry.has_value()) << "v=" << v << " bucket=" << i;
+      const sim::NodeId id = space.id_of(*entry);
+      EXPECT_TRUE(sim::shares_prefix(v, id, i - 1, d));
+      EXPECT_NE(sim::bit_at_level(v, i, d), sim::bit_at_level(id, i, d));
+    }
+  }
+}
+
+TEST(SparseKademlia, FullyPopulatedRoutabilityMatchesDenseXorOracle) {
+  // Statistical oracle: at full population sparse Kademlia and the dense
+  // XOR overlay draw their tables from the same distribution (one uniform
+  // class member per level) and forward with the same greedy-fallback rule,
+  // so routability under the same q must agree to sampling + scenario
+  // accuracy.
+  const int d = 10;
+  const double q = 0.3;
+  math::Rng sparse_rng(46);
+  const SparseIdSpace sparse_space(d, 1024, sparse_rng);
+  const SparseKademliaOverlay sparse_overlay(sparse_space, sparse_rng);
+  const SparseFailure sparse_failures(sparse_space, q, sparse_rng);
+  math::Rng sparse_route_rng(47);
+  const auto sparse_estimate = estimate_routability(
+      sparse_overlay, sparse_failures, 20000, sparse_route_rng);
+
+  const sim::IdSpace dense_space(d);
+  math::Rng dense_rng(48);
+  const sim::XorOverlay dense_overlay(dense_space, dense_rng);
+  math::Rng dense_fail_rng(49);
+  const sim::FailureScenario dense_failures(dense_space, q, dense_fail_rng);
+  const math::Rng dense_route_rng(50);
+  const auto dense_estimate = sim::estimate_routability_parallel(
+      dense_overlay, dense_failures, {.pairs = 20000}, dense_route_rng);
+
+  EXPECT_NEAR(sparse_estimate.routability(), dense_estimate.routability(),
+              0.04);
+  EXPECT_NEAR(sparse_estimate.mean_hops(), dense_estimate.hops.mean(), 0.3);
+}
+
+TEST(SparseSymphony, FullyPopulatedRoutabilityMatchesDenseSymphonyOracle) {
+  // Same statistical oracle for Symphony: harmonic shortcut keys over a
+  // fully populated ring are the dense overlay's construction.
+  const int d = 9;
+  const double q = 0.2;
+  math::Rng sparse_rng(51);
+  const SparseIdSpace sparse_space(d, 512, sparse_rng);
+  const SparseSymphonyOverlay sparse_overlay(sparse_space, 1, 1, sparse_rng);
+  const SparseFailure sparse_failures(sparse_space, q, sparse_rng);
+  math::Rng sparse_route_rng(52);
+  const auto sparse_estimate = estimate_routability(
+      sparse_overlay, sparse_failures, 20000, sparse_route_rng);
+
+  const sim::IdSpace dense_space(d);
+  math::Rng dense_rng(53);
+  const sim::SymphonyOverlay dense_overlay(dense_space, 1, 1, dense_rng);
+  math::Rng dense_fail_rng(54);
+  const sim::FailureScenario dense_failures(dense_space, q, dense_fail_rng);
+  const math::Rng dense_route_rng(55);
+  const auto dense_estimate = sim::estimate_routability_parallel(
+      dense_overlay, dense_failures, {.pairs = 20000}, dense_route_rng);
+
+  EXPECT_NEAR(sparse_estimate.routability(), dense_estimate.routability(),
+              0.06);
+}
+
+TEST(DensityAnalysis, PredictionBoundsAndMonotonicity) {
+  // Sanity bounds on the density-reduction prediction: a probability,
+  // non-increasing in q, exactly the dense model at power-of-two N, and
+  // independent of everything but N and q.
+  for (const auto kind :
+       {core::GeometryKind::kRing, core::GeometryKind::kXor}) {
+    const auto geometry = core::make_geometry(kind);
+    double previous = 1.1;
+    for (const double q : {0.05, 0.2, 0.4, 0.6, 0.8}) {
+      const auto point = predict_sparse_routability(*geometry, 1024, q);
+      EXPECT_GE(point.routability, 0.0);
+      EXPECT_LE(point.routability, 1.0);
+      EXPECT_LE(point.routability, previous + 1e-12);
+      EXPECT_NEAR(point.routability,
+                  core::evaluate_routability(*geometry, 10, q).routability,
+                  1e-15);
+      previous = point.routability;
+    }
+  }
+}
+
+TEST(DensityAnalysis, EffectiveBitsRoundsToNearestPowerOfTwo) {
+  EXPECT_EQ(effective_bits(768), 10);    // log2 = 9.58 -> 10
+  EXPECT_EQ(effective_bits(1536), 11);   // log2 = 10.58 -> 11
+  EXPECT_EQ(effective_bits(3u << 20), 22);  // log2 = 21.58 -> 22
 }
 
 TEST(SparseSymphony, ShortcutsPointToKeyOwners) {
