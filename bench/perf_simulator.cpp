@@ -26,13 +26,31 @@
 // sampling, so the churn throughput metric is shard-rounds/sec -- a routes
 // /sec figure here would mostly measure warmup stepping.
 //
+// A third JSONL section ("section":"sparse") sweeps the sparse parallel
+// engine (sparse/flat_sparse.hpp) over an N grid up to 10^6 nodes
+// scattered in a 2^32 key space, for sparse Chord and sparse Kademlia.
+// The virtual single-threaded estimator is measured as the baseline at the
+// smaller grid points (it is the pre-flattening seed shape), the flattened
+// sharded engine at every point across the thread sweep:
+//
+//   {"bench":"perf_simulator","section":"sparse","geometry":"sparse-xor",
+//    "path":"parallel","threads":8,"n":131072,"bits":32,"q":0.100000,
+//    "pairs":200000,"seed":1,"build_seconds":0.24,"seconds":0.031,
+//    "routes_per_sec":6451613.3,"speedup_vs_virtual":7.42,
+//    "routability":0.931234,"identical_across_threads":true}
+//
+// (speedup_vs_virtual is 0.0 on rows whose N exceeds the virtual baseline
+// cutoff of 2^17 -- the baseline is not measured there, not zero.)
+//
 // The harness also cross-checks determinism: the parallel estimates at
-// every thread count must be bit-identical (static AND churn sections); a
-// mismatch exits non-zero.
+// every thread count must be bit-identical (static, churn AND sparse
+// sections); a mismatch exits non-zero.
 //
 // Flags: --bits D (16)  --q Q (0.1)  --pairs P (200000)  --seed S (1)
 //        --threads a,b,c (1,2,4,8)  --geometry NAME|all (ring,xor,hypercube)
 //        --churn-bits D (12)  --churn-rounds R (4, 0 disables the section)
+//        --sparse-bits D (32)  --sparse-n-max N (1048576, 0 disables the
+//        section; the grid is 2^14, 2^17, 2^20 clipped to N)
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -46,6 +64,9 @@
 #include "math/rng.hpp"
 #include "sim/monte_carlo.hpp"
 #include "sim/parallel_monte_carlo.hpp"
+#include "sparse/flat_sparse.hpp"
+#include "sparse/sparse_chord.hpp"
+#include "sparse/sparse_kademlia.hpp"
 
 namespace {
 
@@ -64,6 +85,9 @@ struct Config {
   // a full replica, so the per-round cost is O(N log N) per shard).
   int churn_bits = 12;
   int churn_rounds = 4;  // 0 disables the section
+  // Sparse section: N nodes scattered in a 2^sparse_bits key space.
+  int sparse_bits = 32;
+  std::uint64_t sparse_n_max = 1u << 20;  // 0 disables the section
 };
 
 std::vector<unsigned> parse_thread_list(const char* arg) {
@@ -111,6 +135,10 @@ Config parse_args(int argc, char** argv) {
       cfg.churn_bits = std::atoi(value);
     } else if (flag == "--churn-rounds") {
       cfg.churn_rounds = std::atoi(value);
+    } else if (flag == "--sparse-bits") {
+      cfg.sparse_bits = std::atoi(value);
+    } else if (flag == "--sparse-n-max") {
+      cfg.sparse_n_max = std::strtoull(value, nullptr, 10);
     } else if (flag == "--geometry") {
       if (std::strcmp(value, "all") == 0) {
         cfg.geometries = {"ring", "xor", "tree", "hypercube", "symphony"};
@@ -155,6 +183,94 @@ bool identical_estimates(const sim::RoutabilityEstimate& a,
          a.hops.sum_squares() == b.hops.sum_squares() &&
          a.hops.min() == b.hops.min() && a.hops.max() == b.hops.max() &&
          a.hop_limit_hits == b.hop_limit_hits;
+}
+
+void emit_sparse(const Config& cfg, const char* geometry, const char* path,
+                 unsigned threads, std::uint64_t n, double build_seconds,
+                 double seconds, double routability, double speedup,
+                 bool identical) {
+  std::printf(
+      "{\"bench\":\"perf_simulator\",\"section\":\"sparse\","
+      "\"geometry\":\"%s\",\"path\":\"%s\",\"threads\":%u,\"n\":%llu,"
+      "\"bits\":%d,\"q\":%.6f,\"pairs\":%llu,\"seed\":%llu,"
+      "\"build_seconds\":%.6f,\"seconds\":%.6f,\"routes_per_sec\":%.1f,"
+      "\"speedup_vs_virtual\":%.3f,\"routability\":%.6f,"
+      "\"identical_across_threads\":%s}\n",
+      geometry, path, threads, static_cast<unsigned long long>(n),
+      cfg.sparse_bits, cfg.q, static_cast<unsigned long long>(cfg.pairs),
+      static_cast<unsigned long long>(cfg.seed), build_seconds, seconds,
+      static_cast<double>(cfg.pairs) / seconds, speedup, routability,
+      identical ? "true" : "false");
+}
+
+/// Runs the sparse N-grid sweep; returns false when a parallel estimate
+/// differed across thread counts.
+bool run_sparse_section(const Config& cfg) {
+  bool all_identical = true;
+  std::vector<std::uint64_t> grid;
+  for (const std::uint64_t n :
+       {std::uint64_t{1} << 14, std::uint64_t{1} << 17, std::uint64_t{1} << 20}) {
+    if (n <= cfg.sparse_n_max) {
+      grid.push_back(n);
+    }
+  }
+  for (const std::uint64_t n : grid) {
+    // One id sample per grid point, shared by both geometries (the same
+    // seed would reproduce the identical sorted-id set anyway).
+    math::Rng space_rng(cfg.seed + 10);
+    const sparse::SparseIdSpace space(cfg.sparse_bits, n, space_rng);
+    for (const char* geometry : {"sparse-ring", "sparse-xor"}) {
+      math::Rng build_rng(cfg.seed + 14);
+      auto build_start = std::chrono::steady_clock::now();
+      std::unique_ptr<sparse::SparseOverlay> overlay;
+      if (std::strcmp(geometry, "sparse-ring") == 0) {
+        overlay = std::make_unique<sparse::SparseChordOverlay>(space);
+      } else {
+        overlay =
+            std::make_unique<sparse::SparseKademliaOverlay>(space, build_rng);
+      }
+      const double build_seconds = seconds_since(build_start);
+      math::Rng fail_rng(cfg.seed + 11);
+      const sparse::SparseFailure failures(space, cfg.q, fail_rng);
+
+      // Virtual single-threaded baseline (the pre-flattening seed shape):
+      // measured at the small and mid grid points; at 2^20 it would
+      // dominate the harness wall time for no extra information.
+      double virtual_seconds = 0.0;
+      if (n <= (std::uint64_t{1} << 17)) {
+        math::Rng virtual_rng(cfg.seed + 12);
+        const auto start = std::chrono::steady_clock::now();
+        const auto estimate = sparse::estimate_routability(
+            *overlay, failures, cfg.pairs, virtual_rng);
+        virtual_seconds = seconds_since(start);
+        emit_sparse(cfg, geometry, "virtual", 1, n, build_seconds,
+                    virtual_seconds, estimate.routability(), 1.0, true);
+      }
+
+      const math::Rng engine_rng(cfg.seed + 12);
+      bool have_reference = false;
+      sparse::SparseEstimate reference;
+      for (unsigned threads : cfg.threads) {
+        const sparse::SparseParallelOptions options{.pairs = cfg.pairs,
+                                                    .threads = threads};
+        const auto start = std::chrono::steady_clock::now();
+        const auto estimate = sparse::estimate_routability_parallel(
+            *overlay, failures, options, engine_rng);
+        const double seconds = seconds_since(start);
+        const bool identical = !have_reference || reference == estimate;
+        if (!have_reference) {
+          reference = estimate;
+          have_reference = true;
+        }
+        all_identical = all_identical && identical;
+        emit_sparse(cfg, geometry, "parallel", threads, n, build_seconds,
+                    seconds, estimate.routability(),
+                    virtual_seconds > 0.0 ? virtual_seconds / seconds : 0.0,
+                    identical);
+      }
+    }
+  }
+  return all_identical;
 }
 
 }  // namespace
@@ -266,6 +382,12 @@ int main(int argc, char** argv) {
           static_cast<unsigned long long>(result.overall.routed.trials),
           result.overall.routability(), identical ? "true" : "false");
     }
+  }
+
+  // Sparse-sweep section: the flattened sparse kernels on the sharded
+  // engine across an N grid up to 10^6 nodes in a 2^sparse_bits key space.
+  if (cfg.sparse_n_max > 0) {
+    all_identical = run_sparse_section(cfg) && all_identical;
   }
 
   if (!all_identical) {

@@ -8,6 +8,12 @@
 //   simulate <geometry> <d> <q> [pairs] [seed] [--threads N]
 //                                     static-resilience measurement on the
 //                                     parallel deterministic engine
+//   sparse <geometry> <bits> <n> <q> [pairs] [seed] [--threads N]
+//         [--shards S]                N nodes scattered in a 2^bits key
+//                                     space (ring | xor | symphony) on the
+//                                     flattened sparse parallel engine, vs
+//                                     the density-reduction prediction at
+//                                     d' = log2 N
 //   churn <geometry> <d> <pd> <pr> <R> [rounds] [pairs] [seed]
 //         [--threads N] [--shards S] [--rho RHO]
 //                                     sharded dynamic trajectories (xor |
@@ -27,6 +33,11 @@
 
 #include "churn/trajectory.hpp"
 #include "common/strfmt.hpp"
+#include "sparse/density_analysis.hpp"
+#include "sparse/flat_sparse.hpp"
+#include "sparse/sparse_chord.hpp"
+#include "sparse/sparse_kademlia.hpp"
+#include "sparse/sparse_symphony.hpp"
 #include "core/latency.hpp"
 #include "core/registry.hpp"
 #include "core/report.hpp"
@@ -52,6 +63,8 @@ int usage() {
       "  sweep-n <geometry> <q>\n"
       "  scalability [q]\n"
       "  simulate <geometry> <d> <q> [pairs] [seed] [--threads N]\n"
+      "  sparse <geometry> <bits> <n> <q> [pairs] [seed] [--threads N]\n"
+      "         [--shards S]   (ring | xor | symphony; N nodes in 2^bits keys)\n"
       "  churn <geometry> <d> <pd> <pr> <R> [rounds] [pairs] [seed]\n"
       "        [--threads N] [--shards S] [--rho RHO]   (xor | tree | ring)\n"
       "  latency <geometry> <d> <q>\n"
@@ -188,6 +201,62 @@ int cmd_simulate(const std::string& name, int d, double q,
   return 0;
 }
 
+int cmd_sparse(const std::string& name, int bits, std::uint64_t n, double q,
+               std::uint64_t pairs, std::uint64_t seed, unsigned threads,
+               std::uint64_t shards) {
+  math::Rng rng(seed);
+  const auto build_start = std::chrono::steady_clock::now();
+  const sparse::SparseIdSpace space(bits, n, rng);
+  std::unique_ptr<sparse::SparseOverlay> overlay;
+  if (name == "ring") {
+    overlay = std::make_unique<sparse::SparseChordOverlay>(space);
+  } else if (name == "xor") {
+    overlay = std::make_unique<sparse::SparseKademliaOverlay>(space, rng);
+  } else if (name == "symphony") {
+    overlay = std::make_unique<sparse::SparseSymphonyOverlay>(space, 1, 1, rng);
+  } else {
+    std::cerr << "sparse: geometry must be ring, xor, or symphony\n";
+    return usage();
+  }
+  const double build_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    build_start)
+          .count();
+  const sparse::SparseFailure failures(space, q, rng);
+  const auto start = std::chrono::steady_clock::now();
+  const auto estimate = sparse::estimate_routability_parallel(
+      *overlay, failures,
+      {.pairs = pairs, .threads = threads, .shards = shards}, rng);
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  std::cout << strfmt(
+      "sparse %s: N = %llu nodes in a 2^%d key space (density %.3e)\n",
+      std::string(overlay->name()).c_str(), static_cast<unsigned long long>(n),
+      bits, space.density());
+  std::cout << strfmt("measured routability:  %.6f\n", estimate.routability());
+  if (name != "symphony") {
+    // The density reduction: the dense model evaluated at d' = log2 N.
+    const auto geometry = core::make_geometry(name);
+    const auto point = sparse::predict_sparse_routability(*geometry, n, q);
+    std::cout << strfmt(
+        "dense model at d'=%d:  %.6f  (density reduction; %s)\n",
+        sparse::effective_bits(n), point.conditional_success,
+        to_string(geometry->exactness()));
+  }
+  std::cout << strfmt("mean hops on success:  %.3f\n", estimate.mean_hops());
+  std::cout << strfmt("alive nodes:           %llu / %llu\n",
+                      static_cast<unsigned long long>(failures.alive_count()),
+                      static_cast<unsigned long long>(n));
+  const unsigned hw = std::thread::hardware_concurrency();
+  const unsigned effective = threads != 0 ? threads : (hw == 0 ? 1 : hw);
+  std::cout << strfmt(
+      "throughput:            %.0f routes/sec (%u threads; tables built "
+      "in %.2fs)\n",
+      static_cast<double>(pairs) / seconds, effective, build_seconds);
+  return 0;
+}
+
 int cmd_churn(const std::string& name, int d, double pd, double pr,
               int refresh, int rounds, std::uint64_t pairs,
               std::uint64_t seed, unsigned threads, std::uint64_t shards,
@@ -310,6 +379,37 @@ int main(int argc, char** argv) {
               : 1;
       return cmd_simulate(argv[2], std::atoi(argv[3]), std::atof(argv[4]),
                           pairs, seed, threads);
+    }
+    if (command == "sparse" && argc >= 6) {
+      // Positional [pairs] [seed], then optional --threads / --shards.
+      unsigned threads = 0;
+      std::uint64_t shards = 0;
+      std::vector<std::string> positional;
+      for (int i = 6; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--threads" && i + 1 < argc) {
+          threads = static_cast<unsigned>(std::atoi(argv[i + 1]));
+          ++i;
+        } else if (arg == "--shards" && i + 1 < argc) {
+          shards = std::strtoull(argv[i + 1], nullptr, 10);
+          ++i;
+        } else if (arg.rfind("--", 0) == 0) {
+          std::cerr << "sparse: unknown flag " << arg << "\n";
+          return usage();
+        } else {
+          positional.push_back(arg);
+        }
+      }
+      const std::uint64_t pairs =
+          !positional.empty() ? std::strtoull(positional[0].c_str(), nullptr, 10)
+                              : 20000;
+      const std::uint64_t seed =
+          positional.size() >= 2
+              ? std::strtoull(positional[1].c_str(), nullptr, 10)
+              : 1;
+      return cmd_sparse(argv[2], std::atoi(argv[3]),
+                        std::strtoull(argv[4], nullptr, 10), std::atof(argv[5]),
+                        pairs, seed, threads, shards);
     }
     if (command == "churn" && argc >= 7) {
       // Positional [rounds] [pairs] [seed], then optional --threads /

@@ -17,6 +17,10 @@
 #include <bit>
 #include <cstdint>
 
+#if defined(__BMI2__)
+#include <immintrin.h>
+#endif
+
 #include "math/rng.hpp"
 #include "sim/router.hpp"
 
@@ -115,10 +119,14 @@ inline RouteResult route_xor(const FlatCtx& c, NodeId source, NodeId target) {
 // Hypercube (CAN): uniform among alive bit-correcting neighbors.  Unlike
 // HypercubeOverlay::next_hop's reservoir sampling (one rng draw per alive
 // candidate), the kernel collects the alive candidate mask first and spends
-// a single uniform_below per hop -- the same uniform choice, sampled along
-// a different path, so hypercube results differ from the generic Router
-// route-for-route while remaining deterministic and identically
-// distributed.
+// at most one uniform_below per hop -- the same uniform choice, sampled
+// along a different path, so hypercube results differ from the generic
+// Router route-for-route while remaining deterministic and identically
+// distributed.  The mask is accumulated branchlessly from the liveness
+// bytes (batched alive lookups, no per-candidate branch), a lone candidate
+// is taken without burning a draw (a 1-way uniform choice is
+// deterministic), and the k-th set bit is selected with pdep where BMI2 is
+// available.
 inline RouteResult route_hypercube(const FlatCtx& c, NodeId source,
                                    NodeId target, math::Rng& rng) {
   NodeId cur = source;
@@ -127,28 +135,37 @@ inline RouteResult route_hypercube(const FlatCtx& c, NodeId source,
     if (static_cast<std::uint64_t>(hops) >= c.max_hops) {
       return finish(RouteStatus::kHopLimit, hops, cur);
     }
-    // Mask of differing bits whose flip lands on an alive node.
+    // Mask of differing bits whose flip lands on an alive node; the byte
+    // loads stay, but the data-dependent branch per candidate does not.
     std::uint64_t alive_mask = 0;
     std::uint64_t diff = cur ^ target;
     while (diff != 0) {
       const std::uint64_t lowest = diff & (~diff + 1);
-      if (c.alive[cur ^ lowest]) {
-        alive_mask |= lowest;
-      }
+      alive_mask |=
+          lowest & (0 - static_cast<std::uint64_t>(c.alive[cur ^ lowest]));
       diff ^= lowest;
     }
-    const int alive_candidates = std::popcount(alive_mask);
-    if (alive_candidates == 0) {
+    if (alive_mask == 0) {
       return finish(RouteStatus::kDropped, hops, cur);
     }
+    if ((alive_mask & (alive_mask - 1)) == 0) {
+      // Single alive candidate: the uniform choice is forced, skip the rng
+      // draw.  (Late route phases at low q live here.)
+      cur ^= alive_mask;
+      ++hops;
+      continue;
+    }
     // Pick the k-th set bit of the alive mask uniformly.
-    std::uint64_t k =
-        rng.uniform_below(static_cast<std::uint64_t>(alive_candidates));
-    while (k > 0) {
+    const std::uint64_t k = rng.uniform_below(
+        static_cast<std::uint64_t>(std::popcount(alive_mask)));
+#if defined(__BMI2__)
+    cur ^= _pdep_u64(std::uint64_t{1} << k, alive_mask);
+#else
+    for (std::uint64_t drop = 0; drop < k; ++drop) {
       alive_mask &= alive_mask - 1;  // clear lowest set bit
-      --k;
     }
     cur ^= alive_mask & (~alive_mask + 1);
+#endif
     ++hops;
   }
   return finish(RouteStatus::kArrived, hops, cur);

@@ -1,0 +1,80 @@
+// Exact-integer hop-count accumulator shared by the Monte-Carlo engines.
+//
+// Unlike a floating-point Welford accumulator, merging two HopStats is
+// associative and commutative bit-for-bit, which is what makes the sharded
+// engines (parallel_monte_carlo.hpp, churn/trajectory.hpp, and the sparse
+// estimator in sparse/flat_sparse.hpp) reproducible independent of thread
+// count.  Sums are u64: routes are bounded by N - 1 < 2^26 hops, so
+// overflow needs > 2^38 recorded routes even at the worst-case hop count.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace dht::sim {
+
+class HopStats {
+ public:
+  void add(std::uint64_t hops) noexcept {
+    ++count_;
+    sum_ += hops;
+    sum_sq_ += hops * hops;
+    if (count_ == 1 || hops < min_) {
+      min_ = hops;
+    }
+    if (count_ == 1 || hops > max_) {
+      max_ = hops;
+    }
+  }
+
+  /// Folds another accumulator into this one; exact.
+  void merge(const HopStats& other) noexcept {
+    if (other.count_ == 0) {
+      return;
+    }
+    if (count_ == 0 || other.min_ < min_) {
+      min_ = other.min_;
+    }
+    if (count_ == 0 || other.max_ > max_) {
+      max_ = other.max_;
+    }
+    count_ += other.count_;
+    sum_ += other.sum_;
+    sum_sq_ += other.sum_sq_;
+  }
+
+  bool operator==(const HopStats&) const = default;
+
+  std::uint64_t count() const noexcept { return count_; }
+  std::uint64_t sum() const noexcept { return sum_; }
+  std::uint64_t sum_squares() const noexcept { return sum_sq_; }
+  std::uint64_t min() const noexcept { return min_; }
+  std::uint64_t max() const noexcept { return max_; }
+
+  double mean() const noexcept {
+    return count_ == 0 ? 0.0
+                       : static_cast<double>(sum_) / static_cast<double>(count_);
+  }
+  /// Unbiased sample variance; 0 for fewer than two samples.
+  double variance() const noexcept {
+    if (count_ < 2) {
+      return 0.0;
+    }
+    const double n = static_cast<double>(count_);
+    const double mean_value = static_cast<double>(sum_) / n;
+    // sum_sq - n * mean^2, computed from exact integer sums.
+    const double centered =
+        static_cast<double>(sum_sq_) - n * mean_value * mean_value;
+    return (centered < 0.0 ? 0.0 : centered) / (n - 1.0);
+  }
+  double stddev() const noexcept { return std::sqrt(variance()); }
+
+ private:
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t sum_sq_ = 0;
+  std::uint64_t min_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+}  // namespace dht::sim

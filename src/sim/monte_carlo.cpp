@@ -1,24 +1,8 @@
 #include "sim/monte_carlo.hpp"
 
-#include <cmath>
-
 #include "common/check.hpp"
 
 namespace dht::sim {
-
-double HopStats::variance() const noexcept {
-  if (count_ < 2) {
-    return 0.0;
-  }
-  const double n = static_cast<double>(count_);
-  const double mean = static_cast<double>(sum_) / n;
-  // sum_sq - n * mean^2, computed from exact integer sums.
-  const double centered =
-      static_cast<double>(sum_sq_) - n * mean * mean;
-  return (centered < 0.0 ? 0.0 : centered) / (n - 1.0);
-}
-
-double HopStats::stddev() const noexcept { return std::sqrt(variance()); }
 
 RoutabilityEstimate estimate_routability(const Overlay& overlay,
                                          const FailureScenario& failures,

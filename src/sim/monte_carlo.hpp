@@ -15,6 +15,7 @@
 #include <cstdint>
 
 #include "math/stats.hpp"
+#include "sim/hop_stats.hpp"
 #include "sim/overlay.hpp"
 #include "sim/router.hpp"
 
@@ -25,64 +26,6 @@ struct EstimateOptions {
   std::uint64_t pairs = 20000;
   /// Safety hop cap forwarded to the Router (0 = default N).
   std::uint64_t max_hops = 0;
-};
-
-/// Hop-count accumulator with exact integer state.  Unlike a floating-point
-/// Welford accumulator, merging two HopStats is associative and commutative
-/// bit-for-bit, which is what makes the sharded Monte-Carlo engine
-/// reproducible independent of thread count.  Sums are u64: routes are
-/// bounded by N - 1 < 2^26 hops, so overflow needs > 2^38 recorded routes
-/// even at the worst-case hop count.
-class HopStats {
- public:
-  void add(std::uint64_t hops) noexcept {
-    ++count_;
-    sum_ += hops;
-    sum_sq_ += hops * hops;
-    if (count_ == 1 || hops < min_) {
-      min_ = hops;
-    }
-    if (count_ == 1 || hops > max_) {
-      max_ = hops;
-    }
-  }
-
-  /// Folds another accumulator into this one; exact.
-  void merge(const HopStats& other) noexcept {
-    if (other.count_ == 0) {
-      return;
-    }
-    if (count_ == 0 || other.min_ < min_) {
-      min_ = other.min_;
-    }
-    if (count_ == 0 || other.max_ > max_) {
-      max_ = other.max_;
-    }
-    count_ += other.count_;
-    sum_ += other.sum_;
-    sum_sq_ += other.sum_sq_;
-  }
-
-  std::uint64_t count() const noexcept { return count_; }
-  std::uint64_t sum() const noexcept { return sum_; }
-  std::uint64_t sum_squares() const noexcept { return sum_sq_; }
-  std::uint64_t min() const noexcept { return min_; }
-  std::uint64_t max() const noexcept { return max_; }
-
-  double mean() const noexcept {
-    return count_ == 0 ? 0.0
-                       : static_cast<double>(sum_) / static_cast<double>(count_);
-  }
-  /// Unbiased sample variance; 0 for fewer than two samples.
-  double variance() const noexcept;
-  double stddev() const noexcept;
-
- private:
-  std::uint64_t count_ = 0;
-  std::uint64_t sum_ = 0;
-  std::uint64_t sum_sq_ = 0;
-  std::uint64_t min_ = 0;
-  std::uint64_t max_ = 0;
 };
 
 /// Aggregated routability measurement.

@@ -1,0 +1,262 @@
+// Flattened routing kernels and the sharded parallel estimator for
+// non-fully-populated identifier spaces.
+//
+// The virtual SparseOverlay::next_hop path (sparse_overlay.hpp) is the
+// semantic oracle; these kernels replicate it hop for hop on contiguous
+// state -- the sorted id array (index -> identifier), the row-major
+// neighbor tables (Chord fingers / Kademlia contacts / Symphony
+// shortcuts), and the raw liveness mask -- with no virtual dispatch, no
+// std::optional, and no precondition re-checks per hop.  This is the
+// sim/flat_route.hpp pattern with the id->index indirection folded in:
+// kernels compare *identifiers* (read through c.ids) but step between
+// *indices*, which is what lets a 2^20-node population routed in a 2^63
+// key space touch only O(N) state.
+//
+// estimate_routability_parallel shards the pair budget over
+// sim/shard_pool.hpp exactly like the dense engine: shard k draws from
+// Rng::fork(k), per-shard SparseEstimates (exact integer counters) are
+// merged in shard order, so results are bit-identical at any thread count.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+#include "math/rng.hpp"
+#include "sparse/sparse_overlay.hpp"
+
+namespace dht::sparse {
+namespace flat {
+
+enum class SparseKernelKind {
+  kGeneric,  // unknown overlay type: route through virtual next_hop
+  kChord,
+  kKademlia,
+  kSymphony,
+};
+
+enum class SparseRouteStatus {
+  kArrived,   // message reached the target
+  kDropped,   // no admissible alive neighbor (failed path)
+  kHopLimit,  // safety cap exceeded -- indicates a protocol bug
+};
+
+struct SparseRouteResult {
+  SparseRouteStatus status = SparseRouteStatus::kDropped;
+  int hops = 0;
+};
+
+// Flattened sparse routing context: everything a kernel needs, as raw
+// pointers and scalars.  Built once per engine invocation, read-only
+// across threads.
+struct FlatSparseCtx {
+  SparseKernelKind kind = SparseKernelKind::kGeneric;
+  int d = 0;                             // key-space bits
+  std::uint64_t key_mask = 0;            // 2^d - 1
+  std::uint64_t n = 0;                   // node count
+  const std::uint64_t* ids = nullptr;    // index -> identifier, sorted
+  const std::uint8_t* alive = nullptr;   // liveness mask over indices
+  const NodeIndex* table = nullptr;      // row-major per-node entries
+  int row_width = 0;                     // entries per node (d, or ks)
+  int kn = 0;                            // symphony near neighbors
+  int ks = 0;                            // symphony shortcuts
+  // Chord CSR rows (SparseChordOverlay::route_offsets() et al.): per-node
+  // distinct fingers, progress descending, progress precomputed.
+  const std::uint64_t* row_offsets = nullptr;
+  const std::uint64_t* progress = nullptr;
+  std::uint64_t max_hops = 0;
+};
+
+inline SparseRouteResult finish(SparseRouteStatus status, int hops) {
+  SparseRouteResult r;
+  r.status = status;
+  r.hops = hops;
+  return r;
+}
+
+/// The shared single-route driver: iterates a per-hop step function until
+/// arrival, drop (step returns kNoNode), or the hop cap.  The batched
+/// estimator (run_lanes in flat_sparse.cpp) applies the same accounting to
+/// interleaved routes.
+template <typename Step>
+SparseRouteResult route_flat(const FlatSparseCtx& c, NodeIndex source,
+                             NodeIndex target, Step step) {
+  const std::uint64_t target_id = c.ids[target];
+  NodeIndex cur = source;
+  int hops = 0;
+  while (cur != target) {
+    if (static_cast<std::uint64_t>(hops) >= c.max_hops) {
+      return finish(SparseRouteStatus::kHopLimit, hops);
+    }
+    const NodeIndex next = step(c, cur, target_id);
+    if (next == kNoNode) {
+      return finish(SparseRouteStatus::kDropped, hops);
+    }
+    cur = next;
+    ++hops;
+  }
+  return finish(SparseRouteStatus::kArrived, hops);
+}
+
+// Sparse Chord: greedy clockwise without overshoot.  The oracle scans the
+// full d-finger row keeping the best admissible alive finger; the kernel
+// walks the node's CSR row of *distinct* fingers sorted by decreasing
+// precomputed progress, skips the overshooting prefix, and takes the first
+// alive entry.  Duplicates collapse onto the same node (equal progress
+// implies equal identifier), so the admissible candidate set -- and hence
+// the greedy choice -- is exactly SparseChordOverlay::next_hop's, at ~log2
+// N contiguous u64 reads per hop instead of d random id lookups.
+/// One forwarding step; kNoNode when the protocol drops the message.
+inline NodeIndex step_sparse_chord(const FlatSparseCtx& c, NodeIndex cur,
+                                   std::uint64_t target_id) {
+  const std::uint64_t distance = (target_id - c.ids[cur]) & c.key_mask;
+  const std::uint64_t end = c.row_offsets[cur + 1];
+  // Binary-search past the overshooting prefix (progress is descending),
+  // then the first alive entry is the max-progress admissible finger.  The
+  // search is branchless (conditional-move shape): the comparison outcome
+  // is data-dependent and would mispredict half the time as a branch.
+  std::uint64_t lo = c.row_offsets[cur];
+  std::uint64_t len = end - lo;
+  while (len > 0) {
+    const std::uint64_t half = len / 2;
+    const bool overshoot = c.progress[lo + half] > distance;
+    lo += overshoot ? half + 1 : 0;
+    len = overshoot ? len - half - 1 : half;
+  }
+  for (std::uint64_t e = lo; e < end; ++e) {
+    const NodeIndex f = c.table[e];
+    if (c.alive[f]) {
+      // Warm the next hop's row metadata while other lanes run (the
+      // interleaved estimator steps 8 routes round-robin, so these loads
+      // have several lane-steps of latency cover).
+      __builtin_prefetch(&c.row_offsets[f]);
+      __builtin_prefetch(&c.ids[f]);
+      return f;  // max-progress alive admissible finger
+    }
+  }
+  return kNoNode;
+}
+
+inline SparseRouteResult route_sparse_chord(const FlatSparseCtx& c,
+                                            NodeIndex source,
+                                            NodeIndex target) {
+  return route_flat(c, source, target,
+                    [](const FlatSparseCtx& ctx, NodeIndex cur,
+                       std::uint64_t target_id) {
+                      return step_sparse_chord(ctx, cur, target_id);
+                    });
+}
+
+// Sparse Kademlia: walk the differing levels highest order first; the
+// first alive non-empty contact strictly closer in XOR distance wins --
+// exactly SparseKademliaOverlay::next_hop.
+/// One forwarding step; kNoNode when the protocol drops the message.
+inline NodeIndex step_sparse_kademlia(const FlatSparseCtx& c, NodeIndex cur,
+                                      std::uint64_t target_id) {
+  const NodeIndex* row =
+      c.table + cur * static_cast<std::uint64_t>(c.row_width);
+  const std::uint64_t cur_distance = c.ids[cur] ^ target_id;
+  std::uint64_t diff = cur_distance;
+  while (diff != 0) {
+    const int bw = std::bit_width(diff);
+    const NodeIndex entry = row[c.row_width - bw];  // bucket d - bw + 1
+    if (entry != kNoNode && c.alive[entry] &&
+        (c.ids[entry] ^ target_id) < cur_distance) {
+      // Warm the next hop's contact row while other lanes run.
+      __builtin_prefetch(c.table + entry * static_cast<std::uint64_t>(
+                                       c.row_width));
+      __builtin_prefetch(&c.ids[entry]);
+      return entry;
+    }
+    diff &= ~(std::uint64_t{1} << (bw - 1));
+  }
+  return kNoNode;
+}
+
+inline SparseRouteResult route_sparse_kademlia(const FlatSparseCtx& c,
+                                               NodeIndex source,
+                                               NodeIndex target) {
+  return route_flat(c, source, target,
+                    [](const FlatSparseCtx& ctx, NodeIndex cur,
+                       std::uint64_t target_id) {
+                      return step_sparse_kademlia(ctx, cur, target_id);
+                    });
+}
+
+// Sparse Symphony: greedy clockwise without overshoot over shortcuts, then
+// the kn ring successors -- exactly SparseSymphonyOverlay::next_hop.
+/// One forwarding step; kNoNode when the protocol drops the message.
+inline NodeIndex step_sparse_symphony(const FlatSparseCtx& c, NodeIndex cur,
+                                      std::uint64_t target_id) {
+  const std::uint64_t cur_id = c.ids[cur];
+  const std::uint64_t distance = (target_id - cur_id) & c.key_mask;
+  const NodeIndex* row =
+      c.table + cur * static_cast<std::uint64_t>(c.row_width);
+  std::uint64_t best_progress = 0;
+  NodeIndex best = kNoNode;
+  const auto consider = [&](NodeIndex link) {
+    if (link == cur) {
+      return;
+    }
+    const std::uint64_t progress = (c.ids[link] - cur_id) & c.key_mask;
+    if (progress > distance || progress <= best_progress) {
+      return;  // overshoots, or no better than the current best
+    }
+    if (c.alive[link]) {
+      best_progress = progress;
+      best = link;
+    }
+  };
+  for (int j = 0; j < c.ks; ++j) {
+    consider(row[j]);
+  }
+  for (int k = 1; k <= c.kn; ++k) {
+    consider(static_cast<NodeIndex>(
+        (cur + static_cast<std::uint64_t>(k)) % c.n));
+  }
+  return best;
+}
+
+inline SparseRouteResult route_sparse_symphony(const FlatSparseCtx& c,
+                                               NodeIndex source,
+                                               NodeIndex target) {
+  return route_flat(c, source, target,
+                    [](const FlatSparseCtx& ctx, NodeIndex cur,
+                       std::uint64_t target_id) {
+                      return step_sparse_symphony(ctx, cur, target_id);
+                    });
+}
+
+/// Builds a context over an immutable sparse overlay + failure scenario.
+/// Unknown overlay types (and use_flat_kernels = false) yield kGeneric,
+/// which the estimator routes through the virtual next_hop path instead.
+FlatSparseCtx make_sparse_ctx(const SparseOverlay& overlay,
+                              const SparseFailure& failures,
+                              std::uint64_t max_hops, bool use_flat_kernels);
+
+}  // namespace flat
+
+struct SparseParallelOptions {
+  /// Number of ordered (source, target) pairs to sample.
+  std::uint64_t pairs = 20000;
+  /// Safety hop cap (0 = default N).
+  std::uint64_t max_hops = 0;
+  /// Worker threads (0 = hardware concurrency).  Never affects results.
+  unsigned threads = 0;
+  /// Work shards (0 = default, min(pairs, 256)).  Results are a function of
+  /// (seed, shard count); keep it fixed when comparing runs.
+  std::uint64_t shards = 0;
+  /// When false, routes through the virtual next_hop path instead of the
+  /// flattened kernels.  All three sparse forwarding rules are rng-free, so
+  /// the kernels replicate next_hop exactly and results are bit-identical
+  /// either way (asserted in test_flat_sparse).
+  bool use_flat_kernels = true;
+};
+
+/// Monte-Carlo estimate over sampled alive index pairs, sharded across
+/// threads.  `rng` is only fork()ed, never advanced.  Preconditions: at
+/// least two alive nodes, pairs > 0.
+SparseEstimate estimate_routability_parallel(
+    const SparseOverlay& overlay, const SparseFailure& failures,
+    const SparseParallelOptions& options, const math::Rng& rng);
+
+}  // namespace dht::sparse

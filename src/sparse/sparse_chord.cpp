@@ -1,5 +1,8 @@
 #include "sparse/sparse_chord.hpp"
 
+#include <algorithm>
+#include <utility>
+
 #include "common/check.hpp"
 
 namespace dht::sparse {
@@ -9,15 +12,36 @@ SparseChordOverlay::SparseChordOverlay(const SparseIdSpace& space)
   const int d = space.bits();
   const std::uint64_t n = space.node_count();
   const std::uint64_t size = space.key_space_size();
+  const std::uint64_t mask = size - 1;
   fingers_.resize(n * static_cast<std::uint64_t>(d));
+  route_offsets_.reserve(n + 1);
+  route_offsets_.push_back(0);
+  std::vector<std::pair<std::uint64_t, NodeIndex>> row;
+  row.reserve(static_cast<std::size_t>(d));
   for (NodeIndex v = 0; v < n; ++v) {
     const sim::NodeId base = space.id_of(v);
+    row.clear();
     for (int i = 1; i <= d; ++i) {
       const sim::NodeId key =
-          (base + (std::uint64_t{1} << (d - i))) & (size - 1);
+          (base + (std::uint64_t{1} << (d - i))) & mask;
+      const NodeIndex f = space.successor_of_key(key);
       fingers_[v * static_cast<std::uint64_t>(d) +
-               static_cast<std::uint64_t>(i - 1)] = space.successor_of_key(key);
+               static_cast<std::uint64_t>(i - 1)] = f;
+      if (f != v) {
+        row.emplace_back((space.id_of(f) - base) & mask, f);
+      }
     }
+    // Distinct fingers sorted by decreasing progress; equal progress means
+    // the same identifier, i.e. the same node, so dedup drops exactly the
+    // fingers that collapsed onto one successor.
+    std::sort(row.begin(), row.end(),
+              [](const auto& a, const auto& b) { return a.first > b.first; });
+    row.erase(std::unique(row.begin(), row.end()), row.end());
+    for (const auto& [progress, target] : row) {
+      route_progress_.push_back(progress);
+      route_targets_.push_back(target);
+    }
+    route_offsets_.push_back(route_progress_.size());
   }
 }
 
@@ -32,23 +56,29 @@ NodeIndex SparseChordOverlay::finger(NodeIndex node, int index) const {
 std::optional<NodeIndex> SparseChordOverlay::next_hop(
     NodeIndex current, NodeIndex target,
     const SparseFailure& failures) const {
+  // Range checks live here at the API boundary; the scan below reads the
+  // finger row and id array raw (finger()/id_of() would re-check per call).
   DHT_CHECK(current != target, "next_hop requires current != target");
+  DHT_CHECK(current < space_->node_count() && target < space_->node_count(),
+            "node index out of range");
   const int d = space_->bits();
-  const sim::NodeId current_id = space_->id_of(current);
+  const sim::NodeId* ids = space_->ids().data();
+  const NodeIndex* row = fingers_.data() + current * static_cast<std::uint64_t>(d);
+  const sim::NodeId current_id = ids[current];
   const std::uint64_t distance =
-      sim::ring_distance(current_id, space_->id_of(target), d);
+      sim::ring_distance(current_id, ids[target], d);
   // Greedy clockwise without overshoot.  Sparse finger offsets are not
   // strictly ordered by index (each is a successor jump past the dyadic
   // point), so scan all fingers and keep the best admissible alive one.
   std::uint64_t best_progress = 0;
   NodeIndex best = current;
-  for (int i = 1; i <= d; ++i) {
-    const NodeIndex f = finger(current, i);
+  for (int i = 0; i < d; ++i) {
+    const NodeIndex f = row[i];
     if (f == current) {
       continue;  // finger wrapped onto ourselves (tiny networks)
     }
     const std::uint64_t progress =
-        sim::ring_distance(current_id, space_->id_of(f), d);
+        sim::ring_distance(current_id, ids[f], d);
     if (progress > distance || progress <= best_progress) {
       continue;
     }

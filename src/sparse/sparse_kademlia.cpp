@@ -11,7 +11,7 @@ SparseKademliaOverlay::SparseKademliaOverlay(const SparseIdSpace& space,
     : space_(&space) {
   const int d = space.bits();
   const std::uint64_t n = space.node_count();
-  contacts_.resize(n * static_cast<std::uint64_t>(d), kEmpty);
+  contacts_.resize(n * static_cast<std::uint64_t>(d), kNoNode);
   for (NodeIndex v = 0; v < n; ++v) {
     const sim::NodeId base = space.id_of(v);
     for (int i = 1; i <= d; ++i) {
@@ -41,7 +41,7 @@ std::optional<NodeIndex> SparseKademliaOverlay::contact(NodeIndex node,
   const NodeIndex entry =
       contacts_[node * static_cast<std::uint64_t>(space_->bits()) +
                 static_cast<std::uint64_t>(bucket - 1)];
-  if (entry == kEmpty) {
+  if (entry == kNoNode) {
     return std::nullopt;
   }
   return entry;
@@ -50,10 +50,18 @@ std::optional<NodeIndex> SparseKademliaOverlay::contact(NodeIndex node,
 std::optional<NodeIndex> SparseKademliaOverlay::next_hop(
     NodeIndex current, NodeIndex target,
     const SparseFailure& failures) const {
+  // Range checks live here at the API boundary; the bucket walk below reads
+  // the contact row and id array raw (contact()/id_of() would re-check per
+  // call, d times per hop on the hot path).
   DHT_CHECK(current != target, "next_hop requires current != target");
+  DHT_CHECK(current < space_->node_count() && target < space_->node_count(),
+            "node index out of range");
   const int d = space_->bits();
-  const sim::NodeId current_id = space_->id_of(current);
-  const sim::NodeId target_id = space_->id_of(target);
+  const sim::NodeId* ids = space_->ids().data();
+  const NodeIndex* row =
+      contacts_.data() + current * static_cast<std::uint64_t>(d);
+  const sim::NodeId current_id = ids[current];
+  const sim::NodeId target_id = ids[target];
   const std::uint64_t current_distance =
       sim::xor_distance(current_id, target_id);
   // Buckets at levels where current and target differ, highest order first;
@@ -61,14 +69,13 @@ std::optional<NodeIndex> SparseKademliaOverlay::next_hop(
   // choice (correcting a higher-order bit dominates any suffix noise).
   sim::NodeId diff = current_distance;
   while (diff != 0) {
-    const int level = d - std::bit_width(diff) + 1;
-    const auto entry = contact(current, level);
-    if (entry.has_value() && failures.alive(*entry) &&
-        sim::xor_distance(space_->id_of(*entry), target_id) <
-            current_distance) {
+    const int bw = std::bit_width(diff);
+    const NodeIndex entry = row[d - bw];  // bucket level d - bw + 1
+    if (entry != kNoNode && failures.alive(entry) &&
+        sim::xor_distance(ids[entry], target_id) < current_distance) {
       return entry;
     }
-    diff &= ~(sim::NodeId{1} << (d - level));
+    diff &= ~(sim::NodeId{1} << (bw - 1));
   }
   return std::nullopt;
 }

@@ -25,15 +25,19 @@ class SparseKademliaOverlay final : public SparseOverlay {
   /// The bucket-i contact of `node`, or nullopt when the bucket is empty.
   std::optional<NodeIndex> contact(NodeIndex node, int bucket) const;
 
+  /// Row-major [node][i-1] contact indices, kNoNode marking empty buckets;
+  /// the flattened kernel (sparse/flat_sparse.hpp) reads this directly.
+  const std::vector<NodeIndex>& contact_table() const noexcept {
+    return contacts_;
+  }
+
   std::optional<NodeIndex> next_hop(
       NodeIndex current, NodeIndex target,
       const SparseFailure& failures) const override;
 
  private:
-  static constexpr NodeIndex kEmpty = ~NodeIndex{0};
-
   const SparseIdSpace* space_;
-  // Row-major [node][i-1] contact indices (kEmpty for empty buckets).
+  // Row-major [node][i-1] contact indices (kNoNode for empty buckets).
   std::vector<NodeIndex> contacts_;
 };
 

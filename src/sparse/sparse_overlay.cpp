@@ -8,25 +8,21 @@ SparseOverlay::~SparseOverlay() = default;
 
 SparseFailure::SparseFailure(const SparseIdSpace& space, double q,
                              math::Rng& rng)
-    : alive_(space.node_count(), 1), alive_count_(space.node_count()) {
+    : alive_(space.node_count(), 1) {
   DHT_CHECK(q >= 0.0 && q <= 1.0, "failure probability q must be in [0, 1]");
+  const auto n = static_cast<NodeIndex>(space.node_count());
+  alive_ids_.reserve(n);
   if (q == 0.0) {
+    for (NodeIndex i = 0; i < n; ++i) {
+      alive_ids_.push_back(i);
+    }
     return;
   }
-  alive_count_ = 0;
-  for (auto& flag : alive_) {
-    flag = rng.bernoulli(q) ? 0 : 1;
-    alive_count_ += flag;
-  }
-}
-
-NodeIndex SparseFailure::sample_alive(math::Rng& rng) const {
-  DHT_CHECK(alive_count_ > 0, "no alive node to sample");
-  for (;;) {
-    const auto index =
-        static_cast<NodeIndex>(rng.uniform_below(alive_.size()));
-    if (alive_[index] != 0) {
-      return index;
+  for (NodeIndex i = 0; i < n; ++i) {
+    if (rng.bernoulli(q)) {
+      alive_[i] = 0;
+    } else {
+      alive_ids_.push_back(i);
     }
   }
 }
@@ -65,11 +61,11 @@ SparseEstimate estimate_routability(const SparseOverlay& overlay,
     while (target == source) {
       target = failures.sample_alive(rng);
     }
-    ++estimate.attempts;
     const auto hops = route(overlay, failures, source, target);
     if (hops.has_value()) {
-      ++estimate.successes;
-      estimate.total_hops += *hops;
+      estimate.record_arrival(static_cast<std::uint64_t>(*hops));
+    } else {
+      estimate.record_drop();
     }
   }
   return estimate;

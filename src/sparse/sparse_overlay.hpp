@@ -1,34 +1,49 @@
 // Overlay interface for non-fully-populated identifier spaces.
 //
 // Mirrors sim::Overlay, but over node *indices* (0..N-1 in ring order)
-// rather than identifiers, since most keys host no node.
+// rather than identifiers, since most keys host no node.  The virtual
+// next_hop path is the semantic oracle; the flattened kernels in
+// sparse/flat_sparse.hpp replicate it hop for hop on contiguous tables.
 #pragma once
 
 #include <optional>
 #include <string_view>
 #include <vector>
 
+#include "common/check.hpp"
 #include "math/rng.hpp"
+#include "sim/hop_stats.hpp"
 #include "sparse/sparse_space.hpp"
 
 namespace dht::sparse {
 
 /// i.i.d. Bernoulli liveness over node indices (the sparse counterpart of
-/// sim::FailureScenario).
+/// sim::FailureScenario).  Alongside the byte mask it keeps a dense array
+/// of alive indices, so sample_alive is a single unbiased draw (O(1))
+/// instead of rejection sampling -- at high failure probabilities rejection
+/// would dominate the routing work itself.
 class SparseFailure {
  public:
   SparseFailure(const SparseIdSpace& space, double q, math::Rng& rng);
 
   bool alive(NodeIndex index) const { return alive_[index] != 0; }
-  std::uint64_t alive_count() const noexcept { return alive_count_; }
+  std::uint64_t alive_count() const noexcept { return alive_ids_.size(); }
   std::uint64_t node_count() const noexcept { return alive_.size(); }
 
-  /// Uniformly samples an alive node index.
-  NodeIndex sample_alive(math::Rng& rng) const;
+  /// Uniformly samples an alive node index with a single rng draw.
+  /// Precondition: alive_count() > 0.
+  NodeIndex sample_alive(math::Rng& rng) const {
+    DHT_CHECK(!alive_ids_.empty(), "no alive node to sample");
+    return alive_ids_[rng.uniform_below(alive_ids_.size())];
+  }
+
+  /// Raw liveness mask (node_count() bytes, 1 = alive); the flattened
+  /// routing kernels index this directly.
+  const std::uint8_t* alive_data() const noexcept { return alive_.data(); }
 
  private:
   std::vector<std::uint8_t> alive_;
-  std::uint64_t alive_count_ = 0;
+  std::vector<NodeIndex> alive_ids_;  // dense alive indices, ascending
 };
 
 class SparseOverlay {
@@ -50,22 +65,46 @@ std::optional<int> route(const SparseOverlay& overlay,
                          const SparseFailure& failures, NodeIndex source,
                          NodeIndex target);
 
-/// Monte-Carlo routability over sampled alive index pairs.
+/// Monte-Carlo routability over sampled alive index pairs.  All counters
+/// are exact integers (sim::HopStats for the hop distribution), so merging
+/// per-shard estimates in a fixed order is associative and bit-identical to
+/// a single pass over the concatenated routes -- the property the sharded
+/// parallel estimator (sparse/flat_sparse.hpp) relies on.
 struct SparseEstimate {
   std::uint64_t attempts = 0;
-  std::uint64_t successes = 0;
-  double total_hops = 0.0;
+  sim::HopStats hops;                ///< hop counts of successful routes
+  std::uint64_t hop_limit_hits = 0;  ///< should stay 0; protocol-bug canary
 
+  void record_arrival(std::uint64_t route_hops) noexcept {
+    ++attempts;
+    hops.add(route_hops);
+  }
+  void record_drop() noexcept { ++attempts; }
+  void record_hop_limit() noexcept {
+    ++attempts;
+    ++hop_limit_hits;
+  }
+
+  /// Pools another estimate (e.g. a shard's) into this one; exact.
+  void merge(const SparseEstimate& other) noexcept {
+    attempts += other.attempts;
+    hops.merge(other.hops);
+    hop_limit_hits += other.hop_limit_hits;
+  }
+
+  /// Exact counter equality -- what the cross-thread determinism gates
+  /// (perf_simulator, test_flat_sparse) assert.
+  bool operator==(const SparseEstimate&) const = default;
+
+  std::uint64_t successes() const noexcept { return hops.count(); }
   double routability() const noexcept {
     return attempts == 0
                ? 0.0
-               : static_cast<double>(successes) /
+               : static_cast<double>(successes()) /
                      static_cast<double>(attempts);
   }
   double failed_fraction() const noexcept { return 1.0 - routability(); }
-  double mean_hops() const noexcept {
-    return successes == 0 ? 0.0 : total_hops / static_cast<double>(successes);
-  }
+  double mean_hops() const noexcept { return hops.mean(); }
 };
 
 SparseEstimate estimate_routability(const SparseOverlay& overlay,

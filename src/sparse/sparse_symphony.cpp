@@ -53,11 +53,20 @@ NodeIndex SparseSymphonyOverlay::shortcut(NodeIndex node, int j) const {
 std::optional<NodeIndex> SparseSymphonyOverlay::next_hop(
     NodeIndex current, NodeIndex target,
     const SparseFailure& failures) const {
+  // Range checks live here at the API boundary; the scans below read the
+  // shortcut row and id array raw (shortcut()/id_of()/ring_step() would
+  // re-check per call on the hot path).
   DHT_CHECK(current != target, "next_hop requires current != target");
+  DHT_CHECK(current < space_->node_count() && target < space_->node_count(),
+            "node index out of range");
   const int d = space_->bits();
-  const sim::NodeId current_id = space_->id_of(current);
+  const std::uint64_t n = space_->node_count();
+  const sim::NodeId* ids = space_->ids().data();
+  const NodeIndex* row =
+      shortcuts_.data() + current * static_cast<std::uint64_t>(ks_);
+  const sim::NodeId current_id = ids[current];
   const std::uint64_t distance =
-      sim::ring_distance(current_id, space_->id_of(target), d);
+      sim::ring_distance(current_id, ids[target], d);
 
   std::uint64_t best_progress = 0;
   NodeIndex best = current;
@@ -66,7 +75,7 @@ std::optional<NodeIndex> SparseSymphonyOverlay::next_hop(
       return;
     }
     const std::uint64_t progress =
-        sim::ring_distance(current_id, space_->id_of(link), d);
+        sim::ring_distance(current_id, ids[link], d);
     if (progress > distance || progress <= best_progress) {
       return;  // overshoots, or no better than the current best
     }
@@ -76,10 +85,11 @@ std::optional<NodeIndex> SparseSymphonyOverlay::next_hop(
     }
   };
   for (int j = 0; j < ks_; ++j) {
-    consider(shortcut(current, j));
+    consider(row[j]);
   }
   for (int k = 1; k <= kn_; ++k) {
-    consider(space_->ring_step(current, static_cast<std::uint64_t>(k)));
+    consider(static_cast<NodeIndex>((current + static_cast<std::uint64_t>(k)) %
+                                    n));
   }
   if (best_progress == 0) {
     return std::nullopt;

@@ -32,6 +32,12 @@ class SparseSymphonyOverlay final : public SparseOverlay {
   /// The j-th shortcut of `node` (0-based, j < shortcuts()).
   NodeIndex shortcut(NodeIndex node, int j) const;
 
+  /// Row-major [node][j] shortcut node indices; the flattened kernel
+  /// (sparse/flat_sparse.hpp) reads this directly.
+  const std::vector<NodeIndex>& shortcut_table() const noexcept {
+    return shortcuts_;
+  }
+
   std::optional<NodeIndex> next_hop(
       NodeIndex current, NodeIndex target,
       const SparseFailure& failures) const override;

@@ -87,7 +87,7 @@ TEST(SparseIdSpace, RingStepWraps) {
 TEST(SparseIdSpace, RejectsBadArguments) {
   math::Rng rng(6);
   EXPECT_THROW(SparseIdSpace(0, 2, rng), PreconditionError);
-  EXPECT_THROW(SparseIdSpace(41, 2, rng), PreconditionError);
+  EXPECT_THROW(SparseIdSpace(64, 2, rng), PreconditionError);
   EXPECT_THROW(SparseIdSpace(8, 1, rng), PreconditionError);
   EXPECT_THROW(SparseIdSpace(8, 257, rng), PreconditionError);
 }

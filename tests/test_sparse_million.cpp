@@ -1,0 +1,61 @@
+// Million-node smoke test for the sparse parallel engine (labeled `slow`,
+// excluded from the sanitizer CI job): N = 10^6 nodes scattered in a 2^32
+// key space construct, route through the flattened kernels, and stay
+// bit-identical across thread counts.  This is the regime the density
+// reduction d' = log2 N targets -- real Kademlia-type deployments -- and
+// the scale the virtual single-threaded estimator could not reach.
+#include <gtest/gtest.h>
+
+#include "math/rng.hpp"
+#include "sparse/density_analysis.hpp"
+#include "sparse/flat_sparse.hpp"
+#include "sparse/sparse_chord.hpp"
+#include "sparse/sparse_kademlia.hpp"
+
+namespace dht::sparse {
+namespace {
+
+constexpr std::uint64_t kMillion = 1000000;
+constexpr int kBits = 32;
+
+TEST(SparseMillion, KademliaMillionNodesRoutesAndIsThreadDeterministic) {
+  math::Rng rng(401);
+  const SparseIdSpace space(kBits, kMillion, rng);
+  ASSERT_EQ(space.node_count(), kMillion);
+  const SparseKademliaOverlay overlay(space, rng);
+  math::Rng fail_rng(402);
+  const SparseFailure failures(space, 0.1, fail_rng);
+  const math::Rng route_rng(403);
+
+  const auto one = estimate_routability_parallel(
+      overlay, failures, {.pairs = 20000, .threads = 1}, route_rng);
+  const auto four = estimate_routability_parallel(
+      overlay, failures, {.pairs = 20000, .threads = 4}, route_rng);
+  EXPECT_EQ(one.attempts, four.attempts);
+  EXPECT_EQ(one.successes(), four.successes());
+  EXPECT_EQ(one.hops.sum(), four.hops.sum());
+  EXPECT_EQ(one.hops.sum_squares(), four.hops.sum_squares());
+  EXPECT_EQ(one.hop_limit_hits, four.hop_limit_hits);
+
+  // Sanity at q = 0.1: routability far above the knee, hop counts at the
+  // occupancy scale d' = log2 N ~ 20, not the key-space scale 32.
+  EXPECT_GT(one.routability(), 0.9);
+  EXPECT_EQ(one.hop_limit_hits, 0u);
+  EXPECT_LT(one.mean_hops(), 2.0 * effective_bits(kMillion));
+}
+
+TEST(SparseMillion, ChordMillionNodesFailureFree) {
+  math::Rng rng(411);
+  const SparseIdSpace space(kBits, kMillion, rng);
+  const SparseChordOverlay overlay(space);
+  const SparseFailure none(space, 0.0, rng);
+  const math::Rng route_rng(412);
+  const auto estimate = estimate_routability_parallel(
+      overlay, none, {.pairs = 10000, .threads = 4}, route_rng);
+  // Failure-free greedy Chord always arrives, in O(log N) hops.
+  EXPECT_EQ(estimate.routability(), 1.0);
+  EXPECT_LE(estimate.hops.max(), static_cast<std::uint64_t>(kBits));
+}
+
+}  // namespace
+}  // namespace dht::sparse
