@@ -1,0 +1,151 @@
+// Extension: dynamic membership -- joins, leaves, and successor-list
+// repair in sparse identifier spaces (the fusion of the churn and sparse
+// engines; churn/sparse_trajectory.hpp).
+//
+// Table 1 runs the headline bridge: N0 nodes (stationary) scattered in a
+// 2^32 key space under live membership turnover, with joiners announcing
+// themselves (Kademlia deep-bucket inserts / Chord predecessor notify).
+// Measured routability is compared against the *static dense* model
+// evaluated at the density-reduction scale d' = log2 N0 and the effective
+// failure probability q_eff(R) -- i.e., both prior extensions composed:
+// PR 2's churn bridge stacked on PR 4's density reduction.  q_nr, the
+// no-return effective q (identities never come back; the bound the engine
+// decays to without announcement), is printed alongside.
+//
+// Table 2 sweeps the paper's "sequential neighbors" under churn: the ring
+// with s clockwise successors per node, per-round list repair (consult the
+// list, rebuild on total loss), and predecessor notify, against the
+// eager-repair knob rho.  Bare successor-of-key fingers (s = 0) decay
+// badly at long refresh intervals; a handful of sequential neighbors
+// restores near-perfect routability -- the paper's static claim, now
+// demonstrated under real membership turnover.
+//
+// Flags: --threads N (0 = hardware)  --csv
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "churn/sparse_trajectory.hpp"
+#include "common/strfmt.hpp"
+#include "core/registry.hpp"
+#include "core/report.hpp"
+#include "sparse/density_analysis.hpp"
+
+namespace {
+constexpr std::uint64_t kPopulation = 4096;  // stationary N0
+constexpr int kBits = 32;
+constexpr std::uint64_t kShards = 8;
+constexpr int kRounds = 4;
+constexpr std::uint64_t kPairsPerRound = 600;
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dht;
+  const auto threads = static_cast<unsigned>(
+      bench::parse_flag_u64(argc, argv, "--threads", 0));
+  const auto xor_geo = core::make_geometry(core::GeometryKind::kXor);
+
+  core::Table table(strfmt(
+      "Sparse churn extension -- dynamic membership, N0 = %llu nodes "
+      "(stationary) in a 2^%d key space, %llu replicas: measured "
+      "routability %% vs the static dense model at d' = log2 N0 and q_eff",
+      static_cast<unsigned long long>(kPopulation), kBits,
+      static_cast<unsigned long long>(kShards)));
+  table.set_header({"availability", "refresh R", "q_eff", "q_nr",
+                    "static@q_eff %", "static@q_nr %", "sparse churn sim %",
+                    "mean N"});
+  std::uint64_t seed = 1;
+  for (const double a : {0.9, 0.8}) {
+    for (const int refresh : {1, 5, 20, 60}) {
+      const double pd = 0.02;
+      const double pr = a * pd / (1.0 - a);
+      const churn::ChurnParams params{.death_per_round = pd,
+                                      .rebirth_per_round = pr,
+                                      .refresh_interval = refresh};
+      const churn::SparseChurnConfig config{
+          .bits = kBits,
+          .capacity = churn::capacity_for_population(kPopulation, params),
+          .successors = 0,
+          .shortcuts = 6};
+      const churn::TrajectoryOptions options{
+          .warmup_rounds = 3 * refresh + 60,
+          .measured_rounds = kRounds,
+          .pairs_per_round = kPairsPerRound,
+          .shards = kShards,
+          .threads = threads};
+      const auto result = run_sparse_churn_trajectory(
+          churn::SparseChurnGeometry::kKademlia, config, params, options,
+          math::Rng(seed));
+      const double at_q_eff =
+          sparse::predict_sparse_routability(*xor_geo, kPopulation,
+                                             churn::effective_q(params))
+              .conditional_success;
+      const double at_q_nr =
+          sparse::predict_sparse_routability(
+              *xor_geo, kPopulation, churn::effective_q_no_return(params))
+              .conditional_success;
+      table.add_row({strfmt("%.2f", a), strfmt("%d", refresh),
+                     strfmt("%.4f", churn::effective_q(params)),
+                     strfmt("%.4f", churn::effective_q_no_return(params)),
+                     bench::pct(at_q_eff), bench::pct(at_q_nr),
+                     bench::pct(result.overall.routability()),
+                     strfmt("%.0f", result.mean_population)});
+      seed += 10;
+    }
+  }
+  table.add_note(
+      "both model columns are the static dense model at the density-"
+      "reduction scale d' = log2 N0 (PR 4), evaluated at PR 2's churn "
+      "bridge q_eff (identities return -- optimistic under dynamic "
+      "membership) and at the no-return bridge "
+      "q_nr = 1 - (1-(1-pd)^R)/(R pd) (pure entry decay).  The measured "
+      "dynamic-membership system tracks the q_eff curve at short R (join "
+      "announcement heals newcomer blindness there) and crosses over to "
+      "the q_nr curve as R grows -- a few points below it at mid R, where "
+      "blindness beyond the announce budget adds to entry decay, and above "
+      "it at long R, where announcement keeps freshening entries the "
+      "schedule would leave stale.  At full population the same engine "
+      "pins the q_eff bridge itself (test_sparse_churn's dense-limit "
+      "oracle)");
+  dht::bench::emit(table, argc, argv);
+
+  // Sequential neighbors under churn: s x rho on the ring.
+  core::Table grid(strfmt(
+      "Successor lists under churn -- sparse ring, N0 = %llu in 2^%d keys, "
+      "pd = pr = 0.05, R = 30: routability %% vs list length s and "
+      "eager-repair rho",
+      static_cast<unsigned long long>(kPopulation), kBits));
+  grid.set_header(
+      {"s", "rho", "sparse churn sim %", "mean hops", "mean entry age"});
+  const churn::ChurnParams ring_params{.death_per_round = 0.05,
+                                       .rebirth_per_round = 0.05,
+                                       .refresh_interval = 30};
+  churn::SparseChurnSweepSpec spec;
+  spec.geometry = churn::SparseChurnGeometry::kChord;
+  spec.bits = {kBits};
+  spec.populations = {kPopulation};
+  spec.churn = {ring_params};
+  spec.repair = {0.0, 0.5};
+  spec.successors = {0, 2, 4, 8};
+  spec.options = churn::TrajectoryOptions{.warmup_rounds = 120,
+                                          .measured_rounds = kRounds,
+                                          .pairs_per_round = kPairsPerRound,
+                                          .shards = kShards,
+                                          .threads = threads};
+  spec.seed = 1000;
+  for (const auto& point : run_sparse_churn_sweep(spec)) {
+    grid.add_row({strfmt("%d", point.successors),
+                  strfmt("%.1f", point.repair_probability),
+                  bench::pct(point.result.overall.routability()),
+                  strfmt("%.2f", point.result.overall.mean_hops()),
+                  strfmt("%.2f", point.result.mean_entry_age)});
+  }
+  grid.add_note(
+      "s = 0 is the degenerate ring: arrival depends on the deepest finger "
+      "pointing exactly at the (possibly new) target, so heavy turnover "
+      "with R = 30 drops most routes even with eager repair; s >= 4 "
+      "sequential neighbors with per-round list repair and predecessor "
+      "notify restore near-perfect routability -- the paper's sequential-"
+      "neighbors resilience story, demonstrated under dynamic membership");
+  dht::bench::emit(grid, argc, argv);
+  return 0;
+}

@@ -26,6 +26,23 @@
 // sampling, so the churn throughput metric is shard-rounds/sec -- a routes
 // /sec figure here would mostly measure warmup stepping.
 //
+// A fourth JSONL section ("section":"sparse_churn") drives the
+// dynamic-membership sparse churn engine (churn/sparse_trajectory.hpp):
+// shard-private worlds over a slot roster in a 2^32 key space, joins
+// drawing fresh identifiers, leaves decaying in-edges, successor-list
+// repair and join announcement, on the ring geometry:
+//
+//   {"bench":"perf_simulator","section":"sparse_churn","geometry":"ring",
+//    "threads":8,"n0":65536,"capacity":81920,"bits":32,"succ":4,
+//    "shards":8,"warmup_rounds":12,"rounds":3,"pairs_per_round":2000,
+//    "pd":0.02,"pr":0.08,"refresh":10,"rho":0.0,"q_eff":0.0746,"seed":1,
+//    "seconds":1.23,"shard_rounds_per_sec":97.6,"routes":48000,
+//    "routability":0.9991,"mean_population":65519.2,
+//    "identical_across_threads":true}
+//
+// As with the dense churn section, wall time covers world evolution plus
+// sampling, so the throughput metric is shard-rounds/sec.
+//
 // A third JSONL section ("section":"sparse") sweeps the sparse parallel
 // engine (sparse/flat_sparse.hpp) over an N grid up to 10^6 nodes
 // scattered in a 2^32 key space, for sparse Chord and sparse Kademlia.
@@ -51,6 +68,8 @@
 //        --churn-bits D (12)  --churn-rounds R (4, 0 disables the section)
 //        --sparse-bits D (32)  --sparse-n-max N (1048576, 0 disables the
 //        section; the grid is 2^14, 2^17, 2^20 clipped to N)
+//        --sparse-churn-n N (65536, stationary population; 0 disables)
+//        --sparse-churn-rounds R (3, measured rounds; 0 disables)
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -60,6 +79,7 @@
 #include <vector>
 
 #include "bench_util.hpp"
+#include "churn/sparse_trajectory.hpp"
 #include "churn/trajectory.hpp"
 #include "math/rng.hpp"
 #include "sim/monte_carlo.hpp"
@@ -88,6 +108,10 @@ struct Config {
   // Sparse section: N nodes scattered in a 2^sparse_bits key space.
   int sparse_bits = 32;
   std::uint64_t sparse_n_max = 1u << 20;  // 0 disables the section
+  // Sparse-churn section: dynamic membership at stationary population N0
+  // in a 2^32 key space (ring + successor lists).
+  std::uint64_t sparse_churn_n = 1u << 16;  // 0 disables the section
+  int sparse_churn_rounds = 3;              // 0 disables the section
 };
 
 std::vector<unsigned> parse_thread_list(const char* arg) {
@@ -139,6 +163,10 @@ Config parse_args(int argc, char** argv) {
       cfg.sparse_bits = std::atoi(value);
     } else if (flag == "--sparse-n-max") {
       cfg.sparse_n_max = std::strtoull(value, nullptr, 10);
+    } else if (flag == "--sparse-churn-n") {
+      cfg.sparse_churn_n = std::strtoull(value, nullptr, 10);
+    } else if (flag == "--sparse-churn-rounds") {
+      cfg.sparse_churn_rounds = std::atoi(value);
     } else if (flag == "--geometry") {
       if (std::strcmp(value, "all") == 0) {
         cfg.geometries = {"ring", "xor", "tree", "hypercube", "symphony"};
@@ -388,6 +416,78 @@ int main(int argc, char** argv) {
   // engine across an N grid up to 10^6 nodes in a 2^sparse_bits key space.
   if (cfg.sparse_n_max > 0) {
     all_identical = run_sparse_section(cfg) && all_identical;
+  }
+
+  // Sparse-churn section: dynamic membership (joins drawing fresh ids,
+  // leaves, successor-list repair, join announcement) on shard-private
+  // replica worlds; per-round and pooled estimates must be bit-identical
+  // at every thread count.
+  if (cfg.sparse_churn_n > 0 && cfg.sparse_churn_rounds > 0) {
+    const churn::ChurnParams params{.death_per_round = 0.02,
+                                    .rebirth_per_round = 0.08,
+                                    .refresh_interval = 10};
+    const churn::SparseChurnConfig config{
+        .bits = 32,
+        .capacity =
+            churn::capacity_for_population(cfg.sparse_churn_n, params),
+        .successors = 4,
+        .shortcuts = 6};
+    const churn::TrajectoryOptions base{
+        .warmup_rounds = 12,
+        .measured_rounds = cfg.sparse_churn_rounds,
+        .pairs_per_round = 2000,
+        .shards = 8};
+    const math::Rng churn_rng(cfg.seed + 4);
+    bool have_reference = false;
+    churn::SparseChurnResult reference;
+    for (unsigned threads : cfg.threads) {
+      churn::TrajectoryOptions options = base;
+      options.threads = threads;
+      const auto start = std::chrono::steady_clock::now();
+      const auto result = churn::run_sparse_churn_trajectory(
+          churn::SparseChurnGeometry::kChord, config, params, options,
+          churn_rng);
+      const double seconds = seconds_since(start);
+      bool identical = true;
+      if (have_reference) {
+        identical = reference.overall == result.overall &&
+                    reference.per_round.size() == result.per_round.size();
+        for (std::size_t r = 0; identical && r < result.per_round.size();
+             ++r) {
+          identical = reference.per_round[r] == result.per_round[r];
+        }
+      } else {
+        reference = result;
+        have_reference = true;
+      }
+      all_identical = all_identical && identical;
+      const double shard_rounds =
+          static_cast<double>(result.shards) *
+          static_cast<double>(base.warmup_rounds + cfg.sparse_churn_rounds);
+      std::printf(
+          "{\"bench\":\"perf_simulator\",\"section\":\"sparse_churn\","
+          "\"geometry\":\"ring\",\"threads\":%u,\"n0\":%llu,"
+          "\"capacity\":%llu,\"bits\":32,\"succ\":%d,\"shards\":%llu,"
+          "\"warmup_rounds\":%d,\"rounds\":%d,\"pairs_per_round\":%llu,"
+          "\"pd\":%.6f,\"pr\":%.6f,\"refresh\":%d,\"rho\":%.2f,"
+          "\"q_eff\":%.6f,\"seed\":%llu,\"seconds\":%.6f,"
+          "\"shard_rounds_per_sec\":%.1f,\"routes\":%llu,"
+          "\"routability\":%.6f,\"mean_population\":%.1f,"
+          "\"identical_across_threads\":%s}\n",
+          threads, static_cast<unsigned long long>(cfg.sparse_churn_n),
+          static_cast<unsigned long long>(config.capacity), config.successors,
+          static_cast<unsigned long long>(result.shards), base.warmup_rounds,
+          cfg.sparse_churn_rounds,
+          static_cast<unsigned long long>(base.pairs_per_round),
+          params.death_per_round, params.rebirth_per_round,
+          params.refresh_interval, base.repair_probability,
+          churn::effective_q(params),
+          static_cast<unsigned long long>(cfg.seed), seconds,
+          shard_rounds / seconds,
+          static_cast<unsigned long long>(result.overall.attempts),
+          result.overall.routability(), result.mean_population,
+          identical ? "true" : "false");
+    }
   }
 
   if (!all_identical) {

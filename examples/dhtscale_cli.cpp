@@ -19,6 +19,14 @@
 //                                     sharded dynamic trajectories (xor |
 //                                     tree | ring) vs the static model at
 //                                     q_eff
+//   sparse-churn <geometry> <bits> <n0> <pd> <pr> <R> [rounds] [pairs]
+//         [seed] [--threads N] [--shards S] [--rho RHO] [--succ S]
+//         [--announce A]              dynamic membership: N0 stationary
+//                                     nodes in a 2^bits key space with
+//                                     joins/leaves, successor lists, and
+//                                     join announcement (ring | xor |
+//                                     symphony), vs the static dense model
+//                                     at d' = log2 N0 and q_eff
 //   latency <geometry> <d> <q>        chain-predicted hops of survivors
 //
 // Geometries: tree | hypercube | xor | ring | symphony.
@@ -31,6 +39,7 @@
 #include <thread>
 #include <vector>
 
+#include "churn/sparse_trajectory.hpp"
 #include "churn/trajectory.hpp"
 #include "common/strfmt.hpp"
 #include "sparse/density_analysis.hpp"
@@ -67,6 +76,9 @@ int usage() {
       "         [--shards S]   (ring | xor | symphony; N nodes in 2^bits keys)\n"
       "  churn <geometry> <d> <pd> <pr> <R> [rounds] [pairs] [seed]\n"
       "        [--threads N] [--shards S] [--rho RHO]   (xor | tree | ring)\n"
+      "  sparse-churn <geometry> <bits> <n0> <pd> <pr> <R> [rounds] [pairs]\n"
+      "        [seed] [--threads N] [--shards S] [--rho RHO] [--succ S]\n"
+      "        [--announce A]   (ring | xor | symphony; dynamic membership)\n"
       "  latency <geometry> <d> <q>\n"
       "geometries: tree | hypercube | xor | ring | symphony\n";
   return 1;
@@ -327,6 +339,82 @@ int cmd_churn(const std::string& name, int d, double pd, double pr,
   return 0;
 }
 
+int cmd_sparse_churn(const std::string& name, int bits, std::uint64_t n0,
+                     double pd, double pr, int refresh, int rounds,
+                     std::uint64_t pairs, std::uint64_t seed,
+                     unsigned threads, std::uint64_t shards, double rho,
+                     int succ, int announce) {
+  churn::SparseChurnGeometry geometry;
+  if (!churn::sparse_churn_geometry_from_name(name, geometry)) {
+    std::cerr << "sparse-churn: geometry must be ring, xor, or symphony\n";
+    return usage();
+  }
+  const churn::ChurnParams params{.death_per_round = pd,
+                                  .rebirth_per_round = pr,
+                                  .refresh_interval = refresh};
+  churn::SparseChurnConfig config;
+  config.bits = bits;
+  config.capacity = churn::capacity_for_population(n0, params);
+  config.successors = succ;
+  config.announce = announce;
+  const churn::TrajectoryOptions options{.warmup_rounds = 3 * refresh + 30,
+                                         .measured_rounds = rounds,
+                                         .pairs_per_round = pairs,
+                                         .shards = shards,
+                                         .threads = threads,
+                                         .repair_probability = rho};
+  const math::Rng rng(seed);
+  const auto start = std::chrono::steady_clock::now();
+  const auto result = churn::run_sparse_churn_trajectory(geometry, config,
+                                                         params, options, rng);
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  const double q_eff = churn::effective_q(params);
+  std::cout << strfmt(
+      "sparse churn:          %s, N0 = %llu (capacity %llu slots) in a 2^%d "
+      "key space, %llu replicas\n",
+      churn::to_string(geometry), static_cast<unsigned long long>(n0),
+      static_cast<unsigned long long>(config.capacity), bits,
+      static_cast<unsigned long long>(result.shards));
+  std::cout << strfmt(
+      "lifecycle:             pd = %.4f, pr = %.4f, a = %.4f, R = %d, "
+      "rho = %.2f, s = %d, announce = %d\n",
+      pd, pr, churn::availability(params), refresh, rho, succ, announce);
+  std::cout << strfmt("effective q (q_eff):   %.6f  (no-return q_nr: %.6f)\n",
+                      q_eff, churn::effective_q_no_return(params));
+  std::cout << strfmt("dynamic routability:   %.6f\n",
+                      result.overall.routability());
+  if (name != "symphony") {
+    // Both prior extensions composed: the dense model at the density-
+    // reduction scale d' = log2 N0, evaluated at the churn bridge q_eff.
+    const auto geometry_core = core::make_geometry(name);
+    const auto point =
+        sparse::predict_sparse_routability(*geometry_core, n0, q_eff);
+    std::cout << strfmt(
+        "dense model d'=%d@q_eff: %.6f  (density reduction x churn bridge; "
+        "%s)\n",
+        sparse::effective_bits(n0), point.conditional_success,
+        to_string(geometry_core->exactness()));
+  }
+  std::cout << strfmt("mean hops on success:  %.3f\n",
+                      result.overall.mean_hops());
+  std::cout << strfmt(
+      "mean population:       %.1f (alive fraction %.4f of capacity)\n",
+      result.mean_population, result.mean_alive_fraction);
+  std::cout << strfmt("mean entry age:        %.2f rounds\n",
+                      result.mean_entry_age);
+  const double shard_rounds =
+      static_cast<double>(result.shards) *
+      static_cast<double>(options.warmup_rounds + rounds);
+  std::cout << strfmt(
+      "throughput:            %.0f shard-rounds/sec (%llu routes sampled "
+      "in %.2fs)\n",
+      shard_rounds / seconds,
+      static_cast<unsigned long long>(result.overall.attempts), seconds);
+  return 0;
+}
+
 int cmd_latency(const std::string& name, int d, double q) {
   const auto geometry = core::make_geometry(name);
   const auto point = core::expected_latency(*geometry, d, q);
@@ -449,6 +537,54 @@ int main(int argc, char** argv) {
       return cmd_churn(argv[2], std::atoi(argv[3]), std::atof(argv[4]),
                        std::atof(argv[5]), std::atoi(argv[6]), rounds, pairs,
                        seed, threads, shards, rho);
+    }
+    if (command == "sparse-churn" && argc >= 8) {
+      // Positional [rounds] [pairs] [seed], then optional flag pairs.
+      unsigned threads = 0;
+      std::uint64_t shards = 0;
+      double rho = 0.0;
+      int succ = 4;
+      int announce = 8;
+      std::vector<std::string> positional;
+      for (int i = 8; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--threads" && i + 1 < argc) {
+          threads = static_cast<unsigned>(std::atoi(argv[i + 1]));
+          ++i;
+        } else if (arg == "--shards" && i + 1 < argc) {
+          shards = std::strtoull(argv[i + 1], nullptr, 10);
+          ++i;
+        } else if (arg == "--rho" && i + 1 < argc) {
+          rho = std::atof(argv[i + 1]);
+          ++i;
+        } else if (arg == "--succ" && i + 1 < argc) {
+          succ = std::atoi(argv[i + 1]);
+          ++i;
+        } else if (arg == "--announce" && i + 1 < argc) {
+          announce = std::atoi(argv[i + 1]);
+          ++i;
+        } else if (arg.rfind("--", 0) == 0) {
+          std::cerr << "sparse-churn: unknown flag " << arg << "\n";
+          return usage();
+        } else {
+          positional.push_back(arg);
+        }
+      }
+      const int rounds =
+          !positional.empty() ? std::atoi(positional[0].c_str()) : 4;
+      const std::uint64_t pairs =
+          positional.size() >= 2
+              ? std::strtoull(positional[1].c_str(), nullptr, 10)
+              : 1000;
+      const std::uint64_t seed =
+          positional.size() >= 3
+              ? std::strtoull(positional[2].c_str(), nullptr, 10)
+              : 1;
+      return cmd_sparse_churn(argv[2], std::atoi(argv[3]),
+                              std::strtoull(argv[4], nullptr, 10),
+                              std::atof(argv[5]), std::atof(argv[6]),
+                              std::atoi(argv[7]), rounds, pairs, seed,
+                              threads, shards, rho, succ, announce);
     }
     if (command == "latency" && argc == 5) {
       return cmd_latency(argv[2], std::atoi(argv[3]), std::atof(argv[4]));

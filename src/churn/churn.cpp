@@ -1,5 +1,6 @@
 #include "churn/churn.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/check.hpp"
@@ -47,6 +48,24 @@ double effective_q(const ChurnParams& params) {
   const double mean_alive_term =
       (1.0 - std::pow(lambda, r)) / (r * (1.0 - lambda));
   return (1.0 - availability(params)) * (1.0 - mean_alive_term);
+}
+
+double departed_given_age(const ChurnParams& params, int age) {
+  check_params(params);
+  DHT_CHECK(age >= 0, "entry age must be >= 0");
+  return 1.0 - std::pow(1.0 - params.death_per_round,
+                        static_cast<double>(age));
+}
+
+double effective_q_no_return(const ChurnParams& params) {
+  check_params(params);
+  const double survive = 1.0 - params.death_per_round;
+  const double r = static_cast<double>(params.refresh_interval);
+  // Average of departed_given_age over ages 0 .. R-1 (geometric partial
+  // sum; pd > 0 by check_params, so the denominator never degenerates).
+  // Clamped at 0: R = 1 is exactly 0 in reals but can round to -eps.
+  return std::max(0.0, 1.0 - (1.0 - std::pow(survive, r)) /
+                           (r * params.death_per_round));
 }
 
 bool trajectory_geometry_from_name(std::string_view name,

@@ -57,6 +57,23 @@ double dead_given_age(const ChurnParams& params, int age);
 /// The effective static failure probability q_eff(R) (see file comment).
 double effective_q(const ChurnParams& params);
 
+/// P(entry target departed | entry installed k rounds ago) when identities
+/// never return: 1 - (1 - pd)^k.  This is the dynamic-membership analogue
+/// of dead_given_age -- in the sparse churn world
+/// (churn/sparse_trajectory.hpp) a leaving node is gone for good and a
+/// recycled slot is a different node (generation stamps), so the rebirth
+/// term of the dense chain drops out.
+double departed_given_age(const ChurnParams& params, int age);
+
+/// The no-return effective failure probability: departed_given_age
+/// averaged over uniform entry ages 0..R-1,
+///
+///   q_nr(R) = 1 - (1 - (1-pd)^R) / (R pd),
+///
+/// the q_eff analogue the sparse churn engine's routability should track
+/// (>= q_eff: without rebirths stale entries only decay).
+double effective_q_no_return(const ChurnParams& params);
+
 /// Geometries the churn machinery can evolve.  All three keep one entry
 /// per (node, level) with 2^{d-level} candidates per entry class:
 ///   kXor   prefix-class entries, greedy XOR fallback forwarding

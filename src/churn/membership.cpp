@@ -1,0 +1,159 @@
+#include "churn/membership.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace dht::churn {
+
+SparseMembership::SparseMembership(int bits, std::uint64_t capacity)
+    : bits_(bits) {
+  DHT_CHECK(bits >= 1 && bits <= 63,
+            "sparse membership supports 1 <= bits <= 63");
+  DHT_CHECK(capacity >= 2, "membership needs at least two slots");
+  DHT_CHECK(bits >= 26 || capacity <= (std::uint64_t{1} << bits),
+            "capacity must fit the key space");
+  DHT_CHECK(capacity <= (std::uint64_t{1} << 26),
+            "capacity must stay <= 2^26 (per-slot state is materialized)");
+  ids_.resize(capacity, 0);
+  present_.resize(capacity, 0);
+  generations_.resize(capacity, 0);
+  in_pending_.resize(capacity, 0);
+}
+
+void SparseMembership::leave(NodeSlot slot) {
+  DHT_CHECK(present_[slot] != 0, "leave requires a present slot");
+  present_[slot] = 0;
+  --population_;
+}
+
+bool SparseMembership::id_occupied(std::uint64_t id) const {
+  // Occupied = owned by a still-present node: either an order entry whose
+  // slot has not left since the last commit, or a pending joiner.  Ids of
+  // departed nodes are free for re-draw immediately.
+  const auto it = std::lower_bound(order_ids_.begin(), order_ids_.end(), id);
+  if (it != order_ids_.end() && *it == id) {
+    const NodeSlot slot =
+        order_slots_[static_cast<std::uint64_t>(it - order_ids_.begin())];
+    // The order entry holds the id iff its slot is still present under its
+    // committed identity; a recycled slot's old id is free again (the
+    // recycled identity is tracked by the pending list instead).
+    if (present_[slot] != 0 && in_pending_[slot] == 0) {
+      return true;
+    }
+  }
+  const auto pending = std::lower_bound(
+      pending_.begin(), pending_.end(), id,
+      [](const auto& entry, std::uint64_t key) { return entry.first < key; });
+  return pending != pending_.end() && pending->first == id;
+}
+
+void SparseMembership::join(const std::vector<NodeSlot>& slots,
+                            math::Rng& rng) {
+  if (slots.empty()) {
+    return;
+  }
+  const std::uint64_t k = slots.size();
+  DHT_CHECK(population_ + k <= key_space_size(),
+            "population would exceed the key space");
+  // Batched distinct-fresh-id draw: top the pool up to k raw draws, sort,
+  // dedup against itself and the occupied keys, repeat.  Converges for any
+  // occupancy < 1 (the constructor caps capacity at the key-space size, and
+  // joins only fire for absent slots, so free keys always remain).
+  std::vector<std::uint64_t> fresh;
+  fresh.reserve(k);
+  const std::uint64_t keys = key_space_size();
+  while (fresh.size() < k) {
+    while (fresh.size() < k) {
+      fresh.push_back(rng.uniform_below(keys));
+    }
+    std::sort(fresh.begin(), fresh.end());
+    fresh.erase(std::unique(fresh.begin(), fresh.end()), fresh.end());
+    fresh.erase(std::remove_if(
+                    fresh.begin(), fresh.end(),
+                    [this](std::uint64_t id) { return id_occupied(id); }),
+                fresh.end());
+  }
+  // Ascending fresh ids onto the ascending cohort; slot numbers carry no
+  // ring meaning, so the pairing is free to be the convenient one.
+  const std::uint64_t before = pending_.size();
+  for (std::uint64_t i = 0; i < k; ++i) {
+    const NodeSlot slot = slots[i];
+    DHT_CHECK(present_[slot] == 0, "join requires an absent slot");
+    ids_[slot] = fresh[i];
+    present_[slot] = 1;
+    ++generations_[slot];
+    in_pending_[slot] = 1;
+    pending_.emplace_back(fresh[i], slot);
+  }
+  population_ += k;
+  std::inplace_merge(
+      pending_.begin(),
+      pending_.begin() + static_cast<std::ptrdiff_t>(before), pending_.end(),
+      [](const auto& a, const auto& b) { return a.first < b.first; });
+}
+
+void SparseMembership::commit() {
+  // Merge the surviving order entries with the pending joiners into fresh
+  // parallel arrays.  An old entry survives iff its slot is present AND not
+  // recycled this cycle -- presence alone is not enough, because a slot that
+  // left and re-joined is present under a new identity carried by the
+  // pending list (and may even have re-drawn its old identifier).
+  std::vector<std::uint64_t> merged_ids;
+  std::vector<NodeSlot> merged_slots;
+  merged_ids.reserve(population_);
+  merged_slots.reserve(population_);
+  const std::uint64_t old_size = order_ids_.size();
+  std::uint64_t i = 0;
+  std::uint64_t j = 0;
+  const auto survives = [this](std::uint64_t pos) {
+    const NodeSlot slot = order_slots_[pos];
+    return present_[slot] != 0 && in_pending_[slot] == 0;
+  };
+  while (i < old_size || j < pending_.size()) {
+    const bool take_old =
+        j >= pending_.size() ||
+        (i < old_size && order_ids_[i] <= pending_[j].first);
+    if (take_old) {
+      if (survives(i)) {
+        merged_ids.push_back(order_ids_[i]);
+        merged_slots.push_back(order_slots_[i]);
+      }
+      ++i;
+    } else {
+      merged_ids.push_back(pending_[j].first);
+      merged_slots.push_back(pending_[j].second);
+      ++j;
+    }
+  }
+  order_ids_ = std::move(merged_ids);
+  order_slots_ = std::move(merged_slots);
+  for (const auto& [id, slot] : pending_) {
+    (void)id;
+    in_pending_[slot] = 0;
+  }
+  pending_.clear();
+  DHT_CHECK(order_ids_.size() == population_,
+            "order index out of sync with the population");
+}
+
+std::uint64_t SparseMembership::successor_position(std::uint64_t key) const {
+  DHT_CHECK(!order_ids_.empty(), "successor query on an empty population");
+  const auto it = std::lower_bound(order_ids_.begin(), order_ids_.end(), key);
+  if (it == order_ids_.end()) {
+    return 0;  // wrap to the smallest identifier
+  }
+  return static_cast<std::uint64_t>(it - order_ids_.begin());
+}
+
+std::pair<std::uint64_t, std::uint64_t> SparseMembership::order_range(
+    std::uint64_t lo, std::uint64_t hi) const {
+  DHT_CHECK(lo <= hi, "order_range requires lo <= hi");
+  const auto first =
+      std::lower_bound(order_ids_.begin(), order_ids_.end(), lo);
+  const auto last = std::upper_bound(first, order_ids_.end(), hi);
+  return {static_cast<std::uint64_t>(first - order_ids_.begin()),
+          static_cast<std::uint64_t>(last - order_ids_.begin())};
+}
+
+}  // namespace dht::churn

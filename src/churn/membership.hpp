@@ -1,0 +1,155 @@
+// Dynamic membership over a non-fully-populated identifier space -- the
+// population layer under the sparse churn engine (churn/sparse_trajectory.hpp).
+//
+// The dense churn model (churn/churn.hpp) flips liveness on a fixed roster
+// of 2^d identifiers; here the roster is a fixed array of `capacity` SLOTS
+// over a 2^bits key space (bits <= 63), and N itself evolves: a joining
+// slot draws a fresh identifier uniformly from the unoccupied keys, a
+// leaving slot is removed from the population (its stale id and routing
+// rows linger until the slot is recycled by a later join).  Slots are the
+// stable handles routing tables store -- an in-edge to a departed slot
+// reads as dead through the presence mask until the owner refreshes it, or
+// until the slot is recycled by a join (the sparse analogue of a dense
+// rebirth making a stale entry valid again, except the recycled slot
+// carries a new identifier).
+//
+// Membership changes are batched per round: leave() flips presence
+// immediately, join() assigns fresh distinct ids to a cohort of slots, and
+// commit() rebuilds the sorted (id -> slot) order index in one O(N + k)
+// merge pass.  All queries the table machinery needs -- successor of a
+// key, id ranges (Kademlia buckets), clockwise ring steps (successor
+// lists) -- are binary searches over that index, so only the population is
+// ever materialized, never the key space.  Every draw comes from a caller
+// rng, so a membership trajectory is a pure function of (rng lineage,
+// inputs) -- the property the sharded replica engine needs.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "math/rng.hpp"
+#include "sparse/sparse_space.hpp"
+
+namespace dht::churn {
+
+/// Stable handle of a roster slot (the unit routing tables reference).
+using NodeSlot = sparse::NodeIndex;
+
+/// Sentinel for "no slot" in routing rows (empty buckets, short rings).
+inline constexpr NodeSlot kNoSlot = sparse::kNoNode;
+
+/// The identifier range of Kademlia bucket `level` (1-based from the most
+/// significant of `bits` bits) around `id`: ids sharing the first level-1
+/// bits with bit `level` flipped -- a contiguous [lo, hi] once the suffix
+/// is freed.  Shared by entry refresh and join announcement so the two
+/// paths cannot drift.
+inline std::pair<std::uint64_t, std::uint64_t> kademlia_bucket_range(
+    std::uint64_t id, int level, int bits) {
+  const int suffix_bits = bits - level;
+  const std::uint64_t lo =
+      ((id ^ (std::uint64_t{1} << suffix_bits)) >> suffix_bits)
+      << suffix_bits;
+  return {lo, lo + ((std::uint64_t{1} << suffix_bits) - 1)};
+}
+
+class SparseMembership {
+ public:
+  /// A roster of `capacity` slots over a 2^bits key space, all initially
+  /// absent.  Preconditions: 1 <= bits <= 63, 2 <= capacity <= 2^bits, and
+  /// capacity <= 2^26 (per-slot state is materialized).
+  SparseMembership(int bits, std::uint64_t capacity);
+
+  int bits() const noexcept { return bits_; }
+  std::uint64_t key_space_size() const noexcept {
+    return std::uint64_t{1} << bits_;
+  }
+  std::uint64_t key_mask() const noexcept { return key_space_size() - 1; }
+  std::uint64_t capacity() const noexcept { return present_.size(); }
+  std::uint64_t population() const noexcept { return population_; }
+
+  bool present(NodeSlot slot) const { return present_[slot] != 0; }
+  /// The slot's identifier; stale (the last occupant's) while absent.
+  std::uint64_t id_of(NodeSlot slot) const { return ids_[slot]; }
+  /// The slot's occupancy generation, incremented on every join.  Routing
+  /// entries stamp the generation they were installed against, so an edge
+  /// to a departed node stays invalid when the slot is recycled -- in a
+  /// dynamic-membership world identities never return, unlike the dense
+  /// model's rebirths.
+  std::uint32_t generation(NodeSlot slot) const { return generations_[slot]; }
+
+  /// Raw presence mask / id array over slots; the routing kernels of the
+  /// sparse churn world index these directly.
+  const std::uint8_t* present_data() const noexcept { return present_.data(); }
+  const std::uint64_t* id_data() const noexcept { return ids_.data(); }
+  const std::uint32_t* generation_data() const noexcept {
+    return generations_.data();
+  }
+
+  /// Marks a present slot absent.  The order index keeps the stale entry
+  /// (filtered by the presence mask) until the next commit().
+  void leave(NodeSlot slot);
+
+  /// Joins a cohort of absent slots: draws distinct identifiers uniformly
+  /// from the keys not presently occupied (batched draw + sort + dedup, the
+  /// SparseIdSpace construction pattern) and assigns them in ascending
+  /// order to the ascending cohort.  Slots become present immediately; the
+  /// order index sees them at the next commit().
+  void join(const std::vector<NodeSlot>& slots, math::Rng& rng);
+
+  /// Rebuilds the sorted (id -> slot) order index: drops departed entries,
+  /// merges joined ones.  One O(population + joins) pass per round.
+  void commit();
+
+  // --- Order-index queries (reflect the membership as of the last
+  // --- commit(); call commit() after leave()/join() before using them).
+
+  /// Present-node count in the index (== population() when in sync).
+  std::uint64_t order_size() const noexcept { return order_slots_.size(); }
+
+  /// The slot at ring position `pos` (ids ascending).
+  NodeSlot slot_at(std::uint64_t pos) const { return order_slots_[pos]; }
+
+  /// The id at ring position `pos`.
+  std::uint64_t id_at(std::uint64_t pos) const { return order_ids_[pos]; }
+
+  /// Ring position of the first present node at or clockwise-after `key`
+  /// (Chord successor convention; wraps to 0 past the largest id).
+  /// Precondition: order_size() > 0.
+  std::uint64_t successor_position(std::uint64_t key) const;
+
+  /// The owning slot of `key` (successor convention).
+  NodeSlot successor_of_key(std::uint64_t key) const {
+    return order_slots_[successor_position(key)];
+  }
+
+  /// Present nodes with ids in [lo, hi] (inclusive, no wrap: lo <= hi) as a
+  /// ring-position range [first, last).
+  std::pair<std::uint64_t, std::uint64_t> order_range(std::uint64_t lo,
+                                                      std::uint64_t hi) const;
+
+  /// The slot `steps` positions clockwise of ring position `pos`.
+  /// Precondition: order_size() > 0.
+  NodeSlot ring_successor(std::uint64_t pos, std::uint64_t steps) const {
+    return order_slots_[(pos + steps) % order_slots_.size()];
+  }
+
+ private:
+  bool id_occupied(std::uint64_t id) const;
+
+  int bits_;
+  std::vector<std::uint64_t> ids_;       // per slot; stale while absent
+  std::vector<std::uint8_t> present_;    // per slot
+  std::vector<std::uint32_t> generations_;  // per slot; bumped on join
+  std::uint64_t population_ = 0;
+  // Sorted present ids + parallel slots, as of the last commit().
+  std::vector<std::uint64_t> order_ids_;
+  std::vector<NodeSlot> order_slots_;
+  // Joins since the last commit(), sorted by id, plus a per-slot flag so
+  // commit() can tell a surviving order entry from one whose slot was
+  // recycled this round (possibly onto the very same identifier).
+  std::vector<std::pair<std::uint64_t, NodeSlot>> pending_;
+  std::vector<std::uint8_t> in_pending_;
+};
+
+}  // namespace dht::churn

@@ -1,0 +1,666 @@
+#include "churn/sparse_trajectory.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <utility>
+
+#include "common/check.hpp"
+#include "sim/shard_pool.hpp"
+
+namespace dht::churn {
+
+namespace {
+
+// Flattened routing view over a world's slot state: identifiers (stale for
+// departed slots), the presence mask, the row-major table, and the
+// successor lists.  Kernels compare identifiers but step between slots --
+// the sparse/flat_sparse.hpp pattern with mutable membership underneath.
+struct ChurnKernelCtx {
+  const std::uint64_t* ids = nullptr;
+  const std::uint8_t* present = nullptr;
+  const std::uint32_t* generations = nullptr;
+  const NodeSlot* table = nullptr;
+  const std::uint32_t* table_gen = nullptr;
+  const NodeSlot* successors = nullptr;
+  const std::uint32_t* successors_gen = nullptr;
+  int row_width = 0;
+  int s = 0;
+  std::uint64_t key_mask = 0;
+};
+
+// An entry is routable only while its target slot is present under the
+// generation the entry was installed against.
+inline bool ctx_entry_valid(const ChurnKernelCtx& c, NodeSlot entry,
+                            std::uint32_t generation) {
+  return entry != kNoSlot && c.present[entry] != 0 &&
+         c.generations[entry] == generation;
+}
+
+// Chord / Symphony: greedy clockwise without overshoot over the table row
+// plus the successor list -- the list entries are ordinary candidate edges,
+// so they both repair deep progress (a dead finger's gap) and guarantee the
+// last hops.  Entries are read through the *current* identifier of the slot
+// they point at: a departed entry reads as dead via the presence mask, a
+// recycled entry behaves as a re-pointed edge.
+inline NodeSlot step_clockwise(const ChurnKernelCtx& c, NodeSlot cur,
+                               std::uint64_t target_id) {
+  const std::uint64_t cur_id = c.ids[cur];
+  const std::uint64_t distance = (target_id - cur_id) & c.key_mask;
+  std::uint64_t best_progress = 0;
+  NodeSlot best = kNoSlot;
+  const auto consider = [&](NodeSlot link, std::uint32_t generation) {
+    if (link == kNoSlot || link == cur) {
+      return;
+    }
+    const std::uint64_t progress = (c.ids[link] - cur_id) & c.key_mask;
+    if (progress > distance || progress <= best_progress) {
+      return;  // overshoots, or no better than the current best
+    }
+    if (c.present[link] != 0 && c.generations[link] == generation) {
+      best_progress = progress;
+      best = link;
+    }
+  };
+  const std::uint64_t row_base =
+      cur * static_cast<std::uint64_t>(c.row_width);
+  for (int j = 0; j < c.row_width; ++j) {
+    consider(c.table[row_base + static_cast<std::uint64_t>(j)],
+             c.table_gen[row_base + static_cast<std::uint64_t>(j)]);
+  }
+  const std::uint64_t succ_base = cur * static_cast<std::uint64_t>(c.s);
+  for (int t = 0; t < c.s; ++t) {
+    consider(c.successors[succ_base + static_cast<std::uint64_t>(t)],
+             c.successors_gen[succ_base + static_cast<std::uint64_t>(t)]);
+  }
+  return best;
+}
+
+// Kademlia: walk the differing levels highest order first; the first
+// present contact strictly closer in XOR distance wins.  The successor
+// list is the sibling-list fallback: its entries are admissible whenever
+// they are strictly closer, which covers the endgame where the deep
+// buckets have decayed.
+inline NodeSlot step_xor(const ChurnKernelCtx& c, NodeSlot cur,
+                         std::uint64_t target_id) {
+  const std::uint64_t cur_distance = c.ids[cur] ^ target_id;
+  const std::uint64_t row_base =
+      cur * static_cast<std::uint64_t>(c.row_width);
+  std::uint64_t diff = cur_distance;
+  while (diff != 0) {
+    const int bw = std::bit_width(diff);
+    const std::uint64_t j =
+        row_base + static_cast<std::uint64_t>(c.row_width - bw);
+    const NodeSlot entry = c.table[j];  // bucket d - bw + 1
+    if (ctx_entry_valid(c, entry, c.table_gen[j]) &&
+        (c.ids[entry] ^ target_id) < cur_distance) {
+      return entry;
+    }
+    diff &= ~(std::uint64_t{1} << (bw - 1));
+  }
+  const std::uint64_t succ_base = cur * static_cast<std::uint64_t>(c.s);
+  for (int t = 0; t < c.s; ++t) {
+    const std::uint64_t j = succ_base + static_cast<std::uint64_t>(t);
+    const NodeSlot e = c.successors[j];
+    if (e != cur && ctx_entry_valid(c, e, c.successors_gen[j]) &&
+        (c.ids[e] ^ target_id) < cur_distance) {
+      return e;
+    }
+  }
+  return kNoSlot;
+}
+
+void check_config(const SparseChurnConfig& config,
+                  SparseChurnGeometry geometry) {
+  DHT_CHECK(config.successors >= 0, "successor-list length must be >= 0");
+  if (geometry == SparseChurnGeometry::kSymphony) {
+    DHT_CHECK(config.shortcuts >= 1,
+              "symphony requires at least one shortcut");
+  }
+}
+
+}  // namespace
+
+bool sparse_churn_geometry_from_name(std::string_view name,
+                                     SparseChurnGeometry& out) {
+  if (name == "ring") {
+    out = SparseChurnGeometry::kChord;
+    return true;
+  }
+  if (name == "xor") {
+    out = SparseChurnGeometry::kKademlia;
+    return true;
+  }
+  if (name == "symphony") {
+    out = SparseChurnGeometry::kSymphony;
+    return true;
+  }
+  return false;
+}
+
+const char* to_string(SparseChurnGeometry geometry) noexcept {
+  switch (geometry) {
+    case SparseChurnGeometry::kChord:
+      return "ring";
+    case SparseChurnGeometry::kKademlia:
+      return "xor";
+    case SparseChurnGeometry::kSymphony:
+      return "symphony";
+  }
+  return "?";
+}
+
+std::uint64_t capacity_for_population(std::uint64_t population,
+                                      const ChurnParams& params) {
+  const double a = availability(params);
+  auto capacity = static_cast<std::uint64_t>(
+      std::llround(static_cast<double>(population) / a));
+  // Clamp into SparseMembership's supported roster range: a derived
+  // capacity above the 2^26 per-slot-state cap would otherwise throw from
+  // inside a sweep's shard pool, discarding every computed grid point.
+  capacity = std::min(capacity, std::uint64_t{1} << 26);
+  return capacity < 2 ? 2 : capacity;
+}
+
+SparseChurnWorld::SparseChurnWorld(SparseChurnGeometry geometry,
+                                   const SparseChurnConfig& config,
+                                   const ChurnParams& params,
+                                   double repair_probability,
+                                   std::uint64_t max_hops,
+                                   const math::Rng& rng)
+    : geometry_(geometry),
+      config_(config),
+      params_(params),
+      repair_probability_(repair_probability),
+      max_hops_(max_hops == 0 ? config.capacity : max_hops),
+      row_width_(geometry == SparseChurnGeometry::kSymphony
+                     ? config.shortcuts
+                     : config.bits),
+      lifecycle_rng_(rng.fork(1)),
+      table_rng_(rng.fork(2)),
+      measure_rng_(rng.fork(3)),
+      id_rng_(rng.fork(4)),
+      membership_(config.bits, config.capacity) {
+  const double a = availability(params);  // validates the lifecycle rates
+  DHT_CHECK(repair_probability >= 0.0 && repair_probability <= 1.0,
+            "repair probability must be in [0, 1]");
+  check_config(config, geometry);
+  const std::uint64_t capacity = membership_.capacity();
+  // Stationary membership: each slot present w.p. a, like the dense world's
+  // stationary liveness -- the dense-limit oracle depends on the two
+  // lifecycle processes being the same slot-level chain.
+  joiners_.clear();
+  for (NodeSlot slot = 0; slot < capacity; ++slot) {
+    if (lifecycle_rng_.bernoulli(a)) {
+      joiners_.push_back(slot);
+    }
+  }
+  membership_.join(joiners_, id_rng_);
+  membership_.commit();
+  total_joins_ += joiners_.size();
+  table_.assign(capacity * static_cast<std::uint64_t>(row_width_), kNoSlot);
+  table_gen_.assign(table_.size(), 0);
+  refreshed_at_.assign(table_.size(), 0);
+  successors_.assign(
+      capacity * static_cast<std::uint64_t>(config_.successors), kNoSlot);
+  successors_gen_.assign(successors_.size(), 0);
+  successors_refreshed_at_.assign(capacity, 0);
+  for (NodeSlot slot = 0; slot < capacity; ++slot) {
+    if (membership_.present(slot)) {
+      rebuild_node(slot);
+    }
+  }
+  // Stagger refresh phases so entry ages start uniform over 0..R-1,
+  // matching the q_eff derivation (and the dense world's construction).
+  const auto interval =
+      static_cast<std::uint64_t>(params_.refresh_interval);
+  for (NodeSlot slot = 0; slot < capacity; ++slot) {
+    if (!membership_.present(slot)) {
+      continue;
+    }
+    for (int j = 0; j < row_width_; ++j) {
+      refreshed_at_[slot * static_cast<std::uint64_t>(row_width_) +
+                    static_cast<std::uint64_t>(j)] =
+          -static_cast<std::int32_t>(table_rng_.uniform_below(interval));
+    }
+    if (config_.successors > 0) {
+      successors_refreshed_at_[slot] =
+          -static_cast<std::int32_t>(table_rng_.uniform_below(interval));
+    }
+  }
+}
+
+bool SparseChurnWorld::entry_valid(NodeSlot entry,
+                                   std::uint32_t generation) const {
+  return entry != kNoSlot && membership_.present(entry) &&
+         membership_.generation(entry) == generation;
+}
+
+void SparseChurnWorld::refresh_entry(NodeSlot slot, int index) {
+  const std::uint64_t id = membership_.id_of(slot);
+  const std::uint64_t mask = membership_.key_mask();
+  const std::uint64_t offset =
+      slot * static_cast<std::uint64_t>(row_width_) +
+      static_cast<std::uint64_t>(index);
+  NodeSlot chosen = kNoSlot;
+  switch (geometry_) {
+    case SparseChurnGeometry::kChord: {
+      // Finger i = index+1 points at successor(id + 2^{d-i}).
+      const std::uint64_t key =
+          (id + (std::uint64_t{1} << (config_.bits - index - 1))) & mask;
+      chosen = membership_.successor_of_key(key);
+      break;
+    }
+    case SparseChurnGeometry::kKademlia: {
+      const auto [lo, hi] = kademlia_bucket_range(id, index + 1, config_.bits);
+      const auto [first, last] = membership_.order_range(lo, hi);
+      if (first < last) {
+        chosen = membership_.slot_at(
+            first + table_rng_.uniform_below(last - first));
+      }
+      break;
+    }
+    case SparseChurnGeometry::kSymphony: {
+      // Harmonic key-distance draw, linked to the key's current owner;
+      // re-draw when it degenerates to the node itself.  This is the
+      // shortcut re-draw semantics the dense trajectory engine lacks: the
+      // sparse world re-draws the *key* and resolves it against the
+      // current membership.
+      const std::uint64_t keys = membership_.key_space_size();
+      const double log_range =
+          std::log(static_cast<double>(keys - 1));
+      NodeSlot link = slot;
+      for (int attempt = 0; attempt < 64 && link == slot; ++attempt) {
+        const double u = table_rng_.uniform01();
+        std::uint64_t key_offset =
+            static_cast<std::uint64_t>(std::exp(u * log_range));
+        key_offset = key_offset < 1 ? 1 : key_offset;
+        key_offset = key_offset > keys - 1 ? keys - 1 : key_offset;
+        link = membership_.successor_of_key((id + key_offset) & mask);
+      }
+      chosen = link;  // may stay self in degenerate tiny populations
+      break;
+    }
+  }
+  table_[offset] = chosen;
+  table_gen_[offset] =
+      chosen == kNoSlot ? 0 : membership_.generation(chosen);
+  refreshed_at_[offset] = static_cast<std::int32_t>(round_);
+}
+
+void SparseChurnWorld::rebuild_tables(NodeSlot slot) {
+  for (int j = 0; j < row_width_; ++j) {
+    refresh_entry(slot, j);
+  }
+}
+
+void SparseChurnWorld::rebuild_successors(NodeSlot slot,
+                                          std::uint64_t from_position) {
+  const int s = config_.successors;
+  const std::uint64_t base = slot * static_cast<std::uint64_t>(s);
+  for (int t = 0; t < s; ++t) {
+    const NodeSlot succ = membership_.ring_successor(
+        from_position, static_cast<std::uint64_t>(t));
+    successors_[base + static_cast<std::uint64_t>(t)] = succ;
+    successors_gen_[base + static_cast<std::uint64_t>(t)] =
+        membership_.generation(succ);
+  }
+  successors_refreshed_at_[slot] = static_cast<std::int32_t>(round_);
+}
+
+void SparseChurnWorld::rebuild_node(NodeSlot slot) {
+  rebuild_tables(slot);
+  if (config_.successors > 0) {
+    const std::uint64_t own =
+        membership_.successor_position(membership_.id_of(slot));
+    rebuild_successors(slot, own + 1);  // first node strictly clockwise
+  }
+}
+
+void SparseChurnWorld::announce_join(NodeSlot slot) {
+  const std::uint64_t population = membership_.order_size();
+  if (population < 2) {
+    return;
+  }
+  const std::uint64_t own =
+      membership_.successor_position(membership_.id_of(slot));
+  // Chord's notify: the clockwise predecessor learns its new successor
+  // immediately (its rebuilt list starts at the joiner).  This is what
+  // keeps arrival working under membership turnover -- without it a
+  // newcomer is unreachable until its neighborhood refreshes.
+  if (config_.successors > 0) {
+    const NodeSlot predecessor =
+        membership_.slot_at((own + population - 1) % population);
+    if (predecessor != slot) {
+      rebuild_successors(predecessor, own);
+    }
+  }
+  // Kademlia's join lookup: the joiner installs itself into the matching
+  // bucket of its closest peers (deepest shared-prefix levels first),
+  // filling entries that are empty or point at departed/recycled nodes.
+  // Bucket membership is symmetric -- u in v's level-l bucket iff v in
+  // u's -- so the peers are exactly the members of the joiner's own deep
+  // buckets.
+  if (geometry_ == SparseChurnGeometry::kKademlia && config_.announce > 0) {
+    int budget = config_.announce;
+    const std::uint64_t id = membership_.id_of(slot);
+    const std::uint32_t generation = membership_.generation(slot);
+    for (int level = config_.bits; level >= 1 && budget > 0; --level) {
+      const auto [lo, hi] = kademlia_bucket_range(id, level, config_.bits);
+      const auto [first, last] = membership_.order_range(lo, hi);
+      for (std::uint64_t pos = first; pos < last && budget > 0; ++pos) {
+        const NodeSlot peer = membership_.slot_at(pos);
+        const std::uint64_t offset =
+            peer * static_cast<std::uint64_t>(row_width_) +
+            static_cast<std::uint64_t>(level - 1);
+        if (!entry_valid(table_[offset], table_gen_[offset])) {
+          table_[offset] = slot;
+          table_gen_[offset] = generation;
+          refreshed_at_[offset] = static_cast<std::int32_t>(round_);
+        }
+        --budget;
+      }
+    }
+  }
+}
+
+void SparseChurnWorld::maintain_successors(NodeSlot slot) {
+  const int s = config_.successors;
+  if (s == 0) {
+    return;
+  }
+  const std::uint64_t base = slot * static_cast<std::uint64_t>(s);
+  bool broken = false;
+  NodeSlot first_alive = kNoSlot;
+  for (int t = 0; t < s; ++t) {
+    const NodeSlot e = successors_[base + static_cast<std::uint64_t>(t)];
+    if (e == slot ||
+        !entry_valid(e, successors_gen_[base + static_cast<std::uint64_t>(t)])) {
+      broken = true;
+    } else if (first_alive == kNoSlot) {
+      first_alive = e;
+    }
+  }
+  if (broken) {
+    if (first_alive != kNoSlot) {
+      // Consult the list: the first alive entry seeds the repaired list
+      // (its current clockwise chain).  Joiners between this node and that
+      // entry are picked up by the next scheduled rebuild -- the
+      // stabilization lag of real successor lists.
+      rebuild_successors(
+          slot,
+          membership_.successor_position(membership_.id_of(first_alive)));
+    } else {
+      // Every sequential neighbor is gone: fall back to a full rebuild
+      // (tables included), the re-join-like recovery path.
+      rebuild_node(slot);
+    }
+  } else if (round_ - successors_refreshed_at_[slot] >=
+             params_.refresh_interval) {
+    const std::uint64_t own =
+        membership_.successor_position(membership_.id_of(slot));
+    rebuild_successors(slot, own + 1);
+  }
+}
+
+void SparseChurnWorld::step() {
+  ++round_;
+  const std::uint64_t capacity = membership_.capacity();
+  // Lifecycle flips first: a slot's decision reads its pre-round state
+  // (leave() flips presence in place, but each slot is visited once; join
+  // assignment is deferred to the batch below).
+  joiners_.clear();
+  for (NodeSlot slot = 0; slot < capacity; ++slot) {
+    if (membership_.present(slot)) {
+      if (lifecycle_rng_.bernoulli(params_.death_per_round)) {
+        membership_.leave(slot);
+        ++total_leaves_;
+      }
+    } else if (lifecycle_rng_.bernoulli(params_.rebirth_per_round)) {
+      joiners_.push_back(slot);
+    }
+  }
+  membership_.join(joiners_, id_rng_);
+  membership_.commit();
+  total_joins_ += joiners_.size();
+  // Joiners bootstrap against the committed membership (which already
+  // includes the whole cohort, mirroring the dense rejoiner rebuilds),
+  // then announce themselves (predecessor notify / deep-bucket inserts).
+  for (const NodeSlot slot : joiners_) {
+    rebuild_node(slot);
+  }
+  for (const NodeSlot slot : joiners_) {
+    announce_join(slot);
+  }
+  // Maintenance for present nodes: successor-list stabilization, due
+  // refreshes, and the eager-repair channel (an entry observed dead is
+  // re-pointed with probability rho between scheduled refreshes).  Fresh
+  // joiner rows are stamped with the current round, so they fall through
+  // every branch.
+  for (NodeSlot slot = 0; slot < capacity; ++slot) {
+    if (!membership_.present(slot)) {
+      continue;
+    }
+    maintain_successors(slot);
+    for (int j = 0; j < row_width_; ++j) {
+      const std::uint64_t offset =
+          slot * static_cast<std::uint64_t>(row_width_) +
+          static_cast<std::uint64_t>(j);
+      if (round_ - refreshed_at_[offset] >= params_.refresh_interval) {
+        refresh_entry(slot, j);
+      } else if (repair_probability_ > 0.0) {
+        // Observed-dead covers departed targets AND recycled slots (the
+        // node at that address is a different one now) -- both are
+        // generation mismatches.
+        const NodeSlot entry = table_[offset];
+        if (entry != kNoSlot && !entry_valid(entry, table_gen_[offset]) &&
+            table_rng_.bernoulli(repair_probability_)) {
+          refresh_entry(slot, j);
+        }
+      }
+    }
+  }
+}
+
+sparse::SparseEstimate SparseChurnWorld::measure(std::uint64_t pairs,
+                                                 math::Rng& rng) {
+  sparse::SparseEstimate estimate;
+  if (membership_.population() < 2) {
+    return estimate;  // nothing to sample: the empty-estimate contract
+  }
+  ChurnKernelCtx ctx;
+  ctx.ids = membership_.id_data();
+  ctx.present = membership_.present_data();
+  ctx.generations = membership_.generation_data();
+  ctx.table = table_.data();
+  ctx.table_gen = table_gen_.data();
+  ctx.successors = successors_.data();
+  ctx.successors_gen = successors_gen_.data();
+  ctx.row_width = row_width_;
+  ctx.s = config_.successors;
+  ctx.key_mask = membership_.key_mask();
+  NodeSlot (*step)(const ChurnKernelCtx&, NodeSlot, std::uint64_t) =
+      geometry_ == SparseChurnGeometry::kKademlia ? &step_xor
+                                                  : &step_clockwise;
+  const std::uint64_t capacity = membership_.capacity();
+  for (std::uint64_t i = 0; i < pairs; ++i) {
+    NodeSlot source = static_cast<NodeSlot>(rng.uniform_below(capacity));
+    while (!membership_.present(source)) {
+      source = static_cast<NodeSlot>(rng.uniform_below(capacity));
+    }
+    NodeSlot target = static_cast<NodeSlot>(rng.uniform_below(capacity));
+    while (!membership_.present(target) || target == source) {
+      target = static_cast<NodeSlot>(rng.uniform_below(capacity));
+    }
+    const std::uint64_t target_id = membership_.id_of(target);
+    NodeSlot cur = source;
+    std::uint64_t hops = 0;
+    for (;;) {
+      if (cur == target) {
+        estimate.record_arrival(hops);
+        break;
+      }
+      if (hops >= max_hops_) {
+        estimate.record_hop_limit();
+        break;
+      }
+      const NodeSlot next = step(ctx, cur, target_id);
+      if (next == kNoSlot) {
+        estimate.record_drop();
+        break;
+      }
+      cur = next;
+      ++hops;
+    }
+  }
+  return estimate;
+}
+
+sparse::SparseEstimate SparseChurnWorld::measure(std::uint64_t pairs) {
+  return measure(pairs, measure_rng_);
+}
+
+double SparseChurnWorld::alive_fraction() const noexcept {
+  return static_cast<double>(membership_.population()) /
+         static_cast<double>(membership_.capacity());
+}
+
+double SparseChurnWorld::mean_entry_age() const {
+  double total = 0.0;
+  std::uint64_t counted = 0;
+  const std::uint64_t capacity = membership_.capacity();
+  for (NodeSlot slot = 0; slot < capacity; ++slot) {
+    if (!membership_.present(slot)) {
+      continue;
+    }
+    for (int j = 0; j < row_width_; ++j) {
+      total += round_ -
+               refreshed_at_[slot * static_cast<std::uint64_t>(row_width_) +
+                             static_cast<std::uint64_t>(j)];
+      ++counted;
+    }
+  }
+  return counted == 0 ? 0.0 : total / static_cast<double>(counted);
+}
+
+SparseChurnResult run_sparse_churn_trajectory(
+    SparseChurnGeometry geometry, const SparseChurnConfig& config,
+    const ChurnParams& params, const TrajectoryOptions& options,
+    const math::Rng& rng) {
+  DHT_CHECK(options.warmup_rounds >= 0, "warmup rounds must be >= 0");
+  DHT_CHECK(options.measured_rounds >= 1,
+            "at least one round must be measured");
+  DHT_CHECK(options.pairs_per_round > 0,
+            "at least one pair must be sampled per round");
+  (void)availability(params);
+  DHT_CHECK(options.repair_probability >= 0.0 &&
+                options.repair_probability <= 1.0,
+            "repair probability must be in [0, 1]");
+
+  const std::uint64_t shards =
+      options.shards != 0 ? options.shards : kDefaultTrajectoryShards;
+  const int rounds = options.measured_rounds;
+  std::vector<std::vector<sparse::SparseEstimate>> shard_rounds(shards);
+  std::vector<double> population_sum(shards, 0.0);
+  std::vector<double> alive_sum(shards, 0.0);
+  std::vector<double> age_sum(shards, 0.0);
+
+  sim::run_sharded(
+      shards, sim::resolve_threads(options.threads), [&](std::uint64_t s) {
+        // Shard s is an independent replica of the whole trajectory, a
+        // pure function of (caller seed, s).
+        SparseChurnWorld world(geometry, config, params,
+                               options.repair_probability, options.max_hops,
+                               rng.fork(s));
+        for (int i = 0; i < options.warmup_rounds; ++i) {
+          world.step();
+        }
+        auto& mine = shard_rounds[s];
+        mine.reserve(static_cast<std::size_t>(rounds));
+        for (int r = 0; r < rounds; ++r) {
+          world.step();
+          mine.push_back(world.measure(options.pairs_per_round));
+          population_sum[s] += static_cast<double>(world.population());
+          alive_sum[s] += world.alive_fraction();
+          age_sum[s] += world.mean_entry_age();
+        }
+      });
+
+  SparseChurnResult result;
+  result.shards = shards;
+  result.per_round.resize(static_cast<std::size_t>(rounds));
+  for (int r = 0; r < rounds; ++r) {
+    for (std::uint64_t s = 0; s < shards; ++s) {
+      result.per_round[static_cast<std::size_t>(r)].merge(
+          shard_rounds[s][static_cast<std::size_t>(r)]);
+    }
+    result.overall.merge(result.per_round[static_cast<std::size_t>(r)]);
+  }
+  double population_total = 0.0;
+  double alive_total = 0.0;
+  double age_total = 0.0;
+  for (std::uint64_t s = 0; s < shards; ++s) {
+    population_total += population_sum[s];
+    alive_total += alive_sum[s];
+    age_total += age_sum[s];
+  }
+  const double snapshots =
+      static_cast<double>(shards) * static_cast<double>(rounds);
+  result.mean_population = population_total / snapshots;
+  result.mean_alive_fraction = alive_total / snapshots;
+  result.mean_entry_age = age_total / snapshots;
+  return result;
+}
+
+std::vector<SparseChurnSweepPoint> run_sparse_churn_sweep(
+    const SparseChurnSweepSpec& spec) {
+  DHT_CHECK(!spec.bits.empty(), "sweep needs at least one bits value");
+  DHT_CHECK(!spec.populations.empty(),
+            "sweep needs at least one population value");
+  DHT_CHECK(!spec.churn.empty(), "sweep needs at least one churn point");
+  DHT_CHECK(!spec.repair.empty(), "sweep needs at least one repair value");
+  DHT_CHECK(!spec.successors.empty(),
+            "sweep needs at least one successor-list length");
+  const math::Rng root(spec.seed);
+  std::vector<SparseChurnSweepPoint> points;
+  points.reserve(spec.bits.size() * spec.populations.size() *
+                 spec.churn.size() * spec.repair.size() *
+                 spec.successors.size());
+  std::uint64_t index = 0;
+  for (const int bits : spec.bits) {
+    for (const std::uint64_t population : spec.populations) {
+      for (const ChurnParams& params : spec.churn) {
+        std::uint64_t capacity = capacity_for_population(population, params);
+        if (bits < 26 && capacity > (std::uint64_t{1} << bits)) {
+          capacity = std::uint64_t{1} << bits;  // dense-limit clamp
+        }
+        for (const double rho : spec.repair) {
+          for (const int s : spec.successors) {
+            SparseChurnConfig config;
+            config.bits = bits;
+            config.capacity = capacity;
+            config.successors = s;
+            config.shortcuts = spec.shortcuts;
+            TrajectoryOptions options = spec.options;
+            options.repair_probability = rho;
+            SparseChurnSweepPoint point;
+            point.bits = bits;
+            point.population = population;
+            point.capacity = capacity;
+            point.params = params;
+            point.repair_probability = rho;
+            point.successors = s;
+            point.q_eff = effective_q(params);
+            point.result = run_sparse_churn_trajectory(
+                spec.geometry, config, params, options, root.fork(index));
+            points.push_back(std::move(point));
+            ++index;
+          }
+        }
+      }
+    }
+  }
+  return points;
+}
+
+}  // namespace dht::churn

@@ -1,0 +1,235 @@
+// Dynamic-membership churn over non-fully-populated identifier spaces --
+// the fusion of the repo's two flagship engines.
+//
+// The dense churn engine (churn/trajectory.hpp) evolves liveness on a fixed
+// fully-populated roster; the sparse engine (sparse/flat_sparse.hpp) routes
+// static populations scattered in huge key spaces.  Here N itself evolves:
+// a SparseChurnWorld runs a slot roster (churn/membership.hpp) over a 2^d
+// key space (d <= 63) in which joining nodes draw fresh identifiers,
+// bootstrap their row-major tables (Chord fingers / Kademlia bucket
+// contacts / Symphony harmonic shortcuts) against the current membership,
+// and leaving nodes are removed -- their in-edges decay until lazy refresh
+// (every R rounds per entry), eager repair (the rho knob), or
+// successor-list repair re-points them.  Entries are stamped with the
+// target slot's occupancy generation: a departed node's in-edges stay dead
+// even after the slot is recycled, because in dynamic membership
+// identities never return.  That drops the rebirth term from the dense
+// q_eff bridge -- the engine's routability tracks the static model at the
+// *no-return* effective failure probability q_nr(R) = effective_q_no_return
+// (churn/churn.hpp), the dynamic-membership generalization of PR 2's
+// bridge, asserted in test_sparse_churn.
+//
+// The successor-list model (the paper's "sequential neighbors", Section 2,
+// finally run under churn): each node keeps its s clockwise successors.
+// Routing may fall back on the list when the table offers no admissible
+// alive hop, and per-round maintenance repairs a broken list by consulting
+// the list itself -- the first alive entry seeds the rebuilt list -- before
+// falling back to a full table rebuild when every entry is dead.  s = 0
+// disables the list and recovers the pure-table decay model.
+//
+// Estimation reuses the replica sharding of the dense churn engine: shard k
+// forks the caller's generator (Rng::fork(k)) and owns a private world, so
+// the whole trajectory is a pure function of (seed, k); per-(shard, round)
+// SparseEstimates (exact integer counters) are merged round-wise in shard
+// order -- bit-identical at any thread count.  Grid sweeps over
+// (N0, d, churn, rho, s) ride run_sparse_churn_sweep; the dense-limit
+// oracle (capacity = 2^d, join rate = rebirth, leave rate = death) pins the
+// engine to the PR 2 q_eff bridge in test_sparse_churn.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "churn/membership.hpp"
+#include "churn/trajectory.hpp"
+#include "math/rng.hpp"
+#include "sparse/sparse_overlay.hpp"
+
+namespace dht::churn {
+
+/// Geometries of the sparse churn world (the three sparse overlay
+/// families; named like the dhtscale_cli sparse geometries).
+enum class SparseChurnGeometry {
+  kChord,     // "ring": successor-of-key fingers, greedy clockwise
+  kKademlia,  // "xor": bucket contacts, XOR-greedy bucket walk
+  kSymphony,  // "symphony": harmonic shortcuts, greedy clockwise
+};
+
+/// Maps "ring" | "xor" | "symphony" to the enum; anything else is false.
+bool sparse_churn_geometry_from_name(std::string_view name,
+                                     SparseChurnGeometry& out);
+
+const char* to_string(SparseChurnGeometry geometry) noexcept;
+
+struct SparseChurnConfig {
+  /// Key-space bits (1 <= bits <= 63).
+  int bits = 32;
+  /// Slot-roster size C.  Each slot runs the two-state lifecycle of
+  /// churn/churn.hpp (present w.p. a = pr/(pd+pr) at stationarity), so the
+  /// stationary population is a * C.  Capacity <= min(2^bits, 2^26).
+  std::uint64_t capacity = std::uint64_t{1} << 14;
+  /// Successor-list length s (0 disables sequential neighbors).
+  int successors = 4;
+  /// Symphony shortcut count ks (ignored by the other geometries).
+  int shortcuts = 6;
+  /// Join-announcement budget: how many nearby nodes a joiner installs
+  /// itself into (Kademlia's self-lookup deep-bucket inserts; 0 disables).
+  /// The ring geometries announce to the clockwise predecessor's successor
+  /// list instead (Chord's notify), which costs nothing extra.  Without
+  /// announcement a newcomer is invisible to in-edges until their owners
+  /// refresh -- up to R rounds of arrival blindness the dense model cannot
+  /// express, because there a reborn node keeps its identity and every
+  /// stale in-edge revives instantly.
+  int announce = 8;
+};
+
+/// The capacity whose stationary population is `population`:
+/// round(population / availability(params)).
+std::uint64_t capacity_for_population(std::uint64_t population,
+                                      const ChurnParams& params);
+
+/// One dynamic sparse overlay world: membership churn (joins draw fresh
+/// ids, leaves free slots), per-entry lazy refresh every R rounds, optional
+/// eager repair of entries observed dead (rho), per-round successor-list
+/// maintenance, and routing against the *current* membership via flattened
+/// slot-indexed kernels.  The constructor only fork()s the caller's
+/// generator, so a world's trajectory is a pure function of (rng lineage,
+/// inputs).
+class SparseChurnWorld {
+ public:
+  /// Starts at the stationary membership (each slot present w.p. a) with
+  /// fresh tables and refresh phases staggered uniformly.  `max_hops` of 0
+  /// selects the default cap C; hits land in the hop_limit_hits canary.
+  SparseChurnWorld(SparseChurnGeometry geometry,
+                   const SparseChurnConfig& config, const ChurnParams& params,
+                   double repair_probability, std::uint64_t max_hops,
+                   const math::Rng& rng);
+
+  /// Advances one round: lifecycle flips (leaves + joins with fresh ids),
+  /// order-index commit, joiner bootstraps + join announcements,
+  /// successor-list maintenance, due refreshes, and eager repair.
+  void step();
+
+  /// Samples `pairs` routes among currently-present pairs against the
+  /// stored (possibly stale) tables.  With fewer than two present nodes
+  /// there is nothing to sample: returns an empty estimate (the
+  /// ChurnWorld::measure contract).
+  sparse::SparseEstimate measure(std::uint64_t pairs, math::Rng& rng);
+
+  /// Same, drawing from the world's own measurement sub-stream.
+  sparse::SparseEstimate measure(std::uint64_t pairs);
+
+  int round() const noexcept { return round_; }
+  std::uint64_t population() const noexcept {
+    return membership_.population();
+  }
+  std::uint64_t capacity() const noexcept { return membership_.capacity(); }
+  /// Population over capacity (tracks availability a at stationarity).
+  double alive_fraction() const noexcept;
+  /// Cumulative membership turnover (diagnostics).
+  std::uint64_t total_joins() const noexcept { return total_joins_; }
+  std::uint64_t total_leaves() const noexcept { return total_leaves_; }
+
+  /// Mean age (rounds since refresh) over present nodes' table entries --
+  /// the q_eff derivation's uniform-age diagnostic.
+  double mean_entry_age() const;
+
+  const SparseMembership& membership() const noexcept { return membership_; }
+
+ private:
+  bool entry_valid(NodeSlot entry, std::uint32_t generation) const;
+  void refresh_entry(NodeSlot slot, int index);
+  void announce_join(NodeSlot slot);
+  void rebuild_tables(NodeSlot slot);
+  void rebuild_successors(NodeSlot slot, std::uint64_t from_position);
+  void maintain_successors(NodeSlot slot);
+  void rebuild_node(NodeSlot slot);
+
+  const SparseChurnGeometry geometry_;
+  const SparseChurnConfig config_;
+  const ChurnParams params_;
+  const double repair_probability_;
+  const std::uint64_t max_hops_;
+  const int row_width_;
+  math::Rng lifecycle_rng_;
+  math::Rng table_rng_;
+  math::Rng measure_rng_;
+  math::Rng id_rng_;
+  int round_ = 0;
+  SparseMembership membership_;
+  std::uint64_t total_joins_ = 0;
+  std::uint64_t total_leaves_ = 0;
+  // Row-major [slot][index] table entries, the generation each entry was
+  // installed against (an entry is valid only while its target slot keeps
+  // that generation -- identities never return), and the round each entry
+  // was refreshed.
+  std::vector<NodeSlot> table_;
+  std::vector<std::uint32_t> table_gen_;
+  std::vector<std::int32_t> refreshed_at_;
+  // Row-major [slot][0..s) successor lists + generations + per-node
+  // refresh stamps.
+  std::vector<NodeSlot> successors_;
+  std::vector<std::uint32_t> successors_gen_;
+  std::vector<std::int32_t> successors_refreshed_at_;
+  // Scratch for step() (avoids per-round allocation).
+  std::vector<NodeSlot> joiners_;
+};
+
+/// Result of a sharded sparse churn trajectory; the sparse counterpart of
+/// churn::TrajectoryResult, with SparseEstimate as the merged currency.
+struct SparseChurnResult {
+  std::uint64_t shards = 0;
+  /// Round r's estimate pooled across shards (merged in shard order).
+  std::vector<sparse::SparseEstimate> per_round;
+  /// All measured rounds pooled in round order.
+  sparse::SparseEstimate overall;
+  /// Population averaged over (shard, measured round) snapshots.
+  double mean_population = 0.0;
+  /// Population / capacity, same averaging (tracks a at stationarity).
+  double mean_alive_fraction = 0.0;
+  /// Mean table-entry age of present nodes, same averaging.
+  double mean_entry_age = 0.0;
+};
+
+/// Runs the sharded sparse churn trajectory; reuses TrajectoryOptions
+/// (warmup/measured rounds, pairs per round, shards, threads, max hops,
+/// rho).  `rng` is only fork()ed.  Bit-identical at any thread count.
+SparseChurnResult run_sparse_churn_trajectory(SparseChurnGeometry geometry,
+                                              const SparseChurnConfig& config,
+                                              const ChurnParams& params,
+                                              const TrajectoryOptions& options,
+                                              const math::Rng& rng);
+
+/// One evaluated grid point of a sparse churn sweep.
+struct SparseChurnSweepPoint {
+  int bits = 0;
+  std::uint64_t population = 0;  ///< target stationary population N0
+  std::uint64_t capacity = 0;    ///< derived roster size
+  ChurnParams params;
+  double repair_probability = 0.0;
+  int successors = 0;
+  double q_eff = 0.0;  ///< the PR 2 static-model bridge value for `params`
+  SparseChurnResult result;
+};
+
+/// A (N0, d, churn, rho, s) grid.  Points are the cartesian product in that
+/// nesting order (bits outermost, successors innermost); point i uses
+/// Rng(seed).fork(i), so each point is reproducible independent of the grid
+/// shape.  Capacity is derived per point as capacity_for_population.
+struct SparseChurnSweepSpec {
+  SparseChurnGeometry geometry = SparseChurnGeometry::kChord;
+  std::vector<int> bits = {32};
+  std::vector<std::uint64_t> populations = {std::uint64_t{1} << 14};
+  std::vector<ChurnParams> churn = {ChurnParams{}};
+  std::vector<double> repair = {0.0};
+  std::vector<int> successors = {4};
+  int shortcuts = 6;
+  TrajectoryOptions options;
+  std::uint64_t seed = 1;
+};
+
+std::vector<SparseChurnSweepPoint> run_sparse_churn_sweep(
+    const SparseChurnSweepSpec& spec);
+
+}  // namespace dht::churn

@@ -55,8 +55,13 @@ struct RoutabilityEstimate {
 
   double routability() const noexcept { return routed.point(); }
   double failed_fraction() const noexcept { return 1.0 - routed.point(); }
-  /// 95% Wilson interval on the routability.
-  math::Interval confidence95() const { return routed.wilson(1.96); }
+  /// 95% Wilson interval on the routability; the vacuous [0, 1] when no
+  /// pairs were sampled (ChurnWorld::measure returns an empty estimate
+  /// when fewer than two nodes are alive, and downstream reporting must
+  /// not trip Wilson's trials > 0 precondition on a collapsed world).
+  math::Interval confidence95() const {
+    return routed.trials == 0 ? math::Interval{} : routed.wilson(1.96);
+  }
 };
 
 /// Monte-Carlo estimate over sampled alive pairs.  Preconditions: at least

@@ -147,21 +147,29 @@ inline SparseRouteResult route_sparse_chord(const FlatSparseCtx& c,
 }
 
 // Sparse Kademlia: walk the differing levels highest order first; the
-// first alive non-empty contact strictly closer in XOR distance wins --
-// exactly SparseKademliaOverlay::next_hop.
+// first alive non-empty contact wins -- exactly
+// SparseKademliaOverlay::next_hop, *including* its strictly-closer check,
+// which the kernel elides because it is provably always true for bucket
+// contacts: a level-l contact agrees with `cur` above bit d-l, so when the
+// walk probes level l, the contact matches the target on every higher
+// differing bit already probed, clears bit d-l (both contact and target
+// flip it relative to `cur`), and therefore sits strictly closer whatever
+// its suffix.  That removes the candidate id lookup -- the last random
+// read per probe -- from the hot path; the oracle keeps the check
+// defensively, and the per-pair equality test (test_flat_sparse) pins the
+// two paths to each other.
 /// One forwarding step; kNoNode when the protocol drops the message.
 inline NodeIndex step_sparse_kademlia(const FlatSparseCtx& c, NodeIndex cur,
                                       std::uint64_t target_id) {
   const NodeIndex* row =
       c.table + cur * static_cast<std::uint64_t>(c.row_width);
-  const std::uint64_t cur_distance = c.ids[cur] ^ target_id;
-  std::uint64_t diff = cur_distance;
+  std::uint64_t diff = c.ids[cur] ^ target_id;
   while (diff != 0) {
     const int bw = std::bit_width(diff);
     const NodeIndex entry = row[c.row_width - bw];  // bucket d - bw + 1
-    if (entry != kNoNode && c.alive[entry] &&
-        (c.ids[entry] ^ target_id) < cur_distance) {
-      // Warm the next hop's contact row while other lanes run.
+    if (entry != kNoNode && c.alive[entry]) {
+      // Warm the next hop's contact row and identifier while other lanes
+      // run (the id feeds the next hop's distance computation).
       __builtin_prefetch(c.table + entry * static_cast<std::uint64_t>(
                                        c.row_width));
       __builtin_prefetch(&c.ids[entry]);

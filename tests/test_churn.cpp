@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "churn/churn.hpp"
+#include "churn/trajectory.hpp"
 #include "common/check.hpp"
 #include "core/registry.hpp"
 #include "core/routability.hpp"
@@ -148,6 +149,99 @@ TEST(ChurnModel, GoldenEdgeCaseSlowChurn) {
                            .refresh_interval = 11};
   EXPECT_NEAR(dead_given_age(params, 3), 3e-5, 1e-8);
   EXPECT_NEAR(effective_q(params), 1e-5 * 5.0, 1e-8);
+}
+
+TEST(ChurnModel, GoldenNoReturnEffectiveQ) {
+  // departed_given_age drops the rebirth term: 1 - (1-pd)^k exactly.
+  const ChurnParams params{.death_per_round = 0.1,
+                           .rebirth_per_round = 0.3,
+                           .refresh_interval = 5};
+  EXPECT_DOUBLE_EQ(departed_given_age(params, 0), 0.0);
+  EXPECT_NEAR(departed_given_age(params, 1), 0.1, 1e-15);
+  EXPECT_NEAR(departed_given_age(params, 2), 0.19, 1e-15);
+  EXPECT_NEAR(departed_given_age(params, 3), 0.271, 1e-15);
+  // q_nr(R) = 1 - (1 - (1-pd)^R) / (R pd); pd = 0.5, R = 4:
+  // 1 - (1 - 0.0625) / 2 = 0.53125 exactly.
+  EXPECT_NEAR(effective_q_no_return({.death_per_round = 0.5,
+                                     .rebirth_per_round = 0.5,
+                                     .refresh_interval = 4}),
+              0.53125, 1e-15);
+  // R = 1: fresh entries every round, no decay window.
+  EXPECT_DOUBLE_EQ(effective_q_no_return({.death_per_round = 0.3,
+                                          .rebirth_per_round = 0.2,
+                                          .refresh_interval = 1}),
+                   0.0);
+  // Without rebirths stale entries only decay: q_nr >= q_eff -- equal up
+  // to R = 2 (entries of age <= 1 leave no time for a rebirth to matter:
+  // both give pd/2 at R = 2), strictly above for R >= 3 -- and q_nr is
+  // monotone in the refresh lag with limit 1, not 1 - a.
+  double previous = -1.0;
+  for (int r : {1, 2, 5, 20, 100, 5000}) {
+    const ChurnParams point{.death_per_round = 0.02,
+                            .rebirth_per_round = 0.08,
+                            .refresh_interval = r};
+    const double q_nr = effective_q_no_return(point);
+    EXPECT_GE(q_nr, effective_q(point) - 1e-12) << "R=" << r;
+    if (r > 2) {
+      EXPECT_GT(q_nr, effective_q(point)) << "R=" << r;
+    }
+    EXPECT_GT(q_nr, previous) << "R=" << r;
+    EXPECT_LE(q_nr, 1.0);
+    previous = q_nr;
+  }
+  EXPECT_NEAR(previous, 1.0, 0.02);  // R = 5000 approaches full decay
+}
+
+TEST(ChurnWorld, MeasureWithFewerThanTwoAliveNodesIsEmpty) {
+  // The empty-estimate contract (regression: downstream confidence95 used
+  // to trip Wilson's trials > 0 precondition on a collapsed world).  The
+  // sparse churn engine honors the same contract (test_sparse_churn).
+  const sim::IdSpace space(3);
+  const ChurnParams params{.death_per_round = 0.99,
+                           .rebirth_per_round = 0.005,
+                           .refresh_interval = 3};
+  ChurnWorld world(TrajectoryGeometry::kXor, space, params,
+                   /*repair_probability=*/0.0, /*max_hops=*/0, math::Rng(71));
+  bool collapsed = world.alive_count() < 2;
+  for (int round = 0; round < 300 && !collapsed; ++round) {
+    world.step();
+    collapsed = world.alive_count() < 2;
+  }
+  ASSERT_TRUE(collapsed) << "population never dropped below 2";
+  const sim::RoutabilityEstimate estimate = world.measure(100);
+  EXPECT_EQ(estimate.routed.trials, 0u);
+  EXPECT_EQ(estimate.routed.successes, 0u);
+  EXPECT_EQ(estimate.hops.count(), 0u);
+  EXPECT_EQ(estimate.hop_limit_hits, 0u);
+  EXPECT_EQ(estimate.routability(), 0.0);
+  // The vacuous interval, not a PreconditionError.
+  const math::Interval interval = estimate.confidence95();
+  EXPECT_EQ(interval.lo, 0.0);
+  EXPECT_EQ(interval.hi, 1.0);
+  // The world keeps stepping; rebirths may repopulate it.
+  for (int round = 0; round < 20; ++round) {
+    world.step();
+  }
+}
+
+TEST(ChurnWorld, TrajectoryWithCollapsingWorldsStaysWellFormed) {
+  // Shard replicas whose populations collapse contribute empty rounds; the
+  // merged result must stay usable (routability 0, vacuous interval)
+  // rather than throwing.
+  const sim::IdSpace space(3);
+  const ChurnParams params{.death_per_round = 0.99,
+                           .rebirth_per_round = 0.005,
+                           .refresh_interval = 3};
+  const TrajectoryOptions options{.warmup_rounds = 20,
+                                  .measured_rounds = 3,
+                                  .pairs_per_round = 50,
+                                  .shards = 4};
+  const auto result = run_churn_trajectory(TrajectoryGeometry::kXor, space,
+                                           params, options, math::Rng(73));
+  EXPECT_LE(result.overall.routed.trials, 4u * 3u * 50u);
+  const math::Interval interval = result.overall.confidence95();
+  EXPECT_GE(interval.lo, 0.0);
+  EXPECT_LE(interval.hi, 1.0);
 }
 
 TEST(ChurnModel, RejectsBadParameters) {

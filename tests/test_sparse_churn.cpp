@@ -1,0 +1,461 @@
+// The dynamic-membership sparse churn engine (churn/sparse_trajectory.hpp):
+// membership/order-index invariants under joins and leaves, thread-count
+// determinism and merge semantics of the sharded replica estimator, the
+// successor-list and join-announcement mechanisms, the empty-estimate
+// contract on collapsed populations, the sweep grid API, and the headline
+// dense-limit oracle -- at full population (capacity = 2^d, join rate =
+// rebirth, leave rate = death) the engine statistically matches the dense
+// ChurnWorld and the static model at q_eff, pinning it to the PR 2 bridge
+// at d' = log2 N.
+#include <gtest/gtest.h>
+
+#include "churn/sparse_trajectory.hpp"
+#include "churn/trajectory.hpp"
+#include "common/check.hpp"
+#include "math/rng.hpp"
+#include "sim/parallel_monte_carlo.hpp"
+#include "sim/xor_overlay.hpp"
+
+namespace dht::churn {
+namespace {
+
+void expect_identical(const sparse::SparseEstimate& a,
+                      const sparse::SparseEstimate& b, const char* what) {
+  EXPECT_EQ(a.attempts, b.attempts) << what;
+  EXPECT_EQ(a.hops.count(), b.hops.count()) << what;
+  EXPECT_EQ(a.hops.sum(), b.hops.sum()) << what;
+  EXPECT_EQ(a.hops.sum_squares(), b.hops.sum_squares()) << what;
+  EXPECT_EQ(a.hops.min(), b.hops.min()) << what;
+  EXPECT_EQ(a.hops.max(), b.hops.max()) << what;
+  EXPECT_EQ(a.hop_limit_hits, b.hop_limit_hits) << what;
+}
+
+constexpr SparseChurnGeometry kAllGeometries[] = {
+    SparseChurnGeometry::kChord, SparseChurnGeometry::kKademlia,
+    SparseChurnGeometry::kSymphony};
+
+TEST(SparseMembership, OrderIndexStaysConsistentUnderChurn) {
+  const ChurnParams params{.death_per_round = 0.05,
+                           .rebirth_per_round = 0.05,
+                           .refresh_interval = 5};
+  const SparseChurnConfig config{
+      .bits = 24, .capacity = 2048, .successors = 3, .shortcuts = 4};
+  SparseChurnWorld world(SparseChurnGeometry::kChord, config, params, 0.0, 0,
+                         math::Rng(61));
+  for (int round = 0; round < 40; ++round) {
+    world.step();
+    const SparseMembership& membership = world.membership();
+    // The order index covers exactly the present slots, in strictly
+    // ascending id order (ids distinct), each mapping back to a present
+    // slot with the matching identifier.
+    std::uint64_t present = 0;
+    for (NodeSlot slot = 0; slot < membership.capacity(); ++slot) {
+      present += membership.present(slot) ? 1 : 0;
+    }
+    ASSERT_EQ(membership.population(), present) << "round " << round;
+    ASSERT_EQ(membership.order_size(), present) << "round " << round;
+    for (std::uint64_t pos = 0; pos < membership.order_size(); ++pos) {
+      const NodeSlot slot = membership.slot_at(pos);
+      ASSERT_TRUE(membership.present(slot)) << "round " << round;
+      ASSERT_EQ(membership.id_at(pos), membership.id_of(slot))
+          << "round " << round;
+      if (pos > 0) {
+        ASSERT_LT(membership.id_at(pos - 1), membership.id_at(pos))
+            << "round " << round;
+      }
+    }
+  }
+  EXPECT_GT(world.total_joins(), 0u);
+  EXPECT_GT(world.total_leaves(), 0u);
+}
+
+TEST(SparseChurn, BitIdenticalAcrossThreadCounts) {
+  const ChurnParams params{.death_per_round = 0.03,
+                           .rebirth_per_round = 0.07,
+                           .refresh_interval = 6};
+  const SparseChurnConfig config{
+      .bits = 30, .capacity = 1500, .successors = 3, .shortcuts = 4};
+  for (const SparseChurnGeometry geometry : kAllGeometries) {
+    for (const double rho : {0.0, 0.5}) {
+      const TrajectoryOptions base{.warmup_rounds = 8,
+                                   .measured_rounds = 3,
+                                   .pairs_per_round = 400,
+                                   .shards = 8,
+                                   .repair_probability = rho};
+      const math::Rng rng(17);
+      SparseChurnResult reference;
+      bool first = true;
+      for (const unsigned threads : {1u, 2u, 8u}) {
+        TrajectoryOptions options = base;
+        options.threads = threads;
+        const SparseChurnResult result = run_sparse_churn_trajectory(
+            geometry, config, params, options, rng);
+        ASSERT_EQ(result.per_round.size(), 3u);
+        if (first) {
+          reference = result;
+          first = false;
+          EXPECT_GT(result.overall.attempts, 0u) << to_string(geometry);
+          EXPECT_EQ(result.overall.hop_limit_hits, 0u) << to_string(geometry);
+        } else {
+          for (std::size_t r = 0; r < result.per_round.size(); ++r) {
+            expect_identical(reference.per_round[r], result.per_round[r],
+                             to_string(geometry));
+          }
+          expect_identical(reference.overall, result.overall,
+                           to_string(geometry));
+          EXPECT_EQ(reference.mean_population, result.mean_population);
+          EXPECT_EQ(reference.mean_alive_fraction,
+                    result.mean_alive_fraction);
+          EXPECT_EQ(reference.mean_entry_age, result.mean_entry_age);
+        }
+      }
+    }
+  }
+}
+
+TEST(SparseChurn, RepeatedCallsAreIdentical) {
+  // The engine only forks the caller's rng, so re-running with the same
+  // generator must reproduce the whole trajectory exactly.
+  const ChurnParams params{.death_per_round = 0.02,
+                           .rebirth_per_round = 0.08,
+                           .refresh_interval = 5};
+  const SparseChurnConfig config{
+      .bits = 32, .capacity = 1024, .successors = 2, .shortcuts = 4};
+  const TrajectoryOptions options{.warmup_rounds = 6,
+                                  .measured_rounds = 3,
+                                  .pairs_per_round = 500,
+                                  .shards = 4};
+  const math::Rng rng(23);
+  const auto a = run_sparse_churn_trajectory(SparseChurnGeometry::kKademlia,
+                                             config, params, options, rng);
+  const auto b = run_sparse_churn_trajectory(SparseChurnGeometry::kKademlia,
+                                             config, params, options, rng);
+  for (std::size_t r = 0; r < a.per_round.size(); ++r) {
+    expect_identical(a.per_round[r], b.per_round[r], "repeat");
+  }
+  expect_identical(a.overall, b.overall, "repeat");
+}
+
+TEST(SparseChurn, OverallIsAssociativeMergeOfRounds) {
+  const ChurnParams params{.death_per_round = 0.04,
+                           .rebirth_per_round = 0.06,
+                           .refresh_interval = 4};
+  const SparseChurnConfig config{
+      .bits = 28, .capacity = 1024, .successors = 2, .shortcuts = 4};
+  const TrajectoryOptions options{.warmup_rounds = 5,
+                                  .measured_rounds = 5,
+                                  .pairs_per_round = 300,
+                                  .shards = 4};
+  const math::Rng rng(29);
+  const auto result = run_sparse_churn_trajectory(
+      SparseChurnGeometry::kChord, config, params, options, rng);
+  ASSERT_EQ(result.per_round.size(), 5u);
+
+  sparse::SparseEstimate left_fold;
+  for (const auto& round : result.per_round) {
+    left_fold.merge(round);
+  }
+  expect_identical(result.overall, left_fold, "left-fold");
+
+  // ((r0+r1) + (r2+r3+r4)) -- a different association of the same rounds.
+  sparse::SparseEstimate head;
+  head.merge(result.per_round[0]);
+  head.merge(result.per_round[1]);
+  sparse::SparseEstimate tail;
+  tail.merge(result.per_round[2]);
+  tail.merge(result.per_round[3]);
+  tail.merge(result.per_round[4]);
+  sparse::SparseEstimate grouped;
+  grouped.merge(head);
+  grouped.merge(tail);
+  expect_identical(result.overall, grouped, "grouped");
+}
+
+TEST(SparseChurn, PerfectStabilityRoutesEverything) {
+  // Tiny churn, instant refresh: routability ~ 1 for every geometry.
+  const ChurnParams params{.death_per_round = 1e-6,
+                           .rebirth_per_round = 0.5,
+                           .refresh_interval = 1};
+  const SparseChurnConfig config{
+      .bits = 20, .capacity = 1024, .successors = 3, .shortcuts = 6};
+  const TrajectoryOptions options{.warmup_rounds = 5,
+                                  .measured_rounds = 2,
+                                  .pairs_per_round = 800,
+                                  .shards = 4};
+  for (const SparseChurnGeometry geometry : kAllGeometries) {
+    const math::Rng rng(9);
+    const auto result =
+        run_sparse_churn_trajectory(geometry, config, params, options, rng);
+    EXPECT_GT(result.overall.routability(), 0.999) << to_string(geometry);
+    EXPECT_EQ(result.overall.hop_limit_hits, 0u) << to_string(geometry);
+  }
+}
+
+TEST(SparseChurn, WorldsTrackStationaryPopulationAndUniformAges) {
+  // a = 0.8; population should hover near a * capacity and entry ages near
+  // (R-1)/2 when lifetimes >> R.
+  const ChurnParams params{.death_per_round = 0.005,
+                           .rebirth_per_round = 0.02,
+                           .refresh_interval = 10};
+  const SparseChurnConfig config{
+      .bits = 32, .capacity = 4096, .successors = 2, .shortcuts = 4};
+  const TrajectoryOptions options{.warmup_rounds = 50,
+                                  .measured_rounds = 4,
+                                  .pairs_per_round = 200,
+                                  .shards = 8};
+  const math::Rng rng(31);
+  const auto result = run_sparse_churn_trajectory(
+      SparseChurnGeometry::kKademlia, config, params, options, rng);
+  EXPECT_NEAR(result.mean_alive_fraction, 0.8, 0.03);
+  EXPECT_NEAR(result.mean_population, 0.8 * 4096, 0.03 * 4096);
+  EXPECT_NEAR(result.mean_entry_age, 4.5, 1.0);
+}
+
+TEST(SparseChurn, DenseLimitOracleMatchesDenseChurnAndStaticAtEffectiveQ) {
+  // The acceptance claim: at full population (capacity = 2^d; join rate =
+  // rebirth, leave rate = death at the slot level) the dynamic-membership
+  // engine must statistically match (a) the dense ChurnWorld trajectory at
+  // the same (pd, pr, R, rho) and (b) the static parallel engine at
+  // q_eff -- the PR 2 bridge at d' = log2 N = d.  Join announcement plays
+  // the role the dense model gets for free from persistent identities
+  // (stale in-edges reviving on rebirth).
+  const ChurnParams params{.death_per_round = 0.02,
+                           .rebirth_per_round = 0.08,
+                           .refresh_interval = 10};
+  const TrajectoryOptions options{.warmup_rounds = 60,
+                                  .measured_rounds = 4,
+                                  .pairs_per_round = 1000,
+                                  .shards = 8};
+  const SparseChurnConfig config{
+      .bits = 10, .capacity = 1024, .successors = 0, .shortcuts = 4};
+  const math::Rng rng(101);
+  const auto sparse_result = run_sparse_churn_trajectory(
+      SparseChurnGeometry::kKademlia, config, params, options, rng);
+  const sim::IdSpace space(10);
+  const auto dense_result =
+      run_churn_trajectory(TrajectoryGeometry::kXor, space, params, options,
+                           rng);
+  EXPECT_NEAR(sparse_result.overall.routability(),
+              dense_result.overall.routability(), 0.03);
+  // Same slot-level lifecycle chain: alive fractions agree tightly.
+  EXPECT_NEAR(sparse_result.mean_alive_fraction,
+              dense_result.mean_alive_fraction, 0.01);
+
+  const double q_eff = effective_q(params);
+  math::Rng build_rng(44);
+  const sim::XorOverlay overlay(space, build_rng);
+  math::Rng fail_rng(45);
+  const sim::FailureScenario failures(space, q_eff, fail_rng);
+  const math::Rng route_rng(46);
+  const auto static_estimate = sim::estimate_routability_parallel(
+      overlay, failures, {.pairs = 60000}, route_rng);
+  EXPECT_NEAR(sparse_result.overall.routability(),
+              static_estimate.routability(), 0.04)
+      << "q_eff=" << q_eff;
+
+  // Eager repair pushes both engines toward the fully repaired regime.
+  TrajectoryOptions repaired = options;
+  repaired.repair_probability = 0.7;
+  const auto sparse_repaired = run_sparse_churn_trajectory(
+      SparseChurnGeometry::kKademlia, config, params, repaired, rng);
+  const auto dense_repaired = run_churn_trajectory(
+      TrajectoryGeometry::kXor, space, params, repaired, rng);
+  EXPECT_NEAR(sparse_repaired.overall.routability(),
+              dense_repaired.overall.routability(), 0.015);
+  EXPECT_GT(sparse_repaired.overall.routability(), 0.985);
+}
+
+TEST(SparseChurn, SuccessorListsRescueTheRingUnderChurn) {
+  // The paper's sequential-neighbors resilience, finally under churn: with
+  // heavy turnover and a long refresh interval, bare successor-of-key
+  // fingers decay (and without notify a joiner's predecessor is blind to
+  // it), while s clockwise successors with per-round list repair keep the
+  // ring near-perfectly routable.
+  const ChurnParams params{.death_per_round = 0.05,
+                           .rebirth_per_round = 0.05,
+                           .refresh_interval = 30};
+  const TrajectoryOptions options{.warmup_rounds = 60,
+                                  .measured_rounds = 3,
+                                  .pairs_per_round = 800,
+                                  .shards = 4};
+  double previous = -1.0;
+  for (const int s : {0, 4, 8}) {
+    const SparseChurnConfig config{
+        .bits = 32, .capacity = 4096, .successors = s, .shortcuts = 6};
+    const auto result = run_sparse_churn_trajectory(
+        SparseChurnGeometry::kChord, config, params, options, math::Rng(7));
+    EXPECT_GT(result.overall.routability(), previous) << "s=" << s;
+    previous = result.overall.routability();
+    if (s == 0) {
+      EXPECT_LT(result.overall.routability(), 0.6);
+    } else {
+      EXPECT_GT(result.overall.routability(), 0.9) << "s=" << s;
+    }
+  }
+  EXPECT_GT(previous, 0.98);  // s = 8
+}
+
+TEST(SparseChurn, JoinAnnouncementHealsNewcomerBlindness) {
+  // Without announcement a joiner is invisible to stale in-edges until
+  // their owners refresh (identities never return), so routes toward
+  // recent joiners fail -- a dynamic-membership failure mode the dense
+  // model cannot express.  Kademlia's deep-bucket inserts must close most
+  // of that gap.
+  const ChurnParams params{.death_per_round = 0.02,
+                           .rebirth_per_round = 0.08,
+                           .refresh_interval = 10};
+  const TrajectoryOptions options{.warmup_rounds = 60,
+                                  .measured_rounds = 4,
+                                  .pairs_per_round = 1000,
+                                  .shards = 8};
+  SparseChurnConfig config{
+      .bits = 10, .capacity = 1024, .successors = 0, .shortcuts = 4};
+  config.announce = 0;
+  const auto blind = run_sparse_churn_trajectory(
+      SparseChurnGeometry::kKademlia, config, params, options,
+      math::Rng(101));
+  config.announce = 8;
+  const auto announced = run_sparse_churn_trajectory(
+      SparseChurnGeometry::kKademlia, config, params, options,
+      math::Rng(101));
+  EXPECT_GT(announced.overall.routability(),
+            blind.overall.routability() + 0.03);
+}
+
+TEST(SparseChurn, CollapsedPopulationHonorsEmptyEstimateContract) {
+  // The ChurnWorld::measure contract carried over: with fewer than two
+  // present nodes there is nothing to sample, so measure returns an empty
+  // estimate -- and the world keeps stepping (joins can repopulate it).
+  const ChurnParams params{.death_per_round = 0.99,
+                           .rebirth_per_round = 0.005,
+                           .refresh_interval = 3};
+  const SparseChurnConfig config{
+      .bits = 8, .capacity = 8, .successors = 2, .shortcuts = 2};
+  SparseChurnWorld world(SparseChurnGeometry::kChord, config, params, 0.5, 0,
+                         math::Rng(83));
+  bool collapsed = false;
+  for (int round = 0; round < 300 && !collapsed; ++round) {
+    collapsed = world.population() < 2;
+    if (!collapsed) {
+      world.step();
+    }
+  }
+  ASSERT_TRUE(collapsed) << "population never dropped below 2";
+  const auto estimate = world.measure(100);
+  EXPECT_EQ(estimate.attempts, 0u);
+  EXPECT_EQ(estimate.hops.count(), 0u);
+  EXPECT_EQ(estimate.hop_limit_hits, 0u);
+  EXPECT_EQ(estimate.routability(), 0.0);
+  // The world must survive further rounds (and possibly repopulate).
+  for (int round = 0; round < 50; ++round) {
+    world.step();
+  }
+  (void)world.measure(50);
+}
+
+TEST(SparseChurn, SweepCoversGridInOrderAndIsReproducible) {
+  SparseChurnSweepSpec spec;
+  spec.geometry = SparseChurnGeometry::kKademlia;
+  spec.bits = {24, 32};
+  spec.populations = {512};
+  spec.churn = {ChurnParams{.death_per_round = 0.02,
+                            .rebirth_per_round = 0.08,
+                            .refresh_interval = 5}};
+  spec.repair = {0.0, 0.8};
+  spec.successors = {0, 3};
+  spec.options = TrajectoryOptions{.warmup_rounds = 6,
+                                   .measured_rounds = 2,
+                                   .pairs_per_round = 200,
+                                   .shards = 2};
+  spec.seed = 7;
+  const auto points = run_sparse_churn_sweep(spec);
+  ASSERT_EQ(points.size(), 8u);  // 2 bits x 2 repair x 2 successors
+  // Nesting order: bits outermost, successors innermost.
+  EXPECT_EQ(points[0].bits, 24);
+  EXPECT_EQ(points[0].repair_probability, 0.0);
+  EXPECT_EQ(points[0].successors, 0);
+  EXPECT_EQ(points[1].successors, 3);
+  EXPECT_EQ(points[2].repair_probability, 0.8);
+  EXPECT_EQ(points[4].bits, 32);
+  for (const auto& point : points) {
+    EXPECT_EQ(point.population, 512u);
+    EXPECT_EQ(point.capacity, capacity_for_population(512, point.params));
+    EXPECT_NEAR(point.q_eff, effective_q(point.params), 1e-15);
+    EXPECT_EQ(point.result.per_round.size(), 2u);
+    EXPECT_GT(point.result.overall.attempts, 0u);
+  }
+  const auto again = run_sparse_churn_sweep(spec);
+  ASSERT_EQ(again.size(), points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    expect_identical(points[i].result.overall, again[i].result.overall,
+                     "sweep-repeat");
+  }
+}
+
+TEST(SparseChurn, CapacityForPopulationInvertsAvailability) {
+  const ChurnParams params{.death_per_round = 0.02,
+                           .rebirth_per_round = 0.08,
+                           .refresh_interval = 10};  // a = 0.8
+  EXPECT_EQ(capacity_for_population(1000, params), 1250u);
+  EXPECT_EQ(capacity_for_population(100000, params), 125000u);
+  EXPECT_EQ(capacity_for_population(0, params), 2u);
+  // Clamped into the membership roster cap instead of throwing mid-sweep.
+  EXPECT_EQ(capacity_for_population(60000000, params),
+            std::uint64_t{1} << 26);
+}
+
+TEST(SparseChurn, RejectsDegenerateInputs) {
+  const ChurnParams params{};
+  const SparseChurnConfig config{
+      .bits = 16, .capacity = 64, .successors = 2, .shortcuts = 2};
+  const math::Rng rng(51);
+  EXPECT_THROW(run_sparse_churn_trajectory(SparseChurnGeometry::kChord,
+                                           config, params,
+                                           {.measured_rounds = 0}, rng),
+               PreconditionError);
+  EXPECT_THROW(run_sparse_churn_trajectory(SparseChurnGeometry::kChord,
+                                           config, params,
+                                           {.pairs_per_round = 0}, rng),
+               PreconditionError);
+  EXPECT_THROW(run_sparse_churn_trajectory(SparseChurnGeometry::kChord,
+                                           config, params,
+                                           {.repair_probability = 1.5}, rng),
+               PreconditionError);
+  EXPECT_THROW(
+      SparseChurnWorld(SparseChurnGeometry::kChord,
+                       SparseChurnConfig{.bits = 0, .capacity = 64}, params,
+                       0.0, 0, rng),
+      PreconditionError);
+  EXPECT_THROW(
+      SparseChurnWorld(SparseChurnGeometry::kChord,
+                       SparseChurnConfig{.bits = 16, .capacity = 1}, params,
+                       0.0, 0, rng),
+      PreconditionError);
+  EXPECT_THROW(
+      SparseChurnWorld(SparseChurnGeometry::kChord,
+                       SparseChurnConfig{.bits = 4, .capacity = 64}, params,
+                       0.0, 0, rng),
+      PreconditionError);
+  EXPECT_THROW(
+      SparseChurnWorld(
+          SparseChurnGeometry::kChord,
+          SparseChurnConfig{.bits = 16, .capacity = 64, .successors = -1},
+          params, 0.0, 0, rng),
+      PreconditionError);
+  SparseChurnSweepSpec empty;
+  empty.successors.clear();
+  EXPECT_THROW(run_sparse_churn_sweep(empty), PreconditionError);
+}
+
+TEST(SparseChurn, GeometryNamesRoundTrip) {
+  SparseChurnGeometry geometry = SparseChurnGeometry::kChord;
+  for (const char* name : {"ring", "xor", "symphony"}) {
+    ASSERT_TRUE(sparse_churn_geometry_from_name(name, geometry)) << name;
+    EXPECT_STREQ(to_string(geometry), name);
+  }
+  EXPECT_FALSE(sparse_churn_geometry_from_name("tree", geometry));
+  EXPECT_FALSE(sparse_churn_geometry_from_name("", geometry));
+}
+
+}  // namespace
+}  // namespace dht::churn
