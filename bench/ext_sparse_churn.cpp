@@ -20,6 +20,17 @@
 // restores near-perfect routability -- the paper's static claim, now
 // demonstrated under real membership turnover.
 //
+// Table 3 runs lookups under LIVE churn on Kademlia: in-flight measurement
+// (the world steps DURING each route, so a lookup can lose its next hop or
+// its current holder mid-flight) x k-bucket width (k = 4 with LRU eviction
+// vs the single-contact k = 1) x session model (geometric vs heavy-tailed
+// Pareto at the same mean lifetime), under the harsh pd = pr = 0.05,
+// R = 30 regime.  Wider buckets buy redundancy exactly where live churn
+// hurts; heavy-tailed sessions HELP routability at equal mean (a fresh
+// entry points at a node already proven long-lived -- the inspection
+// paradox, and the reason Kademlia prefers its oldest contacts), tracked
+// by the generalized q_nr bridge.
+//
 // Flags: --threads N (0 = hardware)  --csv
 #include <iostream>
 
@@ -147,5 +158,69 @@ int main(int argc, char** argv) {
       "notify restore near-perfect routability -- the paper's sequential-"
       "neighbors resilience story, demonstrated under dynamic membership");
   dht::bench::emit(grid, argc, argv);
+
+  // Lookups under live churn: in-flight x bucket width x session model.
+  core::Table live(strfmt(
+      "Lookups under live churn -- sparse kademlia, N0 = %llu in 2^%d keys, "
+      "pd = pr = 0.05, R = 30: in-flight measurement x k-bucket width x "
+      "session model",
+      static_cast<unsigned long long>(kPopulation), kBits));
+  live.set_header({"k", "session", "measurement", "q_nr model",
+                   "sparse churn sim %", "mean hops"});
+  const churn::ChurnParams live_params{.death_per_round = 0.05,
+                                       .rebirth_per_round = 0.05,
+                                       .refresh_interval = 30};
+  struct LiveRow {
+    int k;
+    churn::SessionKind session;
+    bool inflight;
+  };
+  const LiveRow rows[] = {
+      {1, churn::SessionKind::kGeometric, false},
+      {1, churn::SessionKind::kGeometric, true},
+      {4, churn::SessionKind::kGeometric, false},
+      {4, churn::SessionKind::kGeometric, true},
+      {1, churn::SessionKind::kPareto, true},
+      {4, churn::SessionKind::kPareto, true},
+  };
+  std::uint64_t live_seed = 5000;
+  for (const LiveRow& row : rows) {
+    churn::SparseChurnConfig config{
+        .bits = kBits,
+        .capacity = churn::capacity_for_population(kPopulation, live_params),
+        .successors = 0,
+        .shortcuts = 6};
+    config.bucket_k = row.k;
+    config.session = churn::SessionModel{.kind = row.session,
+                                         .pareto_alpha = 1.5};
+    churn::TrajectoryOptions options{.warmup_rounds = 120,
+                                     .measured_rounds = kRounds,
+                                     .pairs_per_round = kPairsPerRound,
+                                     .shards = kShards,
+                                     .threads = threads};
+    options.inflight = row.inflight;
+    const auto result = run_sparse_churn_trajectory(
+        churn::SparseChurnGeometry::kKademlia, config, live_params, options,
+        math::Rng(live_seed));
+    live.add_row({strfmt("%d", row.k), churn::to_string(row.session),
+                  row.inflight ? "in-flight" : "synchronous",
+                  strfmt("%.4f",
+                         churn::effective_q_no_return(live_params,
+                                                      config.session)),
+                  bench::pct(result.overall.routability()),
+                  strfmt("%.2f", result.overall.mean_hops())});
+    live_seed += 10;
+  }
+  live.add_note(
+      "in-flight rows measure while membership and repairs advance "
+      "mid-route (events-per-hop derived from the pair budget), so routes "
+      "can lose their next hop -- or the node holding the message -- "
+      "mid-flight; k = 4 buckets with dead-observed LRU eviction absorb "
+      "most of that loss.  The pareto rows keep the mean session at 1/pd "
+      "but heavy-tail it (alpha = 1.5): routability IMPROVES at equal "
+      "mean, tracking the lower generalized q_nr -- fresh entries point "
+      "at proven survivors, the inspection-paradox effect that justifies "
+      "Kademlia's keep-the-oldest bucket policy");
+  dht::bench::emit(live, argc, argv);
   return 0;
 }

@@ -34,14 +34,20 @@
 //
 //   {"bench":"perf_simulator","section":"sparse_churn","geometry":"ring",
 //    "threads":8,"n0":65536,"capacity":81920,"bits":32,"succ":4,
+//    "inflight":false,"k":1,"session":"geometric",
 //    "shards":8,"warmup_rounds":12,"rounds":3,"pairs_per_round":2000,
 //    "pd":0.02,"pr":0.08,"refresh":10,"rho":0.0,"q_eff":0.0746,"seed":1,
 //    "seconds":1.23,"shard_rounds_per_sec":97.6,"routes":48000,
 //    "routability":0.9991,"mean_population":65519.2,
 //    "identical_across_threads":true}
 //
-// As with the dense churn section, wall time covers world evolution plus
-// sampling, so the throughput metric is shard-rounds/sec.
+// The section runs the thread sweep twice: the round-synchronous
+// single-contact geometric configuration above, and the full dynamic
+// realism stack -- in-flight lookup measurement (the world steps DURING
+// each route), k = 4 Kademlia-style bucket rows, heavy-tailed Pareto
+// sessions -- so both modes stay determinism-gated in CI.  As with the
+// dense churn section, wall time covers world evolution plus sampling, so
+// the throughput metric is shard-rounds/sec.
 //
 // A third JSONL section ("section":"sparse") sweeps the sparse parallel
 // engine (sparse/flat_sparse.hpp) over an N grid up to 10^6 nodes
@@ -70,6 +76,8 @@
 //        section; the grid is 2^14, 2^17, 2^20 clipped to N)
 //        --sparse-churn-n N (65536, stationary population; 0 disables)
 //        --sparse-churn-rounds R (3, measured rounds; 0 disables)
+//        --pd PD --pr PR --refresh R (0.02, 0.08, 10: the lifecycle of the
+//        churn and sparse-churn sections; validated at the flag boundary)
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -112,6 +120,11 @@ struct Config {
   // in a 2^32 key space (ring + successor lists).
   std::uint64_t sparse_churn_n = 1u << 16;  // 0 disables the section
   int sparse_churn_rounds = 3;              // 0 disables the section
+  // Lifecycle of the churn + sparse-churn sections; validated at the flag
+  // boundary (parse_args) instead of the deep check_params DHT_CHECK.
+  double pd = 0.02;
+  double pr = 0.08;
+  int refresh = 10;
 };
 
 std::vector<unsigned> parse_thread_list(const char* arg) {
@@ -167,6 +180,24 @@ Config parse_args(int argc, char** argv) {
       cfg.sparse_churn_n = std::strtoull(value, nullptr, 10);
     } else if (flag == "--sparse-churn-rounds") {
       cfg.sparse_churn_rounds = std::atoi(value);
+    } else if (flag == "--pd") {
+      cfg.pd = std::atof(value);
+      if (!(cfg.pd > 0.0 && cfg.pd < 1.0)) {
+        std::fprintf(stderr, "--pd must be in (0, 1), got %s\n", value);
+        std::exit(1);
+      }
+    } else if (flag == "--pr") {
+      cfg.pr = std::atof(value);
+      if (!(cfg.pr > 0.0 && cfg.pr < 1.0)) {
+        std::fprintf(stderr, "--pr must be in (0, 1), got %s\n", value);
+        std::exit(1);
+      }
+    } else if (flag == "--refresh") {
+      cfg.refresh = std::atoi(value);
+      if (cfg.refresh < 1) {
+        std::fprintf(stderr, "--refresh must be >= 1, got %s\n", value);
+        std::exit(1);
+      }
     } else if (flag == "--geometry") {
       if (std::strcmp(value, "all") == 0) {
         cfg.geometries = {"ring", "xor", "tree", "hypercube", "symphony"};
@@ -177,6 +208,11 @@ Config parse_args(int argc, char** argv) {
       std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
       std::exit(1);
     }
+  }
+  if (cfg.pd + cfg.pr > 1.0) {
+    std::fprintf(stderr, "--pd + --pr must not exceed 1, got %.6f\n",
+                 cfg.pd + cfg.pr);
+    std::exit(1);
   }
   return cfg;
 }
@@ -356,9 +392,9 @@ int main(int argc, char** argv) {
   // at every thread count.
   if (cfg.churn_rounds > 0) {
     const sim::IdSpace churn_space(cfg.churn_bits);
-    const churn::ChurnParams params{.death_per_round = 0.02,
-                                    .rebirth_per_round = 0.08,
-                                    .refresh_interval = 10};
+    const churn::ChurnParams params{.death_per_round = cfg.pd,
+                                    .rebirth_per_round = cfg.pr,
+                                    .refresh_interval = cfg.refresh};
     const churn::TrajectoryOptions base{.warmup_rounds = 30,
                                         .measured_rounds = cfg.churn_rounds,
                                         .pairs_per_round = 2500,
@@ -423,70 +459,97 @@ int main(int argc, char** argv) {
   // replica worlds; per-round and pooled estimates must be bit-identical
   // at every thread count.
   if (cfg.sparse_churn_n > 0 && cfg.sparse_churn_rounds > 0) {
-    const churn::ChurnParams params{.death_per_round = 0.02,
-                                    .rebirth_per_round = 0.08,
-                                    .refresh_interval = 10};
-    const churn::SparseChurnConfig config{
-        .bits = 32,
-        .capacity =
-            churn::capacity_for_population(cfg.sparse_churn_n, params),
-        .successors = 4,
-        .shortcuts = 6};
-    const churn::TrajectoryOptions base{
-        .warmup_rounds = 12,
-        .measured_rounds = cfg.sparse_churn_rounds,
-        .pairs_per_round = 2000,
-        .shards = 8};
-    const math::Rng churn_rng(cfg.seed + 4);
-    bool have_reference = false;
-    churn::SparseChurnResult reference;
-    for (unsigned threads : cfg.threads) {
-      churn::TrajectoryOptions options = base;
-      options.threads = threads;
-      const auto start = std::chrono::steady_clock::now();
-      const auto result = churn::run_sparse_churn_trajectory(
-          churn::SparseChurnGeometry::kChord, config, params, options,
-          churn_rng);
-      const double seconds = seconds_since(start);
-      bool identical = true;
-      if (have_reference) {
-        identical = reference.overall == result.overall &&
-                    reference.per_round.size() == result.per_round.size();
-        for (std::size_t r = 0; identical && r < result.per_round.size();
-             ++r) {
-          identical = reference.per_round[r] == result.per_round[r];
+    const churn::ChurnParams params{.death_per_round = cfg.pd,
+                                    .rebirth_per_round = cfg.pr,
+                                    .refresh_interval = cfg.refresh};
+    // Two determinism-gated configurations: the round-synchronous
+    // single-contact geometric baseline, and the full dynamic realism
+    // stack (in-flight measurement, k = 4 buckets, heavy-tailed Pareto
+    // sessions) -- Kademlia for the latter so the bucket machinery is on
+    // the measured path.
+    struct SparseChurnMode {
+      churn::SparseChurnGeometry geometry;
+      bool inflight;
+      int bucket_k;
+      churn::SessionKind session;
+    };
+    const SparseChurnMode modes[] = {
+        {churn::SparseChurnGeometry::kChord, false, 1,
+         churn::SessionKind::kGeometric},
+        {churn::SparseChurnGeometry::kKademlia, true, 4,
+         churn::SessionKind::kPareto},
+    };
+    for (const SparseChurnMode& mode : modes) {
+      churn::SparseChurnConfig config{
+          .bits = 32,
+          .capacity =
+              churn::capacity_for_population(cfg.sparse_churn_n, params),
+          .successors = 4,
+          .shortcuts = 6};
+      config.bucket_k = mode.bucket_k;
+      config.session = churn::SessionModel{.kind = mode.session,
+                                           .pareto_alpha = 2.0};
+      churn::TrajectoryOptions base{
+          .warmup_rounds = 12,
+          .measured_rounds = cfg.sparse_churn_rounds,
+          .pairs_per_round = 2000,
+          .shards = 8};
+      base.inflight = mode.inflight;
+      const double q_eff = churn::effective_q(params);
+      const double q_nr = churn::effective_q_no_return(params, config.session);
+      const math::Rng churn_rng(cfg.seed + 4);
+      bool have_reference = false;
+      churn::SparseChurnResult reference;
+      for (unsigned threads : cfg.threads) {
+        churn::TrajectoryOptions options = base;
+        options.threads = threads;
+        const auto start = std::chrono::steady_clock::now();
+        const auto result = churn::run_sparse_churn_trajectory(
+            mode.geometry, config, params, options, churn_rng);
+        const double seconds = seconds_since(start);
+        bool identical = true;
+        if (have_reference) {
+          identical = reference.overall == result.overall &&
+                      reference.per_round.size() == result.per_round.size();
+          for (std::size_t r = 0; identical && r < result.per_round.size();
+               ++r) {
+            identical = reference.per_round[r] == result.per_round[r];
+          }
+        } else {
+          reference = result;
+          have_reference = true;
         }
-      } else {
-        reference = result;
-        have_reference = true;
+        all_identical = all_identical && identical;
+        const double shard_rounds =
+            static_cast<double>(result.shards) *
+            static_cast<double>(base.warmup_rounds + cfg.sparse_churn_rounds);
+        std::printf(
+            "{\"bench\":\"perf_simulator\",\"section\":\"sparse_churn\","
+            "\"geometry\":\"%s\",\"threads\":%u,\"n0\":%llu,"
+            "\"capacity\":%llu,\"bits\":32,\"succ\":%d,"
+            "\"inflight\":%s,\"k\":%d,\"session\":\"%s\",\"shards\":%llu,"
+            "\"warmup_rounds\":%d,\"rounds\":%d,\"pairs_per_round\":%llu,"
+            "\"pd\":%.6f,\"pr\":%.6f,\"refresh\":%d,\"rho\":%.2f,"
+            "\"q_eff\":%.6f,\"q_nr\":%.6f,\"seed\":%llu,\"seconds\":%.6f,"
+            "\"shard_rounds_per_sec\":%.1f,\"routes\":%llu,"
+            "\"routability\":%.6f,\"mean_population\":%.1f,"
+            "\"identical_across_threads\":%s}\n",
+            churn::to_string(mode.geometry), threads,
+            static_cast<unsigned long long>(cfg.sparse_churn_n),
+            static_cast<unsigned long long>(config.capacity),
+            config.successors, mode.inflight ? "true" : "false",
+            config.bucket_k, churn::to_string(mode.session),
+            static_cast<unsigned long long>(result.shards),
+            base.warmup_rounds, cfg.sparse_churn_rounds,
+            static_cast<unsigned long long>(base.pairs_per_round),
+            params.death_per_round, params.rebirth_per_round,
+            params.refresh_interval, base.repair_probability, q_eff, q_nr,
+            static_cast<unsigned long long>(cfg.seed), seconds,
+            shard_rounds / seconds,
+            static_cast<unsigned long long>(result.overall.attempts),
+            result.overall.routability(), result.mean_population,
+            identical ? "true" : "false");
       }
-      all_identical = all_identical && identical;
-      const double shard_rounds =
-          static_cast<double>(result.shards) *
-          static_cast<double>(base.warmup_rounds + cfg.sparse_churn_rounds);
-      std::printf(
-          "{\"bench\":\"perf_simulator\",\"section\":\"sparse_churn\","
-          "\"geometry\":\"ring\",\"threads\":%u,\"n0\":%llu,"
-          "\"capacity\":%llu,\"bits\":32,\"succ\":%d,\"shards\":%llu,"
-          "\"warmup_rounds\":%d,\"rounds\":%d,\"pairs_per_round\":%llu,"
-          "\"pd\":%.6f,\"pr\":%.6f,\"refresh\":%d,\"rho\":%.2f,"
-          "\"q_eff\":%.6f,\"seed\":%llu,\"seconds\":%.6f,"
-          "\"shard_rounds_per_sec\":%.1f,\"routes\":%llu,"
-          "\"routability\":%.6f,\"mean_population\":%.1f,"
-          "\"identical_across_threads\":%s}\n",
-          threads, static_cast<unsigned long long>(cfg.sparse_churn_n),
-          static_cast<unsigned long long>(config.capacity), config.successors,
-          static_cast<unsigned long long>(result.shards), base.warmup_rounds,
-          cfg.sparse_churn_rounds,
-          static_cast<unsigned long long>(base.pairs_per_round),
-          params.death_per_round, params.rebirth_per_round,
-          params.refresh_interval, base.repair_probability,
-          churn::effective_q(params),
-          static_cast<unsigned long long>(cfg.seed), seconds,
-          shard_rounds / seconds,
-          static_cast<unsigned long long>(result.overall.attempts),
-          result.overall.routability(), result.mean_population,
-          identical ? "true" : "false");
     }
   }
 

@@ -21,12 +21,17 @@
 //                                     q_eff
 //   sparse-churn <geometry> <bits> <n0> <pd> <pr> <R> [rounds] [pairs]
 //         [seed] [--threads N] [--shards S] [--rho RHO] [--succ S]
-//         [--announce A]              dynamic membership: N0 stationary
+//         [--announce A] [--k K] [--inflight] [--session geometric|pareto]
+//         [--alpha A]                 dynamic membership: N0 stationary
 //                                     nodes in a 2^bits key space with
-//                                     joins/leaves, successor lists, and
-//                                     join announcement (ring | xor |
-//                                     symphony), vs the static dense model
-//                                     at d' = log2 N0 and q_eff
+//                                     joins/leaves, successor lists, join
+//                                     announcement, k-bucket Kademlia
+//                                     (--k), in-flight lookup measurement
+//                                     (--inflight: the world steps DURING
+//                                     each route), and heavy-tailed
+//                                     sessions (--session pareto), vs the
+//                                     static dense model at d' = log2 N0
+//                                     and q_eff / generalized q_nr
 //   latency <geometry> <d> <q>        chain-predicted hops of survivors
 //
 // Geometries: tree | hypercube | xor | ring | symphony.
@@ -78,10 +83,46 @@ int usage() {
       "        [--threads N] [--shards S] [--rho RHO]   (xor | tree | ring)\n"
       "  sparse-churn <geometry> <bits> <n0> <pd> <pr> <R> [rounds] [pairs]\n"
       "        [seed] [--threads N] [--shards S] [--rho RHO] [--succ S]\n"
-      "        [--announce A]   (ring | xor | symphony; dynamic membership)\n"
+      "        [--announce A] [--k K] [--inflight]\n"
+      "        [--session geometric|pareto] [--alpha A]\n"
+      "                 (ring | xor | symphony; dynamic membership)\n"
       "  latency <geometry> <d> <q>\n"
       "geometries: tree | hypercube | xor | ring | symphony\n";
   return 1;
+}
+
+// Boundary validation of the churn lifecycle arguments: a usage-style
+// message naming the offending flag, instead of the deep DHT_CHECK throw
+// from churn.cpp's check_params surfacing as "error: precondition failed".
+bool validate_lifecycle_args(const char* command, double pd, double pr,
+                             int refresh) {
+  if (!(pd > 0.0 && pd < 1.0)) {
+    std::cerr << command << ": <pd> must be in (0, 1), got " << pd << "\n";
+    return false;
+  }
+  if (!(pr > 0.0 && pr < 1.0)) {
+    std::cerr << command << ": <pr> must be in (0, 1), got " << pr << "\n";
+    return false;
+  }
+  if (pd + pr > 1.0) {
+    std::cerr << command << ": <pd> + <pr> must not exceed 1, got "
+              << pd + pr << "\n";
+    return false;
+  }
+  if (refresh < 1) {
+    std::cerr << command << ": <R> (--refresh) must be >= 1, got " << refresh
+              << "\n";
+    return false;
+  }
+  return true;
+}
+
+bool validate_rho(const char* command, double rho) {
+  if (!(rho >= 0.0 && rho <= 1.0)) {
+    std::cerr << command << ": --rho must be in [0, 1], got " << rho << "\n";
+    return false;
+  }
+  return true;
 }
 
 int cmd_analyze(const std::string& name, int d, double q) {
@@ -278,6 +319,10 @@ int cmd_churn(const std::string& name, int d, double pd, double pr,
     std::cerr << "churn: geometry must be xor, tree, or ring\n";
     return usage();
   }
+  if (!validate_lifecycle_args("churn", pd, pr, refresh) ||
+      !validate_rho("churn", rho)) {
+    return 1;
+  }
   if (d > 16) {
     std::cerr << "churn: d capped at 16 (each shard evolves a full replica)\n";
     return 1;
@@ -343,11 +388,27 @@ int cmd_sparse_churn(const std::string& name, int bits, std::uint64_t n0,
                      double pd, double pr, int refresh, int rounds,
                      std::uint64_t pairs, std::uint64_t seed,
                      unsigned threads, std::uint64_t shards, double rho,
-                     int succ, int announce) {
+                     int succ, int announce, int bucket_k, bool inflight,
+                     const churn::SessionModel& session) {
   churn::SparseChurnGeometry geometry;
   if (!churn::sparse_churn_geometry_from_name(name, geometry)) {
     std::cerr << "sparse-churn: geometry must be ring, xor, or symphony\n";
     return usage();
+  }
+  if (!validate_lifecycle_args("sparse-churn", pd, pr, refresh) ||
+      !validate_rho("sparse-churn", rho)) {
+    return 1;
+  }
+  if (bucket_k < 1 || bucket_k > 64) {
+    std::cerr << "sparse-churn: --k must be in [1, 64], got " << bucket_k
+              << "\n";
+    return 1;
+  }
+  if (session.kind == churn::SessionKind::kPareto &&
+      !(session.pareto_alpha > 1.0)) {
+    std::cerr << "sparse-churn: --alpha must be > 1 (finite mean session), "
+              << "got " << session.pareto_alpha << "\n";
+    return 1;
   }
   const churn::ChurnParams params{.death_per_round = pd,
                                   .rebirth_per_round = pr,
@@ -357,12 +418,15 @@ int cmd_sparse_churn(const std::string& name, int bits, std::uint64_t n0,
   config.capacity = churn::capacity_for_population(n0, params);
   config.successors = succ;
   config.announce = announce;
+  config.bucket_k = bucket_k;
+  config.session = session;
   const churn::TrajectoryOptions options{.warmup_rounds = 3 * refresh + 30,
                                          .measured_rounds = rounds,
                                          .pairs_per_round = pairs,
                                          .shards = shards,
                                          .threads = threads,
-                                         .repair_probability = rho};
+                                         .repair_probability = rho,
+                                         .inflight = inflight};
   const math::Rng rng(seed);
   const auto start = std::chrono::steady_clock::now();
   const auto result = churn::run_sparse_churn_trajectory(geometry, config,
@@ -379,10 +443,22 @@ int cmd_sparse_churn(const std::string& name, int bits, std::uint64_t n0,
       static_cast<unsigned long long>(result.shards));
   std::cout << strfmt(
       "lifecycle:             pd = %.4f, pr = %.4f, a = %.4f, R = %d, "
-      "rho = %.2f, s = %d, announce = %d\n",
-      pd, pr, churn::availability(params), refresh, rho, succ, announce);
-  std::cout << strfmt("effective q (q_eff):   %.6f  (no-return q_nr: %.6f)\n",
-                      q_eff, churn::effective_q_no_return(params));
+      "rho = %.2f, s = %d, announce = %d, k = %d\n",
+      pd, pr, churn::availability(params), refresh, rho, succ, announce,
+      bucket_k);
+  std::cout << strfmt(
+      "sessions:              %s%s, mean 1/pd = %.1f rounds; measurement %s\n",
+      churn::to_string(session.kind),
+      session.kind == churn::SessionKind::kPareto
+          ? strfmt(" (alpha = %.2f)", session.pareto_alpha).c_str()
+          : "",
+      1.0 / pd, inflight ? "in-flight (world steps during routes)"
+                         : "round-synchronous");
+  std::cout << strfmt(
+      "effective q (q_eff):   %.6f  (no-return q_nr: %.6f, %s q_nr: %.6f)\n",
+      q_eff, churn::effective_q_no_return(params),
+      churn::to_string(session.kind),
+      churn::effective_q_no_return(params, session));
   std::cout << strfmt("dynamic routability:   %.6f\n",
                       result.overall.routability());
   if (name != "symphony") {
@@ -545,6 +621,9 @@ int main(int argc, char** argv) {
       double rho = 0.0;
       int succ = 4;
       int announce = 8;
+      int bucket_k = 1;
+      bool inflight = false;
+      churn::SessionModel session;
       std::vector<std::string> positional;
       for (int i = 8; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -562,6 +641,24 @@ int main(int argc, char** argv) {
           ++i;
         } else if (arg == "--announce" && i + 1 < argc) {
           announce = std::atoi(argv[i + 1]);
+          ++i;
+        } else if (arg == "--k" && i + 1 < argc) {
+          bucket_k = std::atoi(argv[i + 1]);
+          ++i;
+        } else if (arg == "--inflight") {
+          inflight = true;
+        } else if (arg == "--session" && i + 1 < argc) {
+          churn::SessionKind kind;
+          if (!churn::session_kind_from_name(argv[i + 1], kind)) {
+            std::cerr << "sparse-churn: --session must be geometric or "
+                         "pareto, got "
+                      << argv[i + 1] << "\n";
+            return 1;
+          }
+          session.kind = kind;
+          ++i;
+        } else if (arg == "--alpha" && i + 1 < argc) {
+          session.pareto_alpha = std::atof(argv[i + 1]);
           ++i;
         } else if (arg.rfind("--", 0) == 0) {
           std::cerr << "sparse-churn: unknown flag " << arg << "\n";
@@ -584,7 +681,8 @@ int main(int argc, char** argv) {
                               std::strtoull(argv[4], nullptr, 10),
                               std::atof(argv[5]), std::atof(argv[6]),
                               std::atoi(argv[7]), rounds, pairs, seed,
-                              threads, shards, rho, succ, announce);
+                              threads, shards, rho, succ, announce,
+                              bucket_k, inflight, session);
     }
     if (command == "latency" && argc == 5) {
       return cmd_latency(argv[2], std::atoi(argv[3]), std::atof(argv[4]));

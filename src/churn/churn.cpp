@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
+#include <mutex>
+#include <utility>
 
 #include "common/check.hpp"
 #include "sim/flat_route.hpp"
@@ -18,6 +21,64 @@ void check_params(const ChurnParams& params) {
   DHT_CHECK(params.death_per_round + params.rebirth_per_round <= 1.0,
             "pd + pr must not exceed 1 (two-state chain mixing factor)");
   DHT_CHECK(params.refresh_interval >= 1, "refresh interval must be >= 1");
+}
+
+void check_session(const SessionModel& model) {
+  if (model.kind == SessionKind::kPareto) {
+    DHT_CHECK(model.pareto_alpha > 1.0,
+              "pareto_alpha must be > 1 (the mean session must exist)");
+  }
+}
+
+// Discrete shifted-Pareto (Lomax) survival S(a) = (1 + a/beta)^-alpha.
+double lomax_survival(double alpha, double beta, double age) {
+  return std::pow(1.0 + age / beta, -alpha);
+}
+
+// T(d) = sum_{a >= d} S(a): truncated sum plus the Euler-Maclaurin tail
+// (integral + half endpoint), accurate to ~1e-10 relative at alpha > 1.
+double lomax_tail_sum(double alpha, double beta, std::int64_t from) {
+  constexpr std::int64_t kTerms = 1 << 16;
+  double sum = 0.0;
+  for (std::int64_t a = from; a < from + kTerms; ++a) {
+    sum += lomax_survival(alpha, beta, static_cast<double>(a));
+  }
+  const auto edge = static_cast<double>(from + kTerms);
+  const double tail_integral =
+      beta / (alpha - 1.0) * std::pow(1.0 + edge / beta, 1.0 - alpha);
+  return sum + tail_integral - 0.5 * lomax_survival(alpha, beta, edge);
+}
+
+// The scale beta at which the mean session E[L] = T(0) hits `target`;
+// T(0)(beta) is continuous and strictly increasing from 1 to infinity, so
+// bisection converges unconditionally.  Each bisection step sums a 2^16
+// tail, so the result is memoized: shard worlds, benches, and the bridge
+// functions all re-ask for the same handful of (alpha, mean) points.
+double calibrate_lomax_beta(double alpha, double target_mean) {
+  static std::mutex cache_mutex;
+  static std::map<std::pair<double, double>, double> cache;
+  const std::pair<double, double> key{alpha, target_mean};
+  {
+    const std::lock_guard<std::mutex> lock(cache_mutex);
+    const auto hit = cache.find(key);
+    if (hit != cache.end()) {
+      return hit->second;
+    }
+  }
+  double lo = 1e-9;
+  double hi = 1.0;
+  while (lomax_tail_sum(alpha, hi, 0) < target_mean) {
+    hi *= 2.0;
+    DHT_CHECK(hi < 1e18, "pareto scale calibration diverged");
+  }
+  for (int iter = 0; iter < 200 && hi - lo > 1e-12 * hi; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    (lomax_tail_sum(alpha, mid, 0) < target_mean ? lo : hi) = mid;
+  }
+  const double beta = 0.5 * (lo + hi);
+  const std::lock_guard<std::mutex> lock(cache_mutex);
+  cache.emplace(key, beta);
+  return beta;
 }
 
 }  // namespace
@@ -66,6 +127,118 @@ double effective_q_no_return(const ChurnParams& params) {
   // Clamped at 0: R = 1 is exactly 0 in reals but can round to -eps.
   return std::max(0.0, 1.0 - (1.0 - std::pow(survive, r)) /
                            (r * params.death_per_round));
+}
+
+bool session_kind_from_name(std::string_view name, SessionKind& out) {
+  if (name == "geometric") {
+    out = SessionKind::kGeometric;
+    return true;
+  }
+  if (name == "pareto") {
+    out = SessionKind::kPareto;
+    return true;
+  }
+  return false;
+}
+
+const char* to_string(SessionKind kind) noexcept {
+  switch (kind) {
+    case SessionKind::kGeometric:
+      return "geometric";
+    case SessionKind::kPareto:
+      return "pareto";
+  }
+  return "?";
+}
+
+SessionProcess::SessionProcess(const ChurnParams& params,
+                               const SessionModel& model)
+    : params_(params), model_(model) {
+  check_params(params);
+  check_session(model);
+  mean_session_ = 1.0 / params.death_per_round;
+  if (model.kind == SessionKind::kGeometric) {
+    return;  // memoryless: no tables, no extra rng draws, bit-compat
+  }
+  const double alpha = model.pareto_alpha;
+  const double beta = calibrate_lomax_beta(alpha, mean_session_);
+  // Hazard and stationary-age tables over a fixed horizon; the tail beyond
+  // is clamped flat (a geometric tail at the horizon hazard), which at the
+  // default shapes leaves O(1e-5) of survival mass mis-modeled -- far
+  // below the statistical tolerances of every consumer.
+  constexpr std::size_t kHorizon = std::size_t{1} << 16;
+  hazard_.resize(kHorizon);
+  stationary_cdf_.resize(kHorizon);
+  hazard_[0] = 0.0;
+  double cumulative = 0.0;
+  for (std::size_t a = 1; a < kHorizon; ++a) {
+    const double prev = lomax_survival(alpha, beta, static_cast<double>(a - 1));
+    const double cur = lomax_survival(alpha, beta, static_cast<double>(a));
+    hazard_[a] = 1.0 - cur / prev;
+  }
+  for (std::size_t a = 0; a < kHorizon; ++a) {
+    cumulative += lomax_survival(alpha, beta, static_cast<double>(a));
+    stationary_cdf_[a] = cumulative;
+  }
+  for (double& c : stationary_cdf_) {
+    c /= cumulative;  // ages past the horizon lump into the last bin
+  }
+}
+
+std::int64_t SessionProcess::sample_stationary_age(math::Rng& rng) const {
+  if (model_.kind == SessionKind::kGeometric) {
+    return 0;  // memoryless: age is irrelevant, generator untouched
+  }
+  const double u = rng.uniform01();
+  const auto it =
+      std::lower_bound(stationary_cdf_.begin(), stationary_cdf_.end(), u);
+  return it == stationary_cdf_.end()
+             ? static_cast<std::int64_t>(stationary_cdf_.size()) - 1
+             : static_cast<std::int64_t>(it - stationary_cdf_.begin());
+}
+
+double departed_given_entry_age(const ChurnParams& params,
+                                const SessionModel& model, int age) {
+  check_params(params);
+  check_session(model);
+  DHT_CHECK(age >= 0, "entry age must be >= 0");
+  if (model.kind == SessionKind::kGeometric) {
+    return departed_given_age(params, age);
+  }
+  // A fresh entry points at a uniformly drawn PRESENT node, whose session
+  // age A follows the stationary distribution pi(a) = S(a)/E[L]; the entry
+  // is dead `age` rounds later iff the target departs within that window:
+  //   sum_a pi(a) (1 - S(a+age)/S(a)) = 1 - T(age)/E[L],
+  // with T(d) = sum_{a>=d} S(a) and E[L] = T(0).
+  const double alpha = model.pareto_alpha;
+  const double beta =
+      calibrate_lomax_beta(alpha, 1.0 / params.death_per_round);
+  const double mean = lomax_tail_sum(alpha, beta, 0);
+  const double tail = lomax_tail_sum(alpha, beta, age);
+  return std::min(1.0, std::max(0.0, 1.0 - tail / mean));
+}
+
+double effective_q_no_return(const ChurnParams& params,
+                             const SessionModel& model) {
+  check_params(params);
+  check_session(model);
+  if (model.kind == SessionKind::kGeometric) {
+    return effective_q_no_return(params);
+  }
+  // Average of departed_given_entry_age over uniform entry ages 0..R-1:
+  //   1 - (sum_d T(d)) / (R E[L]);  T(d+1) = T(d) - S(d) keeps it O(R).
+  const double alpha = model.pareto_alpha;
+  const double beta =
+      calibrate_lomax_beta(alpha, 1.0 / params.death_per_round);
+  const double mean = lomax_tail_sum(alpha, beta, 0);
+  double tail = mean;  // T(0)
+  double tail_total = 0.0;
+  for (int age = 0; age < params.refresh_interval; ++age) {
+    tail_total += tail;
+    tail -= lomax_survival(alpha, beta, static_cast<double>(age));
+  }
+  const double r = static_cast<double>(params.refresh_interval);
+  return std::min(1.0, std::max(0.0, 1.0 - tail_total / (r * mean)));
 }
 
 bool trajectory_geometry_from_name(std::string_view name,

@@ -74,6 +74,98 @@ double departed_given_age(const ChurnParams& params, int age);
 /// (>= q_eff: without rebirths stale entries only decay).
 double effective_q_no_return(const ChurnParams& params);
 
+/// Session-length (node lifetime) distributions the dynamic-membership
+/// lifecycle can run.  kGeometric is the memoryless baseline: a present
+/// node departs with constant probability pd per round (mean session
+/// 1/pd).  kPareto is the empirically observed heavy-tailed regime: the
+/// discrete shifted Pareto (Lomax) survival S(k) = (1 + k/beta)^-alpha --
+/// a gamma mixture of geometrics, hence "the Pareto mixture" -- whose
+/// departure hazard DECREASES with session age: the longer a node has been
+/// up, the longer it is likely to stay.  The scale beta is calibrated so
+/// the mean session stays 1/pd, so the stationary availability (and hence
+/// capacity_for_population) is identical to the geometric model and only
+/// the tail shape changes.
+enum class SessionKind {
+  kGeometric,
+  kPareto,
+};
+
+/// Maps "geometric" | "pareto" to the enum; anything else returns false.
+bool session_kind_from_name(std::string_view name, SessionKind& out);
+
+const char* to_string(SessionKind kind) noexcept;
+
+struct SessionModel {
+  SessionKind kind = SessionKind::kGeometric;
+  /// Pareto tail exponent (> 1 so the mean exists; heavier tail as
+  /// alpha -> 1).  Ignored by kGeometric.
+  double pareto_alpha = 2.0;
+};
+
+/// Precomputed per-age lifecycle machinery for one session model: the
+/// age-dependent departure hazard h(a) = P(depart this round | present for
+/// a rounds), the survival function S(a) = prod_{u<=a} (1 - h(u)), and the
+/// stationary session-age sampler pi(a) = S(a) / E[L].  The geometric
+/// model is memoryless: hazard(a) == pd for every a and the stationary-age
+/// draw is skipped entirely, so a geometric SessionProcess consumes
+/// exactly the rng stream of the pre-SessionModel engine (bit-compat).
+class SessionProcess {
+ public:
+  SessionProcess(const ChurnParams& params, const SessionModel& model);
+
+  SessionKind kind() const noexcept { return model_.kind; }
+  bool geometric() const noexcept {
+    return model_.kind == SessionKind::kGeometric;
+  }
+  /// Mean session length E[L]; 1/pd for both kinds (by calibration).
+  double mean_session() const noexcept { return mean_session_; }
+
+  /// Departure hazard at session age `age` (>= 1).  Beyond the precomputed
+  /// horizon the hazard is clamped flat (a geometric tail); survival past
+  /// the horizon is O(1e-4) at the default shapes.
+  double hazard(std::int64_t age) const noexcept {
+    if (model_.kind == SessionKind::kGeometric) {
+      return params_.death_per_round;
+    }
+    const auto idx = static_cast<std::size_t>(
+        age < 1 ? 1
+                : (age >= static_cast<std::int64_t>(hazard_.size())
+                       ? hazard_.size() - 1
+                       : age));
+    return hazard_[idx];
+  }
+
+  /// Draws a session age from the stationary present-node age distribution
+  /// (for initializing worlds at stationarity).  Geometric sessions are
+  /// memoryless: returns 0 WITHOUT consuming the generator.
+  std::int64_t sample_stationary_age(math::Rng& rng) const;
+
+ private:
+  ChurnParams params_;
+  SessionModel model_;
+  double mean_session_ = 0.0;
+  // kPareto only: hazard_[a] = h(a); stationary_cdf_[a] = sum_{u<=a} pi(u)
+  // over the precomputed horizon (normalized to end at 1).
+  std::vector<double> hazard_;
+  std::vector<double> stationary_cdf_;
+};
+
+/// P(entry target departed | entry installed `age` rounds ago) under the
+/// session model, averaged over the stationary session-age distribution of
+/// the target population: 1 - T(age)/E[L] with T(d) = sum_{a>=d} S(a).
+/// The geometric model recovers departed_given_age exactly.
+double departed_given_entry_age(const ChurnParams& params,
+                                const SessionModel& model, int age);
+
+/// The generalized no-return bridge: departed_given_entry_age averaged
+/// over uniform entry ages 0..R-1.  kGeometric recovers
+/// effective_q_no_return(params) exactly; the heavy-tailed q_nr sits BELOW
+/// the geometric one at equal mean session (a freshly refreshed entry
+/// points at a node whose expected remaining lifetime exceeds the mean --
+/// the inspection paradox working in routing's favor).
+double effective_q_no_return(const ChurnParams& params,
+                             const SessionModel& model);
+
 /// Geometries the churn machinery can evolve.  All three keep one entry
 /// per (node, level) with 2^{d-level} candidates per entry class:
 ///   kXor   prefix-class entries, greedy XOR fallback forwarding

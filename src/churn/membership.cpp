@@ -56,23 +56,72 @@ void SparseMembership::join(const std::vector<NodeSlot>& slots,
   const std::uint64_t k = slots.size();
   DHT_CHECK(population_ + k <= key_space_size(),
             "population would exceed the key space");
-  // Batched distinct-fresh-id draw: top the pool up to k raw draws, sort,
-  // dedup against itself and the occupied keys, repeat.  Converges for any
-  // occupancy < 1 (the constructor caps capacity at the key-space size, and
-  // joins only fire for absent slots, so free keys always remain).
+  const std::uint64_t keys = key_space_size();
+  // Every present slot owns exactly one occupied id (order entries of
+  // still-present, non-recycled slots plus the pending joiners), so the
+  // free-key count is keys - population.
+  const std::uint64_t free_keys = keys - population_;
   std::vector<std::uint64_t> fresh;
   fresh.reserve(k);
-  const std::uint64_t keys = key_space_size();
-  while (fresh.size() < k) {
-    while (fresh.size() < k) {
-      fresh.push_back(rng.uniform_below(keys));
+  if (free_keys < keys / 8) {  // keys is a power of two; no overflow
+    // Dense regime (occupancy > 7/8, e.g. capacity = 2^bits near full
+    // availability): uniform rejection degenerates -- each fresh id costs
+    // ~keys/free draws, up to ~2^bits draws per id as occupancy -> 1.
+    // Enumerate the free keys directly instead: walk the gaps of the
+    // sorted occupied stream (surviving order entries merged with the
+    // pending joins) in O(keys), then partial-Fisher-Yates k of them.
+    std::vector<std::uint64_t> free_ids;
+    free_ids.reserve(free_keys);
+    std::uint64_t next_key = 0;
+    std::uint64_t i = 0;
+    std::uint64_t j = 0;
+    const auto push_gap = [&free_ids](std::uint64_t from, std::uint64_t to) {
+      for (std::uint64_t id = from; id < to; ++id) {
+        free_ids.push_back(id);
+      }
+    };
+    while (i < order_ids_.size() || j < pending_.size()) {
+      std::uint64_t occupied_id;
+      if (j >= pending_.size() ||
+          (i < order_ids_.size() && order_ids_[i] <= pending_[j].first)) {
+        const NodeSlot slot = order_slots_[i];
+        occupied_id = order_ids_[i];
+        ++i;
+        if (present_[slot] == 0 || in_pending_[slot] != 0) {
+          continue;  // departed or recycled: its old id is free
+        }
+      } else {
+        occupied_id = pending_[j].first;
+        ++j;
+      }
+      push_gap(next_key, occupied_id);
+      next_key = occupied_id + 1;
+    }
+    push_gap(next_key, keys);
+    DHT_CHECK(free_ids.size() == free_keys,
+              "free-key enumeration out of sync with the population");
+    for (std::uint64_t pick = 0; pick < k; ++pick) {
+      const std::uint64_t other =
+          pick + rng.uniform_below(free_ids.size() - pick);
+      std::swap(free_ids[pick], free_ids[other]);
+      fresh.push_back(free_ids[pick]);
     }
     std::sort(fresh.begin(), fresh.end());
-    fresh.erase(std::unique(fresh.begin(), fresh.end()), fresh.end());
-    fresh.erase(std::remove_if(
-                    fresh.begin(), fresh.end(),
-                    [this](std::uint64_t id) { return id_occupied(id); }),
-                fresh.end());
+  } else {
+    // Sparse regime: batched distinct-fresh-id draw -- top the pool up to
+    // k raw draws, sort, dedup against itself and the occupied keys,
+    // repeat.  Converges cheaply while free keys dominate.
+    while (fresh.size() < k) {
+      while (fresh.size() < k) {
+        fresh.push_back(rng.uniform_below(keys));
+      }
+      std::sort(fresh.begin(), fresh.end());
+      fresh.erase(std::unique(fresh.begin(), fresh.end()), fresh.end());
+      fresh.erase(std::remove_if(
+                      fresh.begin(), fresh.end(),
+                      [this](std::uint64_t id) { return id_occupied(id); }),
+                  fresh.end());
+    }
   }
   // Ascending fresh ids onto the ascending cohort; slot numbers carry no
   // ring meaning, so the pairing is free to be the convenient one.

@@ -25,6 +25,7 @@ struct ChurnKernelCtx {
   const NodeSlot* successors = nullptr;
   const std::uint32_t* successors_gen = nullptr;
   int row_width = 0;
+  int bucket_k = 1;  // kademlia contacts per bucket (row_width = d * k)
   int s = 0;
   std::uint64_t key_mask = 0;
 };
@@ -76,25 +77,33 @@ inline NodeSlot step_clockwise(const ChurnKernelCtx& c, NodeSlot cur,
   return best;
 }
 
-// Kademlia: walk the differing levels highest order first; the first
-// present contact strictly closer in XOR distance wins.  The successor
-// list is the sibling-list fallback: its entries are admissible whenever
-// they are strictly closer, which covers the endgame where the deep
-// buckets have decayed.
+// Kademlia: walk the differing levels highest order first; within a
+// bucket, probe the k cells head first (the longest-lived contacts --
+// Kademlia's LRU preference, which heavy-tailed sessions reward); the
+// first present contact strictly closer in XOR distance wins.  The
+// successor list is the sibling-list fallback: its entries are admissible
+// whenever they are strictly closer, which covers the endgame where the
+// deep buckets have decayed.  bucket_k = 1 reads exactly the pre-k cells.
 inline NodeSlot step_xor(const ChurnKernelCtx& c, NodeSlot cur,
                          std::uint64_t target_id) {
   const std::uint64_t cur_distance = c.ids[cur] ^ target_id;
   const std::uint64_t row_base =
       cur * static_cast<std::uint64_t>(c.row_width);
+  const int d = c.row_width / c.bucket_k;
   std::uint64_t diff = cur_distance;
   while (diff != 0) {
     const int bw = std::bit_width(diff);
-    const std::uint64_t j =
-        row_base + static_cast<std::uint64_t>(c.row_width - bw);
-    const NodeSlot entry = c.table[j];  // bucket d - bw + 1
-    if (ctx_entry_valid(c, entry, c.table_gen[j]) &&
-        (c.ids[entry] ^ target_id) < cur_distance) {
-      return entry;
+    const std::uint64_t bucket_base =
+        row_base +
+        static_cast<std::uint64_t>(d - bw) *
+            static_cast<std::uint64_t>(c.bucket_k);  // bucket d - bw + 1
+    for (int cell = 0; cell < c.bucket_k; ++cell) {
+      const std::uint64_t j = bucket_base + static_cast<std::uint64_t>(cell);
+      const NodeSlot entry = c.table[j];
+      if (ctx_entry_valid(c, entry, c.table_gen[j]) &&
+          (c.ids[entry] ^ target_id) < cur_distance) {
+        return entry;
+      }
     }
     diff &= ~(std::uint64_t{1} << (bw - 1));
   }
@@ -113,6 +122,8 @@ inline NodeSlot step_xor(const ChurnKernelCtx& c, NodeSlot cur,
 void check_config(const SparseChurnConfig& config,
                   SparseChurnGeometry geometry) {
   DHT_CHECK(config.successors >= 0, "successor-list length must be >= 0");
+  DHT_CHECK(config.bucket_k >= 1 && config.bucket_k <= 64,
+            "kademlia bucket width must be in [1, 64]");
   if (geometry == SparseChurnGeometry::kSymphony) {
     DHT_CHECK(config.shortcuts >= 1,
               "symphony requires at least one shortcut");
@@ -175,7 +186,10 @@ SparseChurnWorld::SparseChurnWorld(SparseChurnGeometry geometry,
       max_hops_(max_hops == 0 ? config.capacity : max_hops),
       row_width_(geometry == SparseChurnGeometry::kSymphony
                      ? config.shortcuts
-                     : config.bits),
+                     : (geometry == SparseChurnGeometry::kKademlia
+                            ? config.bits * config.bucket_k
+                            : config.bits)),
+      session_(params, config.session),
       lifecycle_rng_(rng.fork(1)),
       table_rng_(rng.fork(2)),
       measure_rng_(rng.fork(3)),
@@ -186,13 +200,22 @@ SparseChurnWorld::SparseChurnWorld(SparseChurnGeometry geometry,
             "repair probability must be in [0, 1]");
   check_config(config, geometry);
   const std::uint64_t capacity = membership_.capacity();
+  joined_at_.assign(capacity, 0);
   // Stationary membership: each slot present w.p. a, like the dense world's
   // stationary liveness -- the dense-limit oracle depends on the two
-  // lifecycle processes being the same slot-level chain.
+  // lifecycle processes being the same slot-level chain.  (The Pareto
+  // calibration pins the mean session to 1/pd, so `a` is the geometric
+  // availability for every session model.)  Heavy-tailed sessions also
+  // draw a stationary session age per initial member -- the age-dependent
+  // hazard starts in steady state; geometric sessions are memoryless and
+  // skip the draw, keeping the historical rng stream bit for bit.
   joiners_.clear();
   for (NodeSlot slot = 0; slot < capacity; ++slot) {
     if (lifecycle_rng_.bernoulli(a)) {
       joiners_.push_back(slot);
+      if (!session_.geometric()) {
+        joined_at_[slot] = -session_.sample_stationary_age(lifecycle_rng_);
+      }
     }
   }
   membership_.join(joiners_, id_rng_);
@@ -252,7 +275,10 @@ void SparseChurnWorld::refresh_entry(NodeSlot slot, int index) {
       break;
     }
     case SparseChurnGeometry::kKademlia: {
-      const auto [lo, hi] = kademlia_bucket_range(id, index + 1, config_.bits);
+      // Cell `index % k` of bucket `index / k + 1`; every cell re-draws a
+      // uniform bucket member, so k = 1 consumes the pre-k stream exactly.
+      const auto [lo, hi] = kademlia_bucket_range(
+          id, index / config_.bucket_k + 1, config_.bits);
       const auto [first, last] = membership_.order_range(lo, hi);
       if (first < last) {
         chosen = membership_.slot_at(
@@ -343,6 +369,7 @@ void SparseChurnWorld::announce_join(NodeSlot slot) {
   // buckets.
   if (geometry_ == SparseChurnGeometry::kKademlia && config_.announce > 0) {
     int budget = config_.announce;
+    const int k = config_.bucket_k;
     const std::uint64_t id = membership_.id_of(slot);
     const std::uint32_t generation = membership_.generation(slot);
     for (int level = config_.bits; level >= 1 && budget > 0; --level) {
@@ -350,13 +377,24 @@ void SparseChurnWorld::announce_join(NodeSlot slot) {
       const auto [first, last] = membership_.order_range(lo, hi);
       for (std::uint64_t pos = first; pos < last && budget > 0; ++pos) {
         const NodeSlot peer = membership_.slot_at(pos);
-        const std::uint64_t offset =
+        // The joiner enters the peer's bucket at its first free cell --
+        // empty or observed-stale -- i.e. at the tail of the live entries,
+        // the newcomer end of the LRU order.  A bucket full of valid
+        // contacts ignores the announcement (classic Kademlia keeps its
+        // long-lived members).
+        const std::uint64_t bucket_base =
             peer * static_cast<std::uint64_t>(row_width_) +
-            static_cast<std::uint64_t>(level - 1);
-        if (!entry_valid(table_[offset], table_gen_[offset])) {
-          table_[offset] = slot;
-          table_gen_[offset] = generation;
-          refreshed_at_[offset] = static_cast<std::int32_t>(round_);
+            static_cast<std::uint64_t>(level - 1) *
+                static_cast<std::uint64_t>(k);
+        for (int cell = 0; cell < k; ++cell) {
+          const std::uint64_t offset =
+              bucket_base + static_cast<std::uint64_t>(cell);
+          if (!entry_valid(table_[offset], table_gen_[offset])) {
+            table_[offset] = slot;
+            table_gen_[offset] = generation;
+            refreshed_at_[offset] = static_cast<std::int32_t>(round_);
+            break;
+          }
         }
         --budget;
       }
@@ -403,16 +441,154 @@ void SparseChurnWorld::maintain_successors(NodeSlot slot) {
   }
 }
 
+// Entry maintenance for the single-contact row geometries (Chord fingers,
+// Symphony shortcuts): due refreshes plus the eager-repair channel (an
+// entry observed dead is re-pointed with probability rho between scheduled
+// refreshes).  Fresh joiner rows are stamped with the current round, so
+// they fall through every branch.
+void SparseChurnWorld::maintain_entries(NodeSlot slot) {
+  if (geometry_ == SparseChurnGeometry::kKademlia) {
+    maintain_kademlia_buckets(slot);
+    return;
+  }
+  for (int j = 0; j < row_width_; ++j) {
+    const std::uint64_t offset =
+        slot * static_cast<std::uint64_t>(row_width_) +
+        static_cast<std::uint64_t>(j);
+    if (round_ - refreshed_at_[offset] >= params_.refresh_interval) {
+      refresh_entry(slot, j);
+    } else if (repair_probability_ > 0.0) {
+      // Observed-dead covers departed targets AND recycled slots (the
+      // node at that address is a different one now) -- both are
+      // generation mismatches.
+      const NodeSlot entry = table_[offset];
+      if (entry != kNoSlot && !entry_valid(entry, table_gen_[offset]) &&
+          table_rng_.bernoulli(repair_probability_)) {
+        refresh_entry(slot, j);
+      }
+    }
+  }
+}
+
+// k-bucket maintenance (the Roos et al. LRU discipline): a cell due for
+// refresh is re-drawn in place (the scheduled touch); a cell observed dead
+// by the rho channel is EVICTED -- the bucket compacts toward the head,
+// preserving insertion order, and the freed tail cell is refreshed (the
+// replacement enters at the newcomer end).  With k = 1 the compaction is
+// empty and both branches collapse onto the single-contact sequence, so
+// the pre-k rng stream and tables are reproduced bit for bit.
+void SparseChurnWorld::maintain_kademlia_buckets(NodeSlot slot) {
+  const int k = config_.bucket_k;
+  const std::uint64_t row_base =
+      slot * static_cast<std::uint64_t>(row_width_);
+  for (int b = 0; b < config_.bits; ++b) {
+    const std::uint64_t bucket_base =
+        row_base + static_cast<std::uint64_t>(b) * static_cast<std::uint64_t>(k);
+    for (int cell = 0; cell < k; ++cell) {
+      const std::uint64_t offset =
+          bucket_base + static_cast<std::uint64_t>(cell);
+      if (round_ - refreshed_at_[offset] >= params_.refresh_interval) {
+        refresh_entry(slot, b * k + cell);
+      } else if (repair_probability_ > 0.0) {
+        const NodeSlot entry = table_[offset];
+        if (entry != kNoSlot && !entry_valid(entry, table_gen_[offset]) &&
+            table_rng_.bernoulli(repair_probability_)) {
+          for (int t = cell; t + 1 < k; ++t) {
+            const std::uint64_t dst =
+                bucket_base + static_cast<std::uint64_t>(t);
+            table_[dst] = table_[dst + 1];
+            table_gen_[dst] = table_gen_[dst + 1];
+            refreshed_at_[dst] = refreshed_at_[dst + 1];
+          }
+          refresh_entry(slot, b * k + (k - 1));
+          // The shifted-in cell keeps its own stamps and gets its next
+          // look next round -- each cell is examined once per round.
+        }
+      }
+    }
+  }
+}
+
+// Integrates the joiner cohort collected since the last call: fresh-id
+// draw, order-index commit, bootstrap against the committed membership
+// (which already includes the whole cohort, mirroring the dense rejoiner
+// rebuilds), then announcement (predecessor notify / deep-bucket inserts).
+// `commit_always` forces the order-index rebuild even with no joiners --
+// the round-boundary contract (departed entries dropped every round); the
+// in-flight path skips the O(N) rebuild at joinerless lookup boundaries
+// (mid-round the order index may briefly carry departed entries, which
+// read as dead through the presence mask like any stale state).
+void SparseChurnWorld::integrate_joiners(bool commit_always) {
+  if (joiners_.empty()) {
+    if (commit_always) {
+      membership_.commit();
+    }
+    return;
+  }
+  membership_.join(joiners_, id_rng_);
+  membership_.commit();
+  total_joins_ += joiners_.size();
+  for (const NodeSlot slot : joiners_) {
+    joined_at_[slot] = round_;
+  }
+  for (const NodeSlot slot : joiners_) {
+    rebuild_node(slot);
+  }
+  for (const NodeSlot slot : joiners_) {
+    announce_join(slot);
+  }
+  joiners_.clear();
+}
+
+// One slot of the fused in-flight sweep: the lifecycle flip, then -- for a
+// surviving member -- its round maintenance in place.  Unlike step(),
+// where every flip happens before any repair, the world here is genuinely
+// un-frozen: a slot's maintenance sees whatever the sweep has already done
+// this round.  The lifecycle stream still draws exactly one Bernoulli per
+// slot in slot order, so it stays the same sequence as step()'s.
+void SparseChurnWorld::lifecycle_and_maintain_slot(NodeSlot slot) {
+  if (membership_.present(slot)) {
+    if (lifecycle_rng_.bernoulli(
+            session_.hazard(static_cast<std::int64_t>(round_) -
+                            joined_at_[slot]))) {
+      membership_.leave(slot);
+      ++total_leaves_;
+      return;
+    }
+    if (membership_.order_size() == 0) {
+      return;  // order index momentarily empty: nothing to repair against
+    }
+    maintain_successors(slot);
+    maintain_entries(slot);
+  } else if (lifecycle_rng_.bernoulli(params_.rebirth_per_round)) {
+    joiners_.push_back(slot);
+  }
+}
+
+void SparseChurnWorld::advance_sweep(std::uint64_t& cursor,
+                                     std::uint64_t slots) {
+  const std::uint64_t capacity = membership_.capacity();
+  const std::uint64_t end =
+      slots > capacity - cursor ? capacity : cursor + slots;
+  for (; cursor < end; ++cursor) {
+    lifecycle_and_maintain_slot(static_cast<NodeSlot>(cursor));
+  }
+}
+
 void SparseChurnWorld::step() {
   ++round_;
   const std::uint64_t capacity = membership_.capacity();
   // Lifecycle flips first: a slot's decision reads its pre-round state
   // (leave() flips presence in place, but each slot is visited once; join
-  // assignment is deferred to the batch below).
+  // assignment is deferred to the batch below).  The departure draw runs
+  // through the session model's age-dependent hazard; geometric sessions
+  // have the constant hazard pd, reproducing the historical stream.
   joiners_.clear();
   for (NodeSlot slot = 0; slot < capacity; ++slot) {
     if (membership_.present(slot)) {
-      if (lifecycle_rng_.bernoulli(params_.death_per_round)) {
+      if (lifecycle_rng_.bernoulli(
+              session_.hazard(static_cast<std::int64_t>(round_) -
+                              joined_at_[slot]))) {
         membership_.leave(slot);
         ++total_leaves_;
       }
@@ -420,45 +596,15 @@ void SparseChurnWorld::step() {
       joiners_.push_back(slot);
     }
   }
-  membership_.join(joiners_, id_rng_);
-  membership_.commit();
-  total_joins_ += joiners_.size();
-  // Joiners bootstrap against the committed membership (which already
-  // includes the whole cohort, mirroring the dense rejoiner rebuilds),
-  // then announce themselves (predecessor notify / deep-bucket inserts).
-  for (const NodeSlot slot : joiners_) {
-    rebuild_node(slot);
-  }
-  for (const NodeSlot slot : joiners_) {
-    announce_join(slot);
-  }
+  integrate_joiners(/*commit_always=*/true);
   // Maintenance for present nodes: successor-list stabilization, due
-  // refreshes, and the eager-repair channel (an entry observed dead is
-  // re-pointed with probability rho between scheduled refreshes).  Fresh
-  // joiner rows are stamped with the current round, so they fall through
-  // every branch.
+  // refreshes, and eager repair.
   for (NodeSlot slot = 0; slot < capacity; ++slot) {
     if (!membership_.present(slot)) {
       continue;
     }
     maintain_successors(slot);
-    for (int j = 0; j < row_width_; ++j) {
-      const std::uint64_t offset =
-          slot * static_cast<std::uint64_t>(row_width_) +
-          static_cast<std::uint64_t>(j);
-      if (round_ - refreshed_at_[offset] >= params_.refresh_interval) {
-        refresh_entry(slot, j);
-      } else if (repair_probability_ > 0.0) {
-        // Observed-dead covers departed targets AND recycled slots (the
-        // node at that address is a different one now) -- both are
-        // generation mismatches.
-        const NodeSlot entry = table_[offset];
-        if (entry != kNoSlot && !entry_valid(entry, table_gen_[offset]) &&
-            table_rng_.bernoulli(repair_probability_)) {
-          refresh_entry(slot, j);
-        }
-      }
-    }
+    maintain_entries(slot);
   }
 }
 
@@ -477,6 +623,7 @@ sparse::SparseEstimate SparseChurnWorld::measure(std::uint64_t pairs,
   ctx.successors = successors_.data();
   ctx.successors_gen = successors_gen_.data();
   ctx.row_width = row_width_;
+  ctx.bucket_k = config_.bucket_k;
   ctx.s = config_.successors;
   ctx.key_mask = membership_.key_mask();
   NodeSlot (*step)(const ChurnKernelCtx&, NodeSlot, std::uint64_t) =
@@ -520,6 +667,103 @@ sparse::SparseEstimate SparseChurnWorld::measure(std::uint64_t pairs) {
   return measure(pairs, measure_rng_);
 }
 
+sparse::SparseEstimate SparseChurnWorld::measure_inflight(
+    std::uint64_t pairs, std::uint64_t events_per_hop, math::Rng& rng) {
+  ++round_;
+  const std::uint64_t capacity = membership_.capacity();
+  joiners_.clear();
+  std::uint64_t cursor = 0;
+  std::uint64_t eph = events_per_hop;
+  if (eph == 0) {
+    // Derive the rate from the pair budget: one full capacity sweep
+    // spread over the round's expected hop count, `pairs` routes of
+    // ~log2 N hops each.  Routes shorter than the estimate leave a sweep
+    // remainder, flushed below -- the round always completes exactly one
+    // lifecycle sweep either way.
+    const std::uint64_t population =
+        membership_.population() < 2 ? 2 : membership_.population();
+    // max(1, ...): pairs == 0 still closes the round (the flush below runs
+    // the whole sweep), it just samples nothing.
+    const std::uint64_t hop_budget = std::max<std::uint64_t>(
+        1, pairs * static_cast<std::uint64_t>(std::bit_width(population)));
+    eph = (capacity + hop_budget - 1) / hop_budget;
+    eph = eph == 0 ? 1 : eph;
+  }
+  sparse::SparseEstimate estimate;
+  ChurnKernelCtx ctx;
+  ctx.ids = membership_.id_data();
+  ctx.present = membership_.present_data();
+  ctx.generations = membership_.generation_data();
+  ctx.table = table_.data();
+  ctx.table_gen = table_gen_.data();
+  ctx.successors = successors_.data();
+  ctx.successors_gen = successors_gen_.data();
+  ctx.row_width = row_width_;
+  ctx.bucket_k = config_.bucket_k;
+  ctx.s = config_.successors;
+  ctx.key_mask = membership_.key_mask();
+  NodeSlot (*step)(const ChurnKernelCtx&, NodeSlot, std::uint64_t) =
+      geometry_ == SparseChurnGeometry::kKademlia ? &step_xor
+                                                  : &step_clockwise;
+  for (std::uint64_t i = 0; i < pairs; ++i) {
+    // Joins become routable at lookup boundaries only: a node that
+    // arrived mid-route has not finished bootstrapping until the overlay
+    // absorbs it here (id draw, order-index commit, bootstrap, announce).
+    integrate_joiners(/*commit_always=*/false);
+    if (membership_.population() < 2) {
+      continue;  // nothing to sample this instant; the sweep still flushes
+    }
+    NodeSlot source = static_cast<NodeSlot>(rng.uniform_below(capacity));
+    while (!membership_.present(source)) {
+      source = static_cast<NodeSlot>(rng.uniform_below(capacity));
+    }
+    NodeSlot target = static_cast<NodeSlot>(rng.uniform_below(capacity));
+    while (!membership_.present(target) || target == source) {
+      target = static_cast<NodeSlot>(rng.uniform_below(capacity));
+    }
+    const std::uint64_t target_id = membership_.id_of(target);
+    NodeSlot cur = source;
+    std::uint64_t hops = 0;
+    for (;;) {
+      if (!membership_.present(cur)) {
+        // The node holding the message departed between hops -- the
+        // mid-flight loss the round-synchronous mode cannot express.
+        // (Covers the target too: a route "arriving" at a slot that just
+        // left gets no reply.)
+        estimate.record_drop();
+        break;
+      }
+      if (cur == target) {
+        estimate.record_arrival(hops);
+        break;
+      }
+      if (hops >= max_hops_) {
+        estimate.record_hop_limit();
+        break;
+      }
+      const NodeSlot next = step(ctx, cur, target_id);
+      if (next == kNoSlot) {
+        estimate.record_drop();
+        break;
+      }
+      cur = next;
+      ++hops;
+      advance_sweep(cursor, eph);  // the world moves under the lookup
+    }
+  }
+  // Flush the sweep remainder and close the round: exactly one full
+  // lifecycle round per measured round, so the stationary population (and
+  // the q_nr bridge) matches the round-synchronous mode.
+  advance_sweep(cursor, capacity);
+  integrate_joiners(/*commit_always=*/true);
+  return estimate;
+}
+
+sparse::SparseEstimate SparseChurnWorld::measure_inflight(
+    std::uint64_t pairs, std::uint64_t events_per_hop) {
+  return measure_inflight(pairs, events_per_hop, measure_rng_);
+}
+
 double SparseChurnWorld::alive_fraction() const noexcept {
   return static_cast<double>(membership_.population()) /
          static_cast<double>(membership_.capacity());
@@ -547,15 +791,8 @@ SparseChurnResult run_sparse_churn_trajectory(
     SparseChurnGeometry geometry, const SparseChurnConfig& config,
     const ChurnParams& params, const TrajectoryOptions& options,
     const math::Rng& rng) {
-  DHT_CHECK(options.warmup_rounds >= 0, "warmup rounds must be >= 0");
-  DHT_CHECK(options.measured_rounds >= 1,
-            "at least one round must be measured");
-  DHT_CHECK(options.pairs_per_round > 0,
-            "at least one pair must be sampled per round");
+  validate_trajectory_options(options);
   (void)availability(params);
-  DHT_CHECK(options.repair_probability >= 0.0 &&
-                options.repair_probability <= 1.0,
-            "repair probability must be in [0, 1]");
 
   const std::uint64_t shards =
       options.shards != 0 ? options.shards : kDefaultTrajectoryShards;
@@ -578,8 +815,15 @@ SparseChurnResult run_sparse_churn_trajectory(
         auto& mine = shard_rounds[s];
         mine.reserve(static_cast<std::size_t>(rounds));
         for (int r = 0; r < rounds; ++r) {
-          world.step();
-          mine.push_back(world.measure(options.pairs_per_round));
+          if (options.inflight) {
+            // In-flight: the round's lifecycle advances DURING the
+            // measured routes (measure_inflight steps the round itself).
+            mine.push_back(world.measure_inflight(
+                options.pairs_per_round, options.inflight_events_per_hop));
+          } else {
+            world.step();
+            mine.push_back(world.measure(options.pairs_per_round));
+          }
           population_sum[s] += static_cast<double>(world.population());
           alive_sum[s] += world.alive_fraction();
           age_sum[s] += world.mean_entry_age();
@@ -604,11 +848,15 @@ SparseChurnResult run_sparse_churn_trajectory(
     alive_total += alive_sum[s];
     age_total += age_sum[s];
   }
+  // validate_trajectory_options guarantees rounds >= 1 and shards >= 1, but
+  // keep the division guarded: an empty run must surface zeroed
+  // diagnostics, never NaN leaking into JSONL.
   const double snapshots =
       static_cast<double>(shards) * static_cast<double>(rounds);
-  result.mean_population = population_total / snapshots;
-  result.mean_alive_fraction = alive_total / snapshots;
-  result.mean_entry_age = age_total / snapshots;
+  result.mean_population =
+      snapshots > 0.0 ? population_total / snapshots : 0.0;
+  result.mean_alive_fraction = snapshots > 0.0 ? alive_total / snapshots : 0.0;
+  result.mean_entry_age = snapshots > 0.0 ? age_total / snapshots : 0.0;
   return result;
 }
 
@@ -641,6 +889,8 @@ std::vector<SparseChurnSweepPoint> run_sparse_churn_sweep(
             config.capacity = capacity;
             config.successors = s;
             config.shortcuts = spec.shortcuts;
+            config.bucket_k = spec.bucket_k;
+            config.session = spec.session;
             TrajectoryOptions options = spec.options;
             options.repair_probability = rho;
             SparseChurnSweepPoint point;

@@ -35,6 +35,22 @@
 // (N0, d, churn, rho, s) ride run_sparse_churn_sweep; the dense-limit
 // oracle (capacity = 2^d, join rate = rebirth, leave rate = death) pins the
 // engine to the PR 2 q_eff bridge in test_sparse_churn.
+//
+// Three live-churn realism axes ride on top of the round-synchronous
+// engine (all default-off, all bit-compatible with the historical
+// defaults):
+//  * In-flight lookup measurement (TrajectoryOptions::inflight /
+//    measure_inflight): the round's lifecycle sweep advances DURING each
+//    measured route, so a lookup can lose its next hop -- or the node
+//    holding the message -- mid-flight; joins integrate at lookup
+//    boundaries.
+//  * k-bucket Kademlia (SparseChurnConfig::bucket_k): up to k contacts
+//    per bucket in insertion order, dead-observed LRU eviction, announce
+//    inserts at the first free cell; k = 1 reproduces the single-contact
+//    engine bit for bit (golden-pinned).
+//  * Heavy-tailed sessions (SparseChurnConfig::session): geometric or
+//    discrete shifted-Pareto lifetimes at the same mean 1/pd, with the
+//    generalized no-return bridge effective_q_no_return(params, model).
 #pragma once
 
 #include <cstdint>
@@ -82,6 +98,20 @@ struct SparseChurnConfig {
   /// express, because there a reborn node keeps its identity and every
   /// stale in-edge revives instantly.
   int announce = 8;
+  /// Kademlia bucket width k (the Roos et al. k-bucket model): each of the
+  /// d buckets holds up to k contacts in insertion order -- longest-lived
+  /// at the head, newcomers at the tail.  Routing probes a bucket head
+  /// first (Kademlia's preference for long-lived contacts, which the
+  /// heavy-tailed session model rewards); maintenance evicts a contact
+  /// observed dead by compacting the bucket and refreshing the freed tail
+  /// cell (the LRU replacement), and join announcement inserts into the
+  /// first free cell.  k = 1 reproduces the single-contact rows of the
+  /// pre-k engine bit for bit.  Ignored by the ring geometries.
+  int bucket_k = 1;
+  /// Session-length distribution of the lifecycle (churn/churn.hpp):
+  /// geometric (memoryless, the historical model) or heavy-tailed Pareto
+  /// with the same mean session 1/pd.
+  SessionModel session;
 };
 
 /// The capacity whose stationary population is `population`:
@@ -120,6 +150,27 @@ class SparseChurnWorld {
   /// Same, drawing from the world's own measurement sub-stream.
   sparse::SparseEstimate measure(std::uint64_t pairs);
 
+  /// One in-flight measured round: advances the round AND samples `pairs`
+  /// routes while the world moves underneath them.  Instead of the
+  /// step()-then-measure freeze, the round's lifecycle sweep (leaves,
+  /// join draws, per-slot maintenance) is spread across the routes --
+  /// `events_per_hop` slots advance after every hop (0 derives the rate
+  /// from `pairs`: one full sweep over pairs x ~log2 N expected hops), so
+  /// a lookup can lose its next hop, or the node currently holding the
+  /// message, mid-flight.  Joiners collected by the sweep are integrated
+  /// (id draw, order-index commit, bootstrap, announcement) at lookup
+  /// boundaries -- a join becomes routable only once the overlay absorbs
+  /// it.  Any sweep remainder is flushed at the end, so a measured round
+  /// always performs exactly one full lifecycle round and the stationary
+  /// population matches the round-synchronous mode.
+  sparse::SparseEstimate measure_inflight(std::uint64_t pairs,
+                                          std::uint64_t events_per_hop,
+                                          math::Rng& rng);
+
+  /// Same, drawing from the world's own measurement sub-stream.
+  sparse::SparseEstimate measure_inflight(std::uint64_t pairs,
+                                          std::uint64_t events_per_hop = 0);
+
   int round() const noexcept { return round_; }
   std::uint64_t population() const noexcept {
     return membership_.population();
@@ -144,7 +195,12 @@ class SparseChurnWorld {
   void rebuild_tables(NodeSlot slot);
   void rebuild_successors(NodeSlot slot, std::uint64_t from_position);
   void maintain_successors(NodeSlot slot);
+  void maintain_entries(NodeSlot slot);
+  void maintain_kademlia_buckets(NodeSlot slot);
   void rebuild_node(NodeSlot slot);
+  void lifecycle_and_maintain_slot(NodeSlot slot);
+  void integrate_joiners(bool commit_always);
+  void advance_sweep(std::uint64_t& cursor, std::uint64_t slots);
 
   const SparseChurnGeometry geometry_;
   const SparseChurnConfig config_;
@@ -152,6 +208,7 @@ class SparseChurnWorld {
   const double repair_probability_;
   const std::uint64_t max_hops_;
   const int row_width_;
+  const SessionProcess session_;
   math::Rng lifecycle_rng_;
   math::Rng table_rng_;
   math::Rng measure_rng_;
@@ -160,6 +217,10 @@ class SparseChurnWorld {
   SparseMembership membership_;
   std::uint64_t total_joins_ = 0;
   std::uint64_t total_leaves_ = 0;
+  // Round each slot's current occupant joined; with heavy-tailed sessions
+  // the departure hazard depends on this age (negative stamps encode the
+  // stationary ages the world is initialized with).
+  std::vector<std::int64_t> joined_at_;
   // Row-major [slot][index] table entries, the generation each entry was
   // installed against (an entry is valid only while its target slot keeps
   // that generation -- identities never return), and the round each entry
@@ -225,6 +286,9 @@ struct SparseChurnSweepSpec {
   std::vector<double> repair = {0.0};
   std::vector<int> successors = {4};
   int shortcuts = 6;
+  /// Kademlia bucket width and session model, applied to every point.
+  int bucket_k = 1;
+  SessionModel session;
   TrajectoryOptions options;
   std::uint64_t seed = 1;
 };

@@ -7,23 +7,30 @@
 
 namespace dht::churn {
 
-TrajectoryResult run_churn_trajectory(TrajectoryGeometry geometry,
-                                      const sim::IdSpace& space,
-                                      const ChurnParams& params,
-                                      const TrajectoryOptions& options,
-                                      const math::Rng& rng) {
+void validate_trajectory_options(const TrajectoryOptions& options) {
   DHT_CHECK(options.warmup_rounds >= 0, "warmup rounds must be >= 0");
   DHT_CHECK(options.measured_rounds >= 1,
             "at least one round must be measured");
   DHT_CHECK(options.pairs_per_round > 0,
             "at least one pair must be sampled per round");
-  // Lifecycle and repair-probability domains are validated by the
-  // ChurnWorld constructor (common/check.hpp); run them up front so a bad
-  // grid point throws before any shard spins up a world.
-  (void)availability(params);
   DHT_CHECK(options.repair_probability >= 0.0 &&
                 options.repair_probability <= 1.0,
             "repair probability must be in [0, 1]");
+}
+
+TrajectoryResult run_churn_trajectory(TrajectoryGeometry geometry,
+                                      const sim::IdSpace& space,
+                                      const ChurnParams& params,
+                                      const TrajectoryOptions& options,
+                                      const math::Rng& rng) {
+  validate_trajectory_options(options);
+  DHT_CHECK(!options.inflight,
+            "in-flight measurement is a sparse-churn mode (dense rosters "
+            "freeze between rounds)");
+  // Lifecycle domains are validated by the ChurnWorld constructor
+  // (common/check.hpp); run them up front so a bad grid point throws
+  // before any shard spins up a world.
+  (void)availability(params);
 
   const std::uint64_t shards =
       options.shards != 0 ? options.shards : kDefaultTrajectoryShards;
@@ -67,10 +74,13 @@ TrajectoryResult run_churn_trajectory(TrajectoryGeometry geometry,
     alive_total += alive_sum[s];
     age_total += age_sum[s];
   }
+  // validate_trajectory_options guarantees rounds >= 1 and shards >= 1, but
+  // keep the division guarded: an empty run must surface zeroed
+  // diagnostics, never NaN leaking into JSONL.
   const double snapshots =
       static_cast<double>(shards) * static_cast<double>(rounds);
-  result.mean_alive_fraction = alive_total / snapshots;
-  result.mean_entry_age = age_total / snapshots;
+  result.mean_alive_fraction = snapshots > 0.0 ? alive_total / snapshots : 0.0;
+  result.mean_entry_age = snapshots > 0.0 ? age_total / snapshots : 0.0;
   return result;
 }
 

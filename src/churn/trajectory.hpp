@@ -71,7 +71,25 @@ struct TrajectoryOptions {
   /// refresh -- the rho knob of the static-repair model.  0 = pure lazy
   /// refresh (the ChurnSimulator model).
   double repair_probability = 0.0;
+  /// In-flight lookup measurement (sparse churn engine only): membership
+  /// events and repairs advance DURING each measured route instead of
+  /// freezing the world between rounds, so a lookup can lose its next hop
+  /// mid-flight.  The dense trajectory engine rejects this mode.
+  bool inflight = false;
+  /// Lifecycle slots swept per route hop in in-flight mode; 0 derives the
+  /// rate from pairs_per_round (one full capacity sweep spread over the
+  /// round's expected hop budget, pairs x ~log2 N).  Any remainder of the
+  /// sweep is flushed at the end of the round, so a measured round always
+  /// performs exactly one full lifecycle round.
+  std::uint64_t inflight_events_per_hop = 0;
 };
+
+/// Validates the domains of the shared trajectory options; throws
+/// PreconditionError naming the offending field.  Every trajectory engine
+/// calls this at its API boundary (before any shard spins up a world), so
+/// a bad grid point fails fast instead of deep inside a worker -- and the
+/// diagnostics divisions below it can never see zero measured rounds.
+void validate_trajectory_options(const TrajectoryOptions& options);
 
 struct TrajectoryResult {
   /// The replica count actually used (options.shards, or

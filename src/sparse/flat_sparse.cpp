@@ -36,7 +36,8 @@ FlatSparseCtx make_sparse_ctx(const SparseOverlay& overlay,
                  dynamic_cast<const SparseKademliaOverlay*>(&overlay)) {
     c.kind = SparseKernelKind::kKademlia;
     c.table = kad->contact_table().data();
-    c.row_width = c.d;
+    c.bucket_k = kad->bucket_k();
+    c.row_width = c.d * kad->bucket_k();
   } else if (const auto* sym =
                  dynamic_cast<const SparseSymphonyOverlay*>(&overlay)) {
     c.kind = SparseKernelKind::kSymphony;

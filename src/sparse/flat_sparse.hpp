@@ -56,7 +56,8 @@ struct FlatSparseCtx {
   const std::uint64_t* ids = nullptr;    // index -> identifier, sorted
   const std::uint8_t* alive = nullptr;   // liveness mask over indices
   const NodeIndex* table = nullptr;      // row-major per-node entries
-  int row_width = 0;                     // entries per node (d, or ks)
+  int row_width = 0;                     // entries per node (d*k, or ks)
+  int bucket_k = 1;                      // kademlia contacts per bucket
   int kn = 0;                            // symphony near neighbors
   int ks = 0;                            // symphony shortcuts
   // Chord CSR rows (SparseChordOverlay::route_offsets() et al.): per-node
@@ -159,21 +160,33 @@ inline SparseRouteResult route_sparse_chord(const FlatSparseCtx& c,
 // defensively, and the per-pair equality test (test_flat_sparse) pins the
 // two paths to each other.
 /// One forwarding step; kNoNode when the protocol drops the message.
+/// k-aware: probes each bucket's k cells head first (bucket_k = 1 reads
+/// exactly the single-contact cells of the pre-k layout).  The
+/// strictly-closer elision holds for EVERY cell, not just the head: any
+/// level-l bucket member clears the probed bit and matches every
+/// higher-order differing bit already corrected, so it sits strictly
+/// closer whatever its suffix.
 inline NodeIndex step_sparse_kademlia(const FlatSparseCtx& c, NodeIndex cur,
                                       std::uint64_t target_id) {
   const NodeIndex* row =
       c.table + cur * static_cast<std::uint64_t>(c.row_width);
+  const int d = c.row_width / c.bucket_k;
   std::uint64_t diff = c.ids[cur] ^ target_id;
   while (diff != 0) {
     const int bw = std::bit_width(diff);
-    const NodeIndex entry = row[c.row_width - bw];  // bucket d - bw + 1
-    if (entry != kNoNode && c.alive[entry]) {
-      // Warm the next hop's contact row and identifier while other lanes
-      // run (the id feeds the next hop's distance computation).
-      __builtin_prefetch(c.table + entry * static_cast<std::uint64_t>(
-                                       c.row_width));
-      __builtin_prefetch(&c.ids[entry]);
-      return entry;
+    const NodeIndex* bucket =
+        row + static_cast<std::uint64_t>(d - bw) *
+                  static_cast<std::uint64_t>(c.bucket_k);
+    for (int cell = 0; cell < c.bucket_k; ++cell) {  // bucket d - bw + 1
+      const NodeIndex entry = bucket[cell];
+      if (entry != kNoNode && c.alive[entry]) {
+        // Warm the next hop's contact row and identifier while other lanes
+        // run (the id feeds the next hop's distance computation).
+        __builtin_prefetch(c.table + entry * static_cast<std::uint64_t>(
+                                         c.row_width));
+        __builtin_prefetch(&c.ids[entry]);
+        return entry;
+      }
     }
     diff &= ~(std::uint64_t{1} << (bw - 1));
   }

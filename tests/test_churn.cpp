@@ -192,6 +192,146 @@ TEST(ChurnModel, GoldenNoReturnEffectiveQ) {
   EXPECT_NEAR(previous, 1.0, 0.02);  // R = 5000 approaches full decay
 }
 
+TEST(SessionModel, GeometricLimitRecoversNoReturnClosedForm) {
+  // The generalized bridge must collapse onto the memoryless closed forms
+  // exactly when the session model is geometric -- the golden anchor of
+  // the heavy-tailed q_nr.
+  const SessionModel geometric{.kind = SessionKind::kGeometric};
+  for (const double pd : {0.02, 0.1, 0.5}) {
+    for (const int r : {1, 2, 5, 30}) {
+      const ChurnParams params{.death_per_round = pd,
+                               .rebirth_per_round = 0.4,
+                               .refresh_interval = r};
+      EXPECT_DOUBLE_EQ(effective_q_no_return(params, geometric),
+                       effective_q_no_return(params))
+          << "pd=" << pd << " R=" << r;
+      for (const int age : {0, 1, 3, 10}) {
+        EXPECT_DOUBLE_EQ(departed_given_entry_age(params, geometric, age),
+                         departed_given_age(params, age))
+            << "pd=" << pd << " age=" << age;
+      }
+    }
+  }
+}
+
+TEST(SessionModel, GoldenParetoNoReturnBridge) {
+  const SessionModel pareto{.kind = SessionKind::kPareto,
+                            .pareto_alpha = 1.5};
+  // R = 1: fresh entries every round, zero decay window -- exactly 0 by
+  // the T(0)/E[L] normalization, for any tail shape.
+  EXPECT_DOUBLE_EQ(effective_q_no_return({.death_per_round = 0.3,
+                                          .rebirth_per_round = 0.2,
+                                          .refresh_interval = 1},
+                                         pareto),
+                   0.0);
+  EXPECT_DOUBLE_EQ(
+      departed_given_entry_age({.death_per_round = 0.3,
+                                .rebirth_per_round = 0.2,
+                                .refresh_interval = 1},
+                               pareto, 0),
+      0.0);
+  // Golden pins of the discrete shifted-Pareto bridge (beta calibrated so
+  // the mean session stays 1/pd); values cross-checked against the CLI and
+  // the live-churn bench table.
+  EXPECT_NEAR(effective_q_no_return({.death_per_round = 0.05,
+                                     .rebirth_per_round = 0.05,
+                                     .refresh_interval = 30},
+                                    pareto),
+              0.337623, 1e-5);
+  EXPECT_NEAR(effective_q_no_return({.death_per_round = 0.02,
+                                     .rebirth_per_round = 0.08,
+                                     .refresh_interval = 10},
+                                    pareto),
+              0.078096, 1e-5);
+
+  // Heavy tails at EQUAL mean lifetime lower the bridge: a fresh entry
+  // points at a stationary-aged node, and under a decreasing hazard the
+  // long-lived majority is stickier than the memoryless average (the
+  // inspection paradox) -- strictly below the geometric q_nr for R >= 2,
+  // monotonically more so as alpha drops toward 1.
+  double previous_gap = 0.0;
+  for (const double alpha : {8.0, 3.0, 2.0, 1.5, 1.2}) {
+    const ChurnParams params{.death_per_round = 0.02,
+                             .rebirth_per_round = 0.08,
+                             .refresh_interval = 20};
+    const double q_nr_pareto = effective_q_no_return(
+        params, {.kind = SessionKind::kPareto, .pareto_alpha = alpha});
+    const double gap = effective_q_no_return(params) - q_nr_pareto;
+    EXPECT_GT(gap, previous_gap) << "alpha=" << alpha;
+    previous_gap = gap;
+  }
+
+  // Monotone in the entry age with the right limits: 0 at age 0, toward 1
+  // as the window outgrows every plausible remaining lifetime.
+  const ChurnParams params{.death_per_round = 0.05,
+                           .rebirth_per_round = 0.05,
+                           .refresh_interval = 10};
+  double previous = -1.0;
+  for (const int age : {0, 1, 2, 5, 20, 100, 2000}) {
+    const double dead = departed_given_entry_age(params, pareto, age);
+    EXPECT_GT(dead, previous) << "age=" << age;
+    EXPECT_LE(dead, 1.0) << "age=" << age;
+    previous = dead;
+  }
+  EXPECT_GT(previous, 0.9);  // age 2000 >> E[L] = 20
+}
+
+TEST(SessionModel, SessionProcessHazardsAndStationaryAges) {
+  const ChurnParams params{.death_per_round = 0.05,
+                           .rebirth_per_round = 0.05,
+                           .refresh_interval = 10};
+  // Geometric: constant hazard pd at every age, and the stationary-age
+  // draw is memoryless -- it must NOT consume the generator (the k = 1 /
+  // geometric bit-compat contract of the sparse churn world).
+  const SessionProcess geometric(params,
+                                 {.kind = SessionKind::kGeometric});
+  EXPECT_DOUBLE_EQ(geometric.hazard(1), 0.05);
+  EXPECT_DOUBLE_EQ(geometric.hazard(1000), 0.05);
+  EXPECT_DOUBLE_EQ(geometric.mean_session(), 20.0);
+  math::Rng rng(7);
+  math::Rng untouched(7);
+  EXPECT_EQ(geometric.sample_stationary_age(rng), 0);
+  EXPECT_EQ(rng.next_u64(), untouched.next_u64());
+
+  // Pareto: decreasing hazard (old nodes are stickier), same mean session
+  // by calibration, and stationary ages average E[L^2]-ish above the mean.
+  const SessionProcess pareto(
+      params, {.kind = SessionKind::kPareto, .pareto_alpha = 1.5});
+  EXPECT_DOUBLE_EQ(pareto.mean_session(), 20.0);
+  EXPECT_GT(pareto.hazard(1), pareto.hazard(5));
+  EXPECT_GT(pareto.hazard(5), pareto.hazard(100));
+  EXPECT_GT(pareto.hazard(1), 0.05);  // young nodes churn faster...
+  EXPECT_LT(pareto.hazard(200), 0.05);  // ...old nodes slower
+  math::Rng age_rng(11);
+  double mean_age = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    const auto age = pareto.sample_stationary_age(age_rng);
+    ASSERT_GE(age, 0);
+    mean_age += static_cast<double>(age);
+  }
+  mean_age /= 20000.0;
+  // Stationary age mean = sum a S(a) / sum S(a); for alpha = 1.5 the tail
+  // is fat enough that this sits far above E[L] (heavy-tail signature).
+  EXPECT_GT(mean_age, 2.0 * pareto.mean_session());
+}
+
+TEST(SessionModel, NamesRoundTripAndRejectsBadShape) {
+  SessionKind kind = SessionKind::kGeometric;
+  for (const char* name : {"geometric", "pareto"}) {
+    ASSERT_TRUE(session_kind_from_name(name, kind)) << name;
+    EXPECT_STREQ(to_string(kind), name);
+  }
+  EXPECT_FALSE(session_kind_from_name("weibull", kind));
+  const ChurnParams params{};
+  EXPECT_THROW(SessionProcess(params, {.kind = SessionKind::kPareto,
+                                       .pareto_alpha = 1.0}),
+               PreconditionError);
+  EXPECT_THROW(
+      effective_q_no_return(params, {.kind = SessionKind::kPareto,
+                                     .pareto_alpha = 0.5}),
+      PreconditionError);
+}
+
 TEST(ChurnWorld, MeasureWithFewerThanTwoAliveNodesIsEmpty) {
   // The empty-estimate contract (regression: downstream confidence95 used
   // to trip Wilson's trials > 0 precondition on a collapsed world).  The

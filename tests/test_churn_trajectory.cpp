@@ -285,6 +285,11 @@ TEST(ChurnTrajectory, RejectsDegenerateInputs) {
                    TrajectoryGeometry::kXor, space,
                    ChurnParams{.death_per_round = 0.0}, {}, rng),
                PreconditionError);
+  // In-flight measurement is a sparse-churn mode; the dense engine's
+  // fixed-roster worlds freeze between rounds and must reject it.
+  EXPECT_THROW(run_churn_trajectory(TrajectoryGeometry::kXor, space, params,
+                                    {.inflight = true}, rng),
+               PreconditionError);
   SweepSpec empty;
   empty.bits.clear();
   EXPECT_THROW(run_churn_sweep(empty), PreconditionError);

@@ -205,6 +205,87 @@ TEST(FlatSparse, MergeOfShardsEqualsOnePass) {
   expect_identical(one_pass, merged, "merge-empty");
 }
 
+TEST(FlatSparse, KBucketKernelMatchesOraclePerPair) {
+  // The k-aware kernel must replicate the widened oracle hop for hop: same
+  // head-first cell probing, same strictly-closer greedy choice (which the
+  // kernel elides because it provably holds for every bucket member).
+  math::Rng rng(401);
+  const SparseIdSpace space(22, 3000, rng);
+  const SparseKademliaOverlay overlay(space, rng, /*k=*/3);
+  EXPECT_EQ(overlay.bucket_k(), 3);
+  math::Rng fail_rng(402);
+  const SparseFailure failures(space, 0.3, fail_rng);
+  const auto ctx = flat::make_sparse_ctx(overlay, failures, 0, true);
+  ASSERT_EQ(ctx.kind, flat::SparseKernelKind::kKademlia);
+  ASSERT_EQ(ctx.bucket_k, 3);
+  ASSERT_EQ(ctx.row_width, 22 * 3);
+  math::Rng pair_rng(403);
+  for (int i = 0; i < 2000; ++i) {
+    const NodeIndex source = failures.sample_alive(pair_rng);
+    const NodeIndex target = failures.sample_alive(pair_rng);
+    if (target == source) {
+      continue;
+    }
+    const auto kernel = flat::route_sparse_kademlia(ctx, source, target);
+    const auto oracle = route(overlay, failures, source, target);
+    if (oracle.has_value()) {
+      ASSERT_EQ(kernel.status, flat::SparseRouteStatus::kArrived)
+          << "source=" << source << " target=" << target;
+      EXPECT_EQ(kernel.hops, *oracle)
+          << "source=" << source << " target=" << target;
+    } else {
+      ASSERT_EQ(kernel.status, flat::SparseRouteStatus::kDropped)
+          << "source=" << source << " target=" << target;
+    }
+  }
+}
+
+TEST(FlatSparse, KBucketCellsAreDistinctAndKOneIsTheSingleContactLayout) {
+  // The explicit k = 1 constructor must produce the byte-identical table
+  // of the historical single-contact constructor (same rng stream, same
+  // layout), and k > 1 cells within a bucket never duplicate a member.
+  const std::uint64_t n = 2048;
+  math::Rng rng_a(411);
+  const SparseIdSpace space_a(20, n, rng_a);
+  const SparseKademliaOverlay single(space_a, rng_a);
+  math::Rng rng_k1(411);
+  const SparseIdSpace space_k1(20, n, rng_k1);
+  const SparseKademliaOverlay explicit_k1(space_k1, rng_k1, /*k=*/1);
+  EXPECT_EQ(single.contact_table(), explicit_k1.contact_table());
+  math::Rng rng_b(411);
+  const SparseIdSpace space_b(20, n, rng_b);
+  const SparseKademliaOverlay wide(space_b, rng_b, /*k=*/4);
+  const int d = space_a.bits();
+  for (NodeIndex v = 0; v < n; v += 17) {
+    for (int bucket = 1; bucket <= d; ++bucket) {
+      for (int cell = 0; cell < 4; ++cell) {
+        const auto entry = wide.contact(v, bucket, cell);
+        if (!entry.has_value()) {
+          continue;
+        }
+        for (int other = cell + 1; other < 4; ++other) {
+          const auto peer = wide.contact(v, bucket, other);
+          if (peer.has_value()) {
+            EXPECT_NE(*entry, *peer)
+                << "node " << v << " bucket " << bucket << " cells " << cell
+                << "/" << other;
+          }
+        }
+      }
+    }
+  }
+  // Wider buckets survive failure measurably better: the parallel
+  // estimator on the same space and scenario, k = 4 vs k = 1.
+  math::Rng fail_rng(412);
+  const SparseFailure failures(space_a, 0.5, fail_rng);
+  const math::Rng route_rng(413);
+  const auto est_single = estimate_routability_parallel(
+      single, failures, {.pairs = 8000}, route_rng);
+  const auto est_wide = estimate_routability_parallel(
+      wide, failures, {.pairs = 8000}, route_rng);
+  EXPECT_GT(est_wide.routability(), est_single.routability() + 0.03);
+}
+
 TEST(FlatSparse, WideKeySpaceRoutesAtSixtyThreeBits) {
   // The widened SparseIdSpace range: 2^16 nodes scattered in a 2^63 key
   // space must construct, route failure-free, and keep O(log N) hop counts
