@@ -69,8 +69,16 @@
 // every thread count must be bit-identical (static, churn AND sparse
 // sections); a mismatch exits non-zero.
 //
+// Every row carries the machine's NUMA socket count ("sockets") and
+// whether topology-aware worker pinning was requested ("pinned"), and the
+// churn sections report routes/sec alongside shard-rounds/sec so route
+// throughput is comparable across sections.
+//
 // Flags: --bits D (16)  --q Q (0.1)  --pairs P (200000)  --seed S (1)
 //        --threads a,b,c (1,2,4,8)  --geometry NAME|all (ring,xor,hypercube)
+//        --pin 0|1 (0: pin workers round-robin across NUMA nodes and
+//        replicate read-only sparse tables per socket; a best-effort no-op
+//        on machines without pinning support, and never affects results)
 //        --churn-bits D (12)  --churn-rounds R (4, 0 disables the section)
 //        --sparse-bits D (32)  --sparse-n-max N (1048576, 0 disables the
 //        section; the grid is 2^14, 2^17, 2^20 clipped to N)
@@ -92,6 +100,7 @@
 #include "math/rng.hpp"
 #include "sim/monte_carlo.hpp"
 #include "sim/parallel_monte_carlo.hpp"
+#include "sim/topology.hpp"
 #include "sparse/flat_sparse.hpp"
 #include "sparse/sparse_chord.hpp"
 #include "sparse/sparse_kademlia.hpp"
@@ -125,6 +134,10 @@ struct Config {
   double pd = 0.02;
   double pr = 0.08;
   int refresh = 10;
+  // Topology-aware scheduling: pin workers round-robin across NUMA nodes
+  // and give each socket its own read-only copy of the sparse tables.
+  // Scheduling only -- estimates are bit-identical either way.
+  bool pin = false;
 };
 
 std::vector<unsigned> parse_thread_list(const char* arg) {
@@ -198,6 +211,8 @@ Config parse_args(int argc, char** argv) {
         std::fprintf(stderr, "--refresh must be >= 1, got %s\n", value);
         std::exit(1);
       }
+    } else if (flag == "--pin") {
+      cfg.pin = std::atoi(value) != 0;
     } else if (flag == "--geometry") {
       if (std::strcmp(value, "all") == 0) {
         cfg.geometries = {"ring", "xor", "tree", "hypercube", "symphony"};
@@ -228,10 +243,12 @@ void emit(const Config& cfg, const std::string& geometry, const char* path,
           double speedup, bool identical) {
   std::printf(
       "{\"bench\":\"perf_simulator\",\"geometry\":\"%s\",\"path\":\"%s\","
-      "\"threads\":%u,\"n\":%llu,\"q\":%.6f,\"pairs\":%llu,\"seed\":%llu,"
+      "\"threads\":%u,\"sockets\":%u,\"pinned\":%s,\"n\":%llu,\"q\":%.6f,"
+      "\"pairs\":%llu,\"seed\":%llu,"
       "\"seconds\":%.6f,\"routes_per_sec\":%.1f,\"speedup_vs_seed\":%.3f,"
       "\"routability\":%.6f,\"identical_across_threads\":%s}\n",
-      geometry.c_str(), path, threads,
+      geometry.c_str(), path, threads, sim::topology().nodes(),
+      cfg.pin ? "true" : "false",
       static_cast<unsigned long long>(std::uint64_t{1} << cfg.bits), cfg.q,
       static_cast<unsigned long long>(cfg.pairs),
       static_cast<unsigned long long>(cfg.seed), seconds,
@@ -255,12 +272,14 @@ void emit_sparse(const Config& cfg, const char* geometry, const char* path,
                  bool identical) {
   std::printf(
       "{\"bench\":\"perf_simulator\",\"section\":\"sparse\","
-      "\"geometry\":\"%s\",\"path\":\"%s\",\"threads\":%u,\"n\":%llu,"
+      "\"geometry\":\"%s\",\"path\":\"%s\",\"threads\":%u,\"sockets\":%u,"
+      "\"pinned\":%s,\"n\":%llu,"
       "\"bits\":%d,\"q\":%.6f,\"pairs\":%llu,\"seed\":%llu,"
       "\"build_seconds\":%.6f,\"seconds\":%.6f,\"routes_per_sec\":%.1f,"
       "\"speedup_vs_virtual\":%.3f,\"routability\":%.6f,"
       "\"identical_across_threads\":%s}\n",
-      geometry, path, threads, static_cast<unsigned long long>(n),
+      geometry, path, threads, sim::topology().nodes(),
+      cfg.pin ? "true" : "false", static_cast<unsigned long long>(n),
       cfg.sparse_bits, cfg.q, static_cast<unsigned long long>(cfg.pairs),
       static_cast<unsigned long long>(cfg.seed), build_seconds, seconds,
       static_cast<double>(cfg.pairs) / seconds, speedup, routability,
@@ -315,8 +334,11 @@ bool run_sparse_section(const Config& cfg) {
       bool have_reference = false;
       sparse::SparseEstimate reference;
       for (unsigned threads : cfg.threads) {
-        const sparse::SparseParallelOptions options{.pairs = cfg.pairs,
-                                                    .threads = threads};
+        const sparse::SparseParallelOptions options{
+            .pairs = cfg.pairs,
+            .threads = threads,
+            .pin_workers = cfg.pin,
+            .numa_replicate_tables = cfg.pin};
         const auto start = std::chrono::steady_clock::now();
         const auto estimate = sparse::estimate_routability_parallel(
             *overlay, failures, options, engine_rng);
@@ -370,7 +392,8 @@ int main(int argc, char** argv) {
     sim::RoutabilityEstimate reference;
     for (unsigned threads : cfg.threads) {
       const sim::ParallelOptions options{.pairs = cfg.pairs,
-                                         .threads = threads};
+                                         .threads = threads,
+                                         .pin_workers = cfg.pin};
       start = std::chrono::steady_clock::now();
       const auto estimate = sim::estimate_routability_parallel(
           *overlay, failures, options, engine_rng);
@@ -405,6 +428,7 @@ int main(int argc, char** argv) {
     for (unsigned threads : cfg.threads) {
       churn::TrajectoryOptions options = base;
       options.threads = threads;
+      options.pin_workers = cfg.pin;
       const auto start = std::chrono::steady_clock::now();
       const auto result = churn::run_churn_trajectory(
           churn::TrajectoryGeometry::kXor, churn_space, params, options,
@@ -428,22 +452,26 @@ int main(int argc, char** argv) {
       const double shard_rounds =
           static_cast<double>(result.shards) *
           static_cast<double>(base.warmup_rounds + cfg.churn_rounds);
+      const auto routes =
+          static_cast<unsigned long long>(result.overall.routed.trials);
       std::printf(
           "{\"bench\":\"perf_simulator\",\"section\":\"churn\","
-          "\"geometry\":\"xor\",\"threads\":%u,\"n\":%llu,\"shards\":%llu,"
+          "\"geometry\":\"xor\",\"threads\":%u,\"sockets\":%u,"
+          "\"pinned\":%s,\"n\":%llu,\"shards\":%llu,"
           "\"warmup_rounds\":%d,\"rounds\":%d,\"pairs_per_round\":%llu,"
           "\"q_eff\":%.6f,\"seed\":%llu,\"seconds\":%.6f,"
           "\"shard_rounds_per_sec\":%.1f,\"routes\":%llu,"
+          "\"routes_per_sec\":%.1f,"
           "\"routability\":%.6f,\"identical_across_threads\":%s}\n",
-          threads,
+          threads, sim::topology().nodes(), cfg.pin ? "true" : "false",
           static_cast<unsigned long long>(churn_space.size()),
           static_cast<unsigned long long>(result.shards),
           base.warmup_rounds, cfg.churn_rounds,
           static_cast<unsigned long long>(base.pairs_per_round),
           churn::effective_q(params),
           static_cast<unsigned long long>(cfg.seed), seconds,
-          shard_rounds / seconds,
-          static_cast<unsigned long long>(result.overall.routed.trials),
+          shard_rounds / seconds, routes,
+          static_cast<double>(routes) / seconds,
           result.overall.routability(), identical ? "true" : "false");
     }
   }
@@ -503,6 +531,7 @@ int main(int argc, char** argv) {
       for (unsigned threads : cfg.threads) {
         churn::TrajectoryOptions options = base;
         options.threads = threads;
+        options.pin_workers = cfg.pin;
         const auto start = std::chrono::steady_clock::now();
         const auto result = churn::run_sparse_churn_trajectory(
             mode.geometry, config, params, options, churn_rng);
@@ -523,18 +552,23 @@ int main(int argc, char** argv) {
         const double shard_rounds =
             static_cast<double>(result.shards) *
             static_cast<double>(base.warmup_rounds + cfg.sparse_churn_rounds);
+        const auto routes =
+            static_cast<unsigned long long>(result.overall.attempts);
         std::printf(
             "{\"bench\":\"perf_simulator\",\"section\":\"sparse_churn\","
-            "\"geometry\":\"%s\",\"threads\":%u,\"n0\":%llu,"
+            "\"geometry\":\"%s\",\"threads\":%u,\"sockets\":%u,"
+            "\"pinned\":%s,\"n0\":%llu,"
             "\"capacity\":%llu,\"bits\":32,\"succ\":%d,"
             "\"inflight\":%s,\"k\":%d,\"session\":\"%s\",\"shards\":%llu,"
             "\"warmup_rounds\":%d,\"rounds\":%d,\"pairs_per_round\":%llu,"
             "\"pd\":%.6f,\"pr\":%.6f,\"refresh\":%d,\"rho\":%.2f,"
             "\"q_eff\":%.6f,\"q_nr\":%.6f,\"seed\":%llu,\"seconds\":%.6f,"
             "\"shard_rounds_per_sec\":%.1f,\"routes\":%llu,"
+            "\"routes_per_sec\":%.1f,"
             "\"routability\":%.6f,\"mean_population\":%.1f,"
             "\"identical_across_threads\":%s}\n",
-            churn::to_string(mode.geometry), threads,
+            churn::to_string(mode.geometry), threads, sim::topology().nodes(),
+            cfg.pin ? "true" : "false",
             static_cast<unsigned long long>(cfg.sparse_churn_n),
             static_cast<unsigned long long>(config.capacity),
             config.successors, mode.inflight ? "true" : "false",
@@ -545,8 +579,8 @@ int main(int argc, char** argv) {
             params.death_per_round, params.rebirth_per_round,
             params.refresh_interval, base.repair_probability, q_eff, q_nr,
             static_cast<unsigned long long>(cfg.seed), seconds,
-            shard_rounds / seconds,
-            static_cast<unsigned long long>(result.overall.attempts),
+            shard_rounds / seconds, routes,
+            static_cast<double>(routes) / seconds,
             result.overall.routability(), result.mean_population,
             identical ? "true" : "false");
       }

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Compare two perf_simulator JSONL runs for result determinism.
+
+The parallel engines promise bit-identical *results* at any thread count;
+only scheduling-dependent fields (timings, throughputs, the thread count
+itself) may differ between a 2-thread and an 8-thread run.  This script
+pairs the two files line by line and fails on any difference outside the
+exempt set -- a routability or hop-statistic drift between thread counts is
+a determinism bug, full stop.
+
+Usage: check_jsonl_determinism.py A.jsonl B.jsonl
+Exit status: 0 identical (modulo exempt fields), 1 otherwise.
+"""
+
+import json
+import sys
+
+# Scheduling-dependent by design; everything else must match exactly.
+EXEMPT = {
+    "threads",
+    "seconds",
+    "build_seconds",
+    "routes_per_sec",
+    "shard_rounds_per_sec",
+    "speedup_vs_seed",
+    "speedup_vs_virtual",
+    "identical_across_threads",  # trivially true in a single-entry sweep
+}
+
+
+def canonical(line):
+    row = json.loads(line)
+    return {k: v for k, v in row.items() if k not in EXEMPT}
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 1
+    path_a, path_b = sys.argv[1], sys.argv[2]
+    with open(path_a) as fa, open(path_b) as fb:
+        lines_a = [l for l in fa if l.strip()]
+        lines_b = [l for l in fb if l.strip()]
+    if len(lines_a) != len(lines_b):
+        print(
+            f"FAIL: {path_a} has {len(lines_a)} rows, "
+            f"{path_b} has {len(lines_b)}",
+            file=sys.stderr,
+        )
+        return 1
+    failures = 0
+    for i, (a, b) in enumerate(zip(lines_a, lines_b), start=1):
+        ca, cb = canonical(a), canonical(b)
+        if ca != cb:
+            failures += 1
+            diff_keys = sorted(
+                k
+                for k in set(ca) | set(cb)
+                if ca.get(k) != cb.get(k)
+            )
+            print(f"FAIL: row {i} differs in {diff_keys}", file=sys.stderr)
+            print(f"  {path_a}: {ca}", file=sys.stderr)
+            print(f"  {path_b}: {cb}", file=sys.stderr)
+    if failures:
+        print(f"FAIL: {failures} row(s) differ", file=sys.stderr)
+        return 1
+    print(f"OK: {len(lines_a)} rows identical modulo scheduling fields")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

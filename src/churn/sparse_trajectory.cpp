@@ -803,9 +803,17 @@ SparseChurnResult run_sparse_churn_trajectory(
   std::vector<double> age_sum(shards, 0.0);
 
   sim::run_sharded(
-      shards, sim::resolve_threads(options.threads), [&](std::uint64_t s) {
+      shards,
+      sim::PoolOptions{.threads = sim::resolve_threads(options.threads),
+                       // Replica worlds are heavy; claim one at a time so
+                       // the tail load-balances.
+                       .chunk = 1,
+                       .pin_workers = options.pin_workers},
+      [&](std::uint64_t s) {
         // Shard s is an independent replica of the whole trajectory, a
-        // pure function of (caller seed, s).
+        // pure function of (caller seed, s).  Its world is allocated here,
+        // on the (optionally pinned) worker, so first touch places it on
+        // the worker's socket.
         SparseChurnWorld world(geometry, config, params,
                                options.repair_probability, options.max_hops,
                                rng.fork(s));

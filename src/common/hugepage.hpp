@@ -1,0 +1,53 @@
+// Best-effort transparent-hugepage advice for large read-mostly arrays.
+//
+// The routing kernels stream hundreds of megabytes of neighbor tables at
+// random row granularity; on 4K pages that working set overwhelms the
+// dTLB and every hop pays a page walk on top of its cache miss.  Backing
+// the arrays with 2MB pages shrinks a ~250MB table set to ~125 TLB
+// entries.  Kernels with transparent_hugepage=always do this on their
+// own; the common madvise default only promotes ranges that ask, so the
+// big allocations ask.
+//
+// The advice must land BEFORE the pages are first touched -- that lets
+// the kernel back the range with huge pages at fault time instead of
+// waiting for khugepaged to collapse it long after the benchmark is over.
+// Hence reserve_hugepages(): reserve capacity (untouched memory), advise
+// it, then let the caller fill.  Both helpers are silent no-ops off
+// Linux, on madvise failure, and for ranges below one huge page.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#if defined(__linux__)
+#include <sys/mman.h>
+#endif
+
+namespace dht::common {
+
+/// Advises the 2MB-aligned interior of [p, p + bytes) onto huge pages.
+inline void advise_hugepages(void* p, std::size_t bytes) {
+#if defined(__linux__) && defined(MADV_HUGEPAGE)
+  constexpr std::uintptr_t kHugePage = std::uintptr_t{2} << 20;
+  const std::uintptr_t begin = reinterpret_cast<std::uintptr_t>(p);
+  const std::uintptr_t lo = (begin + kHugePage - 1) & ~(kHugePage - 1);
+  const std::uintptr_t hi = (begin + bytes) & ~(kHugePage - 1);
+  if (hi > lo) {
+    (void)::madvise(reinterpret_cast<void*>(lo), hi - lo, MADV_HUGEPAGE);
+  }
+#else
+  (void)p;
+  (void)bytes;
+#endif
+}
+
+/// Reserves capacity for n elements and advises the (still untouched)
+/// backing store onto huge pages, so the caller's fill faults 2MB pages
+/// directly.
+template <typename Vec>
+void reserve_hugepages(Vec& vec, std::size_t n) {
+  vec.reserve(n);
+  advise_hugepages(vec.data(), n * sizeof(typename Vec::value_type));
+}
+
+}  // namespace dht::common

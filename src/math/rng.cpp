@@ -65,6 +65,38 @@ bool Rng::bernoulli(double p) noexcept {
   return uniform01() < p;
 }
 
+std::uint64_t CounterRng::uniform_below(std::uint64_t bound) noexcept {
+#if defined(__SIZEOF_INT128__)
+  // Lemire (2019), "Fast Random Integer Generation in an Interval": map the
+  // draw through a 64x64->128 multiply; the high word is the unbiased
+  // result unless the low word falls in the 2^64 mod bound remainder zone,
+  // which is detected with at most one division (and only when
+  // low < bound, i.e. with probability < bound / 2^64).
+  unsigned __int128 m =
+      static_cast<unsigned __int128>(next_u64()) * bound;
+  auto low = static_cast<std::uint64_t>(m);
+  if (low < bound) {
+    const std::uint64_t threshold = (0 - bound) % bound;
+    while (low < threshold) {
+      m = static_cast<unsigned __int128>(next_u64()) * bound;
+      low = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+#else
+  // No 128-bit multiply: fall back to threshold rejection (same
+  // distribution, different accepted-draw mapping; value streams are only
+  // pinned on 128-bit-capable platforms).
+  const std::uint64_t threshold = (0 - bound) % bound;
+  for (;;) {
+    const std::uint64_t r = next_u64();
+    if (r >= threshold) {
+      return r % bound;
+    }
+  }
+#endif
+}
+
 Rng Rng::fork(std::uint64_t stream_id) const noexcept {
   // Derive a child seed by mixing the lineage with the stream id through two
   // SplitMix64 rounds; distinct (lineage, stream_id) pairs give distinct,
@@ -73,6 +105,15 @@ Rng Rng::fork(std::uint64_t stream_id) const noexcept {
   (void)splitmix64(mix);
   const std::uint64_t child_seed = splitmix64(mix);
   return Rng(child_seed);
+}
+
+CounterRng Rng::counter_stream(std::uint64_t stream_id) const noexcept {
+  // Same two-round SplitMix64 lineage mixing as fork(), domain-separated by
+  // an arbitrary odd constant so counter_stream(i) never aliases fork(i).
+  std::uint64_t mix =
+      lineage_ ^ 0xc2b2ae3d27d4eb4fULL ^ (0x9e3779b97f4a7c15ULL + stream_id);
+  (void)splitmix64(mix);
+  return CounterRng(splitmix64(mix));
 }
 
 }  // namespace dht::math

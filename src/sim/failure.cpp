@@ -41,11 +41,6 @@ void FailureScenario::rebuild_alive_index() {
   }
 }
 
-NodeId FailureScenario::sample_alive(math::Rng& rng) const {
-  DHT_CHECK(alive_count_ > 0, "no alive node to sample");
-  return alive_ids_[rng.uniform_below(alive_count_)];
-}
-
 void FailureScenario::kill(NodeId id) {
   DHT_CHECK(id < size_, "node id out of range");
   if (alive_[id] != 0) {

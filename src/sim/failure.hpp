@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/check.hpp"
 #include "math/rng.hpp"
 #include "sim/id_space.hpp"
 
@@ -39,8 +40,13 @@ class FailureScenario {
   std::uint64_t size() const noexcept { return size_; }
 
   /// Uniformly samples an alive node with a single rng draw (O(1) via the
-  /// alive-index array).  Precondition: alive_count() > 0.
-  NodeId sample_alive(math::Rng& rng) const;
+  /// alive-index array).  Works with any generator exposing uniform_below
+  /// (math::Rng, math::CounterRng).  Precondition: alive_count() > 0.
+  template <typename Generator>
+  NodeId sample_alive(Generator& rng) const {
+    DHT_CHECK(alive_count_ > 0, "no alive node to sample");
+    return alive_ids_[rng.uniform_below(alive_count_)];
+  }
 
   /// Raw liveness mask (size() bytes, 1 = alive); hot-path routing kernels
   /// index this directly.

@@ -64,56 +64,73 @@ inline RouteResult finish(RouteStatus status, int hops, NodeId last) {
   return r;
 }
 
-// Tree (Plaxton): the level-correcting neighbor is the only admissible hop.
-inline RouteResult route_tree(const FlatCtx& c, NodeId source, NodeId target) {
-  NodeId cur = source;
-  int hops = 0;
-  while (cur != target) {
-    if (static_cast<std::uint64_t>(hops) >= c.max_hops) {
-      return finish(RouteStatus::kHopLimit, hops, cur);
-    }
-    const std::uint64_t diff = cur ^ target;
-    const NodeId cand = c.table[cur * static_cast<std::uint64_t>(c.d) +
-                                static_cast<std::uint64_t>(c.d) -
-                                static_cast<std::uint64_t>(std::bit_width(diff))];
-    if (!c.alive[cand]) {
-      return finish(RouteStatus::kDropped, hops, cur);
-    }
-    cur = cand;
-    ++hops;
-  }
-  return finish(RouteStatus::kArrived, hops, cur);
-}
+/// Drop sentinel returned by the per-hop step functions below.  NodeId is
+/// 64-bit while identifiers live in a 2^d space with d < 64, so the
+/// all-ones value can never name a real node.
+inline constexpr NodeId kNoHop = ~NodeId{0};
 
-// XOR (Kademlia): greedy, falling back down the differing levels.
-inline RouteResult route_xor(const FlatCtx& c, NodeId source, NodeId target) {
+/// The shared whole-route driver: iterates a per-hop step function until
+/// arrival, drop (step returns kNoHop), or the hop cap -- the same
+/// accounting as sparse::flat::route_flat.  The batched estimator
+/// (parallel_monte_carlo.cpp) applies the identical accounting to
+/// interleaved routes via the same step functions.
+template <typename Step>
+RouteResult route_stepped(const FlatCtx& c, NodeId source, NodeId target,
+                          Step step) {
   NodeId cur = source;
   int hops = 0;
   while (cur != target) {
     if (static_cast<std::uint64_t>(hops) >= c.max_hops) {
       return finish(RouteStatus::kHopLimit, hops, cur);
     }
-    const std::uint32_t* row = c.table + cur * static_cast<std::uint64_t>(c.d);
-    std::uint64_t diff = cur ^ target;
-    NodeId next = 0;
-    bool found = false;
-    while (diff != 0) {
-      const int bw = std::bit_width(diff);
-      const NodeId cand = row[c.d - bw];
-      if (c.alive[cand]) {
-        next = cand;
-        found = true;
-        break;
-      }
-      diff &= ~(std::uint64_t{1} << (bw - 1));  // next differing bit down
-    }
-    if (!found) {
+    const NodeId next = step(c, cur, target);
+    if (next == kNoHop) {
       return finish(RouteStatus::kDropped, hops, cur);
     }
     cur = next;
     ++hops;
   }
   return finish(RouteStatus::kArrived, hops, cur);
+}
+
+// Tree (Plaxton): the level-correcting neighbor is the only admissible hop.
+/// One forwarding step; kNoHop when the protocol drops the message.
+inline NodeId step_tree(const FlatCtx& c, NodeId cur, NodeId target) {
+  const std::uint64_t diff = cur ^ target;
+  const NodeId cand = c.table[cur * static_cast<std::uint64_t>(c.d) +
+                              static_cast<std::uint64_t>(c.d) -
+                              static_cast<std::uint64_t>(std::bit_width(diff))];
+  return c.alive[cand] ? cand : kNoHop;
+}
+
+inline RouteResult route_tree(const FlatCtx& c, NodeId source, NodeId target) {
+  return route_stepped(c, source, target,
+                       [](const FlatCtx& ctx, NodeId cur, NodeId tgt) {
+                         return step_tree(ctx, cur, tgt);
+                       });
+}
+
+// XOR (Kademlia): greedy, falling back down the differing levels.
+/// One forwarding step; kNoHop when the protocol drops the message.
+inline NodeId step_xor(const FlatCtx& c, NodeId cur, NodeId target) {
+  const std::uint32_t* row = c.table + cur * static_cast<std::uint64_t>(c.d);
+  std::uint64_t diff = cur ^ target;
+  while (diff != 0) {
+    const int bw = std::bit_width(diff);
+    const NodeId cand = row[c.d - bw];
+    if (c.alive[cand]) {
+      return cand;
+    }
+    diff &= ~(std::uint64_t{1} << (bw - 1));  // next differing bit down
+  }
+  return kNoHop;
+}
+
+inline RouteResult route_xor(const FlatCtx& c, NodeId source, NodeId target) {
+  return route_stepped(c, source, target,
+                       [](const FlatCtx& ctx, NodeId cur, NodeId tgt) {
+                         return step_xor(ctx, cur, tgt);
+                       });
 }
 
 // Hypercube (CAN): uniform among alive bit-correcting neighbors.  Unlike
@@ -127,48 +144,50 @@ inline RouteResult route_xor(const FlatCtx& c, NodeId source, NodeId target) {
 // is taken without burning a draw (a 1-way uniform choice is
 // deterministic), and the k-th set bit is selected with pdep where BMI2 is
 // available.
+/// One forwarding step; kNoHop when the protocol drops the message.
+/// Templated on the generator so both the sequential engines (math::Rng)
+/// and the per-lane counter streams of the batched estimator
+/// (math::CounterRng) can drive it.
+template <typename Generator>
+inline NodeId step_hypercube(const FlatCtx& c, NodeId cur, NodeId target,
+                             Generator& rng) {
+  // Mask of differing bits whose flip lands on an alive node; the byte
+  // loads stay, but the data-dependent branch per candidate does not.
+  std::uint64_t alive_mask = 0;
+  std::uint64_t diff = cur ^ target;
+  while (diff != 0) {
+    const std::uint64_t lowest = diff & (~diff + 1);
+    alive_mask |=
+        lowest & (0 - static_cast<std::uint64_t>(c.alive[cur ^ lowest]));
+    diff ^= lowest;
+  }
+  if (alive_mask == 0) {
+    return kNoHop;
+  }
+  if ((alive_mask & (alive_mask - 1)) == 0) {
+    // Single alive candidate: the uniform choice is forced, skip the rng
+    // draw.  (Late route phases at low q live here.)
+    return cur ^ alive_mask;
+  }
+  // Pick the k-th set bit of the alive mask uniformly.
+  const std::uint64_t k = rng.uniform_below(
+      static_cast<std::uint64_t>(std::popcount(alive_mask)));
+#if defined(__BMI2__)
+  return cur ^ _pdep_u64(std::uint64_t{1} << k, alive_mask);
+#else
+  for (std::uint64_t drop = 0; drop < k; ++drop) {
+    alive_mask &= alive_mask - 1;  // clear lowest set bit
+  }
+  return cur ^ (alive_mask & (~alive_mask + 1));
+#endif
+}
+
 inline RouteResult route_hypercube(const FlatCtx& c, NodeId source,
                                    NodeId target, math::Rng& rng) {
-  NodeId cur = source;
-  int hops = 0;
-  while (cur != target) {
-    if (static_cast<std::uint64_t>(hops) >= c.max_hops) {
-      return finish(RouteStatus::kHopLimit, hops, cur);
-    }
-    // Mask of differing bits whose flip lands on an alive node; the byte
-    // loads stay, but the data-dependent branch per candidate does not.
-    std::uint64_t alive_mask = 0;
-    std::uint64_t diff = cur ^ target;
-    while (diff != 0) {
-      const std::uint64_t lowest = diff & (~diff + 1);
-      alive_mask |=
-          lowest & (0 - static_cast<std::uint64_t>(c.alive[cur ^ lowest]));
-      diff ^= lowest;
-    }
-    if (alive_mask == 0) {
-      return finish(RouteStatus::kDropped, hops, cur);
-    }
-    if ((alive_mask & (alive_mask - 1)) == 0) {
-      // Single alive candidate: the uniform choice is forced, skip the rng
-      // draw.  (Late route phases at low q live here.)
-      cur ^= alive_mask;
-      ++hops;
-      continue;
-    }
-    // Pick the k-th set bit of the alive mask uniformly.
-    const std::uint64_t k = rng.uniform_below(
-        static_cast<std::uint64_t>(std::popcount(alive_mask)));
-#if defined(__BMI2__)
-    cur ^= _pdep_u64(std::uint64_t{1} << k, alive_mask);
-#else
-    for (std::uint64_t drop = 0; drop < k; ++drop) {
-      alive_mask &= alive_mask - 1;  // clear lowest set bit
-    }
-    cur ^= alive_mask & (~alive_mask + 1);
-#endif
-    ++hops;
-  }
-  return finish(RouteStatus::kArrived, hops, cur);
+  return route_stepped(c, source, target,
+                       [&rng](const FlatCtx& ctx, NodeId cur, NodeId tgt) {
+                         return step_hypercube(ctx, cur, tgt, rng);
+                       });
 }
 
 // Chord successor-list fallback, shared by both finger variants: the
@@ -192,121 +211,117 @@ inline bool chord_successor(const FlatCtx& c, NodeId cur,
 
 // Chord with deterministic fingers: offsets are exactly the powers of two,
 // so the greedy scan is pure bit arithmetic -- no table reads at all.
+/// One forwarding step; kNoHop when the protocol drops the message.
+inline NodeId step_chord_deterministic(const FlatCtx& c, NodeId cur,
+                                       NodeId target) {
+  const std::uint64_t distance = (target - cur) & c.mask;
+  std::uint64_t best_progress = 0;
+  NodeId best = cur;
+  // Largest power-of-two offset <= distance, then downward.
+  for (int k = std::bit_width(distance) - 1; k >= 0; --k) {
+    const NodeId f = (cur + (std::uint64_t{1} << k)) & c.mask;
+    if (c.alive[f]) {
+      best_progress = std::uint64_t{1} << k;
+      best = f;
+      break;
+    }
+  }
+  NodeId next;
+  if (!chord_successor(c, cur, distance, best_progress, next)) {
+    if (best_progress == 0) {
+      return kNoHop;
+    }
+    next = best;
+  }
+  return next;
+}
+
 inline RouteResult route_chord_deterministic(const FlatCtx& c, NodeId source,
                                              NodeId target) {
-  NodeId cur = source;
-  int hops = 0;
-  while (cur != target) {
-    if (static_cast<std::uint64_t>(hops) >= c.max_hops) {
-      return finish(RouteStatus::kHopLimit, hops, cur);
-    }
-    const std::uint64_t distance = (target - cur) & c.mask;
-    std::uint64_t best_progress = 0;
-    NodeId best = cur;
-    // Largest power-of-two offset <= distance, then downward.
-    for (int k = std::bit_width(distance) - 1; k >= 0; --k) {
-      const NodeId f = (cur + (std::uint64_t{1} << k)) & c.mask;
-      if (c.alive[f]) {
-        best_progress = std::uint64_t{1} << k;
-        best = f;
-        break;
-      }
-    }
-    NodeId next;
-    if (!chord_successor(c, cur, distance, best_progress, next)) {
-      if (best_progress == 0) {
-        return finish(RouteStatus::kDropped, hops, cur);
-      }
-      next = best;
-    }
-    cur = next;
-    ++hops;
-  }
-  return finish(RouteStatus::kArrived, hops, cur);
+  return route_stepped(c, source, target,
+                       [](const FlatCtx& ctx, NodeId cur, NodeId tgt) {
+                         return step_chord_deterministic(ctx, cur, tgt);
+                       });
 }
 
 // Chord with randomized fingers: greedy scan over the node's contiguous
 // finger row (dyadic intervals shrink with the index, so the first alive
 // non-overshooting finger is the greedy choice).
+/// One forwarding step; kNoHop when the protocol drops the message.
+inline NodeId step_chord_randomized(const FlatCtx& c, NodeId cur,
+                                    NodeId target) {
+  const std::uint64_t distance = (target - cur) & c.mask;
+  const std::uint32_t* row = c.table + cur * static_cast<std::uint64_t>(c.d);
+  std::uint64_t best_progress = 0;
+  NodeId best = cur;
+  for (int i = 0; i < c.d; ++i) {
+    const NodeId f = row[i];
+    const std::uint64_t progress = (f - cur) & c.mask;
+    if (progress > distance) {
+      continue;
+    }
+    if (c.alive[f]) {
+      best_progress = progress;
+      best = f;
+      break;
+    }
+  }
+  NodeId next;
+  if (!chord_successor(c, cur, distance, best_progress, next)) {
+    if (best_progress == 0) {
+      return kNoHop;
+    }
+    next = best;
+  }
+  return next;
+}
+
 inline RouteResult route_chord_randomized(const FlatCtx& c, NodeId source,
                                           NodeId target) {
-  NodeId cur = source;
-  int hops = 0;
-  while (cur != target) {
-    if (static_cast<std::uint64_t>(hops) >= c.max_hops) {
-      return finish(RouteStatus::kHopLimit, hops, cur);
-    }
-    const std::uint64_t distance = (target - cur) & c.mask;
-    const std::uint32_t* row = c.table + cur * static_cast<std::uint64_t>(c.d);
-    std::uint64_t best_progress = 0;
-    NodeId best = cur;
-    for (int i = 0; i < c.d; ++i) {
-      const NodeId f = row[i];
-      const std::uint64_t progress = (f - cur) & c.mask;
-      if (progress > distance) {
-        continue;
-      }
-      if (c.alive[f]) {
-        best_progress = progress;
-        best = f;
-        break;
-      }
-    }
-    NodeId next;
-    if (!chord_successor(c, cur, distance, best_progress, next)) {
-      if (best_progress == 0) {
-        return finish(RouteStatus::kDropped, hops, cur);
-      }
-      next = best;
-    }
-    cur = next;
-    ++hops;
-  }
-  return finish(RouteStatus::kArrived, hops, cur);
+  return route_stepped(c, source, target,
+                       [](const FlatCtx& ctx, NodeId cur, NodeId tgt) {
+                         return step_chord_randomized(ctx, cur, tgt);
+                       });
 }
 
 // Symphony: greedy clockwise over shortcuts then near neighbors.
+/// One forwarding step; kNoHop when the protocol drops the message.
+inline NodeId step_symphony(const FlatCtx& c, NodeId cur, NodeId target) {
+  const std::uint64_t distance = (target - cur) & c.mask;
+  std::uint64_t best_progress = 0;
+  NodeId best = 0;
+  const std::uint32_t* row = c.table + cur * static_cast<std::uint64_t>(c.ks);
+  for (int j = 0; j < c.ks; ++j) {
+    const NodeId link = row[j];
+    const std::uint64_t progress = (link - cur) & c.mask;
+    if (progress > distance || progress <= best_progress) {
+      continue;
+    }
+    if (c.alive[link]) {
+      best_progress = progress;
+      best = link;
+    }
+  }
+  for (int k = 1; k <= c.kn; ++k) {
+    const std::uint64_t progress = static_cast<std::uint64_t>(k);
+    if (progress > distance || progress <= best_progress) {
+      continue;
+    }
+    const NodeId link = (cur + progress) & c.mask;
+    if (c.alive[link]) {
+      best_progress = progress;
+      best = link;
+    }
+  }
+  return best_progress == 0 ? kNoHop : best;
+}
+
 inline RouteResult route_symphony(const FlatCtx& c, NodeId source,
                                   NodeId target) {
-  NodeId cur = source;
-  int hops = 0;
-  while (cur != target) {
-    if (static_cast<std::uint64_t>(hops) >= c.max_hops) {
-      return finish(RouteStatus::kHopLimit, hops, cur);
-    }
-    const std::uint64_t distance = (target - cur) & c.mask;
-    std::uint64_t best_progress = 0;
-    NodeId best = 0;
-    const std::uint32_t* row = c.table + cur * static_cast<std::uint64_t>(c.ks);
-    for (int j = 0; j < c.ks; ++j) {
-      const NodeId link = row[j];
-      const std::uint64_t progress = (link - cur) & c.mask;
-      if (progress > distance || progress <= best_progress) {
-        continue;
-      }
-      if (c.alive[link]) {
-        best_progress = progress;
-        best = link;
-      }
-    }
-    for (int k = 1; k <= c.kn; ++k) {
-      const std::uint64_t progress = static_cast<std::uint64_t>(k);
-      if (progress > distance || progress <= best_progress) {
-        continue;
-      }
-      const NodeId link = (cur + progress) & c.mask;
-      if (c.alive[link]) {
-        best_progress = progress;
-        best = link;
-      }
-    }
-    if (best_progress == 0) {
-      return finish(RouteStatus::kDropped, hops, cur);
-    }
-    cur = best;
-    ++hops;
-  }
-  return finish(RouteStatus::kArrived, hops, cur);
+  return route_stepped(c, source, target,
+                       [](const FlatCtx& ctx, NodeId cur, NodeId tgt) {
+                         return step_symphony(ctx, cur, tgt);
+                       });
 }
 
 /// Builds a context over an immutable overlay + failure scenario.  Unknown

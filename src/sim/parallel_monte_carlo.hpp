@@ -42,14 +42,18 @@ struct ParallelOptions {
   /// Work shards (0 = default, min(pairs, 256)).  Results are a function of
   /// (seed, shard count); keep it fixed when comparing runs.
   std::uint64_t shards = 0;
-  /// When false, routes through the generic virtual-dispatch Router instead
-  /// of the flattened kernels.  For the rng-free forwarding rules (tree,
-  /// XOR, ring, Symphony) the kernels replicate next_hop exactly and results
-  /// are bit-identical either way; the hypercube kernel spends one rng draw
-  /// per hop instead of next_hop's one-per-candidate reservoir, so its
-  /// routes differ individually while the estimate stays identically
-  /// distributed.
+  /// When false, routes through the generic virtual next_hop path instead
+  /// of the flattened kernels.  Both paths run on the same interleaved lane
+  /// driver with the same per-lane pair streams, so for the rng-free
+  /// forwarding rules (tree, XOR, ring, Symphony) the kernels replicate
+  /// next_hop exactly and results are bit-identical either way; the
+  /// hypercube kernel spends one counter-stream draw per hop instead of
+  /// next_hop's one-per-candidate reservoir, so its routes differ
+  /// individually while the estimate stays identically distributed.
   bool use_flat_kernels = true;
+  /// Pin worker threads round-robin across NUMA nodes (sim/topology.hpp);
+  /// best effort, a silent no-op where unsupported.  Never affects results.
+  bool pin_workers = false;
 };
 
 /// Monte-Carlo estimate over sampled alive pairs, sharded across threads.
@@ -65,6 +69,9 @@ struct ExactParallelOptions {
   /// Source-block shards (0 = default, min(N, 256)).
   std::uint64_t shards = 0;
   bool use_flat_kernels = true;
+  /// Pin worker threads round-robin across NUMA nodes; scheduling only,
+  /// never affects results.
+  bool pin_workers = false;
 };
 
 /// Exact measurement over every ordered pair of alive nodes with the O(N^2)

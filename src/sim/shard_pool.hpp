@@ -1,12 +1,21 @@
 // The deterministic shard pool shared by the parallel engines.
 //
 // Work is split over a fixed number of shards that does NOT depend on the
-// thread count; worker threads pull shard indices from an atomic counter.
-// Because every shard's computation is a pure function of (caller seed,
-// shard index) and per-shard results are merged in shard order afterwards,
-// results are bit-identical at any thread count.  Used by the static
-// Monte-Carlo engine (parallel_monte_carlo.cpp) and the churn trajectory
-// engine (churn/trajectory.cpp).
+// thread count; worker threads claim *runs* of shard indices from an atomic
+// counter (one CAS per run instead of per shard, so the counter never
+// becomes the contention point at high thread counts).  Because every
+// shard's computation is a pure function of (caller seed, shard index) and
+// per-shard results are merged in shard order afterwards, results are
+// bit-identical at any thread count and any chunk size.  Used by the static
+// Monte-Carlo engine (parallel_monte_carlo.cpp), the sparse engine
+// (sparse/flat_sparse.cpp), and the churn trajectory engines
+// (churn/trajectory.cpp, churn/sparse_trajectory.cpp).
+//
+// Workers can optionally be pinned round-robin across NUMA nodes
+// (sim/topology.hpp).  Shard-private state allocated inside work() -- churn
+// replica worlds, per-shard scratch -- is then first-touched on the
+// worker's socket and stays there; on machines without pinning support the
+// option is a silent no-op.  Pinning moves work, never changes it.
 #pragma once
 
 #include <algorithm>
@@ -17,42 +26,85 @@
 #include <thread>
 #include <vector>
 
+#include "sim/topology.hpp"
+
 namespace dht::sim {
 
-/// Runs `work(shard_index)` for every shard on `threads` workers pulling
-/// from an atomic counter; rethrows the first worker exception.
+/// Scheduling knobs for run_sharded; none of them ever affect results.
+struct PoolOptions {
+  /// Worker threads (already resolved; see resolve_threads).
+  unsigned threads = 1;
+  /// Shards claimed per atomic increment.  0 = auto: shards / (8 * workers)
+  /// clamped to [1, 64] -- runs long enough to kill contention, short
+  /// enough to load-balance the tail.  Engines whose shards are heavy
+  /// (churn replica worlds) pass 1 explicitly.
+  std::uint64_t chunk = 0;
+  /// Pin worker w to topology().cpu_for_worker(w): workers are dealt
+  /// round-robin across NUMA nodes so shard-private state spreads over all
+  /// sockets via first-touch.  Best effort -- a silent no-op where
+  /// unsupported.
+  bool pin_workers = false;
+};
+
+/// Runs `work(shard_index)` for every shard in [0, shards); rethrows the
+/// first worker exception.  A failed shard stops the pool *before* other
+/// workers claim new shards or start queued ones; shards already in flight
+/// finish (work() is never interrupted mid-shard).
 template <typename Work>
-void run_sharded(std::uint64_t shards, unsigned threads, Work&& work) {
-  if (threads <= 1 || shards <= 1) {
+void run_sharded(std::uint64_t shards, const PoolOptions& options,
+                 Work&& work) {
+  if (options.threads <= 1 || shards <= 1) {
     for (std::uint64_t s = 0; s < shards; ++s) {
       work(s);
     }
     return;
   }
+  const unsigned workers =
+      static_cast<unsigned>(std::min<std::uint64_t>(options.threads, shards));
+  std::uint64_t chunk = options.chunk;
+  if (chunk == 0) {
+    chunk = std::clamp<std::uint64_t>(shards / (8 * workers), 1, 64);
+  }
   std::atomic<std::uint64_t> next{0};
   std::atomic<bool> failed{false};
   std::exception_ptr error;
   std::mutex error_mutex;
-  const unsigned workers =
-      static_cast<unsigned>(std::min<std::uint64_t>(threads, shards));
   std::vector<std::thread> pool;
   pool.reserve(workers);
   for (unsigned w = 0; w < workers; ++w) {
-    pool.emplace_back([&] {
+    pool.emplace_back([&, w] {
+      if (options.pin_workers) {
+        (void)pin_current_thread(topology().cpu_for_worker(w));
+      }
       for (;;) {
-        const std::uint64_t s = next.fetch_add(1, std::memory_order_relaxed);
-        if (s >= shards || failed.load(std::memory_order_relaxed)) {
+        // Check the failure flag BEFORE claiming: once a shard has failed,
+        // no worker may start new work, only drain.  (Claiming first would
+        // let every worker begin one more run after the failure.)
+        if (failed.load(std::memory_order_acquire)) {
           return;
         }
-        try {
-          work(s);
-        } catch (...) {
-          const std::lock_guard<std::mutex> lock(error_mutex);
-          if (!error) {
-            error = std::current_exception();
-          }
-          failed.store(true, std::memory_order_relaxed);
+        const std::uint64_t begin =
+            next.fetch_add(chunk, std::memory_order_relaxed);
+        if (begin >= shards) {
           return;
+        }
+        const std::uint64_t end = std::min(begin + chunk, shards);
+        for (std::uint64_t s = begin; s < end; ++s) {
+          if (failed.load(std::memory_order_acquire)) {
+            return;
+          }
+          try {
+            work(s);
+          } catch (...) {
+            {
+              const std::lock_guard<std::mutex> lock(error_mutex);
+              if (!error) {
+                error = std::current_exception();
+              }
+            }
+            failed.store(true, std::memory_order_release);
+            return;
+          }
         }
       }
     });
@@ -63,6 +115,13 @@ void run_sharded(std::uint64_t shards, unsigned threads, Work&& work) {
   if (error) {
     std::rethrow_exception(error);
   }
+}
+
+/// Back-compatible entry point: threads only, default chunking, no pinning.
+template <typename Work>
+void run_sharded(std::uint64_t shards, unsigned threads, Work&& work) {
+  run_sharded(shards, PoolOptions{.threads = threads},
+              std::forward<Work>(work));
 }
 
 /// Resolves a requested worker count (0 = hardware concurrency, at least 1).

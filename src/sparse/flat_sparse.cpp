@@ -1,10 +1,13 @@
 #include "sparse/flat_sparse.hpp"
 
 #include <algorithm>
+#include <thread>
 #include <vector>
 
 #include "common/check.hpp"
+#include "common/hugepage.hpp"
 #include "sim/shard_pool.hpp"
+#include "sim/topology.hpp"
 #include "sparse/sparse_chord.hpp"
 #include "sparse/sparse_kademlia.hpp"
 #include "sparse/sparse_symphony.hpp"
@@ -29,9 +32,14 @@ FlatSparseCtx make_sparse_ctx(const SparseOverlay& overlay,
   }
   if (const auto* chord = dynamic_cast<const SparseChordOverlay*>(&overlay)) {
     c.kind = SparseKernelKind::kChord;
-    c.table = chord->route_targets().data();
-    c.row_offsets = chord->route_offsets().data();
-    c.progress = chord->route_progress().data();
+    if (!chord->route_packed().empty()) {
+      c.packed = chord->route_packed().data();
+    } else {
+      c.table = chord->route_targets().data();
+      c.progress = chord->route_progress().data();
+    }
+    c.row_len = chord->route_lens().data();
+    c.row_width = chord->route_stride();
   } else if (const auto* kad =
                  dynamic_cast<const SparseKademliaOverlay*>(&overlay)) {
     c.kind = SparseKernelKind::kKademlia;
@@ -46,36 +54,22 @@ FlatSparseCtx make_sparse_ctx(const SparseOverlay& overlay,
     c.kn = sym->near_neighbors();
     c.ks = sym->shortcuts();
   }
+  if (c.kind != SparseKernelKind::kGeneric) {
+    // Pack the byte mask into bits once per engine invocation (the failure
+    // scenario is frozen for the whole estimate): N/8 bytes instead of N,
+    // small enough to stay cache-resident under the kernels' random probes.
+    auto bits = std::make_shared<std::vector<std::uint64_t>>(c.n / 64 + 1, 0);
+    for (std::uint64_t i = 0; i < c.n; ++i) {
+      (*bits)[i >> 6] |= static_cast<std::uint64_t>(c.alive[i] ? 1 : 0)
+                         << (i & 63);
+    }
+    c.alive_bits = bits->data();
+    c.alive_bits_owner = std::move(bits);
+  }
   return c;
 }
 
 namespace {
-
-// Virtual-dispatch fallback on the shared driver, so generic and flat runs
-// get identical hop-cap accounting and are comparable field by field.
-SparseRouteResult route_generic(const FlatSparseCtx& c,
-                                const SparseOverlay& overlay,
-                                const SparseFailure& failures,
-                                NodeIndex source, NodeIndex target) {
-  return route_flat(c, source, target,
-                    [&overlay, &failures, target](const FlatSparseCtx&,
-                                                  NodeIndex cur,
-                                                  std::uint64_t) {
-                      const auto next = overlay.next_hop(cur, target, failures);
-                      return next.has_value() ? *next : kNoNode;
-                    });
-}
-
-// Samples the next ordered alive pair from the shard's private stream.
-inline std::pair<NodeIndex, NodeIndex> draw_pair(const SparseFailure& failures,
-                                                 math::Rng& rng) {
-  const NodeIndex source = failures.sample_alive(rng);
-  NodeIndex target = failures.sample_alive(rng);
-  while (target == source) {
-    target = failures.sample_alive(rng);
-  }
-  return {source, target};
-}
 
 inline void record(SparseEstimate& estimate, SparseRouteStatus status,
                    int hops) {
@@ -92,113 +86,304 @@ inline void record(SparseEstimate& estimate, SparseRouteStatus status,
   }
 }
 
-// Interleaved shard loop: kLanes independent routes advance one hop per
-// turn, so their table/id/liveness loads overlap in the memory pipeline
-// instead of serializing on cache misses -- the win that matters once
-// million-node tables outgrow the caches.  The result is bit-identical to
-// routing the pairs one by one: pairs are drawn from the shard stream in a
-// fixed order (a lane refills only when its route ends, and lanes are
-// serviced round-robin, so the draw schedule is a pure function of the
-// route outcomes, which are rng-free), every route's outcome is unchanged,
-// and SparseEstimate's counters are commutative across routes.
-template <typename Step>
-void run_lanes(const FlatSparseCtx& c, const SparseFailure& failures,
-               std::uint64_t pairs, math::Rng& rng, SparseEstimate& estimate,
-               Step step) {
-  constexpr int kLanes = 8;
-  struct Lane {
-    NodeIndex cur = 0;
-    NodeIndex target = 0;
-    std::uint64_t target_id = 0;
-    int hops = 0;
-    bool active = false;
-  };
-  Lane lanes[kLanes];
-  std::uint64_t drawn = 0;
+// The shared struct-of-arrays lane driver.  Retires every terminal lane
+// (drop sentinel / arrival / hop cap), refills it from the pair source,
+// then advances all still-active lanes one hop with the batch step; repeat
+// until the pair source runs dry and every lane retires.  Lanes are
+// serviced in lane order, so the whole schedule -- which lane routes which
+// pair -- is a deterministic function of the pair source and the (rng-free)
+// route outcomes, identically for the flat kernels and the virtual path.
+//
+// A freshly refilled pair is never terminal (source != target, 0 hops <
+// max_hops >= 1), so one retire pass per turn suffices and a refilled lane
+// steps in the same turn -- lanes never idle while pairs remain.
+template <typename PairSource, typename StepBatch>
+void drive_lanes(const FlatSparseCtx& c, PairSource& pair_source,
+                 SparseEstimate& estimate, StepBatch step_batch) {
+  RouteBatch b;
   int active = 0;
-  const auto refill = [&](Lane& lane) {
-    if (drawn == pairs) {
-      lane.active = false;
-      --active;
+  const auto refill = [&](int l) {
+    NodeIndex source;
+    NodeIndex target;
+    if (!pair_source(l, source, target)) {
+      if (b.active[l]) {
+        b.active[l] = 0;
+        --active;
+      }
       return;
     }
-    const auto [source, target] = draw_pair(failures, rng);
-    lane.cur = source;
-    lane.target = target;
-    lane.target_id = c.ids[target];
-    lane.hops = 0;
-    lane.active = true;
-    ++drawn;
+    b.cur[l] = source;
+    b.target[l] = target;
+    b.target_id[l] = c.ids[target];
+    b.dist[l] = (b.target_id[l] - c.ids[source]) & c.key_mask;
+    b.hops[l] = 0;
+    if (!b.active[l]) {
+      b.active[l] = 1;
+      ++active;
+    }
   };
-  for (Lane& lane : lanes) {
-    lane.active = true;
-    ++active;
-    refill(lane);
+  for (int l = 0; l < RouteBatch::kLanes; ++l) {
+    b.active[l] = 0;
+    refill(l);
   }
   while (active > 0) {
-    for (Lane& lane : lanes) {
-      if (!lane.active) {
+    for (int l = 0; l < RouteBatch::kLanes; ++l) {
+      if (!b.active[l]) {
         continue;
       }
-      if (lane.cur == lane.target) {
-        record(estimate, SparseRouteStatus::kArrived, lane.hops);
-        refill(lane);
-        continue;
+      if (b.cur[l] == kNoNode) {
+        record(estimate, SparseRouteStatus::kDropped,
+               static_cast<int>(b.hops[l]));
+        refill(l);
+      } else if (b.cur[l] == b.target[l]) {
+        record(estimate, SparseRouteStatus::kArrived,
+               static_cast<int>(b.hops[l]));
+        refill(l);
+      } else if (b.hops[l] >= c.max_hops) {
+        record(estimate, SparseRouteStatus::kHopLimit,
+               static_cast<int>(b.hops[l]));
+        refill(l);
       }
-      if (static_cast<std::uint64_t>(lane.hops) >= c.max_hops) {
-        record(estimate, SparseRouteStatus::kHopLimit, lane.hops);
-        refill(lane);
-        continue;
-      }
-      const NodeIndex next = step(c, lane.cur, lane.target_id);
-      if (next == kNoNode) {
-        record(estimate, SparseRouteStatus::kDropped, lane.hops);
-        refill(lane);
-        continue;
-      }
-      lane.cur = next;
-      ++lane.hops;
     }
+    if (active == 0) {
+      break;
+    }
+    step_batch(c, b);
   }
 }
 
-void run_shard(const FlatSparseCtx& c, const SparseOverlay& overlay,
-               const SparseFailure& failures, std::uint64_t pairs,
-               math::Rng& rng, SparseEstimate& estimate) {
+// Production pair source: a shared budget of `pairs` draws, each lane
+// sampling from its own counter-based stream.  Lane l's j-th pair is a
+// pure function of (caller seed, shard, l, j) -- no sequential state is
+// shared between lanes, so a lane's draws do not depend on how the other
+// lanes' routes went (only *how many* pairs it gets does, and that is
+// deterministic too: the driver is single-threaded per shard).
+// Each lane keeps TWO pre-drawn pairs in flight, pipelined: a handout
+// returns the front pair (whose identifiers and neighbor rows were
+// prefetched one handout -- i.e. one whole route -- ago), promotes the
+// back pair and warms its rows, and draws a fresh back pair.  The fresh
+// draw's alive-id loads issue immediately but nothing needs their values
+// until the NEXT handout, so the sampling misses overlap an entire route
+// instead of stalling the refill.  Buffering never changes what is handed
+// out: lane l's j-th handout is still its stream's j-th drawn pair, and
+// the shared budget is spent at handout time, exactly as in the unbuffered
+// loop (each lane's final buffered draws simply go unused -- lane streams
+// are independent, so unused draws affect nothing).
+struct LanePairSource {
+  LanePairSource(const FlatSparseCtx& c, const SparseFailure& failures,
+                 const math::Rng& shard_rng, std::uint64_t pairs)
+      : ctx_(c), failures_(failures), remaining_(pairs) {
+    for (int l = 0; l < RouteBatch::kLanes; ++l) {
+      streams_[l] = shard_rng.counter_stream(static_cast<std::uint64_t>(l));
+      front_[l] = draw(l);
+      warm(front_[l]);
+    }
+  }
+
+  bool operator()(int lane, NodeIndex& source, NodeIndex& target) {
+    if (remaining_ == 0) {
+      return false;
+    }
+    --remaining_;
+    source = front_[lane].source;
+    target = front_[lane].target;
+    front_[lane] = draw(lane);
+    warm(front_[lane]);
+    return true;
+  }
+
+  struct Pair {
+    NodeIndex source;
+    NodeIndex target;
+  };
+
+  Pair draw(int lane) {
+    math::CounterRng& rng = streams_[lane];
+    const NodeIndex source = failures_.sample_alive(rng);
+    NodeIndex target = failures_.sample_alive(rng);
+    while (target == source) {
+      target = failures_.sample_alive(rng);
+    }
+    return Pair{source, target};
+  }
+
+  // Warm everything the pair's refill and first hop will touch.
+  void warm(const Pair& p) const {
+    __builtin_prefetch(&ctx_.ids[p.source]);
+    __builtin_prefetch(&ctx_.ids[p.target]);
+    const std::uint64_t row =
+        p.source * static_cast<std::uint64_t>(ctx_.row_width);
+    if (ctx_.packed != nullptr) {
+      __builtin_prefetch(&ctx_.packed[row]);
+    } else if (ctx_.table != nullptr) {
+      __builtin_prefetch(&ctx_.table[row]);
+      if (ctx_.progress != nullptr) {
+        __builtin_prefetch(&ctx_.progress[row]);
+      }
+    }
+  }
+
+  const FlatSparseCtx& ctx_;
+  const SparseFailure& failures_;
+  math::CounterRng streams_[RouteBatch::kLanes];
+  Pair front_[RouteBatch::kLanes];
+  std::uint64_t remaining_;
+};
+
+// Scripted pair source for the route_pairs_batched test hook: hands out a
+// fixed pair list in order, whichever lane asks.
+struct ListPairSource {
+  bool operator()(int /*lane*/, NodeIndex& source, NodeIndex& target) {
+    if (next == count) {
+      return false;
+    }
+    source = pairs[next].first;
+    target = pairs[next].second;
+    ++next;
+    return true;
+  }
+
+  const std::pair<NodeIndex, NodeIndex>* pairs;
+  std::uint64_t count;
+  std::uint64_t next = 0;
+};
+
+// Virtual-dispatch batch step on the shared driver, so generic and flat
+// runs share the lane schedule hop for hop and are bit-comparable.
+struct GenericStepBatch {
+  const SparseOverlay& overlay;
+  const SparseFailure& failures;
+
+  void operator()(const FlatSparseCtx&, RouteBatch& b) const {
+    for (int l = 0; l < RouteBatch::kLanes; ++l) {
+      if (!b.active[l]) {
+        continue;
+      }
+      const auto next = overlay.next_hop(b.cur[l], b.target[l], failures);
+      if (!next.has_value()) {
+        b.cur[l] = kNoNode;
+        continue;
+      }
+      b.cur[l] = *next;
+      b.hops[l] += 1;
+    }
+  }
+};
+
+template <typename PairSource>
+void run_lanes(const FlatSparseCtx& c, const SparseOverlay& overlay,
+               const SparseFailure& failures, PairSource& pair_source,
+               SparseEstimate& estimate) {
   switch (c.kind) {
     case SparseKernelKind::kChord:
-      run_lanes(c, failures, pairs, rng, estimate,
-                [](const FlatSparseCtx& ctx, NodeIndex cur,
-                   std::uint64_t target_id) {
-                  return step_sparse_chord(ctx, cur, target_id);
-                });
+      drive_lanes(c, pair_source, estimate,
+                  [](const FlatSparseCtx& ctx, RouteBatch& b) {
+                    step_batch_chord(ctx, b);
+                  });
       return;
     case SparseKernelKind::kKademlia:
-      run_lanes(c, failures, pairs, rng, estimate,
-                [](const FlatSparseCtx& ctx, NodeIndex cur,
-                   std::uint64_t target_id) {
-                  return step_sparse_kademlia(ctx, cur, target_id);
-                });
+      drive_lanes(c, pair_source, estimate,
+                  [](const FlatSparseCtx& ctx, RouteBatch& b) {
+                    step_batch_kademlia(ctx, b);
+                  });
       return;
     case SparseKernelKind::kSymphony:
-      run_lanes(c, failures, pairs, rng, estimate,
-                [](const FlatSparseCtx& ctx, NodeIndex cur,
-                   std::uint64_t target_id) {
-                  return step_sparse_symphony(ctx, cur, target_id);
-                });
+      drive_lanes(c, pair_source, estimate,
+                  [](const FlatSparseCtx& ctx, RouteBatch& b) {
+                    step_batch_symphony(ctx, b);
+                  });
       return;
     case SparseKernelKind::kGeneric:
-      break;
+      drive_lanes(c, pair_source, estimate,
+                  GenericStepBatch{overlay, failures});
+      return;
   }
-  for (std::uint64_t i = 0; i < pairs; ++i) {
-    const auto [source, target] = draw_pair(failures, rng);
-    const SparseRouteResult result =
-        route_generic(c, overlay, failures, source, target);
-    record(estimate, result.status, result.hops);
+}
+
+// Per-NUMA-node replica of the read-only routing state.  The owning
+// vectors are first-touched by a thread pinned to the replica's node, so
+// every worker's hot loads resolve in local memory.
+struct CtxReplica {
+  std::vector<std::uint64_t> ids;
+  std::vector<std::uint8_t> alive;
+  std::vector<std::uint64_t> alive_bits;
+  std::vector<NodeIndex> table;
+  std::vector<std::uint64_t> packed;
+  std::vector<std::uint64_t> progress;
+  std::vector<std::uint8_t> row_len;
+  FlatSparseCtx ctx;
+
+  void copy_from(const FlatSparseCtx& c) {
+    ctx = c;
+    const std::uint64_t table_len =
+        c.n * static_cast<std::uint64_t>(c.row_width);
+    common::reserve_hugepages(ids, c.n);
+    common::reserve_hugepages(table, table_len);
+    if (c.packed != nullptr) {
+      common::reserve_hugepages(packed, table_len);
+    }
+    if (c.progress != nullptr) {
+      common::reserve_hugepages(progress, table_len);
+    }
+    ids.assign(c.ids, c.ids + c.n);
+    ctx.ids = ids.data();
+    alive.assign(c.alive, c.alive + c.n);
+    ctx.alive = alive.data();
+    if (c.alive_bits != nullptr) {
+      alive_bits.assign(c.alive_bits, c.alive_bits + c.n / 64 + 1);
+      ctx.alive_bits = alive_bits.data();
+      ctx.alive_bits_owner = nullptr;
+    }
+    if (c.packed != nullptr) {
+      packed.assign(c.packed, c.packed + table_len);
+      ctx.packed = packed.data();
+    }
+    if (c.progress != nullptr) {
+      progress.assign(c.progress, c.progress + table_len);
+      ctx.progress = progress.data();
+    }
+    if (c.row_len != nullptr) {
+      row_len.assign(c.row_len, c.row_len + c.n);
+      ctx.row_len = row_len.data();
+    }
+    if (c.table != nullptr && table_len > 0) {
+      table.assign(c.table, c.table + table_len);
+      ctx.table = table.data();
+    }
   }
+};
+
+// Builds one replica per NUMA node, each copied by a thread pinned to that
+// node (first-touch places the pages locally).  The copies hold the same
+// bytes as the original context, so routing through any of them is
+// bit-identical; node 0's replica is built too, keeping the code path
+// uniform (and exercised) on single-socket machines.
+std::vector<CtxReplica> build_replicas(const FlatSparseCtx& c) {
+  const sim::Topology& topo = sim::topology();
+  std::vector<CtxReplica> replicas(topo.nodes());
+  std::vector<std::thread> builders;
+  builders.reserve(replicas.size());
+  for (std::size_t node = 0; node < replicas.size(); ++node) {
+    builders.emplace_back([&, node] {
+      (void)sim::pin_current_thread(topo.node_cpus[node].front());
+      replicas[node].copy_from(c);
+    });
+  }
+  for (std::thread& t : builders) {
+    t.join();
+  }
+  return replicas;
 }
 
 }  // namespace
+
+void route_pairs_batched(const FlatSparseCtx& c, const SparseOverlay& overlay,
+                         const SparseFailure& failures,
+                         const std::pair<NodeIndex, NodeIndex>* pairs,
+                         std::uint64_t count, SparseEstimate& estimate) {
+  ListPairSource source{pairs, count};
+  run_lanes(c, overlay, failures, source, estimate);
+}
 
 }  // namespace flat
 
@@ -211,6 +396,14 @@ SparseEstimate estimate_routability_parallel(
   const flat::FlatSparseCtx ctx = flat::make_sparse_ctx(
       overlay, failures, options.max_hops, options.use_flat_kernels);
 
+  // Optional per-socket copies of the read-only routing state; workers pick
+  // the replica local to wherever they run.  Bit-identical either way.
+  std::vector<flat::CtxReplica> replicas;
+  if (options.numa_replicate_tables &&
+      ctx.kind != flat::SparseKernelKind::kGeneric) {
+    replicas = flat::build_replicas(ctx);
+  }
+
   const std::uint64_t shards =
       options.shards != 0 ? options.shards
                           : std::min<std::uint64_t>(options.pairs, 256);
@@ -219,13 +412,24 @@ SparseEstimate estimate_routability_parallel(
 
   std::vector<SparseEstimate> results(shards);
   sim::run_sharded(
-      shards, sim::resolve_threads(options.threads), [&](std::uint64_t s) {
+      shards,
+      sim::PoolOptions{.threads = sim::resolve_threads(options.threads),
+                       .pin_workers = options.pin_workers},
+      [&](std::uint64_t s) {
         // Shard s is a pure function of (caller seed, s): fork a private
-        // stream, sample its slice of the pair budget, route.
-        math::Rng shard_rng = rng.fork(s);
+        // stream whose counter_stream(lane) draws sample the shard's slice
+        // of the pair budget.
+        const math::Rng shard_rng = rng.fork(s);
         const std::uint64_t pairs = base + (s < extra ? 1 : 0);
+        const flat::FlatSparseCtx& local =
+            replicas.empty()
+                ? ctx
+                : replicas[static_cast<std::size_t>(sim::current_numa_node()) %
+                           replicas.size()]
+                      .ctx;
+        flat::LanePairSource source(local, failures, shard_rng, pairs);
         SparseEstimate estimate;
-        flat::run_shard(ctx, overlay, failures, pairs, shard_rng, estimate);
+        flat::run_lanes(local, overlay, failures, source, estimate);
         results[s] = estimate;
       });
 

@@ -20,6 +20,9 @@
 
 #include <bit>
 #include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
 
 #include "math/rng.hpp"
 #include "sparse/sparse_overlay.hpp"
@@ -60,12 +63,29 @@ struct FlatSparseCtx {
   int bucket_k = 1;                      // kademlia contacts per bucket
   int kn = 0;                            // symphony near neighbors
   int ks = 0;                            // symphony shortcuts
-  // Chord CSR rows (SparseChordOverlay::route_offsets() et al.): per-node
-  // distinct fingers, progress descending, progress precomputed.
-  const std::uint64_t* row_offsets = nullptr;
+  // Chord fixed-stride rows (SparseChordOverlay::route_packed() et al.):
+  // per-node distinct fingers, progress descending and precomputed, rows
+  // padded to row_width entries with (progress 0, kNoNode); row_len holds
+  // the real per-row entry counts (N bytes, cache-resident).  `packed` is
+  // the bits <= 32 shape -- one u64 (progress << 32) | target per entry,
+  // with `table`/`progress` null; wider spaces use the parallel arrays.
+  const std::uint64_t* packed = nullptr;
   const std::uint64_t* progress = nullptr;
+  const std::uint8_t* row_len = nullptr;
   std::uint64_t max_hops = 0;
+  // Liveness packed one bit per node (same content as `alive`).  The byte
+  // mask is megabytes at 2^20 nodes and every hop probes it at a random
+  // index; the bit mask is N/8 bytes and stays cache-resident, so the
+  // batched kernels' candidate probes stop missing to memory.  Built by
+  // make_sparse_ctx for the flat kinds; null for kGeneric.
+  const std::uint64_t* alive_bits = nullptr;
+  std::shared_ptr<const std::vector<std::uint64_t>> alive_bits_owner;
 };
+
+/// Packed-liveness probe (flat-kind contexts only).
+inline bool alive_bit(const FlatSparseCtx& c, NodeIndex i) {
+  return (c.alive_bits[i >> 6] >> (i & 63)) & 1;
+}
 
 inline SparseRouteResult finish(SparseRouteStatus status, int hops) {
   SparseRouteResult r;
@@ -100,36 +120,52 @@ SparseRouteResult route_flat(const FlatSparseCtx& c, NodeIndex source,
 
 // Sparse Chord: greedy clockwise without overshoot.  The oracle scans the
 // full d-finger row keeping the best admissible alive finger; the kernel
-// walks the node's CSR row of *distinct* fingers sorted by decreasing
-// precomputed progress, skips the overshooting prefix, and takes the first
-// alive entry.  Duplicates collapse onto the same node (equal progress
-// implies equal identifier), so the admissible candidate set -- and hence
-// the greedy choice -- is exactly SparseChordOverlay::next_hop's, at ~log2
-// N contiguous u64 reads per hop instead of d random id lookups.
+// walks the node's fixed-stride row of *distinct* fingers sorted by
+// decreasing precomputed progress, skips the overshooting prefix, and
+// takes the first alive entry.  Duplicates collapse onto the same node
+// (equal progress implies equal identifier), so the admissible candidate
+// set -- and hence the greedy choice -- is exactly
+// SparseChordOverlay::next_hop's, at ~log2 N contiguous u64 reads per hop
+// instead of d random id lookups.
 /// One forwarding step; kNoNode when the protocol drops the message.
 inline NodeIndex step_sparse_chord(const FlatSparseCtx& c, NodeIndex cur,
                                    std::uint64_t target_id) {
   const std::uint64_t distance = (target_id - c.ids[cur]) & c.key_mask;
-  const std::uint64_t end = c.row_offsets[cur + 1];
-  // Binary-search past the overshooting prefix (progress is descending),
-  // then the first alive entry is the max-progress admissible finger.  The
-  // search is branchless (conditional-move shape): the comparison outcome
-  // is data-dependent and would mispredict half the time as a branch.
-  std::uint64_t lo = c.row_offsets[cur];
-  std::uint64_t len = end - lo;
-  while (len > 0) {
-    const std::uint64_t half = len / 2;
-    const bool overshoot = c.progress[lo + half] > distance;
-    lo += overshoot ? half + 1 : 0;
-    len = overshoot ? len - half - 1 : half;
+  const std::uint64_t stride = static_cast<std::uint64_t>(c.row_width);
+  const std::uint64_t len = c.row_len[cur];
+  // Skip the overshooting prefix by *counting* it: progress is strictly
+  // descending within a row, so the count of entries above the remaining
+  // distance IS the index of the first admissible finger.  The branchless
+  // count vectorizes and streams the row sequentially.
+  if (c.packed != nullptr) {
+    // Packed shape: entry > (distance << 32 | 0xFFFFFFFF) iff the entry's
+    // progress exceeds the remaining distance (equal progress would need a
+    // target above 2^32 - 1 to tip the compare, and targets are 32-bit).
+    const std::uint64_t* row = c.packed + cur * stride;
+    const std::uint64_t key =
+        (distance << 32) | std::uint64_t{kNoNode};
+    std::uint64_t k = 0;
+    for (std::uint64_t e = 0; e < len; ++e) {
+      k += row[e] > key ? 1 : 0;
+    }
+    for (std::uint64_t e = k; e < len; ++e) {
+      const NodeIndex f = static_cast<NodeIndex>(row[e]);
+      if (c.alive[f]) {
+        __builtin_prefetch(&c.ids[f]);
+        return f;  // max-progress alive admissible finger
+      }
+    }
+    return kNoNode;
   }
-  for (std::uint64_t e = lo; e < end; ++e) {
-    const NodeIndex f = c.table[e];
+  const std::uint64_t* prog = c.progress + cur * stride;
+  const NodeIndex* row = c.table + cur * stride;
+  std::uint64_t k = 0;
+  for (std::uint64_t e = 0; e < len; ++e) {
+    k += prog[e] > distance ? 1 : 0;
+  }
+  for (std::uint64_t e = k; e < len; ++e) {
+    const NodeIndex f = row[e];
     if (c.alive[f]) {
-      // Warm the next hop's row metadata while other lanes run (the
-      // interleaved estimator steps 8 routes round-robin, so these loads
-      // have several lane-steps of latency cover).
-      __builtin_prefetch(&c.row_offsets[f]);
       __builtin_prefetch(&c.ids[f]);
       return f;  // max-progress alive admissible finger
     }
@@ -179,7 +215,9 @@ inline NodeIndex step_sparse_kademlia(const FlatSparseCtx& c, NodeIndex cur,
                   static_cast<std::uint64_t>(c.bucket_k);
     for (int cell = 0; cell < c.bucket_k; ++cell) {  // bucket d - bw + 1
       const NodeIndex entry = bucket[cell];
-      if (entry != kNoNode && c.alive[entry]) {
+      if (entry != kNoNode &&
+          (c.alive_bits != nullptr ? alive_bit(c, entry)
+                                   : c.alive[entry] != 0)) {
         // Warm the next hop's contact row and identifier while other lanes
         // run (the id feeds the next hop's distance computation).
         __builtin_prefetch(c.table + entry * static_cast<std::uint64_t>(
@@ -247,12 +285,283 @@ inline SparseRouteResult route_sparse_symphony(const FlatSparseCtx& c,
                     });
 }
 
+// ---------------------------------------------------------------------------
+// Struct-of-arrays route batches.
+//
+// The estimator advances kLanes independent routes one hop per turn so
+// their table/id/liveness loads overlap in the memory pipeline.  Keeping
+// the in-flight routes as parallel arrays (rather than an array of lane
+// structs) lets the per-hop kernels below run each micro-phase -- distance
+// computation, lock-step binary search, liveness probes -- as a short
+// branch-light loop over lanes, where every iteration is independent and
+// its loads issue together.  Plain scalar code, no intrinsics: the shape
+// alone buys the memory-level parallelism (and the compiler is free to
+// vectorize the arithmetic phases).
+// ---------------------------------------------------------------------------
+
+/// In-flight routes of one shard, one array element per lane.  Invariant
+/// between kernel steps: an active lane is mid-route (cur != target, cur !=
+/// kNoNode, hops < max_hops) -- the driver retires terminal lanes and
+/// refills before every step.  A kernel signals a drop by writing kNoNode
+/// into cur (leaving hops at the count already taken, matching
+/// route_flat's accounting).
+struct RouteBatch {
+  static constexpr int kLanes = 8;
+  NodeIndex cur[kLanes];
+  NodeIndex target[kLanes];
+  std::uint64_t target_id[kLanes];
+  // Remaining clockwise distance (target_id - id(cur)) mod 2^d, kept
+  // incrementally: each hop subtracts the chosen entry's precomputed
+  // progress -- exact integer arithmetic, so it equals the recomputed
+  // value bit for bit.  Ring kernels read this instead of ids[cur], which
+  // removes the only per-hop load outside the row itself.
+  std::uint64_t dist[kLanes];
+  std::uint32_t hops[kLanes];
+  std::uint8_t active[kLanes];
+};
+
+/// One Chord hop for every active lane.  Same algorithm as
+/// step_sparse_chord, phased: (A) distances and row bases -- pure
+/// arithmetic, the row address is cur * stride with no offsets load on the
+/// critical path, (B) count every lane's overshooting prefix with
+/// branchless fixed-trip loops, (C) probe the max-progress candidates'
+/// liveness in the packed bit mask, falling back to the in-row scan for
+/// the rare dead-candidate lane.  The writeback prefetches the *next*
+/// hop's whole row, so phase B of the following turn runs against lines
+/// that have had a full batch turn of latency cover.
+inline void step_batch_chord_packed(const FlatSparseCtx& c, RouteBatch& b) {
+  constexpr int kLanes = RouteBatch::kLanes;
+  const std::uint64_t stride = static_cast<std::uint64_t>(c.row_width);
+  std::uint64_t key[kLanes];
+  std::uint64_t base[kLanes];
+  std::uint64_t len[kLanes];
+  std::uint64_t at[kLanes];
+  for (int l = 0; l < kLanes; ++l) {
+    if (!b.active[l]) {
+      continue;
+    }
+    const NodeIndex cur = b.cur[l];
+    key[l] = (b.dist[l] << 32) | std::uint64_t{kNoNode};
+    base[l] = cur * stride;
+    len[l] = c.row_len[cur];
+  }
+  for (int l = 0; l < kLanes; ++l) {
+    if (!b.active[l]) {
+      continue;
+    }
+    const std::uint64_t* row = c.packed + base[l];
+    const std::uint64_t d = key[l];
+    std::uint64_t k = 0;
+    for (std::uint64_t e = 0; e < len[l]; ++e) {
+      k += row[e] > d ? 1 : 0;
+    }
+    at[l] = k;
+  }
+  for (int l = 0; l < kLanes; ++l) {
+    if (!b.active[l]) {
+      continue;
+    }
+    NodeIndex next = kNoNode;
+    std::uint64_t progress = 0;
+    const std::uint64_t* row = c.packed + base[l];
+    for (std::uint64_t e = at[l]; e < len[l]; ++e) {
+      const std::uint64_t entry = row[e];
+      const NodeIndex f = static_cast<NodeIndex>(entry);
+      if (alive_bit(c, f)) {
+        next = f;
+        progress = entry >> 32;
+        break;
+      }
+    }
+    if (next == kNoNode) {
+      b.cur[l] = kNoNode;  // dropped; hops stays at the count taken
+      continue;
+    }
+    b.cur[l] = next;
+    b.dist[l] = (b.dist[l] - progress) & c.key_mask;
+    b.hops[l] += 1;
+    // Warm the next hop's packed row; the loads have a full batch turn of
+    // cover before phase A touches them.  The row-length lookup is
+    // cache-resident, so sizing the burst by it costs nothing and skips
+    // the pad lines.  No ids prefetch: the incremental distance is the
+    // kernel's only geometry, so the id array is off the ring hop path.
+    const std::uint64_t nb = next * stride;
+    const std::uint64_t nlen = c.row_len[next];
+    for (std::uint64_t off = 0; off < nlen; off += 8) {
+      __builtin_prefetch(&c.packed[nb + off]);
+    }
+  }
+}
+
+inline void step_batch_chord_wide(const FlatSparseCtx& c, RouteBatch& b) {
+  constexpr int kLanes = RouteBatch::kLanes;
+  const std::uint64_t stride = static_cast<std::uint64_t>(c.row_width);
+  std::uint64_t distance[kLanes];
+  std::uint64_t base[kLanes];
+  std::uint64_t len[kLanes];
+  std::uint64_t at[kLanes];
+  for (int l = 0; l < kLanes; ++l) {
+    if (!b.active[l]) {
+      continue;
+    }
+    const NodeIndex cur = b.cur[l];
+    distance[l] = (b.target_id[l] - c.ids[cur]) & c.key_mask;
+    base[l] = cur * stride;
+    len[l] = c.row_len[cur];
+  }
+  for (int l = 0; l < kLanes; ++l) {
+    if (!b.active[l]) {
+      continue;
+    }
+    const std::uint64_t* prog = c.progress + base[l];
+    const std::uint64_t d = distance[l];
+    std::uint64_t k = 0;
+    for (std::uint64_t e = 0; e < len[l]; ++e) {
+      k += prog[e] > d ? 1 : 0;
+    }
+    at[l] = k;
+  }
+  NodeIndex cand[kLanes];
+  for (int l = 0; l < kLanes; ++l) {
+    if (!b.active[l]) {
+      continue;
+    }
+    cand[l] = at[l] < len[l] ? c.table[base[l] + at[l]] : kNoNode;
+  }
+  for (int l = 0; l < kLanes; ++l) {
+    if (!b.active[l]) {
+      continue;
+    }
+    NodeIndex next = kNoNode;
+    if (cand[l] != kNoNode) {
+      if (alive_bit(c, cand[l])) {
+        next = cand[l];
+      } else {
+        for (std::uint64_t e = at[l] + 1; e < len[l]; ++e) {
+          const NodeIndex f = c.table[base[l] + e];
+          if (alive_bit(c, f)) {
+            next = f;
+            break;
+          }
+        }
+      }
+    }
+    if (next == kNoNode) {
+      b.cur[l] = kNoNode;  // dropped; hops stays at the count taken
+      continue;
+    }
+    b.cur[l] = next;
+    b.hops[l] += 1;
+    // Warm the next hop's identifier and (progress, finger) row; the loads
+    // have a full batch turn of cover before phase A touches them.
+    __builtin_prefetch(&c.ids[next]);
+    const std::uint64_t nb = next * stride;
+    const std::uint64_t nlen = c.row_len[next];
+    for (std::uint64_t off = 0; off < nlen; off += 8) {
+      __builtin_prefetch(&c.progress[nb + off]);
+    }
+    for (std::uint64_t off = 0; off < nlen; off += 16) {
+      __builtin_prefetch(&c.table[nb + off]);
+    }
+  }
+}
+
+inline void step_batch_chord(const FlatSparseCtx& c, RouteBatch& b) {
+  if (c.packed != nullptr) {
+    step_batch_chord_packed(c, b);
+  } else {
+    step_batch_chord_wide(c, b);
+  }
+}
+
+/// One Kademlia hop for every active lane.  Same rule as
+/// step_sparse_kademlia, staged: (A) compute each lane's head contact of
+/// the highest differing bucket and prefetch its liveness word, (B)
+/// resolve -- the head is the hop in the common case (head present and
+/// alive); lanes that miss fall back to the full scalar bucket walk.
+inline void step_batch_kademlia(const FlatSparseCtx& c, RouteBatch& b) {
+  constexpr int kLanes = RouteBatch::kLanes;
+  const int d = c.row_width / c.bucket_k;
+  NodeIndex head[kLanes];
+  for (int l = 0; l < kLanes; ++l) {
+    if (!b.active[l]) {
+      continue;
+    }
+    const NodeIndex cur = b.cur[l];
+    const std::uint64_t diff = c.ids[cur] ^ b.target_id[l];
+    const NodeIndex* row =
+        c.table + cur * static_cast<std::uint64_t>(c.row_width);
+    head[l] = row[static_cast<std::uint64_t>(d - std::bit_width(diff)) *
+                  static_cast<std::uint64_t>(c.bucket_k)];
+    if (head[l] != kNoNode) {
+      __builtin_prefetch(&c.alive_bits[head[l] >> 6]);
+    }
+  }
+  for (int l = 0; l < kLanes; ++l) {
+    if (!b.active[l]) {
+      continue;
+    }
+    NodeIndex next = head[l];
+    if (next == kNoNode || !alive_bit(c, next)) {
+      next = step_sparse_kademlia(c, b.cur[l], b.target_id[l]);
+    }
+    if (next == kNoNode) {
+      b.cur[l] = kNoNode;
+      continue;
+    }
+    b.cur[l] = next;
+    b.hops[l] += 1;
+    // Warm the next hop's identifier and its whole contact row -- the
+    // needed bucket depends on the next XOR distance, unknown until the
+    // ids load resolves, so cover every line of the row now.
+    __builtin_prefetch(&c.ids[next]);
+    const NodeIndex* row =
+        c.table + next * static_cast<std::uint64_t>(c.row_width);
+    for (int off = 0; off < c.row_width; off += 16) {
+      __builtin_prefetch(row + off);
+    }
+  }
+}
+
+/// One Symphony hop for every active lane.  The scan is short (ks
+/// shortcuts + kn successors, all usually cache-resident), so per-lane
+/// scalar steps suffice; the batch shape still overlaps the shortcut-id
+/// gathers of different lanes.
+inline void step_batch_symphony(const FlatSparseCtx& c, RouteBatch& b) {
+  for (int l = 0; l < RouteBatch::kLanes; ++l) {
+    if (!b.active[l]) {
+      continue;
+    }
+    const NodeIndex next = step_sparse_symphony(c, b.cur[l], b.target_id[l]);
+    if (next == kNoNode) {
+      b.cur[l] = kNoNode;
+      continue;
+    }
+    b.cur[l] = next;
+    b.hops[l] += 1;
+    __builtin_prefetch(c.table +
+                       next * static_cast<std::uint64_t>(c.row_width));
+    __builtin_prefetch(&c.ids[next]);
+  }
+}
+
 /// Builds a context over an immutable sparse overlay + failure scenario.
 /// Unknown overlay types (and use_flat_kernels = false) yield kGeneric,
 /// which the estimator routes through the virtual next_hop path instead.
 FlatSparseCtx make_sparse_ctx(const SparseOverlay& overlay,
                               const SparseFailure& failures,
                               std::uint64_t max_hops, bool use_flat_kernels);
+
+/// Test hook: routes the given ordered (source, target) index pairs through
+/// the same struct-of-arrays lane driver the estimator uses (kGeneric
+/// contexts step through overlay.next_hop) and records every outcome into
+/// `estimate`.  Bit-equivalent to routing each pair alone with route_flat
+/// and the matching scalar step: interleaving changes when routes run,
+/// never what they do.
+void route_pairs_batched(const FlatSparseCtx& c, const SparseOverlay& overlay,
+                         const SparseFailure& failures,
+                         const std::pair<NodeIndex, NodeIndex>* pairs,
+                         std::uint64_t count, SparseEstimate& estimate);
 
 }  // namespace flat
 
@@ -271,6 +580,16 @@ struct SparseParallelOptions {
   /// the kernels replicate next_hop exactly and results are bit-identical
   /// either way (asserted in test_flat_sparse).
   bool use_flat_kernels = true;
+  /// Pin worker threads round-robin across NUMA nodes (sim/topology.hpp);
+  /// best effort, a silent no-op where unsupported.  Never affects results.
+  bool pin_workers = false;
+  /// Replicate the read-only routing state (ids, liveness mask, neighbor
+  /// tables) once per NUMA node -- each copy first-touched by a thread
+  /// pinned to that node -- and point every worker at its local replica.
+  /// Flat-kernel path only; results are bit-identical either way (the
+  /// copies hold the same bytes), so this is purely a locality knob.  Off
+  /// by default: the copies cost memory and only pay off multi-socket.
+  bool numa_replicate_tables = false;
 };
 
 /// Monte-Carlo estimate over sampled alive index pairs, sharded across

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/check.hpp"
+#include "common/hugepage.hpp"
 
 namespace dht::sparse {
 
@@ -13,11 +14,17 @@ SparseChordOverlay::SparseChordOverlay(const SparseIdSpace& space)
   const std::uint64_t n = space.node_count();
   const std::uint64_t size = space.key_space_size();
   const std::uint64_t mask = size - 1;
+  common::reserve_hugepages(fingers_, n * static_cast<std::uint64_t>(d));
   fingers_.resize(n * static_cast<std::uint64_t>(d));
-  route_offsets_.reserve(n + 1);
-  route_offsets_.push_back(0);
+  // First pass: distinct fingers per node, CSR-compressed into temporaries.
+  std::vector<std::uint64_t> offsets;
+  std::vector<std::uint64_t> progress_csr;
+  std::vector<NodeIndex> targets_csr;
+  offsets.reserve(n + 1);
+  offsets.push_back(0);
   std::vector<std::pair<std::uint64_t, NodeIndex>> row;
   row.reserve(static_cast<std::size_t>(d));
+  std::uint64_t widest = 1;
   for (NodeIndex v = 0; v < n; ++v) {
     const sim::NodeId base = space.id_of(v);
     row.clear();
@@ -38,10 +45,50 @@ SparseChordOverlay::SparseChordOverlay(const SparseIdSpace& space)
               [](const auto& a, const auto& b) { return a.first > b.first; });
     row.erase(std::unique(row.begin(), row.end()), row.end());
     for (const auto& [progress, target] : row) {
-      route_progress_.push_back(progress);
-      route_targets_.push_back(target);
+      progress_csr.push_back(progress);
+      targets_csr.push_back(target);
     }
-    route_offsets_.push_back(route_progress_.size());
+    offsets.push_back(progress_csr.size());
+    widest = std::max<std::uint64_t>(widest, row.size());
+  }
+  // Second pass: repack into fixed-stride rows, padded with (0, kNoNode).
+  // Real entries always have progress > 0 (self-links were dropped above),
+  // so pads never look admissible and mark the end of a row.  Stride
+  // rounded to a whole number of 64-byte lines keeps rows line-aligned.
+  route_stride_ = static_cast<int>((widest + 7) & ~std::uint64_t{7});
+  const std::uint64_t stride = static_cast<std::uint64_t>(route_stride_);
+  route_lens_.resize(n);
+  for (NodeIndex v = 0; v < n; ++v) {
+    route_lens_[v] = static_cast<std::uint8_t>(offsets[v + 1] - offsets[v]);
+  }
+  if (d <= 32) {
+    // Packed shape: (progress << 32) | target per entry; pad is
+    // (0 << 32) | kNoNode, below every admissibility key.
+    common::reserve_hugepages(route_packed_, n * stride);
+    route_packed_.assign(n * stride, std::uint64_t{kNoNode});
+    for (NodeIndex v = 0; v < n; ++v) {
+      const std::uint64_t lo = offsets[v];
+      const std::uint64_t len = offsets[v + 1] - lo;
+      for (std::uint64_t e = 0; e < len; ++e) {
+        route_packed_[v * stride + e] =
+            (progress_csr[lo + e] << 32) | targets_csr[lo + e];
+      }
+    }
+  } else {
+    common::reserve_hugepages(route_progress_, n * stride);
+    common::reserve_hugepages(route_targets_, n * stride);
+    route_progress_.assign(n * stride, 0);
+    route_targets_.assign(n * stride, kNoNode);
+    for (NodeIndex v = 0; v < n; ++v) {
+      const std::uint64_t lo = offsets[v];
+      const std::uint64_t len = offsets[v + 1] - lo;
+      std::copy_n(
+          progress_csr.begin() + static_cast<std::ptrdiff_t>(lo), len,
+          route_progress_.begin() + static_cast<std::ptrdiff_t>(v * stride));
+      std::copy_n(
+          targets_csr.begin() + static_cast<std::ptrdiff_t>(lo), len,
+          route_targets_.begin() + static_cast<std::ptrdiff_t>(v * stride));
+    }
   }
 }
 

@@ -30,21 +30,39 @@ class SparseChordOverlay final : public SparseOverlay {
     return fingers_;
   }
 
-  /// CSR kernel layout: node v's *distinct* fingers (duplicates collapse
+  /// Kernel route layout: node v's *distinct* fingers (duplicates collapse
   /// onto the same few successors in sparse spaces; self-links dropped) in
-  /// [route_offsets()[v], route_offsets()[v+1]), sorted by decreasing
-  /// clockwise progress from v with the progress values precomputed.  The
-  /// flattened kernel skips overshooting entries and takes the first alive
-  /// one -- the same greedy choice as the full finger scan, in ~log2 N
-  /// contiguous reads instead of d random id lookups per hop.
-  const std::vector<std::uint64_t>& route_offsets() const noexcept {
-    return route_offsets_;
+  /// row v of fixed-stride row-major arrays, sorted by decreasing
+  /// clockwise progress from v with the progress values precomputed.  Rows
+  /// are padded to route_stride() entries with (progress 0, kNoNode) --
+  /// real entries always have progress > 0, so the pad is inert: it never
+  /// counts as admissible and terminates scans.  The fixed stride is what
+  /// lets the kernel compute a row's address from the node index alone (no
+  /// offsets load on the critical path) and prefetch the next hop's row a
+  /// whole batch turn ahead.
+  ///
+  /// Two storage shapes, selected by the key-space width:
+  ///  - bits <= 32 (route_packed() non-empty): each entry is one u64,
+  ///    (progress << 32) | target.  Admissibility is a single unsigned
+  ///    compare against (distance << 32) | 0xFFFFFFFF, and the count and
+  ///    take phases of a hop touch the SAME cache lines -- half the lines
+  ///    (and half the table bytes) of the two-array shape.
+  ///  - bits > 32 (route_packed() empty): parallel u64 progress and u32
+  ///    target arrays, as progress values no longer fit 32 bits.
+  int route_stride() const noexcept { return route_stride_; }
+  const std::vector<std::uint64_t>& route_packed() const noexcept {
+    return route_packed_;
   }
   const std::vector<std::uint64_t>& route_progress() const noexcept {
     return route_progress_;
   }
   const std::vector<NodeIndex>& route_targets() const noexcept {
     return route_targets_;
+  }
+  /// Real (unpadded) entries in each row; N bytes, so the kernels' length
+  /// lookups stay cache-resident.
+  const std::vector<std::uint8_t>& route_lens() const noexcept {
+    return route_lens_;
   }
 
   std::optional<NodeIndex> next_hop(
@@ -55,10 +73,13 @@ class SparseChordOverlay final : public SparseOverlay {
   const SparseIdSpace* space_;
   // Row-major [node][i-1] finger node indices.
   std::vector<NodeIndex> fingers_;
-  // CSR rows of (progress, target) pairs, per node, progress descending.
-  std::vector<std::uint64_t> route_offsets_;
+  // Fixed-stride padded rows of (progress, target), progress descending:
+  // packed single-u64 entries when bits <= 32, parallel arrays otherwise.
+  int route_stride_ = 0;
+  std::vector<std::uint64_t> route_packed_;
   std::vector<std::uint64_t> route_progress_;
   std::vector<NodeIndex> route_targets_;
+  std::vector<std::uint8_t> route_lens_;
 };
 
 }  // namespace dht::sparse

@@ -30,9 +30,12 @@ class SparseFailure {
   std::uint64_t alive_count() const noexcept { return alive_ids_.size(); }
   std::uint64_t node_count() const noexcept { return alive_.size(); }
 
-  /// Uniformly samples an alive node index with a single rng draw.
-  /// Precondition: alive_count() > 0.
-  NodeIndex sample_alive(math::Rng& rng) const {
+  /// Uniformly samples an alive node index with a single rng draw.  Works
+  /// with any generator exposing uniform_below (math::Rng for the
+  /// sequential engines, math::CounterRng for the per-lane streams of the
+  /// batched estimator).  Precondition: alive_count() > 0.
+  template <typename Generator>
+  NodeIndex sample_alive(Generator& rng) const {
     DHT_CHECK(!alive_ids_.empty(), "no alive node to sample");
     return alive_ids_[rng.uniform_below(alive_ids_.size())];
   }

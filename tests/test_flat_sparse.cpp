@@ -286,6 +286,155 @@ TEST(FlatSparse, KBucketCellsAreDistinctAndKOneIsTheSingleContactLayout) {
   EXPECT_GT(est_wide.routability(), est_single.routability() + 0.03);
 }
 
+// Routes one (source, target) pair through the struct-of-arrays batch
+// kernels -- lane 0 active, the rest parked -- until the lane terminates,
+// mirroring the engine driver's retire logic.  The batch kernels must be
+// pure restructurings of the scalar steppers, so the outcome and hop count
+// must match route_sparse_* exactly.
+flat::SparseRouteResult route_one_batched(const flat::FlatSparseCtx& c,
+                                          NodeIndex source, NodeIndex target,
+                                          std::uint64_t max_hops) {
+  flat::RouteBatch b{};
+  for (int l = 0; l < flat::RouteBatch::kLanes; ++l) {
+    b.active[l] = 0;
+  }
+  b.cur[0] = source;
+  b.target[0] = target;
+  b.target_id[0] = c.ids[target];
+  b.dist[0] = (b.target_id[0] - c.ids[source]) & c.key_mask;
+  b.hops[0] = 0;
+  b.active[0] = 1;
+  while (true) {
+    switch (c.kind) {
+      case flat::SparseKernelKind::kChord:
+        flat::step_batch_chord(c, b);
+        break;
+      case flat::SparseKernelKind::kKademlia:
+        flat::step_batch_kademlia(c, b);
+        break;
+      default:
+        flat::step_batch_symphony(c, b);
+        break;
+    }
+    if (b.cur[0] == kNoNode) {
+      return {flat::SparseRouteStatus::kDropped,
+              static_cast<int>(b.hops[0])};
+    }
+    if (b.cur[0] == b.target[0]) {
+      return {flat::SparseRouteStatus::kArrived,
+              static_cast<int>(b.hops[0])};
+    }
+    if (b.hops[0] >= max_hops) {
+      return {flat::SparseRouteStatus::kHopLimit,
+              static_cast<int>(b.hops[0])};
+    }
+  }
+}
+
+TEST(FlatSparse, BatchKernelsMatchScalarSteppersPerPair) {
+  // Every geometry, both liveness regimes: batch and scalar must agree on
+  // status and hop count for every pair.
+  for (const std::string name : {"chord", "kademlia", "symphony"}) {
+    for (double q : {0.0, 0.3}) {
+      const auto inst = make_instance(name, 22, 3000, 501);
+      math::Rng fail_rng(502);
+      const SparseFailure failures(*inst.space, q, fail_rng);
+      const auto ctx =
+          flat::make_sparse_ctx(*inst.overlay, failures, 0, true);
+      ASSERT_NE(ctx.kind, flat::SparseKernelKind::kGeneric) << name;
+      if (ctx.kind == flat::SparseKernelKind::kChord) {
+        ASSERT_NE(ctx.packed, nullptr) << "bits <= 32 must use packed rows";
+      }
+      const std::uint64_t max_hops = inst.space->node_count();
+      math::Rng pair_rng(503);
+      for (int i = 0; i < 1500; ++i) {
+        const NodeIndex source = failures.sample_alive(pair_rng);
+        const NodeIndex target = failures.sample_alive(pair_rng);
+        if (target == source) {
+          continue;
+        }
+        flat::SparseRouteResult scalar;
+        switch (ctx.kind) {
+          case flat::SparseKernelKind::kChord:
+            scalar = flat::route_sparse_chord(ctx, source, target);
+            break;
+          case flat::SparseKernelKind::kKademlia:
+            scalar = flat::route_sparse_kademlia(ctx, source, target);
+            break;
+          default:
+            scalar = flat::route_sparse_symphony(ctx, source, target);
+            break;
+        }
+        const auto batched = route_one_batched(ctx, source, target, max_hops);
+        ASSERT_EQ(batched.status, scalar.status)
+            << name << " q=" << q << " source=" << source
+            << " target=" << target;
+        EXPECT_EQ(batched.hops, scalar.hops)
+            << name << " q=" << q << " source=" << source
+            << " target=" << target;
+      }
+    }
+  }
+}
+
+TEST(FlatSparse, WideChordBatchKernelMatchesScalar) {
+  // bits > 32 selects the two-array chord shape (progress no longer fits
+  // the packed u64); the wide batch kernel must replicate the scalar
+  // stepper just like the packed one.
+  math::Rng rng(511);
+  const SparseIdSpace space(40, 4096, rng);
+  const SparseChordOverlay overlay(space);
+  ASSERT_TRUE(overlay.route_packed().empty());
+  ASSERT_FALSE(overlay.route_progress().empty());
+  math::Rng fail_rng(512);
+  const SparseFailure failures(space, 0.25, fail_rng);
+  const auto ctx = flat::make_sparse_ctx(overlay, failures, 0, true);
+  ASSERT_EQ(ctx.kind, flat::SparseKernelKind::kChord);
+  ASSERT_EQ(ctx.packed, nullptr);
+  math::Rng pair_rng(513);
+  for (int i = 0; i < 1500; ++i) {
+    const NodeIndex source = failures.sample_alive(pair_rng);
+    const NodeIndex target = failures.sample_alive(pair_rng);
+    if (target == source) {
+      continue;
+    }
+    const auto scalar = flat::route_sparse_chord(ctx, source, target);
+    const auto batched =
+        route_one_batched(ctx, source, target, space.node_count());
+    ASSERT_EQ(batched.status, scalar.status)
+        << "source=" << source << " target=" << target;
+    EXPECT_EQ(batched.hops, scalar.hops)
+        << "source=" << source << " target=" << target;
+  }
+}
+
+TEST(FlatSparse, KBucketBatchKernelMatchesScalar) {
+  // The k > 1 bucket layout through the batched kernel: head-first cell
+  // probing must survive the phase split.
+  math::Rng rng(521);
+  const SparseIdSpace space(22, 3000, rng);
+  const SparseKademliaOverlay overlay(space, rng, /*k=*/3);
+  math::Rng fail_rng(522);
+  const SparseFailure failures(space, 0.4, fail_rng);
+  const auto ctx = flat::make_sparse_ctx(overlay, failures, 0, true);
+  ASSERT_EQ(ctx.bucket_k, 3);
+  math::Rng pair_rng(523);
+  for (int i = 0; i < 1500; ++i) {
+    const NodeIndex source = failures.sample_alive(pair_rng);
+    const NodeIndex target = failures.sample_alive(pair_rng);
+    if (target == source) {
+      continue;
+    }
+    const auto scalar = flat::route_sparse_kademlia(ctx, source, target);
+    const auto batched =
+        route_one_batched(ctx, source, target, space.node_count());
+    ASSERT_EQ(batched.status, scalar.status)
+        << "source=" << source << " target=" << target;
+    EXPECT_EQ(batched.hops, scalar.hops)
+        << "source=" << source << " target=" << target;
+  }
+}
+
 TEST(FlatSparse, WideKeySpaceRoutesAtSixtyThreeBits) {
   // The widened SparseIdSpace range: 2^16 nodes scattered in a 2^63 key
   // space must construct, route failure-free, and keep O(log N) hop counts
