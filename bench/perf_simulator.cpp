@@ -74,6 +74,22 @@
 // churn sections report routes/sec alongside shard-rounds/sec so route
 // throughput is comparable across sections.
 //
+// A fifth JSONL section ("section":"sparse_workload") drives the static
+// sparse engine under the heavy-traffic workload model: Zipf-popular
+// objects placed by consistent hashing, per-node load accounting, and the
+// per-shard finger-path cache, each configuration with caching off and on:
+//
+//   {"bench":"perf_simulator","section":"sparse_workload",
+//    "geometry":"sparse-ring","threads":8,"n":16384,"bits":32,"q":0.1,
+//    "pairs":200000,"zipf":1.10,"objects":16384,"cache_entries":8,
+//    "seed":1,"seconds":0.04,"routes_per_sec":5000000.0,
+//    "cache_hit_rate":0.31,"mean_hops":5.1,"load_max":941,"load_p99":210.0,
+//    "load_cv":1.52,"routability":0.95,"identical_across_threads":true}
+//
+// and the sparse_churn section adds a third replicated-GET mode
+// (replicas = 3, Zipf GETs on the ring) whose rows carry availability and
+// per-slot load columns alongside routability.
+//
 // Flags: --bits D (16)  --q Q (0.1)  --pairs P (200000)  --seed S (1)
 //        --threads a,b,c (1,2,4,8)  --geometry NAME|all (ring,xor,hypercube)
 //        --pin 0|1 (0: pin workers round-robin across NUMA nodes and
@@ -81,12 +97,21 @@
 //        on machines without pinning support, and never affects results)
 //        --churn-bits D (12)  --churn-rounds R (4, 0 disables the section)
 //        --sparse-bits D (32)  --sparse-n-max N (1048576, 0 disables the
-//        section; the grid is 2^14, 2^17, 2^20 clipped to N)
+//        sparse AND sparse_workload sections; the grid is 2^14, 2^17, 2^20
+//        clipped to N)
 //        --sparse-churn-n N (65536, stationary population; 0 disables)
 //        --sparse-churn-rounds R (3, measured rounds; 0 disables)
 //        --pd PD --pr PR --refresh R (0.02, 0.08, 10: the lifecycle of the
-//        churn and sparse-churn sections; validated at the flag boundary)
+//        churn and sparse-churn sections)
+//        --zipf S (1.1, object-popularity skew of the workload sections)
+//        --workload-objects M (0 = one per alive node)
+//        --cache-entries E (8, per-node path-cache slots; the workload
+//        section also always measures the E = 0 baseline)
+//        --replicas R (3, successor-list replication of the GET mode)
+//        All flags are validated here at the parse boundary -- a bad value
+//        gets a one-line diagnostic instead of a deep engine abort.
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -134,6 +159,12 @@ struct Config {
   double pd = 0.02;
   double pr = 0.08;
   int refresh = 10;
+  // Heavy-traffic workload knobs (sparse_workload section + the replicated
+  // sparse-churn mode).
+  double zipf = 1.1;
+  std::uint64_t workload_objects = 0;  // 0 = one object per alive node
+  int cache_entries = 8;
+  int replicas = 3;
   // Topology-aware scheduling: pin workers round-robin across NUMA nodes
   // and give each socket its own read-only copy of the sparse tables.
   // Scheduling only -- estimates are bit-identical either way.
@@ -157,6 +188,20 @@ std::vector<unsigned> parse_thread_list(const char* arg) {
   return out;
 }
 
+// Strict non-negative integer parse for u64-valued flags.  strtoull alone
+// would silently wrap "-1" to 2^64-1 and accept trailing garbage; both used
+// to sail through here and abort much later inside an engine DHT_CHECK.
+std::uint64_t parse_u64_flag(const char* flag, const char* value) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(value, &end, 10);
+  if (value[0] == '-' || end == value || *end != '\0') {
+    std::fprintf(stderr, "%s needs a non-negative integer, got %s\n", flag,
+                 value);
+    std::exit(1);
+  }
+  return v;
+}
+
 Config parse_args(int argc, char** argv) {
   Config cfg;
   for (int i = 1; i < argc; i += 2) {
@@ -168,12 +213,24 @@ Config parse_args(int argc, char** argv) {
     const char* value = argv[i + 1];
     if (flag == "--bits") {
       cfg.bits = std::atoi(value);
+      if (cfg.bits < 1 || cfg.bits > 26) {
+        std::fprintf(stderr, "--bits must be in [1, 26], got %s\n", value);
+        std::exit(1);
+      }
     } else if (flag == "--q") {
       cfg.q = std::atof(value);
+      if (!(cfg.q >= 0.0 && cfg.q < 1.0)) {
+        std::fprintf(stderr, "--q must be in [0, 1), got %s\n", value);
+        std::exit(1);
+      }
     } else if (flag == "--pairs") {
-      cfg.pairs = std::strtoull(value, nullptr, 10);
+      cfg.pairs = parse_u64_flag("--pairs", value);
+      if (cfg.pairs == 0) {
+        std::fprintf(stderr, "--pairs must be >= 1, got %s\n", value);
+        std::exit(1);
+      }
     } else if (flag == "--seed") {
-      cfg.seed = std::strtoull(value, nullptr, 10);
+      cfg.seed = parse_u64_flag("--seed", value);
     } else if (flag == "--threads") {
       cfg.threads = parse_thread_list(value);
       if (cfg.threads.empty()) {
@@ -183,16 +240,73 @@ Config parse_args(int argc, char** argv) {
       }
     } else if (flag == "--churn-bits") {
       cfg.churn_bits = std::atoi(value);
+      if (cfg.churn_bits < 1 || cfg.churn_bits > 26) {
+        std::fprintf(stderr, "--churn-bits must be in [1, 26], got %s\n",
+                     value);
+        std::exit(1);
+      }
     } else if (flag == "--churn-rounds") {
       cfg.churn_rounds = std::atoi(value);
+      if (cfg.churn_rounds < 0) {
+        std::fprintf(stderr,
+                     "--churn-rounds must be >= 0 (0 disables), got %s\n",
+                     value);
+        std::exit(1);
+      }
     } else if (flag == "--sparse-bits") {
       cfg.sparse_bits = std::atoi(value);
+      if (cfg.sparse_bits < 1 || cfg.sparse_bits > 63) {
+        std::fprintf(stderr, "--sparse-bits must be in [1, 63], got %s\n",
+                     value);
+        std::exit(1);
+      }
     } else if (flag == "--sparse-n-max") {
-      cfg.sparse_n_max = std::strtoull(value, nullptr, 10);
+      cfg.sparse_n_max = parse_u64_flag("--sparse-n-max", value);
     } else if (flag == "--sparse-churn-n") {
-      cfg.sparse_churn_n = std::strtoull(value, nullptr, 10);
+      cfg.sparse_churn_n = parse_u64_flag("--sparse-churn-n", value);
+      if (cfg.sparse_churn_n > (std::uint64_t{1} << 24)) {
+        std::fprintf(stderr,
+                     "--sparse-churn-n must be <= 2^24 (the slot roster "
+                     "needs capacity headroom under 2^26), got %s\n",
+                     value);
+        std::exit(1);
+      }
     } else if (flag == "--sparse-churn-rounds") {
       cfg.sparse_churn_rounds = std::atoi(value);
+      if (cfg.sparse_churn_rounds < 0) {
+        std::fprintf(
+            stderr, "--sparse-churn-rounds must be >= 0 (0 disables), got %s\n",
+            value);
+        std::exit(1);
+      }
+    } else if (flag == "--zipf") {
+      cfg.zipf = std::atof(value);
+      if (!(std::isfinite(cfg.zipf) && cfg.zipf >= 0.0)) {
+        std::fprintf(stderr, "--zipf must be a finite skew >= 0, got %s\n",
+                     value);
+        std::exit(1);
+      }
+    } else if (flag == "--workload-objects") {
+      cfg.workload_objects = parse_u64_flag("--workload-objects", value);
+      if (cfg.workload_objects > (std::uint64_t{1} << 26)) {
+        std::fprintf(stderr, "--workload-objects must be <= 2^26, got %s\n",
+                     value);
+        std::exit(1);
+      }
+    } else if (flag == "--cache-entries") {
+      cfg.cache_entries = std::atoi(value);
+      if (cfg.cache_entries < 0 || cfg.cache_entries > 1024) {
+        std::fprintf(stderr, "--cache-entries must be in [0, 1024], got %s\n",
+                     value);
+        std::exit(1);
+      }
+    } else if (flag == "--replicas") {
+      cfg.replicas = std::atoi(value);
+      if (cfg.replicas < 1 || cfg.replicas > 64) {
+        std::fprintf(stderr, "--replicas must be in [1, 64], got %s\n",
+                     value);
+        std::exit(1);
+      }
     } else if (flag == "--pd") {
       cfg.pd = std::atof(value);
       if (!(cfg.pd > 0.0 && cfg.pd < 1.0)) {
@@ -359,6 +473,96 @@ bool run_sparse_section(const Config& cfg) {
   return all_identical;
 }
 
+void emit_sparse_workload(const Config& cfg, unsigned threads,
+                          std::uint64_t n, std::uint64_t objects,
+                          int cache_entries, double seconds,
+                          const sparse::SparseWorkloadReport& report,
+                          bool identical) {
+  std::printf(
+      "{\"bench\":\"perf_simulator\",\"section\":\"sparse_workload\","
+      "\"geometry\":\"sparse-ring\",\"threads\":%u,\"sockets\":%u,"
+      "\"pinned\":%s,\"n\":%llu,\"bits\":%d,\"q\":%.6f,\"pairs\":%llu,"
+      "\"zipf\":%.2f,\"objects\":%llu,\"cache_entries\":%d,\"seed\":%llu,"
+      "\"seconds\":%.6f,\"routes_per_sec\":%.1f,\"cache_hit_rate\":%.6f,"
+      "\"mean_hops\":%.3f,\"load_max\":%llu,\"load_p99\":%llu,"
+      "\"load_cv\":%.6f,\"routability\":%.6f,"
+      "\"identical_across_threads\":%s}\n",
+      threads, sim::topology().nodes(), cfg.pin ? "true" : "false",
+      static_cast<unsigned long long>(n), cfg.sparse_bits, cfg.q,
+      static_cast<unsigned long long>(cfg.pairs), cfg.zipf,
+      static_cast<unsigned long long>(objects), cache_entries,
+      static_cast<unsigned long long>(cfg.seed), seconds,
+      static_cast<double>(cfg.pairs) / seconds,
+      report.estimate.cache_hit_rate(), report.estimate.mean_hops(),
+      static_cast<unsigned long long>(report.load.max),
+      static_cast<unsigned long long>(report.load.p99), report.load.cv,
+      report.estimate.routability(), identical ? "true" : "false");
+}
+
+/// Runs the heavy-traffic workload sweep on the sparse ring: Zipf-popular
+/// GET targets, per-node load accounting, and the finger-path cache, each
+/// grid point measured with caching off (the baseline) and on.  Returns
+/// false when an estimate OR a load summary differed across thread counts.
+bool run_sparse_workload_section(const Config& cfg) {
+  bool all_identical = true;
+  std::vector<std::uint64_t> grid;
+  for (const std::uint64_t n :
+       {std::uint64_t{1} << 14, std::uint64_t{1} << 17}) {
+    if (n <= cfg.sparse_n_max &&
+        n <= (std::uint64_t{1} << std::min(cfg.sparse_bits, 26))) {
+      grid.push_back(n);
+    }
+  }
+  std::vector<int> cache_sweep = {0};
+  if (cfg.cache_entries > 0) {
+    cache_sweep.push_back(cfg.cache_entries);
+  }
+  for (const std::uint64_t n : grid) {
+    math::Rng space_rng(cfg.seed + 10);
+    const sparse::SparseIdSpace space(cfg.sparse_bits, n, space_rng);
+    const sparse::SparseChordOverlay overlay(space);
+    math::Rng fail_rng(cfg.seed + 11);
+    const sparse::SparseFailure failures(space, cfg.q, fail_rng);
+    const math::Rng engine_rng(cfg.seed + 13);
+    for (const int cache_entries : cache_sweep) {
+      bool have_reference = false;
+      sparse::SparseWorkloadReport reference;
+      for (unsigned threads : cfg.threads) {
+        sparse::SparseParallelOptions options{
+            .pairs = cfg.pairs,
+            .threads = threads,
+            // Fixed shard count: results are a function of (seed, shards),
+            // and per-shard caches warm with the shard's draw stream.
+            .shards = 64,
+            .pin_workers = cfg.pin,
+            .numa_replicate_tables = cfg.pin};
+        options.workload.zipf_s = cfg.zipf;
+        options.workload.objects = cfg.workload_objects;
+        options.workload.cache_entries = cache_entries;
+        options.workload.record_load = true;
+        const auto start = std::chrono::steady_clock::now();
+        const auto report = sparse::estimate_workload_parallel(
+            overlay, failures, options, engine_rng);
+        const double seconds = seconds_since(start);
+        const bool identical = !have_reference ||
+                               (reference.estimate == report.estimate &&
+                                reference.load == report.load);
+        if (!have_reference) {
+          reference = report;
+          have_reference = true;
+        }
+        all_identical = all_identical && identical;
+        const std::uint64_t objects =
+            cfg.workload_objects != 0 ? cfg.workload_objects
+                                      : failures.alive_count();
+        emit_sparse_workload(cfg, threads, n, objects, cache_entries, seconds,
+                             report, identical);
+      }
+    }
+  }
+  return all_identical;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -480,6 +684,10 @@ int main(int argc, char** argv) {
   // engine across an N grid up to 10^6 nodes in a 2^sparse_bits key space.
   if (cfg.sparse_n_max > 0) {
     all_identical = run_sparse_section(cfg) && all_identical;
+    // Heavy-traffic workload sweep on the same spaces: Zipf GETs, per-node
+    // load, path caching off/on; estimates AND load summaries are
+    // determinism-gated.
+    all_identical = run_sparse_workload_section(cfg) && all_identical;
   }
 
   // Sparse-churn section: dynamic membership (joins drawing fresh ids,
@@ -490,22 +698,28 @@ int main(int argc, char** argv) {
     const churn::ChurnParams params{.death_per_round = cfg.pd,
                                     .rebirth_per_round = cfg.pr,
                                     .refresh_interval = cfg.refresh};
-    // Two determinism-gated configurations: the round-synchronous
-    // single-contact geometric baseline, and the full dynamic realism
-    // stack (in-flight measurement, k = 4 buckets, heavy-tailed Pareto
-    // sessions) -- Kademlia for the latter so the bucket machinery is on
-    // the measured path.
+    // Three determinism-gated configurations: the round-synchronous
+    // single-contact geometric baseline, the full dynamic realism stack
+    // (in-flight measurement, k = 4 buckets, heavy-tailed Pareto sessions)
+    // -- Kademlia for the latter so the bucket machinery is on the measured
+    // path -- and the heavy-traffic GET mode: Zipf-popular objects fetched
+    // from an r-way successor-list replica group, with per-slot load
+    // accounting, so availability-under-churn x replication is tracked.
     struct SparseChurnMode {
       churn::SparseChurnGeometry geometry;
       bool inflight;
       int bucket_k;
       churn::SessionKind session;
+      int replicas;
+      double zipf_s;
     };
     const SparseChurnMode modes[] = {
         {churn::SparseChurnGeometry::kChord, false, 1,
-         churn::SessionKind::kGeometric},
+         churn::SessionKind::kGeometric, 1, 0.0},
         {churn::SparseChurnGeometry::kKademlia, true, 4,
-         churn::SessionKind::kPareto},
+         churn::SessionKind::kPareto, 1, 0.0},
+        {churn::SparseChurnGeometry::kChord, false, 1,
+         churn::SessionKind::kGeometric, cfg.replicas, cfg.zipf},
     };
     for (const SparseChurnMode& mode : modes) {
       churn::SparseChurnConfig config{
@@ -517,6 +731,9 @@ int main(int argc, char** argv) {
       config.bucket_k = mode.bucket_k;
       config.session = churn::SessionModel{.kind = mode.session,
                                            .pareto_alpha = 2.0};
+      config.replicas = mode.replicas;
+      config.zipf_s = mode.zipf_s;
+      config.objects = cfg.workload_objects;
       churn::TrajectoryOptions base{
           .warmup_rounds = 12,
           .measured_rounds = cfg.sparse_churn_rounds,
@@ -539,6 +756,9 @@ int main(int argc, char** argv) {
         bool identical = true;
         if (have_reference) {
           identical = reference.overall == result.overall &&
+                      reference.load_max == result.load_max &&
+                      reference.load_p99 == result.load_p99 &&
+                      reference.load_cv == result.load_cv &&
                       reference.per_round.size() == result.per_round.size();
           for (std::size_t r = 0; identical && r < result.per_round.size();
                ++r) {
@@ -562,10 +782,13 @@ int main(int argc, char** argv) {
             "\"inflight\":%s,\"k\":%d,\"session\":\"%s\",\"shards\":%llu,"
             "\"warmup_rounds\":%d,\"rounds\":%d,\"pairs_per_round\":%llu,"
             "\"pd\":%.6f,\"pr\":%.6f,\"refresh\":%d,\"rho\":%.2f,"
-            "\"q_eff\":%.6f,\"q_nr\":%.6f,\"seed\":%llu,\"seconds\":%.6f,"
+            "\"q_eff\":%.6f,\"q_nr\":%.6f,\"replicas\":%d,\"zipf\":%.2f,"
+            "\"seed\":%llu,\"seconds\":%.6f,"
             "\"shard_rounds_per_sec\":%.1f,\"routes\":%llu,"
             "\"routes_per_sec\":%.1f,"
-            "\"routability\":%.6f,\"mean_population\":%.1f,"
+            "\"routability\":%.6f,\"availability\":%.6f,"
+            "\"load_max\":%llu,\"load_p99\":%.1f,\"load_cv\":%.6f,"
+            "\"mean_population\":%.1f,"
             "\"identical_across_threads\":%s}\n",
             churn::to_string(mode.geometry), threads, sim::topology().nodes(),
             cfg.pin ? "true" : "false",
@@ -578,10 +801,13 @@ int main(int argc, char** argv) {
             static_cast<unsigned long long>(base.pairs_per_round),
             params.death_per_round, params.rebirth_per_round,
             params.refresh_interval, base.repair_probability, q_eff, q_nr,
+            config.replicas, config.zipf_s,
             static_cast<unsigned long long>(cfg.seed), seconds,
             shard_rounds / seconds, routes,
             static_cast<double>(routes) / seconds,
-            result.overall.routability(), result.mean_population,
+            result.overall.routability(), result.overall.availability(),
+            static_cast<unsigned long long>(result.load_max), result.load_p99,
+            result.load_cv, result.mean_population,
             identical ? "true" : "false");
       }
     }

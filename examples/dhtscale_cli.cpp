@@ -9,11 +9,17 @@
 //                                     static-resilience measurement on the
 //                                     parallel deterministic engine
 //   sparse <geometry> <bits> <n> <q> [pairs] [seed] [--threads N]
-//         [--shards S]                N nodes scattered in a 2^bits key
+//         [--shards S] [--zipf S] [--objects M] [--cache E] [--load]
+//                                     N nodes scattered in a 2^bits key
 //                                     space (ring | xor | symphony) on the
 //                                     flattened sparse parallel engine, vs
 //                                     the density-reduction prediction at
-//                                     d' = log2 N
+//                                     d' = log2 N.  --zipf draws GET
+//                                     targets as the owners of Zipf-popular
+//                                     objects (--objects, default one per
+//                                     alive node), --cache adds E per-node
+//                                     path-cache slots, --load reports the
+//                                     per-node load distribution
 //   churn <geometry> <d> <pd> <pr> <R> [rounds] [pairs] [seed]
 //         [--threads N] [--shards S] [--rho RHO]
 //                                     sharded dynamic trajectories (xor |
@@ -22,7 +28,8 @@
 //   sparse-churn <geometry> <bits> <n0> <pd> <pr> <R> [rounds] [pairs]
 //         [seed] [--threads N] [--shards S] [--rho RHO] [--succ S]
 //         [--announce A] [--k K] [--inflight] [--session geometric|pareto]
-//         [--alpha A]                 dynamic membership: N0 stationary
+//         [--alpha A] [--replicas r] [--zipf S] [--objects M]
+//                                     dynamic membership: N0 stationary
 //                                     nodes in a 2^bits key space with
 //                                     joins/leaves, successor lists, join
 //                                     announcement, k-bucket Kademlia
@@ -31,7 +38,11 @@
 //                                     each route), and heavy-tailed
 //                                     sessions (--session pareto), vs the
 //                                     static dense model at d' = log2 N0
-//                                     and q_eff / generalized q_nr
+//                                     and q_eff / generalized q_nr.
+//                                     --replicas measures GET availability
+//                                     over an r-way successor replica
+//                                     group, --zipf skews GET popularity,
+//                                     and both report per-slot load
 //   latency <geometry> <d> <q>        chain-predicted hops of survivors
 //
 // Geometries: tree | hypercube | xor | ring | symphony.
@@ -78,13 +89,15 @@ int usage() {
       "  scalability [q]\n"
       "  simulate <geometry> <d> <q> [pairs] [seed] [--threads N]\n"
       "  sparse <geometry> <bits> <n> <q> [pairs] [seed] [--threads N]\n"
-      "         [--shards S]   (ring | xor | symphony; N nodes in 2^bits keys)\n"
+      "         [--shards S] [--zipf S] [--objects M] [--cache E] [--load]\n"
+      "                 (ring | xor | symphony; N nodes in 2^bits keys)\n"
       "  churn <geometry> <d> <pd> <pr> <R> [rounds] [pairs] [seed]\n"
       "        [--threads N] [--shards S] [--rho RHO]   (xor | tree | ring)\n"
       "  sparse-churn <geometry> <bits> <n0> <pd> <pr> <R> [rounds] [pairs]\n"
       "        [seed] [--threads N] [--shards S] [--rho RHO] [--succ S]\n"
       "        [--announce A] [--k K] [--inflight]\n"
       "        [--session geometric|pareto] [--alpha A]\n"
+      "        [--replicas r] [--zipf S] [--objects M]\n"
       "                 (ring | xor | symphony; dynamic membership)\n"
       "  latency <geometry> <d> <q>\n"
       "geometries: tree | hypercube | xor | ring | symphony\n";
@@ -256,7 +269,18 @@ int cmd_simulate(const std::string& name, int d, double q,
 
 int cmd_sparse(const std::string& name, int bits, std::uint64_t n, double q,
                std::uint64_t pairs, std::uint64_t seed, unsigned threads,
-               std::uint64_t shards) {
+               std::uint64_t shards, double zipf_s, std::uint64_t objects,
+               int cache_entries, bool record_load) {
+  if (!(std::isfinite(zipf_s) && zipf_s >= 0.0)) {
+    std::cerr << "sparse: --zipf must be a finite skew >= 0, got " << zipf_s
+              << "\n";
+    return 1;
+  }
+  if (cache_entries < 0) {
+    std::cerr << "sparse: --cache must be >= 0, got " << cache_entries
+              << "\n";
+    return 1;
+  }
   math::Rng rng(seed);
   const auto build_start = std::chrono::steady_clock::now();
   const sparse::SparseIdSpace space(bits, n, rng);
@@ -276,10 +300,16 @@ int cmd_sparse(const std::string& name, int bits, std::uint64_t n, double q,
                                     build_start)
           .count();
   const sparse::SparseFailure failures(space, q, rng);
+  sparse::SparseParallelOptions options{
+      .pairs = pairs, .threads = threads, .shards = shards};
+  options.workload.zipf_s = zipf_s;
+  options.workload.objects = objects;
+  options.workload.cache_entries = cache_entries;
+  options.workload.record_load = record_load;
   const auto start = std::chrono::steady_clock::now();
-  const auto estimate = sparse::estimate_routability_parallel(
-      *overlay, failures,
-      {.pairs = pairs, .threads = threads, .shards = shards}, rng);
+  const auto report = sparse::estimate_workload_parallel(*overlay, failures,
+                                                         options, rng);
+  const auto& estimate = report.estimate;
   const double seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
@@ -287,7 +317,30 @@ int cmd_sparse(const std::string& name, int bits, std::uint64_t n, double q,
       "sparse %s: N = %llu nodes in a 2^%d key space (density %.3e)\n",
       std::string(overlay->name()).c_str(), static_cast<unsigned long long>(n),
       bits, space.density());
+  if (zipf_s > 0.0) {
+    std::cout << strfmt(
+        "workload:              zipf s = %.2f over %llu objects\n", zipf_s,
+        static_cast<unsigned long long>(objects != 0 ? objects
+                                                     : failures.alive_count()));
+  }
   std::cout << strfmt("measured routability:  %.6f\n", estimate.routability());
+  if (cache_entries > 0) {
+    std::cout << strfmt(
+        "path cache:            %d slots/node, hit rate %.4f "
+        "(%llu/%llu probes)\n",
+        cache_entries, estimate.cache_hit_rate(),
+        static_cast<unsigned long long>(estimate.cache_hits),
+        static_cast<unsigned long long>(estimate.cache_probes));
+  }
+  if (record_load) {
+    std::cout << strfmt(
+        "per-node load:         max %llu, p99 %llu, mean %.2f, cv %.4f "
+        "(%llu forwards over %llu alive nodes)\n",
+        static_cast<unsigned long long>(report.load.max),
+        static_cast<unsigned long long>(report.load.p99), report.load.mean,
+        report.load.cv, static_cast<unsigned long long>(report.load.total),
+        static_cast<unsigned long long>(report.load.nodes));
+  }
   if (name != "symphony") {
     // The density reduction: the dense model evaluated at d' = log2 N.
     const auto geometry = core::make_geometry(name);
@@ -389,7 +442,8 @@ int cmd_sparse_churn(const std::string& name, int bits, std::uint64_t n0,
                      std::uint64_t pairs, std::uint64_t seed,
                      unsigned threads, std::uint64_t shards, double rho,
                      int succ, int announce, int bucket_k, bool inflight,
-                     const churn::SessionModel& session) {
+                     const churn::SessionModel& session, int replicas,
+                     double zipf_s, std::uint64_t objects) {
   churn::SparseChurnGeometry geometry;
   if (!churn::sparse_churn_geometry_from_name(name, geometry)) {
     std::cerr << "sparse-churn: geometry must be ring, xor, or symphony\n";
@@ -410,6 +464,16 @@ int cmd_sparse_churn(const std::string& name, int bits, std::uint64_t n0,
               << "got " << session.pareto_alpha << "\n";
     return 1;
   }
+  if (replicas < 1 || replicas > 64) {
+    std::cerr << "sparse-churn: --replicas must be in [1, 64], got "
+              << replicas << "\n";
+    return 1;
+  }
+  if (!(std::isfinite(zipf_s) && zipf_s >= 0.0)) {
+    std::cerr << "sparse-churn: --zipf must be a finite skew >= 0, got "
+              << zipf_s << "\n";
+    return 1;
+  }
   const churn::ChurnParams params{.death_per_round = pd,
                                   .rebirth_per_round = pr,
                                   .refresh_interval = refresh};
@@ -420,6 +484,9 @@ int cmd_sparse_churn(const std::string& name, int bits, std::uint64_t n0,
   config.announce = announce;
   config.bucket_k = bucket_k;
   config.session = session;
+  config.replicas = replicas;
+  config.zipf_s = zipf_s;
+  config.objects = objects;
   const churn::TrajectoryOptions options{.warmup_rounds = 3 * refresh + 30,
                                          .measured_rounds = rounds,
                                          .pairs_per_round = pairs,
@@ -461,6 +528,18 @@ int cmd_sparse_churn(const std::string& name, int bits, std::uint64_t n0,
       churn::effective_q_no_return(params, session));
   std::cout << strfmt("dynamic routability:   %.6f\n",
                       result.overall.routability());
+  if (replicas > 1 || zipf_s > 0.0) {
+    std::cout << strfmt(
+        "GET availability:      %.6f  (r = %d replicas, zipf s = %.2f, "
+        "%llu/%llu GETs served)\n",
+        result.overall.availability(), replicas, zipf_s,
+        static_cast<unsigned long long>(result.overall.gets_available),
+        static_cast<unsigned long long>(result.overall.gets));
+    std::cout << strfmt(
+        "per-slot load:         max %llu, p99 %.1f, cv %.4f\n",
+        static_cast<unsigned long long>(result.load_max), result.load_p99,
+        result.load_cv);
+  }
   if (name != "symphony") {
     // Both prior extensions composed: the dense model at the density-
     // reduction scale d' = log2 N0, evaluated at the churn bridge q_eff.
@@ -545,9 +624,14 @@ int main(int argc, char** argv) {
                           pairs, seed, threads);
     }
     if (command == "sparse" && argc >= 6) {
-      // Positional [pairs] [seed], then optional --threads / --shards.
+      // Positional [pairs] [seed], then optional --threads / --shards /
+      // workload flags.
       unsigned threads = 0;
       std::uint64_t shards = 0;
+      double zipf_s = 0.0;
+      std::uint64_t objects = 0;
+      int cache_entries = 0;
+      bool record_load = false;
       std::vector<std::string> positional;
       for (int i = 6; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -557,6 +641,17 @@ int main(int argc, char** argv) {
         } else if (arg == "--shards" && i + 1 < argc) {
           shards = std::strtoull(argv[i + 1], nullptr, 10);
           ++i;
+        } else if (arg == "--zipf" && i + 1 < argc) {
+          zipf_s = std::atof(argv[i + 1]);
+          ++i;
+        } else if (arg == "--objects" && i + 1 < argc) {
+          objects = std::strtoull(argv[i + 1], nullptr, 10);
+          ++i;
+        } else if (arg == "--cache" && i + 1 < argc) {
+          cache_entries = std::atoi(argv[i + 1]);
+          ++i;
+        } else if (arg == "--load") {
+          record_load = true;
         } else if (arg.rfind("--", 0) == 0) {
           std::cerr << "sparse: unknown flag " << arg << "\n";
           return usage();
@@ -573,7 +668,8 @@ int main(int argc, char** argv) {
               : 1;
       return cmd_sparse(argv[2], std::atoi(argv[3]),
                         std::strtoull(argv[4], nullptr, 10), std::atof(argv[5]),
-                        pairs, seed, threads, shards);
+                        pairs, seed, threads, shards, zipf_s, objects,
+                        cache_entries, record_load);
     }
     if (command == "churn" && argc >= 7) {
       // Positional [rounds] [pairs] [seed], then optional --threads /
@@ -624,6 +720,9 @@ int main(int argc, char** argv) {
       int bucket_k = 1;
       bool inflight = false;
       churn::SessionModel session;
+      int replicas = 1;
+      double zipf_s = 0.0;
+      std::uint64_t objects = 0;
       std::vector<std::string> positional;
       for (int i = 8; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -660,6 +759,15 @@ int main(int argc, char** argv) {
         } else if (arg == "--alpha" && i + 1 < argc) {
           session.pareto_alpha = std::atof(argv[i + 1]);
           ++i;
+        } else if (arg == "--replicas" && i + 1 < argc) {
+          replicas = std::atoi(argv[i + 1]);
+          ++i;
+        } else if (arg == "--zipf" && i + 1 < argc) {
+          zipf_s = std::atof(argv[i + 1]);
+          ++i;
+        } else if (arg == "--objects" && i + 1 < argc) {
+          objects = std::strtoull(argv[i + 1], nullptr, 10);
+          ++i;
         } else if (arg.rfind("--", 0) == 0) {
           std::cerr << "sparse-churn: unknown flag " << arg << "\n";
           return usage();
@@ -682,7 +790,8 @@ int main(int argc, char** argv) {
                               std::atof(argv[5]), std::atof(argv[6]),
                               std::atoi(argv[7]), rounds, pairs, seed,
                               threads, shards, rho, succ, announce,
-                              bucket_k, inflight, session);
+                              bucket_k, inflight, session, replicas, zipf_s,
+                              objects);
     }
     if (command == "latency" && argc == 5) {
       return cmd_latency(argv[2], std::atoi(argv[3]), std::atof(argv[4]));

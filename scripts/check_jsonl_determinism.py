@@ -4,15 +4,27 @@
 The parallel engines promise bit-identical *results* at any thread count;
 only scheduling-dependent fields (timings, throughputs, the thread count
 itself) may differ between a 2-thread and an 8-thread run.  This script
-pairs the two files line by line and fails on any difference outside the
-exempt set -- a routability or hop-statistic drift between thread counts is
-a determinism bug, full stop.
+pairs the two files row by row WITHIN each section and fails on any
+difference outside the exempt set -- a routability, hop-statistic, load or
+cache-rate drift between thread counts is a determinism bug, full stop.
+
+Rows are grouped by their "section" field (rows without one form the
+"static" section) before pairing.  A section present in only one file is
+reported as exactly that -- a configuration mismatch (a section disabled by
+flags such as --sparse-n-max 0 on one side), not as the off-by-hundreds
+row-count noise the old line-by-line pairing produced.
+
+Every numeric value outside the exempt set must also be finite: printf
+renders uninitialized or divided-by-zero doubles as bare nan/inf, which is
+both invalid JSON and a sign the engine emitted garbage, so it fails the
+check with the offending line named.
 
 Usage: check_jsonl_determinism.py A.jsonl B.jsonl
 Exit status: 0 identical (modulo exempt fields), 1 otherwise.
 """
 
 import json
+import math
 import sys
 
 # Scheduling-dependent by design; everything else must match exactly.
@@ -28,9 +40,40 @@ EXEMPT = {
 }
 
 
-def canonical(line):
-    row = json.loads(line)
-    return {k: v for k, v in row.items() if k not in EXEMPT}
+def load_sections(path):
+    """Parses one JSONL file into {section: [canonical rows]}, first-seen
+    section order preserved.  Canonical rows drop the exempt fields.  Exits
+    with a diagnostic on malformed JSON or non-finite numerics (the
+    load_cv/cache_hit_rate/availability columns are doubles and must never
+    be nan/inf)."""
+    sections = {}
+    with open(path) as f:
+        for lineno, line in enumerate(f, start=1):
+            if not line.strip():
+                continue
+            try:
+                row = json.loads(line)
+            except json.JSONDecodeError as err:
+                print(
+                    f"FAIL: {path}:{lineno} is not valid JSON ({err}); "
+                    "bare nan/inf from printf means the engine emitted a "
+                    "non-finite metric",
+                    file=sys.stderr,
+                )
+                sys.exit(1)
+            canonical = {k: v for k, v in row.items() if k not in EXEMPT}
+            for key, value in canonical.items():
+                if isinstance(value, float) and not math.isfinite(value):
+                    print(
+                        f"FAIL: {path}:{lineno} field {key!r} is "
+                        f"non-finite ({value})",
+                        file=sys.stderr,
+                    )
+                    sys.exit(1)
+            sections.setdefault(row.get("section", "static"), []).append(
+                canonical
+            )
+    return sections
 
 
 def main():
@@ -38,33 +81,67 @@ def main():
         print(__doc__, file=sys.stderr)
         return 1
     path_a, path_b = sys.argv[1], sys.argv[2]
-    with open(path_a) as fa, open(path_b) as fb:
-        lines_a = [l for l in fa if l.strip()]
-        lines_b = [l for l in fb if l.strip()]
-    if len(lines_a) != len(lines_b):
-        print(
-            f"FAIL: {path_a} has {len(lines_a)} rows, "
-            f"{path_b} has {len(lines_b)}",
-            file=sys.stderr,
-        )
-        return 1
-    failures = 0
-    for i, (a, b) in enumerate(zip(lines_a, lines_b), start=1):
-        ca, cb = canonical(a), canonical(b)
-        if ca != cb:
-            failures += 1
-            diff_keys = sorted(
-                k
-                for k in set(ca) | set(cb)
-                if ca.get(k) != cb.get(k)
+    sections_a = load_sections(path_a)
+    sections_b = load_sections(path_b)
+
+    # Differing section sets are a configuration mismatch (one run had a
+    # section disabled), not a determinism failure of the shared rows --
+    # but the comparison is meaningless, so diagnose and fail loudly.
+    only_a = [s for s in sections_a if s not in sections_b]
+    only_b = [s for s in sections_b if s not in sections_a]
+    if only_a or only_b:
+        for section in only_a:
+            print(
+                f"FAIL: section {section!r} appears only in {path_a}; the "
+                f"{path_b} run disabled it (flag mismatch, e.g. "
+                "--sparse-n-max 0 or --*-rounds 0)",
+                file=sys.stderr,
             )
-            print(f"FAIL: row {i} differs in {diff_keys}", file=sys.stderr)
-            print(f"  {path_a}: {ca}", file=sys.stderr)
-            print(f"  {path_b}: {cb}", file=sys.stderr)
-    if failures:
-        print(f"FAIL: {failures} row(s) differ", file=sys.stderr)
+        for section in only_b:
+            print(
+                f"FAIL: section {section!r} appears only in {path_b}; the "
+                f"{path_a} run disabled it (flag mismatch, e.g. "
+                "--sparse-n-max 0 or --*-rounds 0)",
+                file=sys.stderr,
+            )
         return 1
-    print(f"OK: {len(lines_a)} rows identical modulo scheduling fields")
+
+    failures = 0
+    total = 0
+    for section, rows_a in sections_a.items():
+        rows_b = sections_b[section]
+        if len(rows_a) != len(rows_b):
+            print(
+                f"FAIL: section {section!r} has {len(rows_a)} rows in "
+                f"{path_a} but {len(rows_b)} in {path_b} (different sweep "
+                "grids or thread lists?)",
+                file=sys.stderr,
+            )
+            failures += 1
+            continue
+        total += len(rows_a)
+        for i, (ca, cb) in enumerate(zip(rows_a, rows_b), start=1):
+            if ca != cb:
+                failures += 1
+                diff_keys = sorted(
+                    k
+                    for k in set(ca) | set(cb)
+                    if ca.get(k) != cb.get(k)
+                )
+                print(
+                    f"FAIL: section {section!r} row {i} differs in "
+                    f"{diff_keys}",
+                    file=sys.stderr,
+                )
+                print(f"  {path_a}: {ca}", file=sys.stderr)
+                print(f"  {path_b}: {cb}", file=sys.stderr)
+    if failures:
+        print(f"FAIL: {failures} mismatch(es)", file=sys.stderr)
+        return 1
+    print(
+        f"OK: {total} rows across {len(sections_a)} section(s) identical "
+        "modulo scheduling fields"
+    )
     return 0
 
 

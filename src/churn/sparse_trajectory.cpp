@@ -124,11 +124,22 @@ void check_config(const SparseChurnConfig& config,
   DHT_CHECK(config.successors >= 0, "successor-list length must be >= 0");
   DHT_CHECK(config.bucket_k >= 1 && config.bucket_k <= 64,
             "kademlia bucket width must be in [1, 64]");
+  DHT_CHECK(config.replicas >= 1 && config.replicas <= 64,
+            "replication factor must be in [1, 64]");
+  DHT_CHECK(std::isfinite(config.zipf_s) && config.zipf_s >= 0.0,
+            "workload zipf skew must be finite and >= 0");
+  DHT_CHECK(config.objects <= (std::uint64_t{1} << 26),
+            "workload object count exceeds the 2^26 population cap");
   if (geometry == SparseChurnGeometry::kSymphony) {
     DHT_CHECK(config.shortcuts >= 1,
               "symphony requires at least one shortcut");
   }
 }
+
+// Fixed object->key hash key, shared with the static workload engine so a
+// given object rank lands on the same key in both (placement is a property
+// of the key space, not of any run's seed).
+constexpr std::uint64_t kObjectKeySalt = 0xb10c9a3f0b173c75ULL;
 
 }  // namespace
 
@@ -194,13 +205,18 @@ SparseChurnWorld::SparseChurnWorld(SparseChurnGeometry geometry,
       table_rng_(rng.fork(2)),
       measure_rng_(rng.fork(3)),
       id_rng_(rng.fork(4)),
-      membership_(config.bits, config.capacity) {
+      membership_(config.bits, config.capacity),
+      object_keys_(kObjectKeySalt) {
   const double a = availability(params);  // validates the lifecycle rates
   DHT_CHECK(repair_probability >= 0.0 && repair_probability <= 1.0,
             "repair probability must be in [0, 1]");
   check_config(config, geometry);
   const std::uint64_t capacity = membership_.capacity();
   joined_at_.assign(capacity, 0);
+  load_.assign(capacity, 0);
+  if (workload_enabled()) {
+    zipf_.emplace(object_count(), config_.zipf_s);
+  }
   // Stationary membership: each slot present w.p. a, like the dense world's
   // stationary liveness -- the dense-limit oracle depends on the two
   // lifecycle processes being the same slot-level chain.  (The Pareto
@@ -630,34 +646,93 @@ sparse::SparseEstimate SparseChurnWorld::measure(std::uint64_t pairs,
       geometry_ == SparseChurnGeometry::kKademlia ? &step_xor
                                                   : &step_clockwise;
   const std::uint64_t capacity = membership_.capacity();
-  for (std::uint64_t i = 0; i < pairs; ++i) {
-    NodeSlot source = static_cast<NodeSlot>(rng.uniform_below(capacity));
-    while (!membership_.present(source)) {
-      source = static_cast<NodeSlot>(rng.uniform_below(capacity));
-    }
-    NodeSlot target = static_cast<NodeSlot>(rng.uniform_below(capacity));
-    while (!membership_.present(target) || target == source) {
-      target = static_cast<NodeSlot>(rng.uniform_below(capacity));
-    }
+  // Routes toward `target`; outcomes are recorded into `rec` when given
+  // (attempt 0 of a GET / the historical uniform route), and every forward
+  // bumps the holding slot's load counter -- rng-free, so the measurement
+  // stream is byte-for-byte the historical one.  Returns arrival.
+  const auto route_to = [&](NodeSlot source, NodeSlot target,
+                            sparse::SparseEstimate* rec) -> bool {
     const std::uint64_t target_id = membership_.id_of(target);
     NodeSlot cur = source;
     std::uint64_t hops = 0;
     for (;;) {
       if (cur == target) {
-        estimate.record_arrival(hops);
-        break;
+        if (rec != nullptr) {
+          rec->record_arrival(hops);
+        }
+        return true;
       }
       if (hops >= max_hops_) {
-        estimate.record_hop_limit();
-        break;
+        if (rec != nullptr) {
+          rec->record_hop_limit();
+        }
+        return false;
       }
+      ++load_[cur];
       const NodeSlot next = step(ctx, cur, target_id);
       if (next == kNoSlot) {
-        estimate.record_drop();
-        break;
+        if (rec != nullptr) {
+          rec->record_drop();
+        }
+        return false;
       }
       cur = next;
       ++hops;
+    }
+  };
+  if (!workload_enabled()) {
+    for (std::uint64_t i = 0; i < pairs; ++i) {
+      NodeSlot source = static_cast<NodeSlot>(rng.uniform_below(capacity));
+      while (!membership_.present(source)) {
+        source = static_cast<NodeSlot>(rng.uniform_below(capacity));
+      }
+      NodeSlot target = static_cast<NodeSlot>(rng.uniform_below(capacity));
+      while (!membership_.present(target) || target == source) {
+        target = static_cast<NodeSlot>(rng.uniform_below(capacity));
+      }
+      route_to(source, target, &estimate);
+    }
+    return estimate;
+  }
+  // Replicated GETs: the object's key places it on its successor (the
+  // primary, attempt 0 -- what the routing estimate records) and the next
+  // r - 1 clockwise present nodes hold the replicas, consulted only when
+  // the primary attempt fails.  Sources colliding with the primary redraw
+  // both draws, like the uniform path's target rejection.
+  for (std::uint64_t i = 0; i < pairs; ++i) {
+    NodeSlot source;
+    NodeSlot primary;
+    std::uint64_t position;
+    for (;;) {
+      source = static_cast<NodeSlot>(rng.uniform_below(capacity));
+      while (!membership_.present(source)) {
+        source = static_cast<NodeSlot>(rng.uniform_below(capacity));
+      }
+      const std::uint64_t object = zipf_->sample(rng);
+      position = membership_.successor_position(object_keys_.at(object) &
+                                                ctx.key_mask);
+      primary = membership_.ring_successor(position, 0);
+      if (primary != source) {
+        break;
+      }
+    }
+    ++estimate.gets;
+    bool available = route_to(source, primary, &estimate);
+    const auto attempts = static_cast<int>(std::min<std::uint64_t>(
+        static_cast<std::uint64_t>(config_.replicas),
+        membership_.order_size()));
+    for (int a = 1; a < attempts && !available; ++a) {
+      const NodeSlot holder =
+          membership_.ring_successor(position, static_cast<std::uint64_t>(a));
+      if (!membership_.present(holder)) {
+        continue;  // the replica departed with its holder
+      }
+      available = holder == source  // the source holds the replica itself
+                      ? true
+                      : route_to(source, holder, nullptr);
+    }
+    if (available) {
+      ++estimate.gets_available;
     }
   }
   return estimate;
@@ -705,22 +780,12 @@ sparse::SparseEstimate SparseChurnWorld::measure_inflight(
   NodeSlot (*step)(const ChurnKernelCtx&, NodeSlot, std::uint64_t) =
       geometry_ == SparseChurnGeometry::kKademlia ? &step_xor
                                                   : &step_clockwise;
-  for (std::uint64_t i = 0; i < pairs; ++i) {
-    // Joins become routable at lookup boundaries only: a node that
-    // arrived mid-route has not finished bootstrapping until the overlay
-    // absorbs it here (id draw, order-index commit, bootstrap, announce).
-    integrate_joiners(/*commit_always=*/false);
-    if (membership_.population() < 2) {
-      continue;  // nothing to sample this instant; the sweep still flushes
-    }
-    NodeSlot source = static_cast<NodeSlot>(rng.uniform_below(capacity));
-    while (!membership_.present(source)) {
-      source = static_cast<NodeSlot>(rng.uniform_below(capacity));
-    }
-    NodeSlot target = static_cast<NodeSlot>(rng.uniform_below(capacity));
-    while (!membership_.present(target) || target == source) {
-      target = static_cast<NodeSlot>(rng.uniform_below(capacity));
-    }
+  // In-flight route: the holder's departure drops the message (checked
+  // before arrival -- a route "arriving" at a slot that just left gets no
+  // reply), and the lifecycle sweep advances under every hop.  Forwards
+  // bump the holding slot's load counter, rng-free as in measure().
+  const auto route_to = [&](NodeSlot source, NodeSlot target,
+                            sparse::SparseEstimate* rec) -> bool {
     const std::uint64_t target_id = membership_.id_of(target);
     NodeSlot cur = source;
     std::uint64_t hops = 0;
@@ -728,27 +793,92 @@ sparse::SparseEstimate SparseChurnWorld::measure_inflight(
       if (!membership_.present(cur)) {
         // The node holding the message departed between hops -- the
         // mid-flight loss the round-synchronous mode cannot express.
-        // (Covers the target too: a route "arriving" at a slot that just
-        // left gets no reply.)
-        estimate.record_drop();
-        break;
+        if (rec != nullptr) {
+          rec->record_drop();
+        }
+        return false;
       }
       if (cur == target) {
-        estimate.record_arrival(hops);
-        break;
+        if (rec != nullptr) {
+          rec->record_arrival(hops);
+        }
+        return true;
       }
       if (hops >= max_hops_) {
-        estimate.record_hop_limit();
-        break;
+        if (rec != nullptr) {
+          rec->record_hop_limit();
+        }
+        return false;
       }
+      ++load_[cur];
       const NodeSlot next = step(ctx, cur, target_id);
       if (next == kNoSlot) {
-        estimate.record_drop();
-        break;
+        if (rec != nullptr) {
+          rec->record_drop();
+        }
+        return false;
       }
       cur = next;
       ++hops;
       advance_sweep(cursor, eph);  // the world moves under the lookup
+    }
+  };
+  const bool workload = workload_enabled();
+  for (std::uint64_t i = 0; i < pairs; ++i) {
+    // Joins become routable at lookup boundaries only: a node that
+    // arrived mid-route has not finished bootstrapping until the overlay
+    // absorbs it here (id draw, order-index commit, bootstrap, announce).
+    // A replicated GET is one lookup transaction: all its attempts run
+    // against the membership of its boundary.
+    integrate_joiners(/*commit_always=*/false);
+    if (membership_.population() < 2) {
+      continue;  // nothing to sample this instant; the sweep still flushes
+    }
+    if (!workload) {
+      NodeSlot source = static_cast<NodeSlot>(rng.uniform_below(capacity));
+      while (!membership_.present(source)) {
+        source = static_cast<NodeSlot>(rng.uniform_below(capacity));
+      }
+      NodeSlot target = static_cast<NodeSlot>(rng.uniform_below(capacity));
+      while (!membership_.present(target) || target == source) {
+        target = static_cast<NodeSlot>(rng.uniform_below(capacity));
+      }
+      route_to(source, target, &estimate);
+      continue;
+    }
+    NodeSlot source;
+    NodeSlot primary;
+    std::uint64_t position;
+    for (;;) {
+      source = static_cast<NodeSlot>(rng.uniform_below(capacity));
+      while (!membership_.present(source)) {
+        source = static_cast<NodeSlot>(rng.uniform_below(capacity));
+      }
+      const std::uint64_t object = zipf_->sample(rng);
+      position = membership_.successor_position(object_keys_.at(object) &
+                                                ctx.key_mask);
+      primary = membership_.ring_successor(position, 0);
+      if (primary != source) {
+        break;
+      }
+    }
+    ++estimate.gets;
+    bool available = route_to(source, primary, &estimate);
+    const auto attempts = static_cast<int>(std::min<std::uint64_t>(
+        static_cast<std::uint64_t>(config_.replicas),
+        membership_.order_size()));
+    for (int a = 1; a < attempts && !available; ++a) {
+      const NodeSlot holder =
+          membership_.ring_successor(position, static_cast<std::uint64_t>(a));
+      if (!membership_.present(holder)) {
+        continue;  // the replica departed with its holder
+      }
+      available = holder == source  // the source holds the replica itself
+                      ? true
+                      : route_to(source, holder, nullptr);
+    }
+    if (available) {
+      ++estimate.gets_available;
     }
   }
   // Flush the sweep remainder and close the round: exactly one full
@@ -762,6 +892,12 @@ sparse::SparseEstimate SparseChurnWorld::measure_inflight(
 sparse::SparseEstimate SparseChurnWorld::measure_inflight(
     std::uint64_t pairs, std::uint64_t events_per_hop) {
   return measure_inflight(pairs, events_per_hop, measure_rng_);
+}
+
+sim::LoadSummary SparseChurnWorld::load_summary() const {
+  return sim::summarize_load(load_, [this](std::size_t slot) {
+    return membership_.present(static_cast<NodeSlot>(slot));
+  });
 }
 
 double SparseChurnWorld::alive_fraction() const noexcept {
@@ -801,6 +937,7 @@ SparseChurnResult run_sparse_churn_trajectory(
   std::vector<double> population_sum(shards, 0.0);
   std::vector<double> alive_sum(shards, 0.0);
   std::vector<double> age_sum(shards, 0.0);
+  std::vector<sim::LoadSummary> shard_loads(shards);
 
   sim::run_sharded(
       shards,
@@ -836,6 +973,7 @@ SparseChurnResult run_sparse_churn_trajectory(
           alive_sum[s] += world.alive_fraction();
           age_sum[s] += world.mean_entry_age();
         }
+        shard_loads[s] = world.load_summary();
       });
 
   SparseChurnResult result;
@@ -865,6 +1003,18 @@ SparseChurnResult run_sparse_churn_trajectory(
       snapshots > 0.0 ? population_total / snapshots : 0.0;
   result.mean_alive_fraction = snapshots > 0.0 ? alive_total / snapshots : 0.0;
   result.mean_entry_age = snapshots > 0.0 ? age_total / snapshots : 0.0;
+  // Load reduction in shard order: the hottest slot of any world, and the
+  // shape statistics averaged over worlds (each shard is an independent
+  // trajectory; max commutes, so the result is thread-count-independent).
+  double p99_total = 0.0;
+  double cv_total = 0.0;
+  for (std::uint64_t s = 0; s < shards; ++s) {
+    result.load_max = std::max(result.load_max, shard_loads[s].max);
+    p99_total += static_cast<double>(shard_loads[s].p99);
+    cv_total += shard_loads[s].cv;
+  }
+  result.load_p99 = p99_total / static_cast<double>(shards);
+  result.load_cv = cv_total / static_cast<double>(shards);
   return result;
 }
 
@@ -899,6 +1049,9 @@ std::vector<SparseChurnSweepPoint> run_sparse_churn_sweep(
             config.shortcuts = spec.shortcuts;
             config.bucket_k = spec.bucket_k;
             config.session = spec.session;
+            config.replicas = spec.replicas;
+            config.zipf_s = spec.zipf_s;
+            config.objects = spec.objects;
             TrajectoryOptions options = spec.options;
             options.repair_probability = rho;
             SparseChurnSweepPoint point;

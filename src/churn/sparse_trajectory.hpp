@@ -54,12 +54,15 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string_view>
 #include <vector>
 
 #include "churn/membership.hpp"
 #include "churn/trajectory.hpp"
 #include "math/rng.hpp"
+#include "math/zipf.hpp"
+#include "sim/load_stats.hpp"
 #include "sparse/sparse_overlay.hpp"
 
 namespace dht::churn {
@@ -112,6 +115,19 @@ struct SparseChurnConfig {
   /// geometric (memoryless, the historical model) or heavy-tailed Pareto
   /// with the same mean session 1/pd.
   SessionModel session;
+  /// r-way object replication over the successor list: a GET succeeds when
+  /// ANY of the object key's first r clockwise present holders is reached
+  /// (attempt 0, toward the primary, is what the routing estimate records;
+  /// the extra attempts feed only the availability counters).  replicas = 1
+  /// together with zipf_s = 0 keeps the historical uniform-pair
+  /// measurement, bit for bit.
+  int replicas = 1;
+  /// Zipf skew of object popularity for the measured GETs (0 = uniform
+  /// over objects; only meaningful with the workload measurement engaged,
+  /// i.e. replicas > 1 or zipf_s > 0).
+  double zipf_s = 0.0;
+  /// Distinct objects (0 = one per roster slot).  Capped at 2^26.
+  std::uint64_t objects = 0;
 };
 
 /// The capacity whose stationary population is `population`:
@@ -188,7 +204,18 @@ class SparseChurnWorld {
 
   const SparseMembership& membership() const noexcept { return membership_; }
 
+  /// Digest of the per-slot forwarded-message counters over present slots
+  /// (accumulated by every measured route; rng-free, so recording never
+  /// perturbs the lifecycle/table/measure streams).
+  sim::LoadSummary load_summary() const;
+
  private:
+  bool workload_enabled() const noexcept {
+    return config_.replicas > 1 || config_.zipf_s > 0.0;
+  }
+  std::uint64_t object_count() const noexcept {
+    return config_.objects != 0 ? config_.objects : membership_.capacity();
+  }
   bool entry_valid(NodeSlot entry, std::uint32_t generation) const;
   void refresh_entry(NodeSlot slot, int index);
   void announce_join(NodeSlot slot);
@@ -235,6 +262,15 @@ class SparseChurnWorld {
   std::vector<std::int32_t> successors_refreshed_at_;
   // Scratch for step() (avoids per-round allocation).
   std::vector<NodeSlot> joiners_;
+  // Messages forwarded per slot across all measured routes (plain u64: the
+  // world is single-threaded; see sim/load_stats.hpp for the shapes).
+  std::vector<std::uint64_t> load_;
+  // Workload measurement state (engaged by replicas > 1 or zipf_s > 0):
+  // object popularity and the fixed object->key hash.  The key map is
+  // independent of the world's rng lineage, so object placement is a
+  // property of the key space alone.
+  std::optional<math::ZipfSampler> zipf_;
+  math::CounterRng object_keys_;
 };
 
 /// Result of a sharded sparse churn trajectory; the sparse counterpart of
@@ -251,6 +287,12 @@ struct SparseChurnResult {
   double mean_alive_fraction = 0.0;
   /// Mean table-entry age of present nodes, same averaging.
   double mean_entry_age = 0.0;
+  /// Per-node load digest of the measured routes: hottest slot across all
+  /// shard worlds, and p99 / coefficient-of-variation averaged over shards
+  /// in shard order (each shard world is an independent trajectory).
+  std::uint64_t load_max = 0;
+  double load_p99 = 0.0;
+  double load_cv = 0.0;
 };
 
 /// Runs the sharded sparse churn trajectory; reuses TrajectoryOptions
@@ -289,6 +331,11 @@ struct SparseChurnSweepSpec {
   /// Kademlia bucket width and session model, applied to every point.
   int bucket_k = 1;
   SessionModel session;
+  /// Replication factor, object-popularity skew, and object count,
+  /// applied to every point (SparseChurnConfig semantics).
+  int replicas = 1;
+  double zipf_s = 0.0;
+  std::uint64_t objects = 0;
   TrajectoryOptions options;
   std::uint64_t seed = 1;
 };

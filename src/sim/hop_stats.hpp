@@ -4,8 +4,12 @@
 // associative and commutative bit-for-bit, which is what makes the sharded
 // engines (parallel_monte_carlo.hpp, churn/trajectory.hpp, and the sparse
 // estimator in sparse/flat_sparse.hpp) reproducible independent of thread
-// count.  Sums are u64: routes are bounded by N - 1 < 2^26 hops, so
-// overflow needs > 2^38 recorded routes even at the worst-case hop count.
+// count.  count_ and sum_ are u64: routes are bounded by N - 1 < 2^26
+// hops, so the linear sum overflows only after > 2^38 worst-case routes.
+// The sum of SQUARES is the tight one -- each route contributes up to
+// (2^26)^2 = 2^52, so a u64 would wrap after only ~2^12 worst-case routes.
+// sum_sq_ is therefore unsigned __int128: overflow would need
+// count * 2^52 > 2^128, i.e. more routes than count_ itself can hold.
 #pragma once
 
 #include <cmath>
@@ -18,7 +22,7 @@ class HopStats {
   void add(std::uint64_t hops) noexcept {
     ++count_;
     sum_ += hops;
-    sum_sq_ += hops * hops;
+    sum_sq_ += static_cast<unsigned __int128>(hops) * hops;
     if (count_ == 1 || hops < min_) {
       min_ = hops;
     }
@@ -47,7 +51,7 @@ class HopStats {
 
   std::uint64_t count() const noexcept { return count_; }
   std::uint64_t sum() const noexcept { return sum_; }
-  std::uint64_t sum_squares() const noexcept { return sum_sq_; }
+  unsigned __int128 sum_squares() const noexcept { return sum_sq_; }
   std::uint64_t min() const noexcept { return min_; }
   std::uint64_t max() const noexcept { return max_; }
 
@@ -72,7 +76,7 @@ class HopStats {
  private:
   std::uint64_t count_ = 0;
   std::uint64_t sum_ = 0;
-  std::uint64_t sum_sq_ = 0;
+  unsigned __int128 sum_sq_ = 0;
   std::uint64_t min_ = 0;
   std::uint64_t max_ = 0;
 };

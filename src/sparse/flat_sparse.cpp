@@ -1,11 +1,14 @@
 #include "sparse/flat_sparse.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <optional>
 #include <thread>
 #include <vector>
 
 #include "common/check.hpp"
 #include "common/hugepage.hpp"
+#include "math/zipf.hpp"
 #include "sim/shard_pool.hpp"
 #include "sim/topology.hpp"
 #include "sparse/sparse_chord.hpp"
@@ -95,8 +98,19 @@ inline void record(SparseEstimate& estimate, SparseRouteStatus status,
 // route outcomes, identically for the flat kernels and the virtual path.
 //
 // A freshly refilled pair is never terminal (source != target, 0 hops <
-// max_hops >= 1), so one retire pass per turn suffices and a refilled lane
+// max_hops >= 1), so one settle pass per turn suffices and a refilled lane
 // steps in the same turn -- lanes never idle while pairs remain.
+//
+// Workload hooks, both no-ops in the default configuration: with a path
+// cache (c.cache != null), each settled lane probes its current node's
+// cache row before stepping -- a hit forwards straight to the cached
+// owner in one hop, a miss installs the mapping (the lookup's answer IS
+// the owner, so caching on the miss models response-path caching exactly).
+// With load recording (c.load != null), every forward -- one per active
+// lane per step, plus the cache-hit forward -- bumps the forwarding node's
+// counter.  Both hooks are rng-free, so the pair handout schedule (and
+// hence the draw streams) is untouched; with the hooks off the loop
+// retires, refills, and steps in byte-for-byte the historical order.
 template <typename PairSource, typename StepBatch>
 void drive_lanes(const FlatSparseCtx& c, PairSource& pair_source,
                  SparseEstimate& estimate, StepBatch step_batch) {
@@ -105,7 +119,8 @@ void drive_lanes(const FlatSparseCtx& c, PairSource& pair_source,
   const auto refill = [&](int l) {
     NodeIndex source;
     NodeIndex target;
-    if (!pair_source(l, source, target)) {
+    std::uint32_t rank;
+    if (!pair_source(l, source, target, rank)) {
       if (b.active[l]) {
         b.active[l] = 0;
         --active;
@@ -117,20 +132,43 @@ void drive_lanes(const FlatSparseCtx& c, PairSource& pair_source,
     b.target_id[l] = c.ids[target];
     b.dist[l] = (b.target_id[l] - c.ids[source]) & c.key_mask;
     b.hops[l] = 0;
+    b.rank[l] = rank;
     if (!b.active[l]) {
       b.active[l] = 1;
       ++active;
     }
   };
-  for (int l = 0; l < RouteBatch::kLanes; ++l) {
-    b.active[l] = 0;
-    refill(l);
-  }
-  while (active > 0) {
-    for (int l = 0; l < RouteBatch::kLanes; ++l) {
-      if (!b.active[l]) {
-        continue;
+  // Probes lane l's object in its current node's cache row.  True on a
+  // hit: the holder forwards straight to the cached owner (one hop, load
+  // accounted), and the settle loop re-checks the lane -- which then
+  // records the arrival.  The cached value always equals the object's
+  // owner (the lane's target), so a hit can never misroute.
+  const auto probe = [&](int l) -> bool {
+    if (c.cache == nullptr || b.rank[l] == kNoRank) {
+      return false;
+    }
+    const std::uint64_t entries =
+        static_cast<std::uint64_t>(c.cache_entries);
+    std::uint64_t& slot = c.cache[b.cur[l] * entries + b.rank[l] % entries];
+    ++estimate.cache_probes;
+    if (static_cast<std::uint32_t>(slot >> 32) == b.rank[l]) {
+      ++estimate.cache_hits;
+      if (c.load != nullptr) {
+        c.load[b.cur[l]].fetch_add(1, std::memory_order_relaxed);
       }
+      b.cur[l] = static_cast<NodeIndex>(slot);
+      b.hops[l] += 1;
+      return true;
+    }
+    slot = (static_cast<std::uint64_t>(b.rank[l]) << 32) | b.target[l];
+    return false;
+  };
+  // Retires and refills lane l until it is steppable (mid-route with a
+  // cache miss) or the pair source runs dry.  The batch kernels require
+  // every active lane to be strictly mid-route, so a cache-hit jump to the
+  // target must be resolved here, never handed to a kernel.
+  const auto settle = [&](int l) {
+    while (b.active[l]) {
       if (b.cur[l] == kNoNode) {
         record(estimate, SparseRouteStatus::kDropped,
                static_cast<int>(b.hops[l]));
@@ -143,12 +181,30 @@ void drive_lanes(const FlatSparseCtx& c, PairSource& pair_source,
         record(estimate, SparseRouteStatus::kHopLimit,
                static_cast<int>(b.hops[l]));
         refill(l);
+      } else if (!probe(l)) {
+        break;
       }
     }
-    if (active == 0) {
-      break;
+  };
+  for (int l = 0; l < RouteBatch::kLanes; ++l) {
+    b.active[l] = 0;
+    refill(l);
+    settle(l);
+  }
+  while (active > 0) {
+    if (c.load != nullptr) {
+      for (int l = 0; l < RouteBatch::kLanes; ++l) {
+        if (b.active[l]) {
+          c.load[b.cur[l]].fetch_add(1, std::memory_order_relaxed);
+        }
+      }
     }
     step_batch(c, b);
+    for (int l = 0; l < RouteBatch::kLanes; ++l) {
+      if (b.active[l]) {
+        settle(l);
+      }
+    }
   }
 }
 
@@ -169,10 +225,23 @@ void drive_lanes(const FlatSparseCtx& c, PairSource& pair_source,
 // the shared budget is spent at handout time, exactly as in the unbuffered
 // loop (each lane's final buffered draws simply go unused -- lane streams
 // are independent, so unused draws affect nothing).
+// When the workload model is engaged (tables != null), a draw samples the
+// source uniformly over alive nodes and the *object* by Zipf rank; the
+// target is the object's precomputed owner.  Owner collisions (source
+// already owns the object) redraw both, like the uniform path's
+// target-equals-source redraw -- the loop terminates because at least two
+// nodes are alive and the source is resampled each round.
+struct WorkloadTables {
+  const math::ZipfSampler* zipf = nullptr;
+  const NodeIndex* owner = nullptr;  // object rank -> owning alive node
+};
+
 struct LanePairSource {
   LanePairSource(const FlatSparseCtx& c, const SparseFailure& failures,
-                 const math::Rng& shard_rng, std::uint64_t pairs)
-      : ctx_(c), failures_(failures), remaining_(pairs) {
+                 const math::Rng& shard_rng, std::uint64_t pairs,
+                 const WorkloadTables* workload = nullptr)
+      : ctx_(c), failures_(failures), workload_(workload),
+        remaining_(pairs) {
     for (int l = 0; l < RouteBatch::kLanes; ++l) {
       streams_[l] = shard_rng.counter_stream(static_cast<std::uint64_t>(l));
       front_[l] = draw(l);
@@ -180,13 +249,15 @@ struct LanePairSource {
     }
   }
 
-  bool operator()(int lane, NodeIndex& source, NodeIndex& target) {
+  bool operator()(int lane, NodeIndex& source, NodeIndex& target,
+                  std::uint32_t& rank) {
     if (remaining_ == 0) {
       return false;
     }
     --remaining_;
     source = front_[lane].source;
     target = front_[lane].target;
+    rank = front_[lane].rank;
     front_[lane] = draw(lane);
     warm(front_[lane]);
     return true;
@@ -195,16 +266,27 @@ struct LanePairSource {
   struct Pair {
     NodeIndex source;
     NodeIndex target;
+    std::uint32_t rank;
   };
 
   Pair draw(int lane) {
     math::CounterRng& rng = streams_[lane];
-    const NodeIndex source = failures_.sample_alive(rng);
-    NodeIndex target = failures_.sample_alive(rng);
-    while (target == source) {
-      target = failures_.sample_alive(rng);
+    if (workload_ == nullptr) {
+      const NodeIndex source = failures_.sample_alive(rng);
+      NodeIndex target = failures_.sample_alive(rng);
+      while (target == source) {
+        target = failures_.sample_alive(rng);
+      }
+      return Pair{source, target, kNoRank};
     }
-    return Pair{source, target};
+    for (;;) {
+      const NodeIndex source = failures_.sample_alive(rng);
+      const std::uint64_t object = workload_->zipf->sample(rng);
+      const NodeIndex target = workload_->owner[object];
+      if (target != source) {
+        return Pair{source, target, static_cast<std::uint32_t>(object)};
+      }
+    }
   }
 
   // Warm everything the pair's refill and first hop will touch.
@@ -225,6 +307,7 @@ struct LanePairSource {
 
   const FlatSparseCtx& ctx_;
   const SparseFailure& failures_;
+  const WorkloadTables* workload_;
   math::CounterRng streams_[RouteBatch::kLanes];
   Pair front_[RouteBatch::kLanes];
   std::uint64_t remaining_;
@@ -233,12 +316,14 @@ struct LanePairSource {
 // Scripted pair source for the route_pairs_batched test hook: hands out a
 // fixed pair list in order, whichever lane asks.
 struct ListPairSource {
-  bool operator()(int /*lane*/, NodeIndex& source, NodeIndex& target) {
+  bool operator()(int /*lane*/, NodeIndex& source, NodeIndex& target,
+                  std::uint32_t& rank) {
     if (next == count) {
       return false;
     }
     source = pairs[next].first;
     target = pairs[next].second;
+    rank = kNoRank;
     ++next;
     return true;
   }
@@ -390,11 +475,59 @@ void route_pairs_batched(const FlatSparseCtx& c, const SparseOverlay& overlay,
 SparseEstimate estimate_routability_parallel(
     const SparseOverlay& overlay, const SparseFailure& failures,
     const SparseParallelOptions& options, const math::Rng& rng) {
+  return estimate_workload_parallel(overlay, failures, options, rng).estimate;
+}
+
+SparseWorkloadReport estimate_workload_parallel(
+    const SparseOverlay& overlay, const SparseFailure& failures,
+    const SparseParallelOptions& options, const math::Rng& rng) {
   DHT_CHECK(failures.alive_count() >= 2,
             "routability needs at least two alive nodes");
   DHT_CHECK(options.pairs > 0, "at least one pair must be sampled");
-  const flat::FlatSparseCtx ctx = flat::make_sparse_ctx(
+  const SparseWorkloadOptions& wl = options.workload;
+  DHT_CHECK(std::isfinite(wl.zipf_s) && wl.zipf_s >= 0.0,
+            "workload zipf skew must be finite and >= 0");
+  DHT_CHECK(wl.cache_entries >= 0, "cache entries must be >= 0");
+  DHT_CHECK(wl.objects <= (std::uint64_t{1} << 26),
+            "workload object count exceeds the 2^26 population cap");
+  flat::FlatSparseCtx ctx = flat::make_sparse_ctx(
       overlay, failures, options.max_hops, options.use_flat_kernels);
+
+  // Workload tables, built once and shared read-only by every shard.  The
+  // object->key map is a fixed keyed hash (independent of the caller seed,
+  // so the object placement is a property of the space alone); the owner
+  // is the key's successor, walked clockwise past dead nodes -- the
+  // consistent-hashing reassignment a real DHT performs on failure.
+  flat::WorkloadTables tables;
+  std::optional<math::ZipfSampler> zipf;
+  std::vector<NodeIndex> owner;
+  if (wl.enabled()) {
+    const std::uint64_t objects =
+        wl.objects != 0 ? wl.objects : failures.alive_count();
+    zipf.emplace(objects, wl.zipf_s);
+    const SparseIdSpace& space = overlay.space();
+    const math::CounterRng object_keys(0xb10c9a3f0b173c75ULL);
+    owner.resize(objects);
+    for (std::uint64_t o = 0; o < objects; ++o) {
+      NodeIndex holder =
+          space.successor_of_key(object_keys.at(o) & ctx.key_mask);
+      while (!failures.alive(holder)) {
+        holder = space.ring_step(holder, 1);
+      }
+      owner[o] = holder;
+    }
+    tables.zipf = &*zipf;
+    tables.owner = owner.data();
+    ctx.cache_entries = wl.cache_entries;
+  }
+
+  // One shared per-node load array: relaxed atomic adds commute, so the
+  // final counts are independent of thread interleaving (load_stats.hpp).
+  std::vector<std::atomic<std::uint64_t>> loads;
+  if (wl.record_load) {
+    loads = std::vector<std::atomic<std::uint64_t>>(ctx.n);
+    ctx.load = loads.data();
+  }
 
   // Optional per-socket copies of the read-only routing state; workers pick
   // the replica local to wherever they run.  Bit-identical either way.
@@ -421,23 +554,47 @@ SparseEstimate estimate_routability_parallel(
         // of the pair budget.
         const math::Rng shard_rng = rng.fork(s);
         const std::uint64_t pairs = base + (s < extra ? 1 : 0);
-        const flat::FlatSparseCtx& local =
+        flat::FlatSparseCtx local =
             replicas.empty()
                 ? ctx
                 : replicas[static_cast<std::size_t>(sim::current_numa_node()) %
                            replicas.size()]
                       .ctx;
-        flat::LanePairSource source(local, failures, shard_rng, pairs);
+        // Shard-private path cache (empty slots are all-ones): hits are a
+        // pure function of the shard's lane schedule, so the estimate
+        // stays bit-identical at any thread count.  Only ~thread-count
+        // caches are live at once, so the n * entries footprint never
+        // multiplies by the shard count.
+        std::vector<std::uint64_t> cache;
+        if (local.cache_entries > 0) {
+          cache.assign(local.n * static_cast<std::uint64_t>(
+                                     local.cache_entries),
+                       ~std::uint64_t{0});
+          local.cache = cache.data();
+        }
+        flat::LanePairSource source(local, failures, shard_rng, pairs,
+                                    tables.zipf != nullptr ? &tables
+                                                           : nullptr);
         SparseEstimate estimate;
         flat::run_lanes(local, overlay, failures, source, estimate);
         results[s] = estimate;
       });
 
-  SparseEstimate merged;
+  SparseWorkloadReport report;
   for (const SparseEstimate& shard : results) {
-    merged.merge(shard);
+    report.estimate.merge(shard);
   }
-  return merged;
+  if (wl.record_load) {
+    std::vector<std::uint64_t> counts(loads.size());
+    for (std::size_t i = 0; i < loads.size(); ++i) {
+      counts[i] = loads[i].load(std::memory_order_relaxed);
+    }
+    report.load = sim::summarize_load(
+        counts, [&](std::size_t i) {
+          return failures.alive(static_cast<NodeIndex>(i));
+        });
+  }
+  return report;
 }
 
 }  // namespace dht::sparse

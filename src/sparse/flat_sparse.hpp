@@ -18,6 +18,7 @@
 // merged in shard order, so results are bit-identical at any thread count.
 #pragma once
 
+#include <atomic>
 #include <bit>
 #include <cstdint>
 #include <memory>
@@ -25,6 +26,7 @@
 #include <vector>
 
 #include "math/rng.hpp"
+#include "sim/load_stats.hpp"
 #include "sparse/sparse_overlay.hpp"
 
 namespace dht::sparse {
@@ -80,7 +82,26 @@ struct FlatSparseCtx {
   // make_sparse_ctx for the flat kinds; null for kGeneric.
   const std::uint64_t* alive_bits = nullptr;
   std::shared_ptr<const std::vector<std::uint64_t>> alive_bits_owner;
+  // --- Workload layer (null/0 = off; the default path is untouched). ---
+  // Per-node forwarded-message counters, ONE array shared by every shard:
+  // relaxed atomic integer adds are commutative, so the final counts are
+  // independent of thread interleaving -- the same schedule-independence
+  // HopStats gets from ordered shard merges (see sim/load_stats.hpp for
+  // the overflow analysis).
+  std::atomic<std::uint64_t>* load = nullptr;
+  // Per-SHARD finger-path cache of popular objects: node v's row of
+  // `cache_entries` direct-mapped slots at cache[v * cache_entries ..],
+  // each slot one u64 (object rank << 32) | owner index, empty = ~0.
+  // Shard-private (set on a per-shard ctx copy) so the warm-up trajectory
+  // is a pure function of the shard's deterministic lane schedule --
+  // shared cache state would make hits depend on thread interleaving.
+  std::uint64_t* cache = nullptr;
+  int cache_entries = 0;
 };
+
+/// Lane rank sentinel: the route targets a uniformly drawn node, not a
+/// workload object -- cache probes are skipped.
+inline constexpr std::uint32_t kNoRank = 0xFFFFFFFFu;
 
 /// Packed-liveness probe (flat-kind contexts only).
 inline bool alive_bit(const FlatSparseCtx& c, NodeIndex i) {
@@ -318,6 +339,9 @@ struct RouteBatch {
   std::uint64_t dist[kLanes];
   std::uint32_t hops[kLanes];
   std::uint8_t active[kLanes];
+  // Workload object rank the lane is fetching (kNoRank for uniform pairs);
+  // read only by the driver's cache probes, never by the step kernels.
+  std::uint32_t rank[kLanes];
 };
 
 /// One Chord hop for every active lane.  Same algorithm as
@@ -565,6 +589,31 @@ void route_pairs_batched(const FlatSparseCtx& c, const SparseOverlay& overlay,
 
 }  // namespace flat
 
+/// Heavy-traffic workload knobs for the static sparse estimator.  With the
+/// object model engaged (zipf_s > 0 or cache_entries > 0), each sampled
+/// lookup draws an object by Zipf popularity and routes to the object's
+/// owner -- the first alive node clockwise of the object's key (consistent
+/// hashing) -- instead of a uniform alive node.  All draws come from the
+/// same per-lane CounterRng streams as the uniform path, so estimates stay
+/// bit-identical at any thread count.
+struct SparseWorkloadOptions {
+  /// Zipf skew of object popularity (0 = uniform over objects).
+  double zipf_s = 0.0;
+  /// Distinct objects (0 = one per alive node).  Capped at 2^26.
+  std::uint64_t objects = 0;
+  /// Per-node direct-mapped path-cache slots (0 = caching off).  A probe
+  /// hit forwards straight to the cached owner in one hop.
+  int cache_entries = 0;
+  /// Record messages forwarded per node (one shared atomic counter array;
+  /// see flat::FlatSparseCtx::load).  Works with or without the object
+  /// model.
+  bool record_load = false;
+
+  bool enabled() const noexcept {
+    return zipf_s > 0.0 || cache_entries > 0;
+  }
+};
+
 struct SparseParallelOptions {
   /// Number of ordered (source, target) pairs to sample.
   std::uint64_t pairs = 20000;
@@ -590,12 +639,27 @@ struct SparseParallelOptions {
   /// copies hold the same bytes), so this is purely a locality knob.  Off
   /// by default: the copies cost memory and only pay off multi-socket.
   bool numa_replicate_tables = false;
+  /// Heavy-traffic workload model (defaults fully off: the uniform-pair
+  /// engine below is byte-for-byte the historical one).
+  SparseWorkloadOptions workload;
 };
 
 /// Monte-Carlo estimate over sampled alive index pairs, sharded across
 /// threads.  `rng` is only fork()ed, never advanced.  Preconditions: at
 /// least two alive nodes, pairs > 0.
 SparseEstimate estimate_routability_parallel(
+    const SparseOverlay& overlay, const SparseFailure& failures,
+    const SparseParallelOptions& options, const math::Rng& rng);
+
+/// estimate_routability_parallel plus the workload layer's outputs: the
+/// routing estimate (cache counters included) and the per-node load
+/// summary over alive nodes (zeroed unless options.workload.record_load).
+struct SparseWorkloadReport {
+  SparseEstimate estimate;
+  sim::LoadSummary load;
+};
+
+SparseWorkloadReport estimate_workload_parallel(
     const SparseOverlay& overlay, const SparseFailure& failures,
     const SparseParallelOptions& options, const math::Rng& rng);
 

@@ -77,6 +77,13 @@ struct SparseEstimate {
   std::uint64_t attempts = 0;
   sim::HopStats hops;                ///< hop counts of successful routes
   std::uint64_t hop_limit_hits = 0;  ///< should stay 0; protocol-bug canary
+  // Workload-layer counters, all exact integers so merge/== extend to them
+  // unchanged.  Zero when the corresponding feature is off, keeping the
+  // historical estimates bit-compatible.
+  std::uint64_t cache_probes = 0;  ///< path-cache lookups (flat engine)
+  std::uint64_t cache_hits = 0;    ///< probes that short-circuited a route
+  std::uint64_t gets = 0;          ///< replicated GETs issued (churn engine)
+  std::uint64_t gets_available = 0;  ///< GETs that reached a live replica
 
   void record_arrival(std::uint64_t route_hops) noexcept {
     ++attempts;
@@ -93,6 +100,10 @@ struct SparseEstimate {
     attempts += other.attempts;
     hops.merge(other.hops);
     hop_limit_hits += other.hop_limit_hits;
+    cache_probes += other.cache_probes;
+    cache_hits += other.cache_hits;
+    gets += other.gets;
+    gets_available += other.gets_available;
   }
 
   /// Exact counter equality -- what the cross-thread determinism gates
@@ -108,6 +119,21 @@ struct SparseEstimate {
   }
   double failed_fraction() const noexcept { return 1.0 - routability(); }
   double mean_hops() const noexcept { return hops.mean(); }
+  /// Fraction of cache probes that hit (0 with caching off).
+  double cache_hit_rate() const noexcept {
+    return cache_probes == 0 ? 0.0
+                             : static_cast<double>(cache_hits) /
+                                   static_cast<double>(cache_probes);
+  }
+  /// Data availability of replicated GETs: a GET succeeds when ANY replica
+  /// attempt arrives, so availability >= routability.  Without replicated
+  /// sampling (gets == 0) a GET is exactly a route; fall back to
+  /// routability so the column stays meaningful in every mode.
+  double availability() const noexcept {
+    return gets == 0 ? routability()
+                     : static_cast<double>(gets_available) /
+                           static_cast<double>(gets);
+  }
 };
 
 SparseEstimate estimate_routability(const SparseOverlay& overlay,

@@ -1,0 +1,84 @@
+// Overflow regression for sim::HopStats (the satellite bugfix of the
+// heavy-traffic PR): sum_sq_ used to be u64, which wraps after only ~2^12
+// worst-case routes (each route contributes up to (2^26)^2 = 2^52 to the
+// sum of squares) -- far below the documented > 2^38 linear-sum bound.
+// The accumulator now carries unsigned __int128; these tests pin the exact
+// wide arithmetic and the merge semantics in the regime where a u64 would
+// have wrapped.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+
+#include "sim/hop_stats.hpp"
+
+namespace dht::sim {
+namespace {
+
+// The worst-case per-route hop count: populations are < 2^26 nodes and a
+// (cycle-free) route visits each at most once.
+constexpr std::uint64_t kWorstHops = (std::uint64_t{1} << 26) - 1;
+
+TEST(HopStats, SumOfSquaresSurvivesWorstCaseRoutes) {
+  // 5000 worst-case routes push the sum of squares past 2^64 (each adds
+  // ~2^52, and 5000 > 2^12); a u64 accumulator would have wrapped.
+  constexpr std::uint64_t kRoutes = 5000;
+  HopStats stats;
+  for (std::uint64_t i = 0; i < kRoutes; ++i) {
+    stats.add(kWorstHops);
+  }
+  const unsigned __int128 expected =
+      static_cast<unsigned __int128>(kRoutes) *
+      (static_cast<unsigned __int128>(kWorstHops) * kWorstHops);
+  EXPECT_EQ(stats.sum_squares(), expected);
+  EXPECT_GT(expected, static_cast<unsigned __int128>(
+                          std::numeric_limits<std::uint64_t>::max()));
+  EXPECT_EQ(stats.count(), kRoutes);
+  EXPECT_EQ(stats.sum(), kRoutes * kWorstHops);
+  // All samples equal: the variance must come out exactly zero.  With a
+  // wrapped sum of squares the centered term would be wildly negative
+  // (clamped) or positive garbage -- either way not this clean zero at
+  // this scale.
+  EXPECT_EQ(stats.variance(), 0.0);
+  EXPECT_EQ(stats.min(), kWorstHops);
+  EXPECT_EQ(stats.max(), kWorstHops);
+}
+
+TEST(HopStats, MergeIsExactPastU64SumOfSquares) {
+  // Merging two wrapped-regime halves must equal the single-pass
+  // accumulator bit for bit -- the property the sharded engines rely on.
+  HopStats whole;
+  HopStats left;
+  HopStats right;
+  for (std::uint64_t i = 0; i < 6000; ++i) {
+    const std::uint64_t hops = (i % 2 == 0) ? kWorstHops : kWorstHops - 7;
+    whole.add(hops);
+    (i < 3000 ? left : right).add(hops);
+  }
+  left.merge(right);
+  EXPECT_TRUE(left == whole);
+  EXPECT_EQ(left.sum_squares(), whole.sum_squares());
+}
+
+TEST(HopStats, VarianceMatchesClosedFormInWideRegime) {
+  // Two-point distribution at worst-case magnitudes: variance from the
+  // exact __int128 sums must match the closed form to double precision.
+  HopStats stats;
+  const std::uint64_t a = kWorstHops;
+  const std::uint64_t b = kWorstHops - 1000;
+  for (int i = 0; i < 4000; ++i) {
+    stats.add(i % 2 == 0 ? a : b);
+  }
+  const double delta = static_cast<double>(a - b);
+  // Unbiased sample variance of a balanced two-point sample:
+  // (delta/2)^2 * n / (n - 1).  The integer sums are exact, but variance()
+  // converts them to double and cancels two ~2^64 terms, so the result
+  // carries a relative error of order ulp(2^64)/centered ~ 1e-5 -- that is
+  // the honest precision at this magnitude, not a bug.
+  const double expected =
+      (delta / 2.0) * (delta / 2.0) * 4000.0 / 3999.0;
+  EXPECT_NEAR(stats.variance(), expected, expected * 1e-4);
+}
+
+}  // namespace
+}  // namespace dht::sim
