@@ -210,8 +210,12 @@ int main(int argc, char** argv) {
     const auto result = run_sparse_churn_trajectory(
         churn::SparseChurnGeometry::kKademlia, config, live_params, options,
         math::Rng(live_seed));
+    // Sync rows route through the 8-lane batch kernels (the engine
+    // default, bit-identical to scalar); in-flight rows are inherently
+    // scalar -- the lifecycle sweep advances under every hop.
     live.add_row({strfmt("%d", row.k), churn::to_string(row.session),
-                  row.inflight ? "in-flight" : "synchronous",
+                  row.inflight ? "in-flight (scalar)"
+                               : "synchronous (batched)",
                   strfmt("%.4f",
                          churn::effective_q_no_return(live_params,
                                                       config.session)),

@@ -27,7 +27,8 @@
 //                                     q_eff
 //   sparse-churn <geometry> <bits> <n0> <pd> <pr> <R> [rounds] [pairs]
 //         [seed] [--threads N] [--shards S] [--rho RHO] [--succ S]
-//         [--announce A] [--k K] [--inflight] [--session geometric|pareto]
+//         [--announce A] [--k K] [--inflight] [--scalar-routes]
+//         [--session geometric|pareto]
 //         [--alpha A] [--replicas r] [--zipf S] [--objects M]
 //                                     dynamic membership: N0 stationary
 //                                     nodes in a 2^bits key space with
@@ -95,7 +96,7 @@ int usage() {
       "        [--threads N] [--shards S] [--rho RHO]   (xor | tree | ring)\n"
       "  sparse-churn <geometry> <bits> <n0> <pd> <pr> <R> [rounds] [pairs]\n"
       "        [seed] [--threads N] [--shards S] [--rho RHO] [--succ S]\n"
-      "        [--announce A] [--k K] [--inflight]\n"
+      "        [--announce A] [--k K] [--inflight] [--scalar-routes]\n"
       "        [--session geometric|pareto] [--alpha A]\n"
       "        [--replicas r] [--zipf S] [--objects M]\n"
       "                 (ring | xor | symphony; dynamic membership)\n"
@@ -442,8 +443,8 @@ int cmd_sparse_churn(const std::string& name, int bits, std::uint64_t n0,
                      std::uint64_t pairs, std::uint64_t seed,
                      unsigned threads, std::uint64_t shards, double rho,
                      int succ, int announce, int bucket_k, bool inflight,
-                     const churn::SessionModel& session, int replicas,
-                     double zipf_s, std::uint64_t objects) {
+                     bool batch_routes, const churn::SessionModel& session,
+                     int replicas, double zipf_s, std::uint64_t objects) {
   churn::SparseChurnGeometry geometry;
   if (!churn::sparse_churn_geometry_from_name(name, geometry)) {
     std::cerr << "sparse-churn: geometry must be ring, xor, or symphony\n";
@@ -487,13 +488,14 @@ int cmd_sparse_churn(const std::string& name, int bits, std::uint64_t n0,
   config.replicas = replicas;
   config.zipf_s = zipf_s;
   config.objects = objects;
-  const churn::TrajectoryOptions options{.warmup_rounds = 3 * refresh + 30,
-                                         .measured_rounds = rounds,
-                                         .pairs_per_round = pairs,
-                                         .shards = shards,
-                                         .threads = threads,
-                                         .repair_probability = rho,
-                                         .inflight = inflight};
+  churn::TrajectoryOptions options{.warmup_rounds = 3 * refresh + 30,
+                                   .measured_rounds = rounds,
+                                   .pairs_per_round = pairs,
+                                   .shards = shards,
+                                   .threads = threads,
+                                   .repair_probability = rho,
+                                   .inflight = inflight};
+  options.batch_routes = batch_routes;
   const math::Rng rng(seed);
   const auto start = std::chrono::steady_clock::now();
   const auto result = churn::run_sparse_churn_trajectory(geometry, config,
@@ -519,8 +521,9 @@ int cmd_sparse_churn(const std::string& name, int bits, std::uint64_t n0,
       session.kind == churn::SessionKind::kPareto
           ? strfmt(" (alpha = %.2f)", session.pareto_alpha).c_str()
           : "",
-      1.0 / pd, inflight ? "in-flight (world steps during routes)"
-                         : "round-synchronous");
+      1.0 / pd, inflight ? "in-flight (world steps during routes; scalar)"
+                         : (batch_routes ? "round-synchronous (batched)"
+                                         : "round-synchronous (scalar)"));
   std::cout << strfmt(
       "effective q (q_eff):   %.6f  (no-return q_nr: %.6f, %s q_nr: %.6f)\n",
       q_eff, churn::effective_q_no_return(params),
@@ -719,6 +722,7 @@ int main(int argc, char** argv) {
       int announce = 8;
       int bucket_k = 1;
       bool inflight = false;
+      bool batch_routes = true;
       churn::SessionModel session;
       int replicas = 1;
       double zipf_s = 0.0;
@@ -746,6 +750,8 @@ int main(int argc, char** argv) {
           ++i;
         } else if (arg == "--inflight") {
           inflight = true;
+        } else if (arg == "--scalar-routes") {
+          batch_routes = false;
         } else if (arg == "--session" && i + 1 < argc) {
           churn::SessionKind kind;
           if (!churn::session_kind_from_name(argv[i + 1], kind)) {
@@ -790,8 +796,8 @@ int main(int argc, char** argv) {
                               std::atof(argv[5]), std::atof(argv[6]),
                               std::atoi(argv[7]), rounds, pairs, seed,
                               threads, shards, rho, succ, announce,
-                              bucket_k, inflight, session, replicas, zipf_s,
-                              objects);
+                              bucket_k, inflight, batch_routes, session,
+                              replicas, zipf_s, objects);
     }
     if (command == "latency" && argc == 5) {
       return cmd_latency(argv[2], std::atoi(argv[3]), std::atof(argv[4]));

@@ -1,6 +1,7 @@
 #include "churn/membership.hpp"
 
 #include <algorithm>
+#include <bit>
 
 #include "common/check.hpp"
 
@@ -18,20 +19,40 @@ SparseMembership::SparseMembership(int bits, std::uint64_t capacity)
   ids_.resize(capacity, 0);
   present_.resize(capacity, 0);
   generations_.resize(capacity, 0);
+  alive_bits_.resize((capacity + 63) / 64, 0);
   in_pending_.resize(capacity, 0);
+  // Size the seek table to ~capacity/2 buckets: population never exceeds
+  // capacity, so mean occupancy stays around 1-2 ids per bucket -- enough
+  // to collapse the binary searches -- while commit()'s streaming refresh
+  // of the table costs less than the survivor compaction it rides on.
+  // Capped at 2^20 buckets (4 MiB) and at the key space itself.
+  const int bucket_bits = std::min(
+      bits_, std::min(20, static_cast<int>(std::bit_width(capacity)) - 2));
+  seek_shift_ = bits_ - bucket_bits;
+  seek_.assign((std::uint64_t{1} << bucket_bits) + 1, 0);
 }
 
 void SparseMembership::leave(NodeSlot slot) {
   DHT_CHECK(present_[slot] != 0, "leave requires a present slot");
   present_[slot] = 0;
+  alive_bits_[slot >> 6] &= ~(std::uint64_t{1} << (slot & 63));
   --population_;
+  stale_ = true;
 }
 
 bool SparseMembership::id_occupied(std::uint64_t id) const {
   // Occupied = owned by a still-present node: either an order entry whose
   // slot has not left since the last commit, or a pending joiner.  Ids of
   // departed nodes are free for re-draw immediately.
-  const auto it = std::lower_bound(order_ids_.begin(), order_ids_.end(), id);
+  std::uint64_t window_lo = 0;
+  std::uint64_t window_hi = order_ids_.size();
+  if (seek_fresh_) {
+    const std::uint64_t bucket = id >> seek_shift_;
+    window_lo = seek_[bucket];
+    window_hi = seek_[bucket + 1];
+  }
+  const auto it = std::lower_bound(order_ids_.begin() + window_lo,
+                                   order_ids_.begin() + window_hi, id);
   if (it != order_ids_.end() && *it == id) {
     const NodeSlot slot =
         order_slots_[static_cast<std::uint64_t>(it - order_ids_.begin())];
@@ -131,6 +152,7 @@ void SparseMembership::join(const std::vector<NodeSlot>& slots,
     DHT_CHECK(present_[slot] == 0, "join requires an absent slot");
     ids_[slot] = fresh[i];
     present_[slot] = 1;
+    alive_bits_[slot >> 6] |= std::uint64_t{1} << (slot & 63);
     ++generations_[slot];
     in_pending_[slot] = 1;
     pending_.emplace_back(fresh[i], slot);
@@ -142,67 +164,85 @@ void SparseMembership::join(const std::vector<NodeSlot>& slots,
       [](const auto& a, const auto& b) { return a.first < b.first; });
 }
 
-void SparseMembership::commit() {
-  // Merge the surviving order entries with the pending joiners into fresh
-  // parallel arrays.  An old entry survives iff its slot is present AND not
-  // recycled this cycle -- presence alone is not enough, because a slot that
-  // left and re-joined is present under a new identity carried by the
-  // pending list (and may even have re-drawn its old identifier).
-  std::vector<std::uint64_t> merged_ids;
-  std::vector<NodeSlot> merged_slots;
-  merged_ids.reserve(population_);
-  merged_slots.reserve(population_);
-  const std::uint64_t old_size = order_ids_.size();
-  std::uint64_t i = 0;
-  std::uint64_t j = 0;
-  const auto survives = [this](std::uint64_t pos) {
-    const NodeSlot slot = order_slots_[pos];
-    return present_[slot] != 0 && in_pending_[slot] == 0;
-  };
-  while (i < old_size || j < pending_.size()) {
-    const bool take_old =
-        j >= pending_.size() ||
-        (i < old_size && order_ids_[i] <= pending_[j].first);
-    if (take_old) {
-      if (survives(i)) {
-        merged_ids.push_back(order_ids_[i]);
-        merged_slots.push_back(order_slots_[i]);
+void SparseMembership::commit(bool refresh_seek) {
+  // Incremental maintenance of the sorted parallel arrays.  An old entry
+  // survives iff its slot is present AND not recycled this cycle --
+  // presence alone is not enough, because a slot that left and re-joined is
+  // present under a new identity carried by the pending list (and may even
+  // have re-drawn its old identifier).
+  if (pending_.empty() && !stale_) {
+    return;  // membership unchanged since the last commit
+  }
+  // Pass 1 (departures): compact the survivors in place, keeping order.
+  std::uint64_t kept = order_ids_.size();
+  if (stale_) {
+    std::uint64_t w = 0;
+    for (std::uint64_t r = 0; r < order_ids_.size(); ++r) {
+      const NodeSlot slot = order_slots_[r];
+      if (present_[slot] != 0 && in_pending_[slot] == 0) {
+        order_ids_[w] = order_ids_[r];
+        order_slots_[w] = order_slots_[r];
+        ++w;
       }
-      ++i;
-    } else {
-      merged_ids.push_back(pending_[j].first);
-      merged_slots.push_back(pending_[j].second);
-      ++j;
     }
+    kept = w;
   }
-  order_ids_ = std::move(merged_ids);
-  order_slots_ = std::move(merged_slots);
-  for (const auto& [id, slot] : pending_) {
-    (void)id;
-    in_pending_[slot] = 0;
+  // Pass 2 (joins): backward shift-merge of the sorted pending cohort into
+  // the compacted tail.  A survivor's id is occupied, so the fresh draws
+  // never collide with it -- the merge sees no ties.
+  if (pending_.empty()) {
+    order_ids_.resize(kept);
+    order_slots_.resize(kept);
+  } else {
+    const std::uint64_t joins = pending_.size();
+    order_ids_.resize(kept + joins);
+    order_slots_.resize(kept + joins);
+    std::uint64_t i = kept;
+    std::uint64_t j = joins;
+    std::uint64_t out = kept + joins;
+    while (j > 0) {
+      if (i > 0 && order_ids_[i - 1] > pending_[j - 1].first) {
+        order_ids_[out - 1] = order_ids_[i - 1];
+        order_slots_[out - 1] = order_slots_[i - 1];
+        --i;
+      } else {
+        order_ids_[out - 1] = pending_[j - 1].first;
+        order_slots_[out - 1] = pending_[j - 1].second;
+        --j;
+      }
+      --out;
+    }
+    for (const auto& [id, slot] : pending_) {
+      (void)id;
+      in_pending_[slot] = 0;
+    }
+    pending_.clear();
   }
-  pending_.clear();
+  stale_ = false;
   DHT_CHECK(order_ids_.size() == population_,
             "order index out of sync with the population");
-}
-
-std::uint64_t SparseMembership::successor_position(std::uint64_t key) const {
-  DHT_CHECK(!order_ids_.empty(), "successor query on an empty population");
-  const auto it = std::lower_bound(order_ids_.begin(), order_ids_.end(), key);
-  if (it == order_ids_.end()) {
-    return 0;  // wrap to the smallest identifier
+  if (!refresh_seek) {
+    // The arrays moved under the seek table; queries fall back to
+    // full-range searches until a refreshing commit.
+    seek_fresh_ = false;
+    return;
   }
-  return static_cast<std::uint64_t>(it - order_ids_.begin());
-}
-
-std::pair<std::uint64_t, std::uint64_t> SparseMembership::order_range(
-    std::uint64_t lo, std::uint64_t hi) const {
-  DHT_CHECK(lo <= hi, "order_range requires lo <= hi");
-  const auto first =
-      std::lower_bound(order_ids_.begin(), order_ids_.end(), lo);
-  const auto last = std::upper_bound(first, order_ids_.end(), hi);
-  return {static_cast<std::uint64_t>(first - order_ids_.begin()),
-          static_cast<std::uint64_t>(last - order_ids_.begin())};
+  // Refresh the prefix-seek table in one streaming pass: walking the
+  // ascending ids, every bucket up to an id's prefix that has not started
+  // yet starts at that id's position (empty buckets collapse onto the next
+  // occupied one); trailing buckets start at the end.
+  const std::uint64_t buckets = seek_.size() - 1;
+  std::uint64_t b = 0;
+  for (std::uint64_t pos = 0; pos < order_ids_.size(); ++pos) {
+    const std::uint64_t prefix = order_ids_[pos] >> seek_shift_;
+    while (b <= prefix) {
+      seek_[b++] = static_cast<std::uint32_t>(pos);
+    }
+  }
+  while (b <= buckets) {
+    seek_[b++] = static_cast<std::uint32_t>(order_ids_.size());
+  }
+  seek_fresh_ = true;
 }
 
 }  // namespace dht::churn

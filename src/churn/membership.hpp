@@ -24,10 +24,12 @@
 // inputs) -- the property the sharded replica engine needs.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <utility>
 #include <vector>
 
+#include "common/check.hpp"
 #include "math/rng.hpp"
 #include "sparse/sparse_space.hpp"
 
@@ -86,6 +88,17 @@ class SparseMembership {
     return generations_.data();
   }
 
+  /// Packed presence: one u64 word per 64 slots (bit set iff present),
+  /// maintained by join()/leave().  The whole mask for a 2^17-slot roster
+  /// is 16 KiB -- cache-resident where the byte mask is not -- so the
+  /// routing kernels' validity probes and the engine's present-slot sweeps
+  /// (std::countr_zero over the words) go through this instead of
+  /// present_data().
+  const std::uint64_t* alive_bits_data() const noexcept {
+    return alive_bits_.data();
+  }
+  std::uint64_t alive_words() const noexcept { return alive_bits_.size(); }
+
   /// Marks a present slot absent.  The order index keeps the stale entry
   /// (filtered by the presence mask) until the next commit().
   void leave(NodeSlot slot);
@@ -97,9 +110,21 @@ class SparseMembership {
   /// order index sees them at the next commit().
   void join(const std::vector<NodeSlot>& slots, math::Rng& rng);
 
-  /// Rebuilds the sorted (id -> slot) order index: drops departed entries,
-  /// merges joined ones.  One O(population + joins) pass per round.
-  void commit();
+  /// Brings the sorted (id -> slot) order index up to date: drops departed
+  /// entries, merges joined ones.  Incremental and allocation-free in
+  /// steady state -- a no-op when nothing changed since the last commit,
+  /// an in-place compaction for departures, and a backward shift-merge of
+  /// the (sorted) pending joiners on top; the arrays only ever grow to the
+  /// high-water population, so per-round rebuild allocations are gone.
+  ///
+  /// `refresh_seek` additionally rebuilds the prefix-seek accelerator (an
+  /// O(buckets + N) streaming pass) so subsequent order queries run over
+  /// tiny bucket windows.  Pass false on high-frequency commits whose
+  /// query volume would not amortize the rebuild -- the in-flight engine's
+  /// per-lookup-boundary commits -- and the queries transparently fall
+  /// back to full-range binary search until the next refreshing commit.
+  /// Results are identical either way; this is purely a cost trade.
+  void commit(bool refresh_seek = true);
 
   // --- Order-index queries (reflect the membership as of the last
   // --- commit(); call commit() after leave()/join() before using them).
@@ -115,8 +140,32 @@ class SparseMembership {
 
   /// Ring position of the first present node at or clockwise-after `key`
   /// (Chord successor convention; wraps to 0 past the largest id).
-  /// Precondition: order_size() > 0.
-  std::uint64_t successor_position(std::uint64_t key) const;
+  /// Precondition: order_size() > 0.  Inline (with order_range below):
+  /// these run hundreds of millions of times under the churn engines'
+  /// finger refreshes, and the seek window reduces them to a handful of
+  /// instructions worth keeping call-free.
+  std::uint64_t successor_position(std::uint64_t key) const {
+    DHT_CHECK(!order_ids_.empty(), "successor query on an empty population");
+    // Window the search to `key`'s seek bucket when the table is fresh:
+    // ids at positions >= seek_[bucket + 1] belong to higher prefixes and
+    // are > key, so if the bucket holds nothing >= key the answer is
+    // exactly its end.  A stale table (non-refreshing commit) degrades to
+    // the full range -- same lower bound, bigger window.
+    std::uint64_t window_lo = 0;
+    std::uint64_t window_hi = order_ids_.size();
+    if (seek_fresh_) {
+      const std::uint64_t bucket = key >> seek_shift_;
+      window_lo = seek_[bucket];
+      window_hi = seek_[bucket + 1];
+    }
+    const auto it = std::lower_bound(order_ids_.begin() + window_lo,
+                                     order_ids_.begin() + window_hi, key);
+    const auto pos = static_cast<std::uint64_t>(it - order_ids_.begin());
+    if (pos == order_ids_.size()) {
+      return 0;  // wrap to the smallest identifier
+    }
+    return pos;
+  }
 
   /// The owning slot of `key` (successor convention).
   NodeSlot successor_of_key(std::uint64_t key) const {
@@ -126,12 +175,39 @@ class SparseMembership {
   /// Present nodes with ids in [lo, hi] (inclusive, no wrap: lo <= hi) as a
   /// ring-position range [first, last).
   std::pair<std::uint64_t, std::uint64_t> order_range(std::uint64_t lo,
-                                                      std::uint64_t hi) const;
+                                                      std::uint64_t hi) const {
+    DHT_CHECK(lo <= hi, "order_range requires lo <= hi");
+    // Same windowing as successor_position, once per endpoint: positions
+    // past a bucket's end hold strictly larger prefixes, so each bound is
+    // fully determined inside its own bucket window.
+    if (!seek_fresh_) {
+      const auto first =
+          std::lower_bound(order_ids_.begin(), order_ids_.end(), lo);
+      const auto last = std::upper_bound(first, order_ids_.end(), hi);
+      return {static_cast<std::uint64_t>(first - order_ids_.begin()),
+              static_cast<std::uint64_t>(last - order_ids_.begin())};
+    }
+    const std::uint64_t lo_bucket = lo >> seek_shift_;
+    const auto first =
+        std::lower_bound(order_ids_.begin() + seek_[lo_bucket],
+                         order_ids_.begin() + seek_[lo_bucket + 1], lo);
+    const std::uint64_t hi_bucket = hi >> seek_shift_;
+    const auto last = std::upper_bound(
+        std::max(first, order_ids_.begin() + seek_[hi_bucket]),
+        order_ids_.begin() + seek_[hi_bucket + 1], hi);
+    return {static_cast<std::uint64_t>(first - order_ids_.begin()),
+            static_cast<std::uint64_t>(last - order_ids_.begin())};
+  }
 
   /// The slot `steps` positions clockwise of ring position `pos`.
   /// Precondition: order_size() > 0.
   NodeSlot ring_successor(std::uint64_t pos, std::uint64_t steps) const {
-    return order_slots_[(pos + steps) % order_slots_.size()];
+    // Callers pass pos <= size and small steps, so skip the 64-bit divide
+    // (a hot-loop cost in successor-list rebuilds) unless a wrap happens.
+    const std::uint64_t raw = pos + steps;
+    return order_slots_[raw < order_slots_.size()
+                            ? raw
+                            : raw % order_slots_.size()];
   }
 
  private:
@@ -141,10 +217,28 @@ class SparseMembership {
   std::vector<std::uint64_t> ids_;       // per slot; stale while absent
   std::vector<std::uint8_t> present_;    // per slot
   std::vector<std::uint32_t> generations_;  // per slot; bumped on join
+  // Packed mirror of present_: bit (slot & 63) of word (slot >> 6).
+  std::vector<std::uint64_t> alive_bits_;
   std::uint64_t population_ = 0;
+  // Set by leave(): the order index carries entries that must be dropped
+  // at the next commit().  join()+commit() always run back to back (the
+  // joiner-integration contract), so pending_ is empty whenever leave()
+  // runs and this single flag captures every departure-only delta.
+  bool stale_ = false;
   // Sorted present ids + parallel slots, as of the last commit().
   std::vector<std::uint64_t> order_ids_;
   std::vector<NodeSlot> order_slots_;
+  // Prefix-seek accelerator over the order index: seek_[b] is the first
+  // order position whose id is >= (b << seek_shift_), seek_.back() ==
+  // order_size().  Every order query (successor, range, occupancy) then
+  // binary-searches only the handful of entries inside one key-prefix
+  // bucket instead of the whole population -- the queries stay exact
+  // lower/upper bounds, just over a provably sufficient window, so results
+  // are bit-identical to the plain searches.  Rebuilt by commit() in one
+  // streaming pass (the arrays it walks are already hot from the merge).
+  int seek_shift_ = 0;
+  bool seek_fresh_ = false;  // false after a non-refreshing commit
+  std::vector<std::uint32_t> seek_;
   // Joins since the last commit(), sorted by id, plus a per-slot flag so
   // commit() can tell a surviving order entry from one whose slot was
   // recycled this round (possibly onto the very same identifier).

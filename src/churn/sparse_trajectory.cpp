@@ -3,90 +3,185 @@
 #include <algorithm>
 #include <bit>
 #include <cmath>
+#include <cstdint>
+#include <limits>
 #include <utility>
 
 #include "common/check.hpp"
+#include "common/hugepage.hpp"
 #include "sim/shard_pool.hpp"
+#include "sparse/flat_sparse.hpp"
 
 namespace dht::churn {
 
-namespace {
-
 // Flattened routing view over a world's slot state: identifiers (stale for
-// departed slots), the presence mask, the row-major table, and the
-// successor lists.  Kernels compare identifiers but step between slots --
-// the sparse/flat_sparse.hpp pattern with mutable membership underneath.
+// departed slots), the packed epoch structure (one alive-bitmap u64 word
+// per 64 slots + the flat generation array), the row-major tables with
+// their cached install-time target ids, and the successor lists.  Kernels
+// compare identifiers but step between slots -- the sparse/flat_sparse.hpp
+// pattern with mutable membership underneath.
 struct ChurnKernelCtx {
   const std::uint64_t* ids = nullptr;
-  const std::uint8_t* present = nullptr;
+  const std::uint64_t* alive_bits = nullptr;
   const std::uint32_t* generations = nullptr;
   const NodeSlot* table = nullptr;
   const std::uint32_t* table_gen = nullptr;
+  const std::uint64_t* table_id = nullptr;
   const NodeSlot* successors = nullptr;
   const std::uint32_t* successors_gen = nullptr;
+  const std::uint64_t* successors_id = nullptr;
   int row_width = 0;
   int bucket_k = 1;  // kademlia contacts per bucket (row_width = d * k)
   int s = 0;
   std::uint64_t key_mask = 0;
 };
 
+namespace {
+
+namespace flat = sparse::flat;
+using flat::RouteBatch;
+using flat::SparseRouteStatus;
+
+// Upper bound on a greedy-ring candidate set: the table row (<= 63
+// entries; bits <= 63, shortcuts capped at 64) plus the successor list
+// (capped at 64) -- enforced by check_config so the per-hop progress
+// lattice fits on the stack.
+constexpr int kMaxCandidates = 128;
+
+inline bool ctx_slot_alive(const ChurnKernelCtx& c, NodeSlot slot) {
+  return ((c.alive_bits[slot >> 6] >> (slot & 63)) & 1) != 0;
+}
+
 // An entry is routable only while its target slot is present under the
-// generation the entry was installed against.
+// generation the entry was installed against.  The probe is the only
+// random access a candidate costs: its geometry was already computed from
+// the cached install-time id, which equals the current id exactly when
+// this probe passes (ids change only on rejoin, which bumps the
+// generation) -- so screening candidates by cached geometry first can
+// never change which entry a kernel picks.
 inline bool ctx_entry_valid(const ChurnKernelCtx& c, NodeSlot entry,
                             std::uint32_t generation) {
-  return entry != kNoSlot && c.present[entry] != 0 &&
+  return entry != kNoSlot && ctx_slot_alive(c, entry) &&
          c.generations[entry] == generation;
 }
 
+// A hop's outcome: the chosen slot and its identifier (threaded through
+// the route so the next hop never loads ids[cur]).
+struct StepResult {
+  NodeSlot next = kNoSlot;
+  std::uint64_t next_id = 0;
+};
+
+// Warms the next hop's sequential working set: the cached-id row (and
+// successor-id row), the only per-hop streams the ring kernels scan.
+inline void prefetch_ring_row(const ChurnKernelCtx& c, NodeSlot slot) {
+  const auto* row = reinterpret_cast<const char*>(
+      c.table_id + slot * static_cast<std::uint64_t>(c.row_width));
+  for (int off = 0; off < c.row_width * 8; off += 64) {
+    __builtin_prefetch(row + off);
+  }
+  if (c.s > 0) {
+    const auto* succ = reinterpret_cast<const char*>(
+        c.successors_id + slot * static_cast<std::uint64_t>(c.s));
+    for (int off = 0; off < c.s * 8; off += 64) {
+      __builtin_prefetch(succ + off);
+    }
+  }
+}
+
+// Warms the first bucket the next XOR hop will read -- its index is a
+// pure function of the new distance -- in the cached-id row.
+inline void prefetch_xor_bucket(const ChurnKernelCtx& c, NodeSlot slot,
+                                std::uint64_t cur_id,
+                                std::uint64_t target_id) {
+  const std::uint64_t distance = cur_id ^ target_id;
+  if (distance == 0) {
+    return;
+  }
+  const int d = c.row_width / c.bucket_k;
+  const std::uint64_t base =
+      slot * static_cast<std::uint64_t>(c.row_width) +
+      static_cast<std::uint64_t>(d - std::bit_width(distance)) *
+          static_cast<std::uint64_t>(c.bucket_k);
+  for (int cell = 0; cell < c.bucket_k; cell += 8) {
+    __builtin_prefetch(&c.table_id[base + static_cast<std::uint64_t>(cell)]);
+  }
+}
+
 // Chord / Symphony: greedy clockwise without overshoot over the table row
-// plus the successor list -- the list entries are ordinary candidate edges,
-// so they both repair deep progress (a dead finger's gap) and guarantee the
-// last hops.  Entries are read through the *current* identifier of the slot
-// they point at: a departed entry reads as dead via the presence mask, a
-// recycled entry behaves as a re-pointed edge.
-inline NodeSlot step_clockwise(const ChurnKernelCtx& c, NodeSlot cur,
-                               std::uint64_t target_id) {
-  const std::uint64_t cur_id = c.ids[cur];
+// plus the successor list -- the list entries are ordinary candidate
+// edges, so they both repair deep progress (a dead finger's gap) and
+// guarantee the last hops.  Progress comes from the cached install-time
+// ids (one sequential row scan, no pointer chasing): admissible candidates
+// are probed in decreasing-progress order against the packed epoch
+// structure, and a failed probe simply excludes the candidate -- for a
+// valid entry the cached id IS the current id, and ties in progress are
+// only possible against invalid entries (present ids are distinct), so
+// the surviving pick equals the historical current-id kernel's bit for
+// bit.  Empty cells carry the owner's own id: progress 0, inadmissible.
+inline StepResult step_clockwise(const ChurnKernelCtx& c, NodeSlot cur,
+                                 std::uint64_t cur_id,
+                                 std::uint64_t target_id) {
   const std::uint64_t distance = (target_id - cur_id) & c.key_mask;
-  std::uint64_t best_progress = 0;
-  NodeSlot best = kNoSlot;
-  const auto consider = [&](NodeSlot link, std::uint32_t generation) {
-    if (link == kNoSlot || link == cur) {
-      return;
-    }
-    const std::uint64_t progress = (c.ids[link] - cur_id) & c.key_mask;
-    if (progress > distance || progress <= best_progress) {
-      return;  // overshoots, or no better than the current best
-    }
-    if (c.present[link] != 0 && c.generations[link] == generation) {
-      best_progress = progress;
-      best = link;
-    }
-  };
   const std::uint64_t row_base =
       cur * static_cast<std::uint64_t>(c.row_width);
-  for (int j = 0; j < c.row_width; ++j) {
-    consider(c.table[row_base + static_cast<std::uint64_t>(j)],
-             c.table_gen[row_base + static_cast<std::uint64_t>(j)]);
-  }
   const std::uint64_t succ_base = cur * static_cast<std::uint64_t>(c.s);
-  for (int t = 0; t < c.s; ++t) {
-    consider(c.successors[succ_base + static_cast<std::uint64_t>(t)],
-             c.successors_gen[succ_base + static_cast<std::uint64_t>(t)]);
+  const int m = c.row_width + c.s;
+  std::uint64_t progress[kMaxCandidates];
+  for (int j = 0; j < c.row_width; ++j) {
+    progress[j] =
+        (c.table_id[row_base + static_cast<std::uint64_t>(j)] - cur_id) &
+        c.key_mask;
   }
-  return best;
+  for (int t = 0; t < c.s; ++t) {
+    progress[c.row_width + t] =
+        (c.successors_id[succ_base + static_cast<std::uint64_t>(t)] -
+         cur_id) &
+        c.key_mask;
+  }
+  for (;;) {
+    // Admissible: 1 <= p <= distance, as the single wrap-around compare
+    // p - 1 < distance (p = 0 wraps past every distance < 2^64).
+    std::uint64_t best = 0;
+    int bj = -1;
+    for (int j = 0; j < m; ++j) {
+      const std::uint64_t p = progress[j];
+      if (p - 1 < distance && p > best) {
+        best = p;
+        bj = j;
+      }
+    }
+    if (bj < 0) {
+      return {};
+    }
+    const bool in_row = bj < c.row_width;
+    const std::uint64_t off =
+        in_row ? row_base + static_cast<std::uint64_t>(bj)
+               : succ_base + static_cast<std::uint64_t>(bj - c.row_width);
+    const NodeSlot entry = in_row ? c.table[off] : c.successors[off];
+    const std::uint32_t gen =
+        in_row ? c.table_gen[off] : c.successors_gen[off];
+    if (ctx_entry_valid(c, entry, gen)) {
+      return {entry, in_row ? c.table_id[off] : c.successors_id[off]};
+    }
+    progress[bj] = 0;  // dead candidate: exclude and rescan
+  }
 }
 
 // Kademlia: walk the differing levels highest order first; within a
 // bucket, probe the k cells head first (the longest-lived contacts --
 // Kademlia's LRU preference, which heavy-tailed sessions reward); the
-// first present contact strictly closer in XOR distance wins.  The
-// successor list is the sibling-list fallback: its entries are admissible
-// whenever they are strictly closer, which covers the endgame where the
-// deep buckets have decayed.  bucket_k = 1 reads exactly the pre-k cells.
-inline NodeSlot step_xor(const ChurnKernelCtx& c, NodeSlot cur,
-                         std::uint64_t target_id) {
-  const std::uint64_t cur_distance = c.ids[cur] ^ target_id;
+// first contact strictly closer in XOR distance by its cached id AND
+// valid under the epoch probe wins -- the same first cell as the
+// historical kernel, since a valid entry's cached id is its current id.
+// The successor list is the sibling-list fallback: its entries are
+// admissible whenever they are strictly closer, which covers the endgame
+// where the deep buckets have decayed (an entry equal to cur, or an empty
+// cell carrying the owner's id, has equal distance and falls out of the
+// strict compare).  bucket_k = 1 reads exactly the pre-k cells.
+inline StepResult step_xor(const ChurnKernelCtx& c, NodeSlot cur,
+                           std::uint64_t cur_id, std::uint64_t target_id) {
+  const std::uint64_t cur_distance = cur_id ^ target_id;
   const std::uint64_t row_base =
       cur * static_cast<std::uint64_t>(c.row_width);
   const int d = c.row_width / c.bucket_k;
@@ -99,10 +194,10 @@ inline NodeSlot step_xor(const ChurnKernelCtx& c, NodeSlot cur,
             static_cast<std::uint64_t>(c.bucket_k);  // bucket d - bw + 1
     for (int cell = 0; cell < c.bucket_k; ++cell) {
       const std::uint64_t j = bucket_base + static_cast<std::uint64_t>(cell);
-      const NodeSlot entry = c.table[j];
-      if (ctx_entry_valid(c, entry, c.table_gen[j]) &&
-          (c.ids[entry] ^ target_id) < cur_distance) {
-        return entry;
+      const std::uint64_t eid = c.table_id[j];
+      if ((eid ^ target_id) < cur_distance &&
+          ctx_entry_valid(c, c.table[j], c.table_gen[j])) {
+        return {c.table[j], eid};
       }
     }
     diff &= ~(std::uint64_t{1} << (bw - 1));
@@ -110,18 +205,339 @@ inline NodeSlot step_xor(const ChurnKernelCtx& c, NodeSlot cur,
   const std::uint64_t succ_base = cur * static_cast<std::uint64_t>(c.s);
   for (int t = 0; t < c.s; ++t) {
     const std::uint64_t j = succ_base + static_cast<std::uint64_t>(t);
-    const NodeSlot e = c.successors[j];
-    if (e != cur && ctx_entry_valid(c, e, c.successors_gen[j]) &&
-        (c.ids[e] ^ target_id) < cur_distance) {
-      return e;
+    const std::uint64_t eid = c.successors_id[j];
+    if ((eid ^ target_id) < cur_distance &&
+        ctx_entry_valid(c, c.successors[j], c.successors_gen[j])) {
+      return {c.successors[j], eid};
     }
   }
-  return kNoSlot;
+  return {};
+}
+
+// One route against a frozen (sync) or moving (in-flight) world -- the
+// shared single-route core behind measure()'s scalar reference path and
+// measure_inflight().  `step` is one of the scalar kernels above; `sweep`
+// runs after every completed hop (the in-flight lifecycle advance; sync
+// passes a no-op and the holder-departure check compiles out).  Load is
+// bumped for the holding slot of every forward, before the step -- a
+// dropped route charges the node that had no admissible hop, matching the
+// historical accounting.
+template <bool kInflight, typename Sweep>
+bool route_one(const ChurnKernelCtx& c,
+               StepResult (*step)(const ChurnKernelCtx&, NodeSlot,
+                                  std::uint64_t, std::uint64_t),
+               NodeSlot source, std::uint64_t source_id, NodeSlot target,
+               std::uint64_t target_id, std::uint64_t max_hops,
+               std::uint64_t* load, sparse::SparseEstimate* rec,
+               Sweep&& sweep) {
+  NodeSlot cur = source;
+  std::uint64_t cur_id = source_id;
+  std::uint64_t hops = 0;
+  for (;;) {
+    if constexpr (kInflight) {
+      if (!ctx_slot_alive(c, cur)) {
+        // The node holding the message departed between hops -- the
+        // mid-flight loss the round-synchronous mode cannot express.
+        if (rec != nullptr) {
+          rec->record_drop();
+        }
+        return false;
+      }
+    }
+    if (cur == target) {
+      if (rec != nullptr) {
+        rec->record_arrival(hops);
+      }
+      return true;
+    }
+    if (hops >= max_hops) {
+      if (rec != nullptr) {
+        rec->record_hop_limit();
+      }
+      return false;
+    }
+    ++load[cur];
+    const StepResult next = step(c, cur, cur_id, target_id);
+    if (next.next == kNoSlot) {
+      if (rec != nullptr) {
+        rec->record_drop();
+      }
+      return false;
+    }
+    cur = next.next;
+    cur_id = next.next_id;
+    ++hops;
+    if constexpr (kInflight) {
+      sweep();
+    }
+  }
+}
+
+// One greedy-ring hop for every active lane, phased like the static
+// engine's batch kernels: (A) scan each lane's cached-id row (prefetched
+// a batch turn ahead) into a progress lattice and pick the max-progress
+// admissible candidate, (B) probe candidates against the packed epoch
+// structure, excluding failures and rescanning -- ~2 expected probes per
+// hop under churn vs the historical kernel's row_width + s pointer
+// chases.  b.dist carries the lane's current-hop id.
+inline void step_batch_ring(const ChurnKernelCtx& c, RouteBatch& b) {
+  constexpr int kLanes = RouteBatch::kLanes;
+  std::uint64_t progress[kLanes][kMaxCandidates];
+  std::uint64_t dist[kLanes];
+  int cand[kLanes];
+  const int m = c.row_width + c.s;
+  for (int l = 0; l < kLanes; ++l) {
+    if (b.active[l] == 0) {
+      continue;
+    }
+    const NodeSlot cur = b.cur[l];
+    const std::uint64_t cur_id = b.dist[l];
+    dist[l] = (b.target_id[l] - cur_id) & c.key_mask;
+    const std::uint64_t row_base =
+        cur * static_cast<std::uint64_t>(c.row_width);
+    const std::uint64_t succ_base = cur * static_cast<std::uint64_t>(c.s);
+    std::uint64_t* prog = progress[l];
+    for (int j = 0; j < c.row_width; ++j) {
+      prog[j] =
+          (c.table_id[row_base + static_cast<std::uint64_t>(j)] - cur_id) &
+          c.key_mask;
+    }
+    for (int t = 0; t < c.s; ++t) {
+      prog[c.row_width + t] =
+          (c.successors_id[succ_base + static_cast<std::uint64_t>(t)] -
+           cur_id) &
+          c.key_mask;
+    }
+    std::uint64_t best = 0;
+    int bj = -1;
+    for (int j = 0; j < m; ++j) {
+      const std::uint64_t p = prog[j];
+      if (p - 1 < dist[l] && p > best) {
+        best = p;
+        bj = j;
+      }
+    }
+    cand[l] = bj;
+    if (bj >= 0) {
+      // Warm the candidate's entry + stamp for phase B while the other
+      // lanes' scans provide latency cover.
+      const std::uint64_t off =
+          bj < c.row_width
+              ? row_base + static_cast<std::uint64_t>(bj)
+              : succ_base + static_cast<std::uint64_t>(bj - c.row_width);
+      __builtin_prefetch(bj < c.row_width ? &c.table[off]
+                                          : &c.successors[off]);
+      __builtin_prefetch(bj < c.row_width ? &c.table_gen[off]
+                                          : &c.successors_gen[off]);
+    }
+  }
+  for (int l = 0; l < kLanes; ++l) {
+    if (b.active[l] == 0) {
+      continue;
+    }
+    const NodeSlot cur = b.cur[l];
+    const std::uint64_t row_base =
+        cur * static_cast<std::uint64_t>(c.row_width);
+    const std::uint64_t succ_base = cur * static_cast<std::uint64_t>(c.s);
+    std::uint64_t* prog = progress[l];
+    int bj = cand[l];
+    for (;;) {
+      if (bj < 0) {
+        b.cur[l] = kNoSlot;  // dead end: the drop sentinel
+        break;
+      }
+      const bool in_row = bj < c.row_width;
+      const std::uint64_t off =
+          in_row ? row_base + static_cast<std::uint64_t>(bj)
+                 : succ_base + static_cast<std::uint64_t>(bj - c.row_width);
+      const NodeSlot entry = in_row ? c.table[off] : c.successors[off];
+      const std::uint32_t gen =
+          in_row ? c.table_gen[off] : c.successors_gen[off];
+      if (ctx_entry_valid(c, entry, gen)) {
+        b.cur[l] = entry;
+        b.dist[l] = in_row ? c.table_id[off] : c.successors_id[off];
+        ++b.hops[l];
+        if (entry != b.target[l]) {
+          prefetch_ring_row(c, entry);
+        }
+        break;
+      }
+      prog[bj] = 0;
+      std::uint64_t best = 0;
+      bj = -1;
+      for (int j = 0; j < m; ++j) {
+        const std::uint64_t p = prog[j];
+        if (p - 1 < dist[l] && p > best) {
+          best = p;
+          bj = j;
+        }
+      }
+    }
+  }
+}
+
+// One XOR hop for every active lane: phase A walks the differing levels
+// over the cached-id row alone -- sequential, no liveness loads -- to the
+// first strictly-closer cell and warms it; phase B probes that cell and
+// falls back to the full scalar step on a stale candidate (the re-walk
+// probes the same cells in the same order, so the pick is unchanged).  A
+// lane with no cached-closer cell anywhere holds no valid closer entry at
+// all (valid entries' cached ids are current) and drops without a single
+// random load.
+inline void step_batch_xor(const ChurnKernelCtx& c, RouteBatch& b) {
+  constexpr int kLanes = RouteBatch::kLanes;
+  constexpr std::uint64_t kNoCand = ~std::uint64_t{0};
+  std::uint64_t cand[kLanes];  // (offset << 1) | is_successor
+  for (int l = 0; l < kLanes; ++l) {
+    if (b.active[l] == 0) {
+      continue;
+    }
+    const std::uint64_t target = b.target_id[l];
+    const std::uint64_t cur_distance = b.dist[l] ^ target;
+    const std::uint64_t row_base =
+        b.cur[l] * static_cast<std::uint64_t>(c.row_width);
+    const int d = c.row_width / c.bucket_k;
+    std::uint64_t diff = cur_distance;
+    std::uint64_t found = kNoCand;
+    while (diff != 0 && found == kNoCand) {
+      const int bw = std::bit_width(diff);
+      const std::uint64_t bucket_base =
+          row_base + static_cast<std::uint64_t>(d - bw) *
+                         static_cast<std::uint64_t>(c.bucket_k);
+      for (int cell = 0; cell < c.bucket_k; ++cell) {
+        const std::uint64_t j =
+            bucket_base + static_cast<std::uint64_t>(cell);
+        if ((c.table_id[j] ^ target) < cur_distance) {
+          found = j << 1;
+          break;
+        }
+      }
+      diff &= ~(std::uint64_t{1} << (bw - 1));
+    }
+    if (found == kNoCand) {
+      const std::uint64_t succ_base =
+          b.cur[l] * static_cast<std::uint64_t>(c.s);
+      for (int t = 0; t < c.s; ++t) {
+        const std::uint64_t j = succ_base + static_cast<std::uint64_t>(t);
+        if ((c.successors_id[j] ^ target) < cur_distance) {
+          found = (j << 1) | 1;
+          break;
+        }
+      }
+    }
+    cand[l] = found;
+    if (found != kNoCand) {
+      const std::uint64_t j = found >> 1;
+      __builtin_prefetch((found & 1) != 0 ? &c.successors[j] : &c.table[j]);
+      __builtin_prefetch((found & 1) != 0 ? &c.successors_gen[j]
+                                          : &c.table_gen[j]);
+    }
+  }
+  for (int l = 0; l < kLanes; ++l) {
+    if (b.active[l] == 0) {
+      continue;
+    }
+    if (cand[l] == kNoCand) {
+      b.cur[l] = kNoSlot;  // no closer contact exists: drop
+      continue;
+    }
+    const std::uint64_t j = cand[l] >> 1;
+    const bool in_succ = (cand[l] & 1) != 0;
+    const NodeSlot entry = in_succ ? c.successors[j] : c.table[j];
+    const std::uint32_t gen =
+        in_succ ? c.successors_gen[j] : c.table_gen[j];
+    StepResult hop;
+    if (ctx_entry_valid(c, entry, gen)) {
+      hop = {entry, in_succ ? c.successors_id[j] : c.table_id[j]};
+    } else {
+      // Stale head candidate: resolve the lane with the full scalar walk
+      // (it skips the failed cell via the same probe and continues).
+      hop = step_xor(c, b.cur[l], b.dist[l], b.target_id[l]);
+    }
+    if (hop.next == kNoSlot) {
+      b.cur[l] = kNoSlot;
+      continue;
+    }
+    b.cur[l] = hop.next;
+    b.dist[l] = hop.next_id;
+    ++b.hops[l];
+    if (hop.next != b.target[l]) {
+      prefetch_xor_bucket(c, hop.next, hop.next_id, b.target_id[l]);
+    }
+  }
+}
+
+// The lane driver of the batched sync path (the drive_lanes shape of the
+// static engine): retire every terminal lane -- drop sentinel, arrival,
+// hop cap -- refill it from the pair source, then charge each active
+// lane's holder one forward and advance all lanes one hop.  Identical
+// accounting to route_one: a lane is charged before the step that drops
+// it and not for the turn it retires on.
+template <typename StepBatch, typename Refill, typename Retire>
+void drive_churn_lanes(const ChurnKernelCtx& c, std::uint64_t max_hops,
+                       std::uint64_t* load, StepBatch&& step_batch,
+                       Refill&& refill, Retire&& retire) {
+  RouteBatch b;
+  int active = 0;
+  for (int l = 0; l < RouteBatch::kLanes; ++l) {
+    b.active[l] = refill(b, l) ? 1 : 0;
+    active += b.active[l];
+  }
+  while (active > 0) {
+    for (int l = 0; l < RouteBatch::kLanes; ++l) {
+      while (b.active[l] != 0) {
+        SparseRouteStatus status;
+        if (b.cur[l] == kNoSlot) {
+          status = SparseRouteStatus::kDropped;
+        } else if (b.cur[l] == b.target[l]) {
+          status = SparseRouteStatus::kArrived;
+        } else if (b.hops[l] >= max_hops) {
+          status = SparseRouteStatus::kHopLimit;
+        } else {
+          break;
+        }
+        retire(b, l, status);
+        if (!refill(b, l)) {
+          b.active[l] = 0;
+          --active;
+        }
+      }
+    }
+    if (active == 0) {
+      break;
+    }
+    for (int l = 0; l < RouteBatch::kLanes; ++l) {
+      if (b.active[l] != 0) {
+        ++load[b.cur[l]];
+      }
+    }
+    step_batch(c, b);
+  }
+}
+
+// Visits present slots in ascending order by scanning the packed alive
+// bitmap one u64 word at a time (countr_zero per member) -- the flattened
+// replacement for full-capacity presence scans.  Visit order is identical
+// to `for slot < capacity: if present`, so every rng and accumulation
+// stream downstream is unchanged.  The callback must not change presence.
+template <typename Fn>
+void for_each_alive(const SparseMembership& membership, Fn&& fn) {
+  const std::uint64_t* words = membership.alive_bits_data();
+  const std::uint64_t nwords = membership.alive_words();
+  for (std::uint64_t w = 0; w < nwords; ++w) {
+    std::uint64_t bits = words[w];
+    while (bits != 0) {
+      const auto b = static_cast<std::uint64_t>(std::countr_zero(bits));
+      fn(static_cast<NodeSlot>((w << 6) + b));
+      bits &= bits - 1;
+    }
+  }
 }
 
 void check_config(const SparseChurnConfig& config,
                   SparseChurnGeometry geometry) {
-  DHT_CHECK(config.successors >= 0, "successor-list length must be >= 0");
+  DHT_CHECK(config.successors >= 0 && config.successors <= 64,
+            "successor-list length must be in [0, 64]");
   DHT_CHECK(config.bucket_k >= 1 && config.bucket_k <= 64,
             "kademlia bucket width must be in [1, 64]");
   DHT_CHECK(config.replicas >= 1 && config.replicas <= 64,
@@ -131,8 +547,11 @@ void check_config(const SparseChurnConfig& config,
   DHT_CHECK(config.objects <= (std::uint64_t{1} << 26),
             "workload object count exceeds the 2^26 population cap");
   if (geometry == SparseChurnGeometry::kSymphony) {
-    DHT_CHECK(config.shortcuts >= 1,
-              "symphony requires at least one shortcut");
+    // The upper cap (with bits <= 63 and the successor cap above) keeps
+    // every routing row + successor list within kMaxCandidates, so the
+    // kernels' per-hop progress lattices live on the stack.
+    DHT_CHECK(config.shortcuts >= 1 && config.shortcuts <= 64,
+              "symphony shortcut count must be in [1, 64]");
   }
 }
 
@@ -237,26 +656,37 @@ SparseChurnWorld::SparseChurnWorld(SparseChurnGeometry geometry,
   membership_.join(joiners_, id_rng_);
   membership_.commit();
   total_joins_ += joiners_.size();
-  table_.assign(capacity * static_cast<std::uint64_t>(row_width_), kNoSlot);
+  // The row arenas are the kernels' random-access working set; back them
+  // with huge pages (best effort) before first touch so the fill faults
+  // 2MB pages directly -- same rationale as the static engine's tables.
+  const std::uint64_t row_cells =
+      capacity * static_cast<std::uint64_t>(row_width_);
+  const std::uint64_t succ_cells =
+      capacity * static_cast<std::uint64_t>(config_.successors);
+  common::reserve_hugepages(table_, row_cells);
+  common::reserve_hugepages(table_id_, row_cells);
+  common::reserve_hugepages(table_gen_, row_cells);
+  common::reserve_hugepages(refreshed_at_, row_cells);
+  common::reserve_hugepages(successors_, succ_cells);
+  common::reserve_hugepages(successors_id_, succ_cells);
+  common::reserve_hugepages(successors_gen_, succ_cells);
+  table_.assign(row_cells, kNoSlot);
   table_gen_.assign(table_.size(), 0);
+  table_id_.assign(table_.size(), 0);
   refreshed_at_.assign(table_.size(), 0);
-  successors_.assign(
-      capacity * static_cast<std::uint64_t>(config_.successors), kNoSlot);
+  // INT32_MIN = "possibly due immediately": rows earn a real bound at
+  // their first full maintenance scan.
+  table_due_round_.assign(capacity, std::numeric_limits<std::int32_t>::min());
+  successors_.assign(succ_cells, kNoSlot);
   successors_gen_.assign(successors_.size(), 0);
+  successors_id_.assign(successors_.size(), 0);
   successors_refreshed_at_.assign(capacity, 0);
-  for (NodeSlot slot = 0; slot < capacity; ++slot) {
-    if (membership_.present(slot)) {
-      rebuild_node(slot);
-    }
-  }
+  for_each_alive(membership_, [&](NodeSlot slot) { rebuild_node(slot); });
   // Stagger refresh phases so entry ages start uniform over 0..R-1,
   // matching the q_eff derivation (and the dense world's construction).
   const auto interval =
       static_cast<std::uint64_t>(params_.refresh_interval);
-  for (NodeSlot slot = 0; slot < capacity; ++slot) {
-    if (!membership_.present(slot)) {
-      continue;
-    }
+  for_each_alive(membership_, [&](NodeSlot slot) {
     for (int j = 0; j < row_width_; ++j) {
       refreshed_at_[slot * static_cast<std::uint64_t>(row_width_) +
                     static_cast<std::uint64_t>(j)] =
@@ -266,12 +696,17 @@ SparseChurnWorld::SparseChurnWorld(SparseChurnGeometry geometry,
       successors_refreshed_at_[slot] =
           -static_cast<std::int32_t>(table_rng_.uniform_below(interval));
     }
-  }
+  });
 }
 
 bool SparseChurnWorld::entry_valid(NodeSlot entry,
                                    std::uint32_t generation) const {
-  return entry != kNoSlot && membership_.present(entry) &&
+  // Probe the packed alive bitmap rather than the byte mask: the bitmap
+  // for a full-sized roster is 16 KiB (L1-resident under the maintenance
+  // sweeps' random slot access), the byte mask 64x that.
+  return entry != kNoSlot &&
+         (membership_.alive_bits_data()[entry >> 6] >> (entry & 63) & 1) !=
+             0 &&
          membership_.generation(entry) == generation;
 }
 
@@ -327,10 +762,39 @@ void SparseChurnWorld::refresh_entry(NodeSlot slot, int index) {
   table_[offset] = chosen;
   table_gen_[offset] =
       chosen == kNoSlot ? 0 : membership_.generation(chosen);
+  // Cache the target's install-time id: for as long as the entry stays
+  // valid this IS its current id (ids change only on rejoin, which bumps
+  // the generation).  Empty cells carry the owner's own id, which every
+  // kernel's admissibility arithmetic rejects (progress 0 on the ring,
+  // equal XOR distance), so kernels can screen candidates by cached id
+  // without ever probing an out-of-row slot.
+  table_id_[offset] = chosen == kNoSlot ? id : membership_.id_of(chosen);
   refreshed_at_[offset] = static_cast<std::int32_t>(round_);
 }
 
 void SparseChurnWorld::rebuild_tables(NodeSlot slot) {
+  if (geometry_ == SparseChurnGeometry::kChord) {
+    // Bulk finger rebuild -- the join-storm path (every joiner re-derives
+    // its whole row, hundreds of millions of entries per trajectory).
+    // Same writes as refresh_entry per index, with the per-call reloads
+    // (owner id, mask, stamps) hoisted out of the loop; chord refreshes
+    // consume no rng, so the fusion is stream-exact.
+    const std::uint64_t id = membership_.id_of(slot);
+    const std::uint64_t mask = membership_.key_mask();
+    const std::uint64_t base = slot * static_cast<std::uint64_t>(row_width_);
+    const auto stamp = static_cast<std::int32_t>(round_);
+    for (int j = 0; j < row_width_; ++j) {
+      const std::uint64_t key =
+          (id + (std::uint64_t{1} << (config_.bits - j - 1))) & mask;
+      const NodeSlot chosen = membership_.successor_of_key(key);
+      const std::uint64_t offset = base + static_cast<std::uint64_t>(j);
+      table_[offset] = chosen;
+      table_gen_[offset] = membership_.generation(chosen);
+      table_id_[offset] = membership_.id_of(chosen);
+      refreshed_at_[offset] = stamp;
+    }
+    return;
+  }
   for (int j = 0; j < row_width_; ++j) {
     refresh_entry(slot, j);
   }
@@ -346,6 +810,11 @@ void SparseChurnWorld::rebuild_successors(NodeSlot slot,
     successors_[base + static_cast<std::uint64_t>(t)] = succ;
     successors_gen_[base + static_cast<std::uint64_t>(t)] =
         membership_.generation(succ);
+    // Install-time id cache; a self-entry (tiny populations wrap the
+    // ring onto the owner) carries the owner's id, inadmissible to every
+    // kernel by arithmetic alone.
+    successors_id_[base + static_cast<std::uint64_t>(t)] =
+        membership_.id_of(succ);
   }
   successors_refreshed_at_[slot] = static_cast<std::int32_t>(round_);
 }
@@ -408,6 +877,7 @@ void SparseChurnWorld::announce_join(NodeSlot slot) {
           if (!entry_valid(table_[offset], table_gen_[offset])) {
             table_[offset] = slot;
             table_gen_[offset] = generation;
+            table_id_[offset] = id;
             refreshed_at_[offset] = static_cast<std::int32_t>(round_);
             break;
           }
@@ -467,13 +937,56 @@ void SparseChurnWorld::maintain_entries(NodeSlot slot) {
     maintain_kademlia_buckets(slot);
     return;
   }
+  if (repair_probability_ == 0.0) {
+    // Pure lazy refresh consumes no rng during the scan, so a row whose
+    // earliest possibly-due round lies in the future can be skipped
+    // outright -- the dirty-row worklist that replaces the full-width
+    // sweep.  The bound is conservative: stamps only move forward between
+    // scans (refreshes and announcements re-stamp with the current
+    // round), so a skipped row provably has nothing due.
+    if (round_ < table_due_round_[slot]) {
+      return;
+    }
+    // Two passes so the common case -- scanning a row with nothing or
+    // almost nothing due -- is a branch-free strip over the contiguous
+    // stamps (row_width <= 64 outside Kademlia, so the due set packs into
+    // one word).  Refreshing ascending mask bits then reproduces the
+    // interleaved loop exactly: refreshes re-stamp with round_, so the
+    // post-scan minimum is min(surviving stamps, round_), and round_ only
+    // enters when something was refreshed -- surviving stamps never
+    // exceed it.
+    const std::uint64_t row_base =
+        slot * static_cast<std::uint64_t>(row_width_);
+    const std::int32_t* stamps = refreshed_at_.data() + row_base;
+    const std::int32_t due_at =
+        static_cast<std::int32_t>(round_) -
+        static_cast<std::int32_t>(params_.refresh_interval);
+    std::uint64_t due = 0;
+    std::int32_t min_live = std::numeric_limits<std::int32_t>::max();
+    for (int j = 0; j < row_width_; ++j) {
+      const bool is_due = stamps[j] <= due_at;
+      due |= static_cast<std::uint64_t>(is_due) << j;
+      min_live = !is_due && stamps[j] < min_live ? stamps[j] : min_live;
+    }
+    std::int32_t min_stamp = min_live;
+    if (due != 0) {
+      do {
+        refresh_entry(slot, std::countr_zero(due));
+        due &= due - 1;
+      } while (due != 0);
+      min_stamp = std::min(min_live, static_cast<std::int32_t>(round_));
+    }
+    table_due_round_[slot] =
+        min_stamp + static_cast<std::int32_t>(params_.refresh_interval);
+    return;
+  }
   for (int j = 0; j < row_width_; ++j) {
     const std::uint64_t offset =
         slot * static_cast<std::uint64_t>(row_width_) +
         static_cast<std::uint64_t>(j);
     if (round_ - refreshed_at_[offset] >= params_.refresh_interval) {
       refresh_entry(slot, j);
-    } else if (repair_probability_ > 0.0) {
+    } else {
       // Observed-dead covers departed targets AND recycled slots (the
       // node at that address is a different one now) -- both are
       // generation mismatches.
@@ -497,6 +1010,15 @@ void SparseChurnWorld::maintain_kademlia_buckets(NodeSlot slot) {
   const int k = config_.bucket_k;
   const std::uint64_t row_base =
       slot * static_cast<std::uint64_t>(row_width_);
+  // rho == 0: the scan is rng-free, so the due-round bound applies
+  // exactly as in maintain_entries (evictions -- which shift stamps
+  // mid-scan -- exist only on the rho > 0 branch, where the bound is
+  // never consulted or maintained).
+  const bool lazy_only = repair_probability_ == 0.0;
+  if (lazy_only && round_ < table_due_round_[slot]) {
+    return;
+  }
+  std::int32_t min_stamp = std::numeric_limits<std::int32_t>::max();
   for (int b = 0; b < config_.bits; ++b) {
     const std::uint64_t bucket_base =
         row_base + static_cast<std::uint64_t>(b) * static_cast<std::uint64_t>(k);
@@ -505,7 +1027,7 @@ void SparseChurnWorld::maintain_kademlia_buckets(NodeSlot slot) {
           bucket_base + static_cast<std::uint64_t>(cell);
       if (round_ - refreshed_at_[offset] >= params_.refresh_interval) {
         refresh_entry(slot, b * k + cell);
-      } else if (repair_probability_ > 0.0) {
+      } else if (!lazy_only) {
         const NodeSlot entry = table_[offset];
         if (entry != kNoSlot && !entry_valid(entry, table_gen_[offset]) &&
             table_rng_.bernoulli(repair_probability_)) {
@@ -514,6 +1036,7 @@ void SparseChurnWorld::maintain_kademlia_buckets(NodeSlot slot) {
                 bucket_base + static_cast<std::uint64_t>(t);
             table_[dst] = table_[dst + 1];
             table_gen_[dst] = table_gen_[dst + 1];
+            table_id_[dst] = table_id_[dst + 1];
             refreshed_at_[dst] = refreshed_at_[dst + 1];
           }
           refresh_entry(slot, b * k + (k - 1));
@@ -521,7 +1044,12 @@ void SparseChurnWorld::maintain_kademlia_buckets(NodeSlot slot) {
           // look next round -- each cell is examined once per round.
         }
       }
+      min_stamp = std::min(min_stamp, refreshed_at_[offset]);
     }
+  }
+  if (lazy_only) {
+    table_due_round_[slot] =
+        min_stamp + static_cast<std::int32_t>(params_.refresh_interval);
   }
 }
 
@@ -535,14 +1063,20 @@ void SparseChurnWorld::maintain_kademlia_buckets(NodeSlot slot) {
 // (mid-round the order index may briefly carry departed entries, which
 // read as dead through the presence mask like any stale state).
 void SparseChurnWorld::integrate_joiners(bool commit_always) {
+  // Round-boundary commits (commit_always) also refresh the membership's
+  // prefix-seek table: a round of maintenance queries follows and
+  // amortizes the rebuild many times over.  The in-flight engine's
+  // per-lookup boundary commits skip the rebuild -- their delta is a
+  // handful of slots and the next boundary is one lookup away -- at the
+  // price of full-range (pre-accelerator) searches in between.
   if (joiners_.empty()) {
     if (commit_always) {
-      membership_.commit();
+      membership_.commit(/*refresh_seek=*/true);
     }
     return;
   }
   membership_.join(joiners_, id_rng_);
-  membership_.commit();
+  membership_.commit(/*refresh_seek=*/commit_always);
   total_joins_ += joiners_.size();
   for (const NodeSlot slot : joiners_) {
     joined_at_[slot] = round_;
@@ -614,14 +1148,32 @@ void SparseChurnWorld::step() {
   }
   integrate_joiners(/*commit_always=*/true);
   // Maintenance for present nodes: successor-list stabilization, due
-  // refreshes, and eager repair.
-  for (NodeSlot slot = 0; slot < capacity; ++slot) {
-    if (!membership_.present(slot)) {
-      continue;
-    }
+  // refreshes, and eager repair.  Members are enumerated through the
+  // packed alive bitmap (same ascending order as the historical
+  // full-capacity presence scan) and rows that provably have nothing due
+  // are skipped inside maintain_entries.
+  for_each_alive(membership_, [&](NodeSlot slot) {
     maintain_successors(slot);
     maintain_entries(slot);
-  }
+  });
+}
+
+ChurnKernelCtx SparseChurnWorld::kernel_ctx() const {
+  ChurnKernelCtx ctx;
+  ctx.ids = membership_.id_data();
+  ctx.alive_bits = membership_.alive_bits_data();
+  ctx.generations = membership_.generation_data();
+  ctx.table = table_.data();
+  ctx.table_gen = table_gen_.data();
+  ctx.table_id = table_id_.data();
+  ctx.successors = successors_.data();
+  ctx.successors_gen = successors_gen_.data();
+  ctx.successors_id = successors_id_.data();
+  ctx.row_width = row_width_;
+  ctx.bucket_k = config_.bucket_k;
+  ctx.s = config_.successors;
+  ctx.key_mask = membership_.key_mask();
+  return ctx;
 }
 
 sparse::SparseEstimate SparseChurnWorld::measure(std::uint64_t pairs,
@@ -630,112 +1182,215 @@ sparse::SparseEstimate SparseChurnWorld::measure(std::uint64_t pairs,
   if (membership_.population() < 2) {
     return estimate;  // nothing to sample: the empty-estimate contract
   }
-  ChurnKernelCtx ctx;
-  ctx.ids = membership_.id_data();
-  ctx.present = membership_.present_data();
-  ctx.generations = membership_.generation_data();
-  ctx.table = table_.data();
-  ctx.table_gen = table_gen_.data();
-  ctx.successors = successors_.data();
-  ctx.successors_gen = successors_gen_.data();
-  ctx.row_width = row_width_;
-  ctx.bucket_k = config_.bucket_k;
-  ctx.s = config_.successors;
-  ctx.key_mask = membership_.key_mask();
-  NodeSlot (*step)(const ChurnKernelCtx&, NodeSlot, std::uint64_t) =
+  const ChurnKernelCtx ctx = kernel_ctx();
+  const std::uint64_t capacity = membership_.capacity();
+  const bool workload = workload_enabled();
+  // Replica attempts are capped by the population once for the whole
+  // call: the world is frozen in sync mode, so the historical per-pair
+  // min is a constant.
+  const int attempts =
+      workload ? static_cast<int>(std::min<std::uint64_t>(
+                     static_cast<std::uint64_t>(config_.replicas),
+                     membership_.order_size()))
+               : 1;
+  // Draws are pulled a chunk at a time BEFORE any routing: routing is
+  // rng-free, so hoisting the draws out of the route loop consumes the
+  // measurement stream byte for byte like the historical interleaved
+  // loop, while giving the batch driver a pair source to refill lanes
+  // from.  Chunking bounds the scratch (and keeps pair tags in u32).
+  constexpr std::uint64_t kDrawChunk = 4096;
+  for (std::uint64_t start = 0; start < pairs; start += kDrawChunk) {
+    const std::uint64_t n = std::min(kDrawChunk, pairs - start);
+    draws_.clear();
+    draws_.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      GetDraw draw;
+      if (!workload) {
+        NodeSlot source =
+            static_cast<NodeSlot>(rng.uniform_below(capacity));
+        while (!membership_.present(source)) {
+          source = static_cast<NodeSlot>(rng.uniform_below(capacity));
+        }
+        NodeSlot target =
+            static_cast<NodeSlot>(rng.uniform_below(capacity));
+        while (!membership_.present(target) || target == source) {
+          target = static_cast<NodeSlot>(rng.uniform_below(capacity));
+        }
+        draw.source = source;
+        draw.target = target;
+      } else {
+        // Replicated GET: the object's key places it on its successor
+        // (the primary, attempt 0 -- what the routing estimate records)
+        // and the next r - 1 clockwise present nodes hold the replicas.
+        // Sources colliding with the primary redraw both draws, like the
+        // uniform path's target rejection.
+        for (;;) {
+          draw.source =
+              static_cast<NodeSlot>(rng.uniform_below(capacity));
+          while (!membership_.present(draw.source)) {
+            draw.source =
+                static_cast<NodeSlot>(rng.uniform_below(capacity));
+          }
+          const std::uint64_t object = zipf_->sample(rng);
+          draw.position = membership_.successor_position(
+              object_keys_.at(object) & ctx.key_mask);
+          draw.target = membership_.ring_successor(draw.position, 0);
+          if (draw.target != draw.source) {
+            break;
+          }
+        }
+      }
+      draws_.push_back(draw);
+    }
+    if (batch_routes_) {
+      measure_batched_routes(ctx, attempts, estimate);
+    } else {
+      measure_scalar_routes(ctx, attempts, estimate);
+    }
+  }
+  return estimate;
+}
+
+// The scalar reference path: pair by pair through the shared single-route
+// core, replicas consulted in attempt order only while unavailable --
+// exactly the historical control flow over the drawn chunk.
+void SparseChurnWorld::measure_scalar_routes(
+    const ChurnKernelCtx& ctx, int attempts,
+    sparse::SparseEstimate& estimate) {
+  StepResult (*step)(const ChurnKernelCtx&, NodeSlot, std::uint64_t,
+                     std::uint64_t) =
       geometry_ == SparseChurnGeometry::kKademlia ? &step_xor
                                                   : &step_clockwise;
-  const std::uint64_t capacity = membership_.capacity();
-  // Routes toward `target`; outcomes are recorded into `rec` when given
-  // (attempt 0 of a GET / the historical uniform route), and every forward
-  // bumps the holding slot's load counter -- rng-free, so the measurement
-  // stream is byte-for-byte the historical one.  Returns arrival.
-  const auto route_to = [&](NodeSlot source, NodeSlot target,
-                            sparse::SparseEstimate* rec) -> bool {
-    const std::uint64_t target_id = membership_.id_of(target);
-    NodeSlot cur = source;
-    std::uint64_t hops = 0;
-    for (;;) {
-      if (cur == target) {
-        if (rec != nullptr) {
-          rec->record_arrival(hops);
-        }
-        return true;
-      }
-      if (hops >= max_hops_) {
-        if (rec != nullptr) {
-          rec->record_hop_limit();
-        }
-        return false;
-      }
-      ++load_[cur];
-      const NodeSlot next = step(ctx, cur, target_id);
-      if (next == kNoSlot) {
-        if (rec != nullptr) {
-          rec->record_drop();
-        }
-        return false;
-      }
-      cur = next;
-      ++hops;
-    }
-  };
-  if (!workload_enabled()) {
-    for (std::uint64_t i = 0; i < pairs; ++i) {
-      NodeSlot source = static_cast<NodeSlot>(rng.uniform_below(capacity));
-      while (!membership_.present(source)) {
-        source = static_cast<NodeSlot>(rng.uniform_below(capacity));
-      }
-      NodeSlot target = static_cast<NodeSlot>(rng.uniform_below(capacity));
-      while (!membership_.present(target) || target == source) {
-        target = static_cast<NodeSlot>(rng.uniform_below(capacity));
-      }
-      route_to(source, target, &estimate);
-    }
-    return estimate;
-  }
-  // Replicated GETs: the object's key places it on its successor (the
-  // primary, attempt 0 -- what the routing estimate records) and the next
-  // r - 1 clockwise present nodes hold the replicas, consulted only when
-  // the primary attempt fails.  Sources colliding with the primary redraw
-  // both draws, like the uniform path's target rejection.
-  for (std::uint64_t i = 0; i < pairs; ++i) {
-    NodeSlot source;
-    NodeSlot primary;
-    std::uint64_t position;
-    for (;;) {
-      source = static_cast<NodeSlot>(rng.uniform_below(capacity));
-      while (!membership_.present(source)) {
-        source = static_cast<NodeSlot>(rng.uniform_below(capacity));
-      }
-      const std::uint64_t object = zipf_->sample(rng);
-      position = membership_.successor_position(object_keys_.at(object) &
-                                                ctx.key_mask);
-      primary = membership_.ring_successor(position, 0);
-      if (primary != source) {
-        break;
-      }
+  const bool workload = workload_enabled();
+  const auto no_sweep = [] {};
+  for (const GetDraw& draw : draws_) {
+    const std::uint64_t source_id = ctx.ids[draw.source];
+    bool available = route_one<false>(
+        ctx, step, draw.source, source_id, draw.target,
+        ctx.ids[draw.target], max_hops_, load_.data(), &estimate, no_sweep);
+    if (!workload) {
+      continue;
     }
     ++estimate.gets;
-    bool available = route_to(source, primary, &estimate);
-    const auto attempts = static_cast<int>(std::min<std::uint64_t>(
-        static_cast<std::uint64_t>(config_.replicas),
-        membership_.order_size()));
     for (int a = 1; a < attempts && !available; ++a) {
-      const NodeSlot holder =
-          membership_.ring_successor(position, static_cast<std::uint64_t>(a));
+      const NodeSlot holder = membership_.ring_successor(
+          draw.position, static_cast<std::uint64_t>(a));
       if (!membership_.present(holder)) {
         continue;  // the replica departed with its holder
       }
-      available = holder == source  // the source holds the replica itself
-                      ? true
-                      : route_to(source, holder, nullptr);
+      available =
+          holder == draw.source  // the source holds the replica itself
+              ? true
+              : route_one<false>(ctx, step, draw.source, source_id, holder,
+                                 ctx.ids[holder], max_hops_, load_.data(),
+                                 nullptr, no_sweep);
     }
     if (available) {
       ++estimate.gets_available;
     }
   }
-  return estimate;
+}
+
+// The batched path: the drawn chunk feeds the 8 SoA lanes; replica
+// attempts are failure-driven (attempt a launches only once attempts
+// 0..a-1 have failed, via the LIFO retry worklist), so exactly the scalar
+// attempt set gets routed.  Every recorded quantity -- estimate counters,
+// availability flags, load bumps -- is a commutative sum over that
+// identical set, so lane scheduling cannot change the merged result;
+// per-pair equality against measure_scalar_routes is gated in
+// test_sparse_churn.
+void SparseChurnWorld::measure_batched_routes(
+    const ChurnKernelCtx& ctx, int attempts,
+    sparse::SparseEstimate& estimate) {
+  const bool workload = workload_enabled();
+  const bool xor_geometry = geometry_ == SparseChurnGeometry::kKademlia;
+  const auto n = static_cast<std::uint32_t>(draws_.size());
+  get_available_.assign(n, 0);
+  retry_.clear();
+  std::uint32_t next = 0;
+  int lane_attempt[RouteBatch::kLanes] = {};
+  const auto launch = [&](RouteBatch& b, int l, std::uint32_t pair,
+                          int attempt, NodeSlot target) {
+    const GetDraw& draw = draws_[pair];
+    b.rank[l] = pair;  // the lane's GET tag
+    lane_attempt[l] = attempt;
+    b.cur[l] = draw.source;
+    b.dist[l] = ctx.ids[draw.source];
+    b.target[l] = target;
+    b.target_id[l] = ctx.ids[target];
+    b.hops[l] = 0;
+    if (xor_geometry) {
+      prefetch_xor_bucket(ctx, draw.source, b.dist[l], b.target_id[l]);
+    } else {
+      prefetch_ring_row(ctx, draw.source);
+    }
+  };
+  const auto refill = [&](RouteBatch& b, int l) -> bool {
+    for (;;) {
+      std::uint32_t pair;
+      int attempt;
+      if (!retry_.empty()) {
+        pair = retry_.back().first;
+        attempt = retry_.back().second;
+        retry_.pop_back();
+      } else if (next < n) {
+        pair = next++;
+        attempt = 0;
+      } else {
+        return false;
+      }
+      const GetDraw& draw = draws_[pair];
+      if (attempt == 0) {
+        launch(b, l, pair, attempt, draw.target);
+        return true;
+      }
+      const NodeSlot holder = membership_.ring_successor(
+          draw.position, static_cast<std::uint64_t>(attempt));
+      if (!membership_.present(holder)) {
+        // The replica departed with its holder: fall through to the
+        // next attempt without routing, like the scalar `continue`.
+        if (attempt + 1 < attempts) {
+          retry_.emplace_back(pair, attempt + 1);
+        }
+        continue;
+      }
+      if (holder == draw.source) {
+        get_available_[pair] = 1;  // the source holds the replica itself
+        continue;
+      }
+      launch(b, l, pair, attempt, holder);
+      return true;
+    }
+  };
+  const auto retire = [&](RouteBatch& b, int l, SparseRouteStatus status) {
+    if (lane_attempt[l] == 0) {
+      // Attempt 0 is what the routing estimate records (the historical
+      // uniform route / primary GET).
+      flat::record_route(estimate, status,
+                         static_cast<std::uint64_t>(b.hops[l]));
+    }
+    if (!workload) {
+      return;
+    }
+    if (status == SparseRouteStatus::kArrived) {
+      get_available_[b.rank[l]] = 1;
+    } else if (lane_attempt[l] + 1 < attempts) {
+      retry_.emplace_back(b.rank[l], lane_attempt[l] + 1);
+    }
+  };
+  if (xor_geometry) {
+    drive_churn_lanes(ctx, max_hops_, load_.data(), step_batch_xor, refill,
+                      retire);
+  } else {
+    drive_churn_lanes(ctx, max_hops_, load_.data(), step_batch_ring,
+                      refill, retire);
+  }
+  if (workload) {
+    estimate.gets += n;
+    for (const std::uint8_t available : get_available_) {
+      estimate.gets_available += available;
+    }
+  }
 }
 
 sparse::SparseEstimate SparseChurnWorld::measure(std::uint64_t pairs) {
@@ -765,63 +1420,28 @@ sparse::SparseEstimate SparseChurnWorld::measure_inflight(
     eph = eph == 0 ? 1 : eph;
   }
   sparse::SparseEstimate estimate;
-  ChurnKernelCtx ctx;
-  ctx.ids = membership_.id_data();
-  ctx.present = membership_.present_data();
-  ctx.generations = membership_.generation_data();
-  ctx.table = table_.data();
-  ctx.table_gen = table_gen_.data();
-  ctx.successors = successors_.data();
-  ctx.successors_gen = successors_gen_.data();
-  ctx.row_width = row_width_;
-  ctx.bucket_k = config_.bucket_k;
-  ctx.s = config_.successors;
-  ctx.key_mask = membership_.key_mask();
-  NodeSlot (*step)(const ChurnKernelCtx&, NodeSlot, std::uint64_t) =
+  // The ctx pointers stay valid while the world moves: the per-slot
+  // arrays never resize, and membership mutations (leave / join) update
+  // the packed epoch structure in place.  Ids can change only on rejoin,
+  // which happens at lookup boundaries -- never mid-route -- so the
+  // cached-id kernels' carried identifiers cannot go stale in flight.
+  const ChurnKernelCtx ctx = kernel_ctx();
+  StepResult (*step)(const ChurnKernelCtx&, NodeSlot, std::uint64_t,
+                     std::uint64_t) =
       geometry_ == SparseChurnGeometry::kKademlia ? &step_xor
                                                   : &step_clockwise;
-  // In-flight route: the holder's departure drops the message (checked
-  // before arrival -- a route "arriving" at a slot that just left gets no
-  // reply), and the lifecycle sweep advances under every hop.  Forwards
+  // In-flight route through the shared single-route core: the holder's
+  // departure drops the message (checked before arrival -- a route
+  // "arriving" at a slot that just left gets no reply), and the lifecycle
+  // sweep advances under every hop, which is what keeps this path scalar:
+  // each hop depends on the sweep the previous hop triggered.  Forwards
   // bump the holding slot's load counter, rng-free as in measure().
+  const auto sweep = [&] { advance_sweep(cursor, eph); };
   const auto route_to = [&](NodeSlot source, NodeSlot target,
                             sparse::SparseEstimate* rec) -> bool {
-    const std::uint64_t target_id = membership_.id_of(target);
-    NodeSlot cur = source;
-    std::uint64_t hops = 0;
-    for (;;) {
-      if (!membership_.present(cur)) {
-        // The node holding the message departed between hops -- the
-        // mid-flight loss the round-synchronous mode cannot express.
-        if (rec != nullptr) {
-          rec->record_drop();
-        }
-        return false;
-      }
-      if (cur == target) {
-        if (rec != nullptr) {
-          rec->record_arrival(hops);
-        }
-        return true;
-      }
-      if (hops >= max_hops_) {
-        if (rec != nullptr) {
-          rec->record_hop_limit();
-        }
-        return false;
-      }
-      ++load_[cur];
-      const NodeSlot next = step(ctx, cur, target_id);
-      if (next == kNoSlot) {
-        if (rec != nullptr) {
-          rec->record_drop();
-        }
-        return false;
-      }
-      cur = next;
-      ++hops;
-      advance_sweep(cursor, eph);  // the world moves under the lookup
-    }
+    return route_one<true>(ctx, step, source, ctx.ids[source], target,
+                           ctx.ids[target], max_hops_, load_.data(), rec,
+                           sweep);
   };
   const bool workload = workload_enabled();
   for (std::uint64_t i = 0; i < pairs; ++i) {
@@ -908,18 +1528,17 @@ double SparseChurnWorld::alive_fraction() const noexcept {
 double SparseChurnWorld::mean_entry_age() const {
   double total = 0.0;
   std::uint64_t counted = 0;
-  const std::uint64_t capacity = membership_.capacity();
-  for (NodeSlot slot = 0; slot < capacity; ++slot) {
-    if (!membership_.present(slot)) {
-      continue;
-    }
+  // Bitmap enumeration preserves the ascending slot order, so the
+  // floating-point accumulation is bit-identical to the historical
+  // full-capacity scan.
+  for_each_alive(membership_, [&](NodeSlot slot) {
     for (int j = 0; j < row_width_; ++j) {
       total += round_ -
                refreshed_at_[slot * static_cast<std::uint64_t>(row_width_) +
                              static_cast<std::uint64_t>(j)];
       ++counted;
     }
-  }
+  });
   return counted == 0 ? 0.0 : total / static_cast<double>(counted);
 }
 
@@ -954,6 +1573,7 @@ SparseChurnResult run_sparse_churn_trajectory(
         SparseChurnWorld world(geometry, config, params,
                                options.repair_probability, options.max_hops,
                                rng.fork(s));
+        world.set_batch_routes(options.batch_routes);
         for (int i = 0; i < options.warmup_rounds; ++i) {
           world.step();
         }

@@ -67,6 +67,8 @@
 
 namespace dht::churn {
 
+struct ChurnKernelCtx;  // flattened routing view (sparse_trajectory.cpp)
+
 /// Geometries of the sparse churn world (the three sparse overlay
 /// families; named like the dhtscale_cli sparse geometries).
 enum class SparseChurnGeometry {
@@ -161,6 +163,14 @@ class SparseChurnWorld {
   /// stored (possibly stale) tables.  With fewer than two present nodes
   /// there is nothing to sample: returns an empty estimate (the
   /// ChurnWorld::measure contract).
+  ///
+  /// All per-pair randomness (sources, targets, Zipf objects) is drawn up
+  /// front in pair order; routing itself is rng-free, so the measurement
+  /// stream is byte-for-byte the historical interleaved one.  The routes
+  /// then run either through the 8-lane SoA batch driver (the default) or
+  /// the scalar reference path -- bit-identical by construction, because
+  /// every recorded quantity (estimate counters, per-slot load adds) is
+  /// commutative and the batch executes exactly the scalar attempt set.
   sparse::SparseEstimate measure(std::uint64_t pairs, math::Rng& rng);
 
   /// Same, drawing from the world's own measurement sub-stream.
@@ -186,6 +196,16 @@ class SparseChurnWorld {
   /// Same, drawing from the world's own measurement sub-stream.
   sparse::SparseEstimate measure_inflight(std::uint64_t pairs,
                                           std::uint64_t events_per_hop = 0);
+
+  /// Selects the sync-mode route engine: true (default) routes GETs in
+  /// 8-lane struct-of-arrays batches; false keeps the scalar reference
+  /// path.  Results are bit-identical either way (gated in
+  /// test_sparse_churn); the knob exists for A/B measurement and the
+  /// equality tests.  In-flight measurement is always scalar: the
+  /// lifecycle sweep advances under every hop, so routes are inherently
+  /// sequential.
+  void set_batch_routes(bool batched) noexcept { batch_routes_ = batched; }
+  bool batch_routes() const noexcept { return batch_routes_; }
 
   int round() const noexcept { return round_; }
   std::uint64_t population() const noexcept {
@@ -217,6 +237,13 @@ class SparseChurnWorld {
     return config_.objects != 0 ? config_.objects : membership_.capacity();
   }
   bool entry_valid(NodeSlot entry, std::uint32_t generation) const;
+  ChurnKernelCtx kernel_ctx() const;
+  // Route one chunk of draws_ (scalar reference path / 8-lane batched
+  // path); both consume no rng and record identical per-pair outcomes.
+  void measure_scalar_routes(const ChurnKernelCtx& ctx, int attempts,
+                             sparse::SparseEstimate& estimate);
+  void measure_batched_routes(const ChurnKernelCtx& ctx, int attempts,
+                              sparse::SparseEstimate& estimate);
   void refresh_entry(NodeSlot slot, int index);
   void announce_join(NodeSlot slot);
   void rebuild_tables(NodeSlot slot);
@@ -255,13 +282,42 @@ class SparseChurnWorld {
   std::vector<NodeSlot> table_;
   std::vector<std::uint32_t> table_gen_;
   std::vector<std::int32_t> refreshed_at_;
-  // Row-major [slot][0..s) successor lists + generations + per-node
-  // refresh stamps.
+  // Install-time identifier of each entry's target, cached row-major next
+  // to the entries.  While an entry is valid its target's id cannot have
+  // changed (ids change only on rejoin, which bumps the generation), so
+  // the kernels compute progress / XOR distance from this sequential row
+  // instead of chasing ids_[entry] pointers; invalid entries yield garbage
+  // geometry but are rejected by the validity probe exactly as before.
+  // Empty cells store the row owner's own id: zero clockwise progress /
+  // XOR distance equal to the owner's, inadmissible in both metrics, so
+  // they fall out arithmetically.
+  std::vector<std::uint64_t> table_id_;
+  // Earliest round at which a slot's row can hold a due entry
+  // (min refreshed_at over the row + R, maintained conservatively: stamps
+  // only increase between scans).  Lets rho = 0 maintenance skip whole
+  // rows without touching them -- a skipped row consumes no rng, exactly
+  // like a scanned row with nothing due.
+  std::vector<std::int32_t> table_due_round_;
+  // Row-major [slot][0..s) successor lists + generations + cached target
+  // ids (same discipline as table_id_) + per-node refresh stamps.
   std::vector<NodeSlot> successors_;
   std::vector<std::uint32_t> successors_gen_;
+  std::vector<std::uint64_t> successors_id_;
   std::vector<std::int32_t> successors_refreshed_at_;
   // Scratch for step() (avoids per-round allocation).
   std::vector<NodeSlot> joiners_;
+  // Sync-mode measurement scratch, reused across rounds: the up-front
+  // per-pair draws, the per-GET availability flags, and the batch
+  // driver's failed-attempt worklist.
+  struct GetDraw {
+    NodeSlot source = kNoSlot;
+    NodeSlot target = kNoSlot;      // attempt-0 holder (the primary)
+    std::uint64_t position = 0;     // ring position of the primary
+  };
+  std::vector<GetDraw> draws_;
+  std::vector<std::uint8_t> get_available_;
+  std::vector<std::pair<std::uint32_t, int>> retry_;  // (pair, attempt)
+  bool batch_routes_ = true;
   // Messages forwarded per slot across all measured routes (plain u64: the
   // world is single-threaded; see sim/load_stats.hpp for the shapes).
   std::vector<std::uint64_t> load_;

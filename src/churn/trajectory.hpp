@@ -87,6 +87,11 @@ struct TrajectoryOptions {
   /// sweep is flushed at the end of the round, so a measured round always
   /// performs exactly one full lifecycle round.
   std::uint64_t inflight_events_per_hop = 0;
+  /// Route sync-mode measurement in 8-lane SoA batches (sparse churn
+  /// engine; bit-identical to the scalar path, which `false` selects for
+  /// A/B measurement).  Ignored by the dense engine and by in-flight mode,
+  /// which is inherently sequential.
+  bool batch_routes = true;
 };
 
 /// Validates the domains of the shared trajectory options; throws

@@ -11,7 +11,12 @@
 //    materializing an N-sized vector per shard.
 //  * The churn engine's shard-private worlds accumulate into plain u64
 //    vectors (each world is single-threaded); per-shard summaries are
-//    reduced in shard order.
+//    reduced in shard order.  Its batched sync measurement retires the
+//    8 SoA lanes in whatever order routes terminate, which is safe for
+//    the same reason the atomic shape is: each lane's bumps are plain
+//    commutative additions into the world's own vector, so lane
+//    scheduling cannot change the final counts (gated per pair against
+//    the scalar path in test_sparse_churn).
 //
 // Overflow analysis (the hop_stats.hpp discipline): one route contributes
 // at most max_hops < 2^26 forwards total, so a node's counter is bounded by

@@ -76,17 +76,7 @@ namespace {
 
 inline void record(SparseEstimate& estimate, SparseRouteStatus status,
                    int hops) {
-  switch (status) {
-    case SparseRouteStatus::kArrived:
-      estimate.record_arrival(static_cast<std::uint64_t>(hops));
-      break;
-    case SparseRouteStatus::kDropped:
-      estimate.record_drop();
-      break;
-    case SparseRouteStatus::kHopLimit:
-      estimate.record_hop_limit();
-      break;
-  }
+  record_route(estimate, status, static_cast<std::uint64_t>(hops));
 }
 
 // The shared struct-of-arrays lane driver.  Retires every terminal lane

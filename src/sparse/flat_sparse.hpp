@@ -50,6 +50,25 @@ struct SparseRouteResult {
   int hops = 0;
 };
 
+/// Folds one retired route into the estimate counters.  Shared by the
+/// static lane driver and the churn engine's batch driver: every counter
+/// is a commutative sum, which is exactly why retirement order (and hence
+/// batch scheduling) can never change a merged estimate.
+inline void record_route(SparseEstimate& estimate, SparseRouteStatus status,
+                         std::uint64_t hops) {
+  switch (status) {
+    case SparseRouteStatus::kArrived:
+      estimate.record_arrival(hops);
+      break;
+    case SparseRouteStatus::kDropped:
+      estimate.record_drop();
+      break;
+    case SparseRouteStatus::kHopLimit:
+      estimate.record_hop_limit();
+      break;
+  }
+}
+
 // Flattened sparse routing context: everything a kernel needs, as raw
 // pointers and scalars.  Built once per engine invocation, read-only
 // across threads.
@@ -331,16 +350,21 @@ struct RouteBatch {
   NodeIndex cur[kLanes];
   NodeIndex target[kLanes];
   std::uint64_t target_id[kLanes];
-  // Remaining clockwise distance (target_id - id(cur)) mod 2^d, kept
-  // incrementally: each hop subtracts the chosen entry's precomputed
-  // progress -- exact integer arithmetic, so it equals the recomputed
-  // value bit for bit.  Ring kernels read this instead of ids[cur], which
-  // removes the only per-hop load outside the row itself.
+  // Per-lane geometry register.  The static ring kernels keep the
+  // remaining clockwise distance (target_id - id(cur)) mod 2^d here,
+  // updated incrementally: each hop subtracts the chosen entry's
+  // precomputed progress -- exact integer arithmetic, so it equals the
+  // recomputed value bit for bit, and removes the only per-hop load
+  // outside the row itself.  The churn engine's batch kernels
+  // (churn/sparse_trajectory.cpp) reuse the same lanes and carry the
+  // current hop's identifier instead (their rows cache install-time
+  // target ids, so cur's id is the one value a hop must thread through).
   std::uint64_t dist[kLanes];
   std::uint32_t hops[kLanes];
   std::uint8_t active[kLanes];
-  // Workload object rank the lane is fetching (kNoRank for uniform pairs);
-  // read only by the driver's cache probes, never by the step kernels.
+  // Workload object rank the lane is fetching (kNoRank for uniform
+  // pairs); read only by the driver's cache probes, never by the step
+  // kernels.  The churn driver reuses it as the lane's GET (pair) index.
   std::uint32_t rank[kLanes];
 };
 

@@ -9,6 +9,8 @@
 // at d' = log2 N.
 #include <gtest/gtest.h>
 
+#include <string>
+
 #include "churn/sparse_trajectory.hpp"
 #include "churn/trajectory.hpp"
 #include "common/check.hpp"
@@ -597,11 +599,158 @@ TEST(SparseChurn, CollapsedPopulationHonorsEmptyEstimateContract) {
   EXPECT_EQ(estimate.hops.count(), 0u);
   EXPECT_EQ(estimate.hop_limit_hits, 0u);
   EXPECT_EQ(estimate.routability(), 0.0);
-  // The world must survive further rounds (and possibly repopulate).
+  // The world must survive further rounds (and possibly repopulate.)
   for (int round = 0; round < 50; ++round) {
     world.step();
   }
   (void)world.measure(50);
+}
+
+// Full-field estimate equality, the availability counters included --
+// expect_identical covers only the routing side.
+void expect_estimates_equal(const sparse::SparseEstimate& a,
+                            const sparse::SparseEstimate& b,
+                            const std::string& what) {
+  expect_identical(a, b, what.c_str());
+  EXPECT_EQ(a.gets, b.gets) << what;
+  EXPECT_EQ(a.gets_available, b.gets_available) << what;
+}
+
+TEST(SparseChurn, BatchedMatchesScalarPerPair) {
+  // The tentpole gate: the 8-lane batched sync path must agree with the
+  // scalar reference path PER PAIR -- not merely in aggregate -- across
+  // every geometry, bucket width, successor-list length, and replication
+  // factor.  Two worlds share a seed (identical rng lineage); measuring
+  // one pair at a time makes each call's estimate a single pair's
+  // outcome, so any kernel divergence pins itself to the exact pair.
+  const ChurnParams params{.death_per_round = 0.06,
+                           .rebirth_per_round = 0.06,
+                           .refresh_interval = 4};
+  for (const SparseChurnGeometry geometry : kAllGeometries) {
+    for (const int bucket_k : {1, 4}) {
+      if (geometry != SparseChurnGeometry::kKademlia && bucket_k != 1) {
+        continue;  // bucket width shapes only the kademlia rows
+      }
+      for (const int successors : {0, 4}) {
+        for (const int replicas : {1, 3}) {
+          const SparseChurnConfig config{.bits = 16,
+                                         .capacity = 600,
+                                         .successors = successors,
+                                         .shortcuts = 4,
+                                         .bucket_k = bucket_k,
+                                         .replicas = replicas};
+          const std::string what =
+              std::string(to_string(geometry)) +
+              " k=" + std::to_string(bucket_k) +
+              " s=" + std::to_string(successors) +
+              " r=" + std::to_string(replicas);
+          SparseChurnWorld scalar_world(geometry, config, params, 0.0, 0,
+                                        math::Rng(91));
+          SparseChurnWorld batched_world(geometry, config, params, 0.0, 0,
+                                         math::Rng(91));
+          scalar_world.set_batch_routes(false);
+          batched_world.set_batch_routes(true);
+          for (int round = 0; round < 6; ++round) {
+            scalar_world.step();
+            batched_world.step();
+            for (int pair = 0; pair < 40; ++pair) {
+              expect_estimates_equal(
+                  scalar_world.measure(1), batched_world.measure(1),
+                  what + " round " + std::to_string(round) + " pair " +
+                      std::to_string(pair));
+            }
+          }
+          // The load accounting (bumps per forward, including the bump a
+          // dropping hop charges) must agree exactly as well.
+          EXPECT_EQ(scalar_world.load_summary(), batched_world.load_summary())
+              << what;
+        }
+      }
+    }
+  }
+}
+
+TEST(SparseChurn, BatchedTrajectoryMatchesScalarTrajectory) {
+  // End-to-end over the sharded engine: TrajectoryOptions::batch_routes
+  // flips the measurement path only, so every per-round estimate and
+  // diagnostic must be bit-identical between the two settings.
+  const ChurnParams params{.death_per_round = 0.04,
+                           .rebirth_per_round = 0.06,
+                           .refresh_interval = 5};
+  const SparseChurnConfig config{.bits = 24,
+                                 .capacity = 900,
+                                 .successors = 3,
+                                 .shortcuts = 4,
+                                 .bucket_k = 2,
+                                 .replicas = 2,
+                                 .zipf_s = 0.8};
+  for (const SparseChurnGeometry geometry : kAllGeometries) {
+    TrajectoryOptions options{.warmup_rounds = 6,
+                              .measured_rounds = 3,
+                              .pairs_per_round = 500,
+                              .shards = 4,
+                              .repair_probability = 0.2};
+    options.batch_routes = true;
+    const auto batched = run_sparse_churn_trajectory(
+        geometry, config, params, options, math::Rng(29));
+    options.batch_routes = false;
+    const auto scalar = run_sparse_churn_trajectory(
+        geometry, config, params, options, math::Rng(29));
+    ASSERT_EQ(batched.per_round.size(), scalar.per_round.size());
+    for (std::size_t r = 0; r < batched.per_round.size(); ++r) {
+      expect_estimates_equal(scalar.per_round[r], batched.per_round[r],
+                             std::string(to_string(geometry)) + " round " +
+                                 std::to_string(r));
+    }
+    expect_estimates_equal(scalar.overall, batched.overall,
+                           to_string(geometry));
+    EXPECT_EQ(scalar.mean_population, batched.mean_population);
+    EXPECT_EQ(scalar.mean_alive_fraction, batched.mean_alive_fraction);
+    EXPECT_EQ(scalar.mean_entry_age, batched.mean_entry_age);
+    EXPECT_EQ(scalar.load_max, batched.load_max);
+    EXPECT_EQ(scalar.load_p99, batched.load_p99);
+    EXPECT_EQ(scalar.load_cv, batched.load_cv);
+  }
+}
+
+TEST(SparseChurn, BatchedPathHonorsZeroPairAndCollapsedContracts) {
+  // The batched driver inherits measure()'s boundary contracts: zero
+  // pairs draw nothing (the measurement rng stream must not move), and a
+  // collapsed population returns the empty estimate without touching a
+  // lane.
+  const ChurnParams params{.death_per_round = 0.99,
+                           .rebirth_per_round = 0.005,
+                           .refresh_interval = 3};
+  const SparseChurnConfig config{
+      .bits = 8, .capacity = 8, .successors = 2, .shortcuts = 2,
+      .replicas = 3};
+  SparseChurnWorld world(SparseChurnGeometry::kChord, config, params, 0.0, 0,
+                         math::Rng(83));
+  world.set_batch_routes(true);
+  world.step();
+  const auto none = world.measure(0);
+  EXPECT_EQ(none.attempts, 0u);
+  EXPECT_EQ(none.gets, 0u);
+  // Zero pairs consumed no rng: a twin world that never measured zero
+  // pairs produces the same next estimate.
+  SparseChurnWorld twin(SparseChurnGeometry::kChord, config, params, 0.0, 0,
+                        math::Rng(83));
+  twin.set_batch_routes(true);
+  twin.step();
+  expect_estimates_equal(world.measure(20), twin.measure(20), "zero-pair");
+  bool collapsed = false;
+  for (int round = 0; round < 300 && !collapsed; ++round) {
+    collapsed = world.population() < 2;
+    if (!collapsed) {
+      world.step();
+    }
+  }
+  ASSERT_TRUE(collapsed) << "population never dropped below 2";
+  const auto estimate = world.measure(100);
+  EXPECT_EQ(estimate.attempts, 0u);
+  EXPECT_EQ(estimate.gets, 0u);
+  EXPECT_EQ(estimate.gets_available, 0u);
+  EXPECT_EQ(estimate.routability(), 0.0);
 }
 
 TEST(SparseChurn, SweepCoversGridInOrderAndIsReproducible) {
