@@ -23,8 +23,19 @@
 //    "routability":0.951234,"identical_across_threads":true}
 //
 // Wall time covers world evolution (warmup + measured rounds) plus route
-// sampling, so the churn throughput metric is shard-rounds/sec -- a routes
-// /sec figure here would mostly measure warmup stepping.
+// sampling, so the churn throughput metric is shard-rounds/sec; the
+// routes_per_sec column divides by that same full wall time (comparable
+// across sections but diluted by warmup), while
+// route_phase_routes_per_sec divides by the route phase's own measured
+// seconds -- the honest routing-throughput figure for the churn sections.
+//
+// Every row also carries the observability columns: the six phase_*_s
+// per-phase CPU-second columns (timing -- exempt from the cross-thread
+// determinism pairing) and the exact-integer route-failure taxonomy
+// (fail_dead_entry, hop_limit_hits, fail_holder_departed,
+// fail_succ_collapse, fail_cache_dead_owner -- gated like every other
+// count column).  --trace-out FILE additionally writes the harness's
+// phase spans as a Chrome trace_event JSON timeline (open in Perfetto).
 //
 // A fourth JSONL section ("section":"sparse_churn") drives the
 // dynamic-membership sparse churn engine (churn/sparse_trajectory.hpp):
@@ -112,6 +123,11 @@
 //        --cache-entries E (8, per-node path-cache slots; the workload
 //        section also always measures the E = 0 baseline)
 //        --replicas R (3, successor-list replication of the GET mode)
+//        --trace-out FILE (write a Chrome trace_event JSON timeline of the
+//        engine phase spans; empty = off)
+//        --obs 0|1 (1: attach phase profiles/trace sinks to the engines;
+//        0 hands them null sinks -- the clock-free disabled path -- for
+//        A/B measurement of the instrumentation overhead itself)
 //        All flags are validated here at the parse boundary -- a bad value
 //        gets a one-line diagnostic instead of a deep engine abort.
 #include <chrono>
@@ -127,6 +143,9 @@
 #include "churn/sparse_trajectory.hpp"
 #include "churn/trajectory.hpp"
 #include "math/rng.hpp"
+#include "obs/failure.hpp"
+#include "obs/phase_timer.hpp"
+#include "obs/trace.hpp"
 #include "sim/monte_carlo.hpp"
 #include "sim/parallel_monte_carlo.hpp"
 #include "sim/topology.hpp"
@@ -174,6 +193,14 @@ struct Config {
   // and give each socket its own read-only copy of the sparse tables.
   // Scheduling only -- estimates are bit-identical either way.
   bool pin = false;
+  // Chrome trace_event JSON output of the engine phase spans ("" = off).
+  std::string trace_out;
+  // Observability side-channels (phase profiles + trace spans).  --obs 0
+  // hands every engine null sinks -- the zero-cost path that reads no
+  // clock -- so A/B runs can measure the instrumentation overhead itself
+  // (the phase_*_s columns then emit as zeros).  Taxonomy counts are
+  // intrinsic to the estimates and unaffected by this switch.
+  bool obs = true;
 };
 
 std::vector<unsigned> parse_thread_list(const char* arg) {
@@ -339,6 +366,14 @@ Config parse_args(int argc, char** argv) {
       }
     } else if (flag == "--pin") {
       cfg.pin = std::atoi(value) != 0;
+    } else if (flag == "--trace-out") {
+      cfg.trace_out = value;
+    } else if (flag == "--obs") {
+      if (std::strcmp(value, "0") != 0 && std::strcmp(value, "1") != 0) {
+        std::fprintf(stderr, "--obs must be 0 or 1, got %s\n", value);
+        std::exit(1);
+      }
+      cfg.obs = std::strcmp(value, "1") == 0;
     } else if (flag == "--geometry") {
       if (std::strcmp(value, "all") == 0) {
         cfg.geometries = {"ring", "xor", "tree", "hypercube", "symphony"};
@@ -364,22 +399,58 @@ double seconds_since(std::chrono::steady_clock::time_point start) {
       .count();
 }
 
+// The observability column block every section appends: the six per-phase
+// CPU-second columns (summed across shards -- timing, exempt from the
+// cross-thread determinism pairing) followed by the exact-integer
+// route-failure taxonomy, which IS gated.  hop_limit_hits keeps its
+// pre-taxonomy column name for bench-trajectory continuity;
+// fail_cache_dead_owner is an invariant canary -- the static engine
+// resolves cached paths against the same frozen failure mask that filled
+// the cache, so it must stay 0.
+std::string obs_columns(const obs::PhaseProfile& profile,
+                        const obs::FailureTaxonomy& failures) {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof buf,
+      "\"phase_world_build_s\":%.6f,\"phase_lifecycle_s\":%.6f,"
+      "\"phase_refresh_repair_s\":%.6f,\"phase_route_s\":%.6f,"
+      "\"phase_commit_s\":%.6f,\"phase_merge_s\":%.6f,"
+      "\"fail_dead_entry\":%llu,\"hop_limit_hits\":%llu,"
+      "\"fail_holder_departed\":%llu,\"fail_succ_collapse\":%llu,"
+      "\"fail_cache_dead_owner\":%llu",
+      profile[obs::Phase::kWorldBuild], profile[obs::Phase::kLifecycle],
+      profile[obs::Phase::kRefreshRepair], profile[obs::Phase::kRoute],
+      profile[obs::Phase::kMembershipCommit], profile[obs::Phase::kMerge],
+      static_cast<unsigned long long>(
+          failures[obs::RouteFailure::kDeadEntry]),
+      static_cast<unsigned long long>(
+          failures[obs::RouteFailure::kHopLimit]),
+      static_cast<unsigned long long>(
+          failures[obs::RouteFailure::kHolderDeparted]),
+      static_cast<unsigned long long>(
+          failures[obs::RouteFailure::kSuccessorCollapse]),
+      static_cast<unsigned long long>(
+          failures[obs::RouteFailure::kCacheDeadOwner]));
+  return buf;
+}
+
 void emit(const Config& cfg, const std::string& geometry, const char* path,
           unsigned threads, double seconds, double routability,
-          double speedup, bool identical) {
+          double speedup, bool identical, const obs::PhaseProfile& profile,
+          const obs::FailureTaxonomy& failures) {
   std::printf(
       "{\"bench\":\"perf_simulator\",\"geometry\":\"%s\",\"path\":\"%s\","
       "\"threads\":%u,\"sockets\":%u,\"pinned\":%s,\"n\":%llu,\"q\":%.6f,"
       "\"pairs\":%llu,\"seed\":%llu,"
       "\"seconds\":%.6f,\"routes_per_sec\":%.1f,\"speedup_vs_seed\":%.3f,"
-      "\"routability\":%.6f,\"identical_across_threads\":%s}\n",
+      "\"routability\":%.6f,%s,\"identical_across_threads\":%s}\n",
       geometry.c_str(), path, threads, sim::topology().nodes(),
       cfg.pin ? "true" : "false",
       static_cast<unsigned long long>(std::uint64_t{1} << cfg.bits), cfg.q,
       static_cast<unsigned long long>(cfg.pairs),
       static_cast<unsigned long long>(cfg.seed), seconds,
       static_cast<double>(cfg.pairs) / seconds, speedup, routability,
-      identical ? "true" : "false");
+      obs_columns(profile, failures).c_str(), identical ? "true" : "false");
 }
 
 bool identical_estimates(const sim::RoutabilityEstimate& a,
@@ -389,32 +460,33 @@ bool identical_estimates(const sim::RoutabilityEstimate& a,
          a.hops.count() == b.hops.count() && a.hops.sum() == b.hops.sum() &&
          a.hops.sum_squares() == b.hops.sum_squares() &&
          a.hops.min() == b.hops.min() && a.hops.max() == b.hops.max() &&
-         a.hop_limit_hits == b.hop_limit_hits;
+         a.failures == b.failures;
 }
 
 void emit_sparse(const Config& cfg, const char* geometry, const char* path,
                  unsigned threads, std::uint64_t n, double build_seconds,
                  double seconds, double routability, double speedup,
-                 bool identical) {
+                 bool identical, const obs::PhaseProfile& profile,
+                 const obs::FailureTaxonomy& failures) {
   std::printf(
       "{\"bench\":\"perf_simulator\",\"section\":\"sparse\","
       "\"geometry\":\"%s\",\"path\":\"%s\",\"threads\":%u,\"sockets\":%u,"
       "\"pinned\":%s,\"n\":%llu,"
       "\"bits\":%d,\"q\":%.6f,\"pairs\":%llu,\"seed\":%llu,"
       "\"build_seconds\":%.6f,\"seconds\":%.6f,\"routes_per_sec\":%.1f,"
-      "\"speedup_vs_virtual\":%.3f,\"routability\":%.6f,"
+      "\"speedup_vs_virtual\":%.3f,\"routability\":%.6f,%s,"
       "\"identical_across_threads\":%s}\n",
       geometry, path, threads, sim::topology().nodes(),
       cfg.pin ? "true" : "false", static_cast<unsigned long long>(n),
       cfg.sparse_bits, cfg.q, static_cast<unsigned long long>(cfg.pairs),
       static_cast<unsigned long long>(cfg.seed), build_seconds, seconds,
       static_cast<double>(cfg.pairs) / seconds, speedup, routability,
-      identical ? "true" : "false");
+      obs_columns(profile, failures).c_str(), identical ? "true" : "false");
 }
 
 /// Runs the sparse N-grid sweep; returns false when a parallel estimate
 /// differed across thread counts.
-bool run_sparse_section(const Config& cfg) {
+bool run_sparse_section(const Config& cfg, obs::Trace* trace) {
   bool all_identical = true;
   std::vector<std::uint64_t> grid;
   for (const std::uint64_t n :
@@ -452,19 +524,25 @@ bool run_sparse_section(const Config& cfg) {
         const auto estimate = sparse::estimate_routability(
             *overlay, failures, cfg.pairs, virtual_rng);
         virtual_seconds = seconds_since(start);
+        // The virtual baseline predates the phase hooks: its phase columns
+        // are zero, but its taxonomy comes from the same estimate struct.
         emit_sparse(cfg, geometry, "virtual", 1, n, build_seconds,
-                    virtual_seconds, estimate.routability(), 1.0, true);
+                    virtual_seconds, estimate.routability(), 1.0, true,
+                    obs::PhaseProfile{}, estimate.failures);
       }
 
       const math::Rng engine_rng(cfg.seed + 12);
       bool have_reference = false;
       sparse::SparseEstimate reference;
       for (unsigned threads : cfg.threads) {
-        const sparse::SparseParallelOptions options{
+        obs::PhaseProfile profile;
+        sparse::SparseParallelOptions options{
             .pairs = cfg.pairs,
             .threads = threads,
             .pin_workers = cfg.pin,
             .numa_replicate_tables = cfg.pin};
+        options.profile = cfg.obs ? &profile : nullptr;
+        options.trace = cfg.obs ? trace : nullptr;
         const auto start = std::chrono::steady_clock::now();
         const auto estimate = sparse::estimate_routability_parallel(
             *overlay, failures, options, engine_rng);
@@ -478,7 +556,7 @@ bool run_sparse_section(const Config& cfg) {
         emit_sparse(cfg, geometry, "parallel", threads, n, build_seconds,
                     seconds, estimate.routability(),
                     virtual_seconds > 0.0 ? virtual_seconds / seconds : 0.0,
-                    identical);
+                    identical, profile, estimate.failures);
       }
     }
   }
@@ -489,7 +567,8 @@ void emit_sparse_workload(const Config& cfg, unsigned threads,
                           std::uint64_t n, std::uint64_t objects,
                           int cache_entries, double seconds,
                           const sparse::SparseWorkloadReport& report,
-                          bool identical) {
+                          bool identical,
+                          const obs::PhaseProfile& profile) {
   std::printf(
       "{\"bench\":\"perf_simulator\",\"section\":\"sparse_workload\","
       "\"geometry\":\"sparse-ring\",\"threads\":%u,\"sockets\":%u,"
@@ -497,7 +576,7 @@ void emit_sparse_workload(const Config& cfg, unsigned threads,
       "\"zipf\":%.2f,\"objects\":%llu,\"cache_entries\":%d,\"seed\":%llu,"
       "\"seconds\":%.6f,\"routes_per_sec\":%.1f,\"cache_hit_rate\":%.6f,"
       "\"mean_hops\":%.3f,\"load_max\":%llu,\"load_p99\":%llu,"
-      "\"load_cv\":%.6f,\"routability\":%.6f,"
+      "\"load_cv\":%.6f,\"routability\":%.6f,%s,"
       "\"identical_across_threads\":%s}\n",
       threads, sim::topology().nodes(), cfg.pin ? "true" : "false",
       static_cast<unsigned long long>(n), cfg.sparse_bits, cfg.q,
@@ -508,14 +587,16 @@ void emit_sparse_workload(const Config& cfg, unsigned threads,
       report.estimate.cache_hit_rate(), report.estimate.mean_hops(),
       static_cast<unsigned long long>(report.load.max),
       static_cast<unsigned long long>(report.load.p99), report.load.cv,
-      report.estimate.routability(), identical ? "true" : "false");
+      report.estimate.routability(),
+      obs_columns(profile, report.estimate.failures).c_str(),
+      identical ? "true" : "false");
 }
 
 /// Runs the heavy-traffic workload sweep on the sparse ring: Zipf-popular
 /// GET targets, per-node load accounting, and the finger-path cache, each
 /// grid point measured with caching off (the baseline) and on.  Returns
 /// false when an estimate OR a load summary differed across thread counts.
-bool run_sparse_workload_section(const Config& cfg) {
+bool run_sparse_workload_section(const Config& cfg, obs::Trace* trace) {
   bool all_identical = true;
   std::vector<std::uint64_t> grid;
   for (const std::uint64_t n :
@@ -540,6 +621,7 @@ bool run_sparse_workload_section(const Config& cfg) {
       bool have_reference = false;
       sparse::SparseWorkloadReport reference;
       for (unsigned threads : cfg.threads) {
+        obs::PhaseProfile profile;
         sparse::SparseParallelOptions options{
             .pairs = cfg.pairs,
             .threads = threads,
@@ -552,6 +634,8 @@ bool run_sparse_workload_section(const Config& cfg) {
         options.workload.objects = cfg.workload_objects;
         options.workload.cache_entries = cache_entries;
         options.workload.record_load = true;
+        options.profile = cfg.obs ? &profile : nullptr;
+        options.trace = cfg.obs ? trace : nullptr;
         const auto start = std::chrono::steady_clock::now();
         const auto report = sparse::estimate_workload_parallel(
             overlay, failures, options, engine_rng);
@@ -568,7 +652,7 @@ bool run_sparse_workload_section(const Config& cfg) {
             cfg.workload_objects != 0 ? cfg.workload_objects
                                       : failures.alive_count();
         emit_sparse_workload(cfg, threads, n, objects, cache_entries, seconds,
-                             report, identical);
+                             report, identical, profile);
       }
     }
   }
@@ -581,6 +665,11 @@ int main(int argc, char** argv) {
   const Config cfg = parse_args(argc, argv);
   const sim::IdSpace space(cfg.bits);
   bool all_identical = true;
+  // One timeline for the whole harness run (one lane per worker thread);
+  // null when --trace-out is unset, which keeps the engines' span hooks
+  // clock-free.
+  obs::Trace trace_store;
+  obs::Trace* const trace = cfg.trace_out.empty() ? nullptr : &trace_store;
 
   for (const std::string& geometry : cfg.geometries) {
     math::Rng build_rng(cfg.seed);
@@ -598,8 +687,10 @@ int main(int argc, char** argv) {
     const auto seed_estimate = sim::estimate_routability(
         *overlay, failures, {.pairs = cfg.pairs}, seed_rng);
     const double seed_seconds = seconds_since(start);
+    // The seed path predates the phase hooks: zero phase columns, but the
+    // taxonomy comes from the same estimate struct as every other path.
     emit(cfg, geometry, "seed", 1, seed_seconds, seed_estimate.routability(),
-         1.0, true);
+         1.0, true, obs::PhaseProfile{}, seed_estimate.failures);
 
     // Parallel engine across the thread sweep; estimates must agree
     // bit-for-bit at every thread count.
@@ -607,9 +698,12 @@ int main(int argc, char** argv) {
     bool have_reference = false;
     sim::RoutabilityEstimate reference;
     for (unsigned threads : cfg.threads) {
-      const sim::ParallelOptions options{.pairs = cfg.pairs,
-                                         .threads = threads,
-                                         .pin_workers = cfg.pin};
+      obs::PhaseProfile profile;
+      sim::ParallelOptions options{.pairs = cfg.pairs,
+                                   .threads = threads,
+                                   .pin_workers = cfg.pin};
+      options.profile = cfg.obs ? &profile : nullptr;
+      options.trace = cfg.obs ? trace : nullptr;
       start = std::chrono::steady_clock::now();
       const auto estimate = sim::estimate_routability_parallel(
           *overlay, failures, options, engine_rng);
@@ -622,7 +716,8 @@ int main(int argc, char** argv) {
       }
       all_identical = all_identical && identical;
       emit(cfg, geometry, "parallel", threads, seconds,
-           estimate.routability(), seed_seconds / seconds, identical);
+           estimate.routability(), seed_seconds / seconds, identical,
+           profile, estimate.failures);
     }
   }
 
@@ -642,9 +737,12 @@ int main(int argc, char** argv) {
     bool have_reference = false;
     churn::TrajectoryResult reference;
     for (unsigned threads : cfg.threads) {
+      obs::PhaseProfile profile;
       churn::TrajectoryOptions options = base;
       options.threads = threads;
       options.pin_workers = cfg.pin;
+      options.profile = cfg.obs ? &profile : nullptr;
+      options.trace = cfg.obs ? trace : nullptr;
       const auto start = std::chrono::steady_clock::now();
       const auto result = churn::run_churn_trajectory(
           churn::TrajectoryGeometry::kXor, churn_space, params, options,
@@ -670,6 +768,10 @@ int main(int argc, char** argv) {
           static_cast<double>(base.warmup_rounds + cfg.churn_rounds);
       const auto routes =
           static_cast<unsigned long long>(result.overall.routed.trials);
+      // Route-phase throughput: routes over the route phase's own summed
+      // CPU-seconds -- the honest figure the full-wall routes_per_sec
+      // (diluted by warmup stepping) cannot give.
+      const double route_s = profile[obs::Phase::kRoute];
       std::printf(
           "{\"bench\":\"perf_simulator\",\"section\":\"churn\","
           "\"geometry\":\"xor\",\"threads\":%u,\"sockets\":%u,"
@@ -677,7 +779,8 @@ int main(int argc, char** argv) {
           "\"warmup_rounds\":%d,\"rounds\":%d,\"pairs_per_round\":%llu,"
           "\"q_eff\":%.6f,\"seed\":%llu,\"seconds\":%.6f,"
           "\"shard_rounds_per_sec\":%.1f,\"routes\":%llu,"
-          "\"routes_per_sec\":%.1f,"
+          "\"routes_per_sec\":%.1f,\"route_phase_routes_per_sec\":%.1f,"
+          "%s,"
           "\"routability\":%.6f,\"identical_across_threads\":%s}\n",
           threads, sim::topology().nodes(), cfg.pin ? "true" : "false",
           static_cast<unsigned long long>(churn_space.size()),
@@ -688,6 +791,8 @@ int main(int argc, char** argv) {
           static_cast<unsigned long long>(cfg.seed), seconds,
           shard_rounds / seconds, routes,
           static_cast<double>(routes) / seconds,
+          route_s > 0.0 ? static_cast<double>(routes) / route_s : 0.0,
+          obs_columns(profile, result.overall.failures).c_str(),
           result.overall.routability(), identical ? "true" : "false");
     }
   }
@@ -695,11 +800,11 @@ int main(int argc, char** argv) {
   // Sparse-sweep section: the flattened sparse kernels on the sharded
   // engine across an N grid up to 10^6 nodes in a 2^sparse_bits key space.
   if (cfg.sparse_n_max > 0) {
-    all_identical = run_sparse_section(cfg) && all_identical;
+    all_identical = run_sparse_section(cfg, trace) && all_identical;
     // Heavy-traffic workload sweep on the same spaces: Zipf GETs, per-node
     // load, path caching off/on; estimates AND load summaries are
     // determinism-gated.
-    all_identical = run_sparse_workload_section(cfg) && all_identical;
+    all_identical = run_sparse_workload_section(cfg, trace) && all_identical;
   }
 
   // Sparse-churn section: dynamic membership (joins drawing fresh ids,
@@ -759,9 +864,12 @@ int main(int argc, char** argv) {
       bool have_reference = false;
       churn::SparseChurnResult reference;
       for (unsigned threads : cfg.threads) {
+        obs::PhaseProfile profile;
         churn::TrajectoryOptions options = base;
         options.threads = threads;
         options.pin_workers = cfg.pin;
+        options.profile = cfg.obs ? &profile : nullptr;
+        options.trace = cfg.obs ? trace : nullptr;
         const auto start = std::chrono::steady_clock::now();
         const auto result = churn::run_sparse_churn_trajectory(
             mode.geometry, config, params, options, churn_rng);
@@ -787,6 +895,7 @@ int main(int argc, char** argv) {
             static_cast<double>(base.warmup_rounds + cfg.sparse_churn_rounds);
         const auto routes =
             static_cast<unsigned long long>(result.overall.attempts);
+        const double route_s = profile[obs::Phase::kRoute];
         std::printf(
             "{\"bench\":\"perf_simulator\",\"section\":\"sparse_churn\","
             "\"geometry\":\"%s\",\"threads\":%u,\"sockets\":%u,"
@@ -799,7 +908,8 @@ int main(int argc, char** argv) {
             "\"q_eff\":%.6f,\"q_nr\":%.6f,\"replicas\":%d,\"zipf\":%.2f,"
             "\"seed\":%llu,\"seconds\":%.6f,"
             "\"shard_rounds_per_sec\":%.1f,\"routes\":%llu,"
-            "\"routes_per_sec\":%.1f,"
+            "\"routes_per_sec\":%.1f,\"route_phase_routes_per_sec\":%.1f,"
+            "%s,"
             "\"routability\":%.6f,\"availability\":%.6f,"
             "\"load_max\":%llu,\"load_p99\":%.1f,\"load_cv\":%.6f,"
             "\"mean_population\":%.1f,"
@@ -820,6 +930,8 @@ int main(int argc, char** argv) {
             static_cast<unsigned long long>(cfg.seed), seconds,
             shard_rounds / seconds, routes,
             static_cast<double>(routes) / seconds,
+            route_s > 0.0 ? static_cast<double>(routes) / route_s : 0.0,
+            obs_columns(profile, result.overall.failures).c_str(),
             result.overall.routability(), result.overall.availability(),
             static_cast<unsigned long long>(result.load_max), result.load_p99,
             result.load_cv, result.mean_population,
@@ -828,6 +940,11 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (trace != nullptr && !trace->write_chrome_trace(cfg.trace_out)) {
+    std::fprintf(stderr, "FAIL: cannot write trace to %s\n",
+                 cfg.trace_out.c_str());
+    return 1;
+  }
   if (!all_identical) {
     std::fprintf(stderr,
                  "FAIL: parallel estimates differ across thread counts\n");

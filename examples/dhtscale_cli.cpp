@@ -50,6 +50,7 @@
 #include <chrono>
 #include <cmath>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
@@ -99,7 +100,11 @@ int usage() {
       "        [--announce A] [--k K] [--inflight] [--scalar-routes]\n"
       "        [--session geometric|pareto] [--alpha A]\n"
       "        [--replicas r] [--zipf S] [--objects M]\n"
-      "                 (ring | xor | symphony; dynamic membership)\n"
+      "        [--trace-routes K --trace-out FILE]\n"
+      "                 (ring | xor | symphony; dynamic membership;\n"
+      "                  --trace-routes samples ~K hop-by-hop route\n"
+      "                  forensics records into FILE as JSONL -- sync\n"
+      "                  mode only, never perturbs the estimates)\n"
       "  latency <geometry> <d> <q>\n"
       "geometries: tree | hypercube | xor | ring | symphony\n";
   return 1;
@@ -438,17 +443,63 @@ int cmd_churn(const std::string& name, int d, double pd, double pr,
   return 0;
 }
 
+// Serializes the forensics traces as JSONL: one route per line, hops
+// inline, so two runs (or two builds) can be diffed route by route with
+// standard line tools.
+bool write_route_traces(const std::string& path,
+                        const std::vector<obs::RouteTrace>& traces) {
+  std::ofstream out(path);
+  if (!out) {
+    return false;
+  }
+  for (const obs::RouteTrace& t : traces) {
+    out << strfmt(
+        "{\"shard\":%llu,\"round\":%llu,\"pair_index\":%llu,"
+        "\"source_slot\":%lu,\"source_id\":%llu,\"target_id\":%llu,"
+        "\"status\":\"%s\",\"hops\":[",
+        static_cast<unsigned long long>(t.shard),
+        static_cast<unsigned long long>(t.round),
+        static_cast<unsigned long long>(t.pair_index),
+        static_cast<unsigned long>(t.source_slot),
+        static_cast<unsigned long long>(t.source_id),
+        static_cast<unsigned long long>(t.target_id),
+        t.status == 0 ? "arrived" : (t.status == 1 ? "dropped" : "hop_limit"));
+    for (std::size_t h = 0; h < t.hops.size(); ++h) {
+      const obs::RouteHop& hop = t.hops[h];
+      out << strfmt("%s{\"slot\":%lu,\"id\":%llu,\"rank\":%d,\"gen_ok\":%s}",
+                    h == 0 ? "" : ",", static_cast<unsigned long>(hop.slot),
+                    static_cast<unsigned long long>(hop.id), hop.rank,
+                    hop.gen_ok != 0 ? "true" : "false");
+    }
+    out << "]}\n";
+  }
+  return static_cast<bool>(out);
+}
+
 int cmd_sparse_churn(const std::string& name, int bits, std::uint64_t n0,
                      double pd, double pr, int refresh, int rounds,
                      std::uint64_t pairs, std::uint64_t seed,
                      unsigned threads, std::uint64_t shards, double rho,
                      int succ, int announce, int bucket_k, bool inflight,
                      bool batch_routes, const churn::SessionModel& session,
-                     int replicas, double zipf_s, std::uint64_t objects) {
+                     int replicas, double zipf_s, std::uint64_t objects,
+                     std::uint64_t trace_routes,
+                     const std::string& trace_out) {
   churn::SparseChurnGeometry geometry;
   if (!churn::sparse_churn_geometry_from_name(name, geometry)) {
     std::cerr << "sparse-churn: geometry must be ring, xor, or symphony\n";
     return usage();
+  }
+  if (trace_routes > 0 && inflight) {
+    std::cerr << "sparse-churn: --trace-routes needs the round-synchronous "
+                 "mode (drop --inflight); in-flight routes have no frozen "
+                 "snapshot to re-route against\n";
+    return 1;
+  }
+  if (trace_routes > 0 && trace_out.empty()) {
+    std::cerr << "sparse-churn: --trace-routes needs --trace-out FILE for "
+                 "the forensics JSONL\n";
+    return 1;
   }
   if (!validate_lifecycle_args("sparse-churn", pd, pr, refresh) ||
       !validate_rho("sparse-churn", rho)) {
@@ -496,6 +547,7 @@ int cmd_sparse_churn(const std::string& name, int bits, std::uint64_t n0,
                                    .repair_probability = rho,
                                    .inflight = inflight};
   options.batch_routes = batch_routes;
+  options.trace_routes = trace_routes;
   const math::Rng rng(seed);
   const auto start = std::chrono::steady_clock::now();
   const auto result = churn::run_sparse_churn_trajectory(geometry, config,
@@ -531,6 +583,19 @@ int cmd_sparse_churn(const std::string& name, int bits, std::uint64_t n0,
       churn::effective_q_no_return(params, session));
   std::cout << strfmt("dynamic routability:   %.6f\n",
                       result.overall.routability());
+  const obs::FailureTaxonomy& fails = result.overall.failures;
+  std::cout << strfmt(
+      "route failures:        dead_entry %llu, hop_limit %llu, "
+      "holder_departed %llu, succ_collapse %llu (of %llu attempts)\n",
+      static_cast<unsigned long long>(
+          fails[obs::RouteFailure::kDeadEntry]),
+      static_cast<unsigned long long>(
+          fails[obs::RouteFailure::kHopLimit]),
+      static_cast<unsigned long long>(
+          fails[obs::RouteFailure::kHolderDeparted]),
+      static_cast<unsigned long long>(
+          fails[obs::RouteFailure::kSuccessorCollapse]),
+      static_cast<unsigned long long>(result.overall.attempts));
   if (replicas > 1 || zipf_s > 0.0) {
     std::cout << strfmt(
         "GET availability:      %.6f  (r = %d replicas, zipf s = %.2f, "
@@ -570,6 +635,16 @@ int cmd_sparse_churn(const std::string& name, int bits, std::uint64_t n0,
       "in %.2fs)\n",
       shard_rounds / seconds,
       static_cast<unsigned long long>(result.overall.attempts), seconds);
+  if (trace_routes > 0) {
+    if (!write_route_traces(trace_out, result.traces)) {
+      std::cerr << "sparse-churn: cannot write route traces to " << trace_out
+                << "\n";
+      return 1;
+    }
+    std::cout << strfmt("route forensics:       %llu hop-by-hop traces -> %s\n",
+                        static_cast<unsigned long long>(result.traces.size()),
+                        trace_out.c_str());
+  }
   return 0;
 }
 
@@ -727,6 +802,8 @@ int main(int argc, char** argv) {
       int replicas = 1;
       double zipf_s = 0.0;
       std::uint64_t objects = 0;
+      std::uint64_t trace_routes = 0;
+      std::string trace_out;
       std::vector<std::string> positional;
       for (int i = 8; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -774,6 +851,12 @@ int main(int argc, char** argv) {
         } else if (arg == "--objects" && i + 1 < argc) {
           objects = std::strtoull(argv[i + 1], nullptr, 10);
           ++i;
+        } else if (arg == "--trace-routes" && i + 1 < argc) {
+          trace_routes = std::strtoull(argv[i + 1], nullptr, 10);
+          ++i;
+        } else if (arg == "--trace-out" && i + 1 < argc) {
+          trace_out = argv[i + 1];
+          ++i;
         } else if (arg.rfind("--", 0) == 0) {
           std::cerr << "sparse-churn: unknown flag " << arg << "\n";
           return usage();
@@ -797,7 +880,8 @@ int main(int argc, char** argv) {
                               std::atoi(argv[7]), rounds, pairs, seed,
                               threads, shards, rho, succ, announce,
                               bucket_k, inflight, batch_routes, session,
-                              replicas, zipf_s, objects);
+                              replicas, zipf_s, objects, trace_routes,
+                              trace_out);
     }
     if (command == "latency" && argc == 5) {
       return cmd_latency(argv[2], std::atoi(argv[3]), std::atof(argv[4]));

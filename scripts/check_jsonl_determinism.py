@@ -14,17 +14,27 @@ reported as exactly that -- a configuration mismatch (a section disabled by
 flags such as --sparse-n-max 0 on one side), not as the off-by-hundreds
 row-count noise the old line-by-line pairing produced.
 
-Every numeric value outside the exempt set must also be finite: printf
-renders uninitialized or divided-by-zero doubles as bare nan/inf, which is
-both invalid JSON and a sign the engine emitted garbage, so it fails the
-check with the offending line named.
+Every numeric value must also be finite -- INCLUDING exempt and ignored
+columns: printf renders uninitialized or divided-by-zero doubles as bare
+nan/inf, which is both invalid JSON and a sign the engine emitted garbage,
+so it fails the check with the offending line named.  Exemption waives the
+equality comparison, never the sanity gate.
 
-Usage: check_jsonl_determinism.py A.jsonl B.jsonl
+--ignore-columns REGEX extends the exempt set with every column whose name
+fully matches REGEX (repeatable; matches are unioned).  CI uses it to
+waive the phase-timing columns ('phase_.*_s'), which are CPU-seconds and
+scheduling-dependent by nature -- while the failure-taxonomy counts
+(fail_*, hop_limit_hits) stay under the exact-match gate, where they
+belong: they are integer counters merged in shard order.
+
+Usage: check_jsonl_determinism.py [--ignore-columns REGEX]... A.jsonl B.jsonl
 Exit status: 0 identical (modulo exempt fields), 1 otherwise.
 """
 
+import argparse
 import json
 import math
+import re
 import sys
 
 # Scheduling-dependent by design; everything else must match exactly.
@@ -33,6 +43,7 @@ EXEMPT = {
     "seconds",
     "build_seconds",
     "routes_per_sec",
+    "route_phase_routes_per_sec",
     "shard_rounds_per_sec",
     "speedup_vs_seed",
     "speedup_vs_virtual",
@@ -40,12 +51,17 @@ EXEMPT = {
 }
 
 
-def load_sections(path):
+def is_exempt(key, ignore_patterns):
+    return key in EXEMPT or any(p.fullmatch(key) for p in ignore_patterns)
+
+
+def load_sections(path, ignore_patterns):
     """Parses one JSONL file into {section: [canonical rows]}, first-seen
     section order preserved.  Canonical rows drop the exempt fields.  Exits
     with a diagnostic on malformed JSON or non-finite numerics (the
     load_cv/cache_hit_rate/availability columns are doubles and must never
-    be nan/inf)."""
+    be nan/inf); the finiteness gate covers exempt and ignored columns
+    too."""
     sections = {}
     with open(path) as f:
         for lineno, line in enumerate(f, start=1):
@@ -61,8 +77,7 @@ def load_sections(path):
                     file=sys.stderr,
                 )
                 sys.exit(1)
-            canonical = {k: v for k, v in row.items() if k not in EXEMPT}
-            for key, value in canonical.items():
+            for key, value in row.items():
                 if isinstance(value, float) and not math.isfinite(value):
                     print(
                         f"FAIL: {path}:{lineno} field {key!r} is "
@@ -70,6 +85,11 @@ def load_sections(path):
                         file=sys.stderr,
                     )
                     sys.exit(1)
+            canonical = {
+                k: v
+                for k, v in row.items()
+                if not is_exempt(k, ignore_patterns)
+            }
             sections.setdefault(row.get("section", "static"), []).append(
                 canonical
             )
@@ -77,12 +97,29 @@ def load_sections(path):
 
 
 def main():
-    if len(sys.argv) != 3:
-        print(__doc__, file=sys.stderr)
-        return 1
-    path_a, path_b = sys.argv[1], sys.argv[2]
-    sections_a = load_sections(path_a)
-    sections_b = load_sections(path_b)
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument(
+        "--ignore-columns",
+        action="append",
+        default=[],
+        metavar="REGEX",
+        help="additionally exempt columns whose name fully matches REGEX "
+        "(repeatable); the nan/inf gate still applies to them",
+    )
+    parser.add_argument("path_a")
+    parser.add_argument("path_b")
+    args = parser.parse_args()
+    try:
+        ignore_patterns = [re.compile(p) for p in args.ignore_columns]
+    except re.error as err:
+        print(f"FAIL: bad --ignore-columns regex: {err}", file=sys.stderr)
+        return 2
+    path_a, path_b = args.path_a, args.path_b
+    sections_a = load_sections(path_a, ignore_patterns)
+    sections_b = load_sections(path_b, ignore_patterns)
 
     # Differing section sets are a configuration mismatch (one run had a
     # section disabled), not a determinism failure of the shared rows --

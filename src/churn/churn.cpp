@@ -372,7 +372,10 @@ void ChurnWorld::step() {
   ++round_;
   const std::uint64_t n = space_.size();
   // Lifecycle flips first (a rejoiner builds its table against the new
-  // world state).
+  // world state).  The sweep (flips + rejoiner rebuilds) and the
+  // refresh/repair pass below are attributed separately when an observer
+  // is attached -- pure timing, nothing feeds back into the rng streams.
+  obs::PhaseTimer lifecycle_timer(profile_, obs::Phase::kLifecycle, trace_);
   std::vector<sim::NodeId> rejoined;
   for (std::uint64_t v = 0; v < n; ++v) {
     if (alive_[v]) {
@@ -389,6 +392,8 @@ void ChurnWorld::step() {
   for (const sim::NodeId v : rejoined) {
     rebuild_node(v);
   }
+  lifecycle_timer.stop();
+  obs::PhaseTimer refresh_timer(profile_, obs::Phase::kRefreshRepair, trace_);
   // Due refreshes for alive nodes (dead nodes' tables stay frozen), plus
   // the eager-repair channel: an entry pointing at a dead node is detected
   // and re-pointed with probability rho this round, independent of its
@@ -414,6 +419,7 @@ void ChurnWorld::step() {
 
 sim::RoutabilityEstimate ChurnWorld::measure(std::uint64_t pairs,
                                              math::Rng& rng) {
+  obs::PhaseTimer route_timer(profile_, obs::Phase::kRoute, trace_);
   sim::RoutabilityEstimate estimate;
   if (alive_count_ < 2) {
     return estimate;

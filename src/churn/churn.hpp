@@ -35,6 +35,7 @@
 
 #include "math/rng.hpp"
 #include "math/stats.hpp"
+#include "obs/phase_timer.hpp"
 #include "sim/id_space.hpp"
 #include "sim/monte_carlo.hpp"
 #include "sim/node_id.hpp"
@@ -226,6 +227,16 @@ class ChurnWorld {
   /// diagnostic for the q_eff derivation's uniform-age assumption.
   double mean_entry_age() const;
 
+  /// Attaches observability sinks (obs/phase_timer.hpp): step() then
+  /// attributes its lifecycle sweep and refresh/repair pass, and
+  /// measure() its route sampling, to the profile/trace.  Pure timing
+  /// side-channels -- null (the default) reads no clock, and attaching
+  /// them never changes a counter.
+  void set_observer(obs::PhaseProfile* profile, obs::Trace* trace) noexcept {
+    profile_ = profile;
+    trace_ = trace;
+  }
+
  private:
   sim::NodeId class_member(sim::NodeId node, int level,
                            std::uint64_t member) const;
@@ -240,6 +251,8 @@ class ChurnWorld {
   math::Rng lifecycle_rng_;
   math::Rng table_rng_;
   math::Rng measure_rng_;
+  obs::PhaseProfile* profile_ = nullptr;
+  obs::Trace* trace_ = nullptr;
   int round_ = 0;
   std::vector<std::uint8_t> alive_;
   std::uint64_t alive_count_ = 0;

@@ -65,6 +65,29 @@ inline bool ctx_entry_valid(const ChurnKernelCtx& c, NodeSlot entry,
          c.generations[entry] == generation;
 }
 
+// Classifies a no-admissible-hop drop for the failure taxonomy: if the
+// dropping node keeps a successor list and every entry in it is dead or
+// self (the ring's guaranteed-progress channel has collapsed), the drop
+// is a successor collapse; otherwise some table entry merely decayed --
+// a dead-entry stall.  The probe re-reads state the failing step already
+// touched: rng-free, so classification is a pure function of the frozen
+// snapshot and merges bit-identically at any thread count.
+inline obs::RouteFailure classify_drop(const ChurnKernelCtx& c,
+                                       NodeSlot cur) {
+  if (c.s > 0) {
+    const std::uint64_t base = cur * static_cast<std::uint64_t>(c.s);
+    for (int t = 0; t < c.s; ++t) {
+      const std::uint64_t off = base + static_cast<std::uint64_t>(t);
+      const NodeSlot e = c.successors[off];
+      if (e != cur && ctx_entry_valid(c, e, c.successors_gen[off])) {
+        return obs::RouteFailure::kDeadEntry;
+      }
+    }
+    return obs::RouteFailure::kSuccessorCollapse;
+  }
+  return obs::RouteFailure::kDeadEntry;
+}
+
 // A hop's outcome: the chosen slot and its identifier (threaded through
 // the route so the next hop never loads ids[cur]).
 struct StepResult {
@@ -239,7 +262,7 @@ bool route_one(const ChurnKernelCtx& c,
         // The node holding the message departed between hops -- the
         // mid-flight loss the round-synchronous mode cannot express.
         if (rec != nullptr) {
-          rec->record_drop();
+          rec->record_drop(obs::RouteFailure::kHolderDeparted);
         }
         return false;
       }
@@ -260,7 +283,7 @@ bool route_one(const ChurnKernelCtx& c,
     const StepResult next = step(c, cur, cur_id, target_id);
     if (next.next == kNoSlot) {
       if (rec != nullptr) {
-        rec->record_drop();
+        rec->record_drop(classify_drop(c, cur));
       }
       return false;
     }
@@ -472,12 +495,16 @@ inline void step_batch_xor(const ChurnKernelCtx& c, RouteBatch& b) {
 // hop cap -- refill it from the pair source, then charge each active
 // lane's holder one forward and advance all lanes one hop.  Identical
 // accounting to route_one: a lane is charged before the step that drops
-// it and not for the turn it retires on.
+// it and not for the turn it retires on.  `retire` additionally receives
+// the lane's pre-step slot -- the node that had no admissible hop -- so a
+// drop can be classified (the batch kernels overwrite cur with the kNoSlot
+// sentinel, erasing the dropping slot).
 template <typename StepBatch, typename Refill, typename Retire>
 void drive_churn_lanes(const ChurnKernelCtx& c, std::uint64_t max_hops,
                        std::uint64_t* load, StepBatch&& step_batch,
                        Refill&& refill, Retire&& retire) {
   RouteBatch b;
+  NodeSlot last_cur[RouteBatch::kLanes] = {};
   int active = 0;
   for (int l = 0; l < RouteBatch::kLanes; ++l) {
     b.active[l] = refill(b, l) ? 1 : 0;
@@ -496,7 +523,7 @@ void drive_churn_lanes(const ChurnKernelCtx& c, std::uint64_t max_hops,
         } else {
           break;
         }
-        retire(b, l, status);
+        retire(b, l, status, last_cur[l]);
         if (!refill(b, l)) {
           b.active[l] = 0;
           --active;
@@ -509,6 +536,7 @@ void drive_churn_lanes(const ChurnKernelCtx& c, std::uint64_t max_hops,
     for (int l = 0; l < RouteBatch::kLanes; ++l) {
       if (b.active[l] != 0) {
         ++load[b.cur[l]];
+        last_cur[l] = b.cur[l];
       }
     }
     step_batch(c, b);
@@ -1133,6 +1161,7 @@ void SparseChurnWorld::step() {
   // assignment is deferred to the batch below).  The departure draw runs
   // through the session model's age-dependent hazard; geometric sessions
   // have the constant hazard pd, reproducing the historical stream.
+  obs::PhaseTimer lifecycle_timer(profile_, obs::Phase::kLifecycle, trace_);
   joiners_.clear();
   for (NodeSlot slot = 0; slot < capacity; ++slot) {
     if (membership_.present(slot)) {
@@ -1146,12 +1175,18 @@ void SparseChurnWorld::step() {
       joiners_.push_back(slot);
     }
   }
-  integrate_joiners(/*commit_always=*/true);
+  lifecycle_timer.stop();
+  {
+    obs::PhaseTimer commit_timer(profile_, obs::Phase::kMembershipCommit,
+                                 trace_);
+    integrate_joiners(/*commit_always=*/true);
+  }
   // Maintenance for present nodes: successor-list stabilization, due
   // refreshes, and eager repair.  Members are enumerated through the
   // packed alive bitmap (same ascending order as the historical
   // full-capacity presence scan) and rows that provably have nothing due
   // are skipped inside maintain_entries.
+  obs::PhaseTimer refresh_timer(profile_, obs::Phase::kRefreshRepair, trace_);
   for_each_alive(membership_, [&](NodeSlot slot) {
     maintain_successors(slot);
     maintain_entries(slot);
@@ -1178,6 +1213,7 @@ ChurnKernelCtx SparseChurnWorld::kernel_ctx() const {
 
 sparse::SparseEstimate SparseChurnWorld::measure(std::uint64_t pairs,
                                                  math::Rng& rng) {
+  obs::PhaseTimer route_timer(profile_, obs::Phase::kRoute, trace_);
   sparse::SparseEstimate estimate;
   if (membership_.population() < 2) {
     return estimate;  // nothing to sample: the empty-estimate contract
@@ -1242,6 +1278,19 @@ sparse::SparseEstimate SparseChurnWorld::measure(std::uint64_t pairs,
       }
       draws_.push_back(draw);
     }
+    // Forensics: the sink's stride selects pairs by their index within
+    // this measure() call -- a pure function of (shard, round, pair
+    // index), so the traced set is identical at any thread count.  The
+    // re-route runs against the same frozen snapshot the measurement
+    // routes see and touches no rng, load counter, or estimate.
+    if (trace_sink_ != nullptr && trace_sink_->enabled()) {
+      for (std::uint64_t i = 0; i < n; ++i) {
+        const std::uint64_t pair_index = start + i;
+        if (trace_sink_->selects(pair_index)) {
+          trace_route(ctx, draws_[i].source, draws_[i].target, pair_index);
+        }
+      }
+    }
     if (batch_routes_) {
       measure_batched_routes(ctx, attempts, estimate);
     } else {
@@ -1249,6 +1298,85 @@ sparse::SparseEstimate SparseChurnWorld::measure(std::uint64_t pairs,
     }
   }
   return estimate;
+}
+
+// Re-routes one selected pair hop by hop against the frozen snapshot,
+// recording each chosen hop's slot, cached id, table rank (the index in
+// the forwarding node's row; -1 marks a successor-list hop), and the
+// generation probe that admitted it.  Routing is rng-free and the world
+// is frozen in sync mode, so the walk reproduces the measurement route
+// exactly without perturbing it.
+void SparseChurnWorld::trace_route(const ChurnKernelCtx& ctx,
+                                   NodeSlot source, NodeSlot target,
+                                   std::uint64_t pair_index) {
+  StepResult (*step)(const ChurnKernelCtx&, NodeSlot, std::uint64_t,
+                     std::uint64_t) =
+      geometry_ == SparseChurnGeometry::kKademlia ? &step_xor
+                                                  : &step_clockwise;
+  obs::RouteTrace trace;
+  trace.shard = trace_shard_;
+  trace.round = round_;
+  trace.pair_index = pair_index;
+  trace.source_slot = source;
+  trace.source_id = ctx.ids[source];
+  trace.target_id = ctx.ids[target];
+  NodeSlot cur = source;
+  std::uint64_t cur_id = trace.source_id;
+  std::uint64_t hops = 0;
+  for (;;) {
+    if (cur == target) {
+      trace.status = 0;  // arrived
+      break;
+    }
+    if (hops >= max_hops_) {
+      trace.status = 2;  // hop limit
+      break;
+    }
+    const StepResult next = step(ctx, cur, cur_id, trace.target_id);
+    if (next.next == kNoSlot) {
+      trace.status = 1;  // dropped
+      break;
+    }
+    obs::RouteHop hop;
+    hop.slot = next.next;
+    hop.id = next.next_id;
+    hop.rank = -1;
+    hop.gen_ok = false;
+    // Recover the rank: the chosen entry lives in the forwarding node's
+    // table row (rank = cell index) or its successor list (rank = -1);
+    // match on slot + cached id so a recycled slot in another cell can't
+    // alias the pick.
+    const std::uint64_t row_base =
+        cur * static_cast<std::uint64_t>(ctx.row_width);
+    for (int j = 0; j < ctx.row_width; ++j) {
+      const std::uint64_t off = row_base + static_cast<std::uint64_t>(j);
+      if (ctx.table[off] == next.next && ctx.table_id[off] == next.next_id &&
+          ctx_entry_valid(ctx, ctx.table[off], ctx.table_gen[off])) {
+        hop.rank = j;
+        hop.gen_ok = true;
+        break;
+      }
+    }
+    if (hop.rank < 0) {
+      const std::uint64_t succ_base =
+          cur * static_cast<std::uint64_t>(ctx.s);
+      for (int t = 0; t < ctx.s; ++t) {
+        const std::uint64_t off = succ_base + static_cast<std::uint64_t>(t);
+        if (ctx.successors[off] == next.next &&
+            ctx.successors_id[off] == next.next_id &&
+            ctx_entry_valid(ctx, ctx.successors[off],
+                            ctx.successors_gen[off])) {
+          hop.gen_ok = true;
+          break;
+        }
+      }
+    }
+    trace.hops.push_back(hop);
+    cur = next.next;
+    cur_id = next.next_id;
+    ++hops;
+  }
+  trace_sink_->push(std::move(trace));
 }
 
 // The scalar reference path: pair by pair through the shared single-route
@@ -1362,12 +1490,18 @@ void SparseChurnWorld::measure_batched_routes(
       return true;
     }
   };
-  const auto retire = [&](RouteBatch& b, int l, SparseRouteStatus status) {
+  const auto retire = [&](RouteBatch& b, int l, SparseRouteStatus status,
+                          NodeSlot drop_slot) {
     if (lane_attempt[l] == 0) {
       // Attempt 0 is what the routing estimate records (the historical
-      // uniform route / primary GET).
+      // uniform route / primary GET).  A drop is classified at the slot
+      // that had no admissible hop -- the lane's pre-step position, which
+      // is exactly the `cur` the scalar path classifies at.
       flat::record_route(estimate, status,
-                         static_cast<std::uint64_t>(b.hops[l]));
+                         static_cast<std::uint64_t>(b.hops[l]),
+                         status == SparseRouteStatus::kDropped
+                             ? classify_drop(ctx, drop_slot)
+                             : obs::RouteFailure::kDeadEntry);
     }
     if (!workload) {
       return;
@@ -1399,6 +1533,10 @@ sparse::SparseEstimate SparseChurnWorld::measure(std::uint64_t pairs) {
 
 sparse::SparseEstimate SparseChurnWorld::measure_inflight(
     std::uint64_t pairs, std::uint64_t events_per_hop, math::Rng& rng) {
+  // The in-flight round fuses the lifecycle sweep into the routes (each
+  // hop advances the world), so the whole body is one route-phase span --
+  // nesting lifecycle/commit timers inside it would double-count.
+  obs::PhaseTimer route_timer(profile_, obs::Phase::kRoute, trace_);
   ++round_;
   const std::uint64_t capacity = membership_.capacity();
   joiners_.clear();
@@ -1547,6 +1685,9 @@ SparseChurnResult run_sparse_churn_trajectory(
     const ChurnParams& params, const TrajectoryOptions& options,
     const math::Rng& rng) {
   validate_trajectory_options(options);
+  DHT_CHECK(options.trace_routes == 0 || !options.inflight,
+            "route forensics requires the round-synchronous mode (in-flight "
+            "routes have no frozen snapshot to re-route against)");
   (void)availability(params);
 
   const std::uint64_t shards =
@@ -1557,6 +1698,26 @@ SparseChurnResult run_sparse_churn_trajectory(
   std::vector<double> alive_sum(shards, 0.0);
   std::vector<double> age_sum(shards, 0.0);
   std::vector<sim::LoadSummary> shard_loads(shards);
+  // Timing side-channel only: per-shard profiles reduce in shard order
+  // below; a null profile/trace reads no clock anywhere.
+  const bool observed = options.profile != nullptr || options.trace != nullptr;
+  std::vector<obs::PhaseProfile> shard_profiles(observed ? shards : 0);
+  // Forensics sinks: each shard keeps the newest `budget` traces of the
+  // pairs its stride selects -- both pure functions of (shard, round, pair
+  // index), so the drained set is bit-identical at any thread count.
+  std::vector<obs::RouteTraceSink> shard_sinks;
+  if (options.trace_routes != 0) {
+    const std::uint64_t budget =
+        std::max<std::uint64_t>(1, options.trace_routes / shards);
+    const std::uint64_t per_shard_pairs =
+        options.pairs_per_round * static_cast<std::uint64_t>(rounds);
+    const std::uint64_t stride =
+        std::max<std::uint64_t>(1, per_shard_pairs / budget);
+    shard_sinks.reserve(shards);
+    for (std::uint64_t s = 0; s < shards; ++s) {
+      shard_sinks.emplace_back(stride, budget);
+    }
+  }
 
   sim::run_sharded(
       shards,
@@ -1566,14 +1727,23 @@ SparseChurnResult run_sparse_churn_trajectory(
                        .chunk = 1,
                        .pin_workers = options.pin_workers},
       [&](std::uint64_t s) {
+        obs::PhaseProfile* const profile =
+            observed ? &shard_profiles[s] : nullptr;
         // Shard s is an independent replica of the whole trajectory, a
         // pure function of (caller seed, s).  Its world is allocated here,
         // on the (optionally pinned) worker, so first touch places it on
         // the worker's socket.
+        obs::PhaseTimer build_timer(profile, obs::Phase::kWorldBuild,
+                                    options.trace);
         SparseChurnWorld world(geometry, config, params,
                                options.repair_probability, options.max_hops,
                                rng.fork(s));
+        build_timer.stop();
         world.set_batch_routes(options.batch_routes);
+        world.set_observer(profile, options.trace);
+        if (!shard_sinks.empty()) {
+          world.set_route_trace(&shard_sinks[s], s);
+        }
         for (int i = 0; i < options.warmup_rounds; ++i) {
           world.step();
         }
@@ -1599,12 +1769,31 @@ SparseChurnResult run_sparse_churn_trajectory(
   SparseChurnResult result;
   result.shards = shards;
   result.per_round.resize(static_cast<std::size_t>(rounds));
-  for (int r = 0; r < rounds; ++r) {
-    for (std::uint64_t s = 0; s < shards; ++s) {
-      result.per_round[static_cast<std::size_t>(r)].merge(
-          shard_rounds[s][static_cast<std::size_t>(r)]);
+  {
+    obs::PhaseProfile merge_profile;
+    obs::PhaseTimer merge_timer(observed ? &merge_profile : nullptr,
+                                obs::Phase::kMerge, options.trace);
+    for (int r = 0; r < rounds; ++r) {
+      for (std::uint64_t s = 0; s < shards; ++s) {
+        result.per_round[static_cast<std::size_t>(r)].merge(
+            shard_rounds[s][static_cast<std::size_t>(r)]);
+      }
+      result.overall.merge(result.per_round[static_cast<std::size_t>(r)]);
     }
-    result.overall.merge(result.per_round[static_cast<std::size_t>(r)]);
+    merge_timer.stop();
+    if (options.profile != nullptr) {
+      for (const obs::PhaseProfile& p : shard_profiles) {
+        options.profile->merge(p);
+      }
+      options.profile->merge(merge_profile);
+    }
+  }
+  // Drain the forensics sinks in shard order: the concatenation is the
+  // same regardless of which worker ran which shard.
+  for (obs::RouteTraceSink& sink : shard_sinks) {
+    for (obs::RouteTrace& trace : sink.drain()) {
+      result.traces.push_back(std::move(trace));
+    }
   }
   double population_total = 0.0;
   double alive_total = 0.0;

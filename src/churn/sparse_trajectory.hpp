@@ -62,6 +62,7 @@
 #include "churn/trajectory.hpp"
 #include "math/rng.hpp"
 #include "math/zipf.hpp"
+#include "obs/route_trace.hpp"
 #include "sim/load_stats.hpp"
 #include "sparse/sparse_overlay.hpp"
 
@@ -229,6 +230,29 @@ class SparseChurnWorld {
   /// perturbs the lifecycle/table/measure streams).
   sim::LoadSummary load_summary() const;
 
+  /// Attaches observability sinks (obs/phase_timer.hpp): step() attributes
+  /// its lifecycle sweep, joiner commit, and refresh/repair pass, and the
+  /// measure paths their route sampling, to the profile/trace.  In-flight
+  /// measurement fuses the lifecycle sweep INTO the routes, so
+  /// measure_inflight attributes its whole body to the route phase.  Pure
+  /// timing side-channels: null (the default) reads no clock, and
+  /// attaching them never changes a counter.
+  void set_observer(obs::PhaseProfile* profile, obs::Trace* trace) noexcept {
+    profile_ = profile;
+    trace_ = trace;
+  }
+
+  /// Attaches a route-forensics sink (obs/route_trace.hpp): sync-mode
+  /// measure() re-routes the pairs the sink's stride selects against the
+  /// frozen round snapshot, recording each hop's (slot, id, table rank,
+  /// generation check).  The re-route touches no load counter and no rng,
+  /// so estimates and goldens are unchanged.  `shard` labels the records.
+  void set_route_trace(obs::RouteTraceSink* sink,
+                       std::uint64_t shard) noexcept {
+    trace_sink_ = sink;
+    trace_shard_ = shard;
+  }
+
  private:
   bool workload_enabled() const noexcept {
     return config_.replicas > 1 || config_.zipf_s > 0.0;
@@ -255,6 +279,11 @@ class SparseChurnWorld {
   void lifecycle_and_maintain_slot(NodeSlot slot);
   void integrate_joiners(bool commit_always);
   void advance_sweep(std::uint64_t& cursor, std::uint64_t slots);
+  // Re-routes one selected pair against the frozen round snapshot and
+  // pushes the hop record into trace_sink_ (sync mode only; rng-free, no
+  // load accounting).
+  void trace_route(const ChurnKernelCtx& ctx, NodeSlot source,
+                   NodeSlot target, std::uint64_t pair_index);
 
   const SparseChurnGeometry geometry_;
   const SparseChurnConfig config_;
@@ -327,6 +356,12 @@ class SparseChurnWorld {
   // property of the key space alone.
   std::optional<math::ZipfSampler> zipf_;
   math::CounterRng object_keys_;
+  // Observability sinks (all optional, all timing/forensics side-channels
+  // that never feed back into the trajectory).
+  obs::PhaseProfile* profile_ = nullptr;
+  obs::Trace* trace_ = nullptr;
+  obs::RouteTraceSink* trace_sink_ = nullptr;
+  std::uint64_t trace_shard_ = 0;
 };
 
 /// Result of a sharded sparse churn trajectory; the sparse counterpart of
@@ -349,6 +384,10 @@ struct SparseChurnResult {
   std::uint64_t load_max = 0;
   double load_p99 = 0.0;
   double load_cv = 0.0;
+  /// Sampled hop-by-hop route traces (TrajectoryOptions::trace_routes),
+  /// collected per shard and concatenated in shard order -- deterministic
+  /// at any thread count.  Empty when tracing is off.
+  std::vector<obs::RouteTrace> traces;
 };
 
 /// Runs the sharded sparse churn trajectory; reuses TrajectoryOptions

@@ -27,6 +27,9 @@ TrajectoryResult run_churn_trajectory(TrajectoryGeometry geometry,
   DHT_CHECK(!options.inflight,
             "in-flight measurement is a sparse-churn mode (dense rosters "
             "freeze between rounds)");
+  DHT_CHECK(options.trace_routes == 0,
+            "route forensics is a sparse-churn sync-mode feature (the "
+            "dense engine has no slot/generation hop records)");
   // Lifecycle domains are validated by the ChurnWorld constructor
   // (common/check.hpp); run them up front so a bad grid point throws
   // before any shard spins up a world.
@@ -38,6 +41,10 @@ TrajectoryResult run_churn_trajectory(TrajectoryGeometry geometry,
   std::vector<std::vector<sim::RoutabilityEstimate>> shard_rounds(shards);
   std::vector<double> alive_sum(shards, 0.0);
   std::vector<double> age_sum(shards, 0.0);
+  // Timing side-channel only: per-shard profiles are reduced in shard
+  // order below, and a null profile/trace reads no clock anywhere.
+  const bool observed = options.profile != nullptr || options.trace != nullptr;
+  std::vector<obs::PhaseProfile> shard_profiles(observed ? shards : 0);
 
   sim::run_sharded(
       shards,
@@ -47,12 +54,18 @@ TrajectoryResult run_churn_trajectory(TrajectoryGeometry geometry,
                        .chunk = 1,
                        .pin_workers = options.pin_workers},
       [&](std::uint64_t s) {
+        obs::PhaseProfile* const profile =
+            observed ? &shard_profiles[s] : nullptr;
         // Shard s is an independent replica of the whole trajectory, a pure
         // function of (caller seed, s).  Its world is allocated here, on
         // the (optionally pinned) worker, so first touch places it on the
         // worker's socket.
+        obs::PhaseTimer build_timer(profile, obs::Phase::kWorldBuild,
+                                    options.trace);
         ChurnWorld world(geometry, space, params, options.repair_probability,
                          options.max_hops, rng.fork(s));
+        build_timer.stop();
+        world.set_observer(profile, options.trace);
         for (int i = 0; i < options.warmup_rounds; ++i) {
           world.step();
         }
@@ -69,12 +82,24 @@ TrajectoryResult run_churn_trajectory(TrajectoryGeometry geometry,
   TrajectoryResult result;
   result.shards = shards;
   result.per_round.resize(static_cast<std::size_t>(rounds));
-  for (int r = 0; r < rounds; ++r) {
-    for (std::uint64_t s = 0; s < shards; ++s) {
-      result.per_round[static_cast<std::size_t>(r)].merge(
-          shard_rounds[s][static_cast<std::size_t>(r)]);
+  {
+    obs::PhaseProfile merge_profile;
+    obs::PhaseTimer merge_timer(observed ? &merge_profile : nullptr,
+                                obs::Phase::kMerge, options.trace);
+    for (int r = 0; r < rounds; ++r) {
+      for (std::uint64_t s = 0; s < shards; ++s) {
+        result.per_round[static_cast<std::size_t>(r)].merge(
+            shard_rounds[s][static_cast<std::size_t>(r)]);
+      }
+      result.overall.merge(result.per_round[static_cast<std::size_t>(r)]);
     }
-    result.overall.merge(result.per_round[static_cast<std::size_t>(r)]);
+    merge_timer.stop();
+    if (options.profile != nullptr) {
+      for (const obs::PhaseProfile& p : shard_profiles) {
+        options.profile->merge(p);
+      }
+      options.profile->merge(merge_profile);
+    }
   }
   double alive_total = 0.0;
   double age_total = 0.0;

@@ -41,6 +41,7 @@
 
 #include "churn/churn.hpp"
 #include "math/rng.hpp"
+#include "obs/phase_timer.hpp"
 #include "sim/id_space.hpp"
 #include "sim/monte_carlo.hpp"
 
@@ -92,6 +93,22 @@ struct TrajectoryOptions {
   /// A/B measurement).  Ignored by the dense engine and by in-flight mode,
   /// which is inherently sequential.
   bool batch_routes = true;
+  /// Route forensics (sparse churn engine, sync mode only): sample about
+  /// this many routes run-wide and record their full hop sequences
+  /// (obs/route_trace.hpp).  Which pairs are traced is a pure function of
+  /// (shard, round, pair index), so the same routes are traced at any
+  /// thread count; traced pairs are re-routed against the frozen round
+  /// snapshot with no load accounting and no rng, so estimates are
+  /// unchanged.  0 disables; the dense engine and in-flight mode reject
+  /// nonzero values.
+  std::uint64_t trace_routes = 0;
+  /// Observability sinks (obs/phase_timer.hpp), both optional and both
+  /// pure timing side-channels: per-shard phase seconds are reduced in
+  /// shard order into `profile`, phase spans go to `trace`.  Null (the
+  /// default) is the zero-cost path; attaching them never changes any
+  /// counter.
+  obs::PhaseProfile* profile = nullptr;
+  obs::Trace* trace = nullptr;
 };
 
 /// Validates the domains of the shared trajectory options; throws

@@ -1,0 +1,93 @@
+// Route-failure taxonomy: exact-integer classification of every
+// non-delivered route/GET attempt.
+//
+// The engines' estimates (sim::RoutabilityEstimate,
+// sparse::SparseEstimate) historically counted one failure cause -- the
+// hop_limit_hits canary -- and folded every other drop into an anonymous
+// attempts-minus-successes remainder.  This header replaces that with one
+// enum and one counter array carried INSIDE the estimates, so the causes
+// merge shard-by-shard with the same commutative integer sums as every
+// other counter and stay bit-identical at any thread count.
+//
+// Conservation invariant (asserted in test_observability):
+//
+//   attempts == delivered + sum over causes of failures[cause]
+//
+// holds by construction: every record_* call increments attempts and
+// exactly one of (hop count, one failure cell).
+#pragma once
+
+#include <cstdint>
+
+namespace dht::obs {
+
+/// Why a route (or GET attempt) did not arrive.
+enum class RouteFailure : int {
+  /// The forwarding rule found no admissible alive entry: the greedy
+  /// candidate set existed but every member was dead or stale.  The
+  /// static engines' only drop cause; the catch-all under churn.
+  kDeadEntry = 0,
+  /// The safety hop cap fired -- the historical hop_limit_hits canary,
+  /// now one cell of this array (the JSONL column keeps its old name).
+  kHopLimit = 1,
+  /// The node holding the message departed mid-flight (in-flight
+  /// measurement only: the world advanced during the lookup).
+  kHolderDeparted = 2,
+  /// The dropping node's entire successor list was invalid (every entry
+  /// empty, self, or generation-stale) -- the ring's last-resort channel
+  /// had collapsed, distinct from a routine dead greedy candidate.
+  kSuccessorCollapse = 3,
+  /// A path-cache hit forwarded straight to a cached owner that turned
+  /// out dead.  Provably zero in the static engine (cached owners are
+  /// re-walked past dead nodes at build time); the cell exists as the
+  /// invariant's canary and for future churn-aware caches.
+  kCacheDeadOwner = 4,
+};
+
+inline constexpr int kRouteFailureCount = 5;
+
+/// Exact-integer failure counters, one cell per RouteFailure.  Merging in
+/// shard order is associative and bit-identical to a single sequential
+/// pass -- the same property every other estimate counter has.
+struct FailureTaxonomy {
+  std::uint64_t counts[kRouteFailureCount] = {0, 0, 0, 0, 0};
+
+  void record(RouteFailure cause) noexcept {
+    ++counts[static_cast<int>(cause)];
+  }
+  std::uint64_t operator[](RouteFailure cause) const noexcept {
+    return counts[static_cast<int>(cause)];
+  }
+  void merge(const FailureTaxonomy& other) noexcept {
+    for (int i = 0; i < kRouteFailureCount; ++i) {
+      counts[i] += other.counts[i];
+    }
+  }
+  std::uint64_t total() const noexcept {
+    std::uint64_t sum = 0;
+    for (int i = 0; i < kRouteFailureCount; ++i) {
+      sum += counts[i];
+    }
+    return sum;
+  }
+
+  bool operator==(const FailureTaxonomy&) const = default;
+};
+
+inline const char* to_string(RouteFailure cause) noexcept {
+  switch (cause) {
+    case RouteFailure::kDeadEntry:
+      return "dead_entry";
+    case RouteFailure::kHopLimit:
+      return "hop_limit";
+    case RouteFailure::kHolderDeparted:
+      return "holder_departed";
+    case RouteFailure::kSuccessorCollapse:
+      return "succ_collapse";
+    case RouteFailure::kCacheDeadOwner:
+      return "cache_dead_owner";
+  }
+  return "unknown";
+}
+
+}  // namespace dht::obs

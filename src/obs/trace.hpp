@@ -1,0 +1,63 @@
+// Chrome-trace (trace_event) timeline collector.
+//
+// One Trace instance per run collects named spans from every worker
+// thread; write_chrome_trace() serializes them as the Chrome/Perfetto
+// trace_event JSON array format -- open the file at ui.perfetto.dev (or
+// chrome://tracing) to see one timeline lane per worker with the engine
+// phases laid out.
+//
+// Lanes: each OS thread that records a span is assigned the next lane id
+// on first contact (thread_local cache, mutex-ordered assignment), so a
+// worker keeps one lane for the whole run.  Lane numbering therefore
+// depends on scheduling -- which is fine, because traces are a timing
+// side-channel exactly like PhaseProfile: never determinism-gated, never
+// fed back into an engine.
+//
+// Cost model: recording takes the mutex once per span.  Spans are
+// phase-scoped (a handful per shard per round), not per-route, so
+// contention is negligible; with no Trace attached the PhaseTimer path
+// never calls in here at all.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace dht::obs {
+
+class Trace {
+ public:
+  struct Event {
+    const char* name;          // static-storage phase name
+    std::uint32_t lane;        // per-thread timeline lane
+    std::uint64_t start_ns;    // offset from trace epoch
+    std::uint64_t duration_ns;
+  };
+
+  Trace();
+
+  /// Records one completed span from the calling thread.
+  void record(const char* name, std::chrono::steady_clock::time_point start,
+              std::chrono::steady_clock::time_point end);
+
+  /// Snapshot of the events recorded so far (record order).
+  std::vector<Event> events() const;
+
+  /// Writes the Chrome trace_event JSON array ("ts"/"dur" in
+  /// microseconds, one "tid" per worker lane) to `path`.  Returns false
+  /// (and leaves no partial file behind beyond what the OS wrote) when
+  /// the file cannot be opened.
+  bool write_chrome_trace(const std::string& path) const;
+
+ private:
+  std::uint32_t lane_for_this_thread();
+
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mutex_;
+  std::uint32_t next_lane_ = 0;
+  std::vector<Event> events_;
+};
+
+}  // namespace dht::obs

@@ -15,6 +15,7 @@
 #include <cstdint>
 
 #include "math/stats.hpp"
+#include "obs/failure.hpp"
 #include "sim/hop_stats.hpp"
 #include "sim/overlay.hpp"
 #include "sim/router.hpp"
@@ -30,18 +31,31 @@ struct EstimateOptions {
 
 /// Aggregated routability measurement.
 struct RoutabilityEstimate {
-  math::Proportion routed;        ///< successes over attempted pairs
-  HopStats hops;                  ///< hop counts of successful routes
-  std::uint64_t hop_limit_hits = 0;  ///< should stay 0; protocol-bug canary
+  math::Proportion routed;  ///< successes over attempted pairs
+  HopStats hops;            ///< hop counts of successful routes
+  /// Per-cause failure counters (obs/failure.hpp); the former
+  /// hop_limit_hits canary is the kHopLimit cell (accessor below).
+  /// Conservation: routed.trials == hops.count() + failures.total().
+  obs::FailureTaxonomy failures;
 
-  /// Folds one route outcome into the estimate.
+  /// Folds one route outcome into the estimate.  Drops in the dense
+  /// engines are always dead-entry stalls (the static forwarding rules
+  /// have no other way to fail short of the hop cap).
   void record(const RouteResult& result) noexcept {
     routed.record(result.success());
     if (result.success()) {
       hops.add(static_cast<std::uint64_t>(result.hops));
     } else if (result.status == RouteStatus::kHopLimit) {
-      ++hop_limit_hits;
+      failures.record(obs::RouteFailure::kHopLimit);
+    } else {
+      failures.record(obs::RouteFailure::kDeadEntry);
     }
+  }
+
+  /// The historical protocol-bug canary, preserved as an accessor over
+  /// the taxonomy (should stay 0).
+  std::uint64_t hop_limit_hits() const noexcept {
+    return failures[obs::RouteFailure::kHopLimit];
   }
 
   /// Pools another estimate (e.g. a shard's) into this one.  All counters
@@ -50,7 +64,7 @@ struct RoutabilityEstimate {
   void merge(const RoutabilityEstimate& other) noexcept {
     routed.merge(other.routed);
     hops.merge(other.hops);
-    hop_limit_hits += other.hop_limit_hits;
+    failures.merge(other.failures);
   }
 
   double routability() const noexcept { return routed.point(); }

@@ -208,8 +208,21 @@ RoutabilityEstimate estimate_routability_parallel(
   DHT_CHECK(failures.alive_count() >= 2,
             "routability needs at least two alive nodes");
   DHT_CHECK(options.pairs > 0, "at least one pair must be sampled");
-  const flat::FlatCtx ctx = flat::make_ctx(overlay, failures, options.max_hops,
-                                           options.use_flat_kernels);
+  // Observability is a timing side-channel: with both sinks null (the
+  // default) every PhaseTimer below is constructed with null pointers and
+  // reads no clock; the shard profiles are reduced in shard order like
+  // every other per-shard result, and nothing here feeds back into the
+  // estimates.
+  const bool observed = options.profile != nullptr || options.trace != nullptr;
+  obs::PhaseProfile serial_profile;
+  obs::PhaseProfile* const serial =
+      observed ? &serial_profile : nullptr;
+  flat::FlatCtx ctx;
+  {
+    obs::PhaseTimer timer(serial, obs::Phase::kWorldBuild, options.trace);
+    ctx = flat::make_ctx(overlay, failures, options.max_hops,
+                         options.use_flat_kernels);
+  }
 
   const std::uint64_t shards =
       options.shards != 0 ? options.shards
@@ -218,12 +231,16 @@ RoutabilityEstimate estimate_routability_parallel(
   const std::uint64_t extra = options.pairs % shards;
 
   std::vector<RoutabilityEstimate> results(shards);
+  std::vector<obs::PhaseProfile> shard_profiles(observed ? shards : 0);
   run_sharded(shards,
               PoolOptions{.threads = resolve_threads(options.threads),
                           .pin_workers = options.pin_workers},
               [&](std::uint64_t s) {
                 // Shard s is a pure function of (caller seed, s): fork a
                 // private lineage whose counter streams feed the lanes.
+                obs::PhaseTimer timer(
+                    observed ? &shard_profiles[s] : nullptr,
+                    obs::Phase::kRoute, options.trace);
                 const math::Rng shard_rng = rng.fork(s);
                 const std::uint64_t pairs = base + (s < extra ? 1 : 0);
                 RoutabilityEstimate estimate;
@@ -233,8 +250,17 @@ RoutabilityEstimate estimate_routability_parallel(
               });
 
   RoutabilityEstimate merged;
-  for (const RoutabilityEstimate& shard : results) {
-    merged.merge(shard);
+  {
+    obs::PhaseTimer timer(serial, obs::Phase::kMerge, options.trace);
+    for (const RoutabilityEstimate& shard : results) {
+      merged.merge(shard);
+    }
+  }
+  if (options.profile != nullptr) {
+    options.profile->merge(serial_profile);
+    for (const obs::PhaseProfile& p : shard_profiles) {
+      options.profile->merge(p);
+    }
   }
   return merged;
 }

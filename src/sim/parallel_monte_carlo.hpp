@@ -28,6 +28,7 @@
 #include <cstdint>
 
 #include "math/rng.hpp"
+#include "obs/phase_timer.hpp"
 #include "sim/monte_carlo.hpp"
 
 namespace dht::sim {
@@ -54,6 +55,13 @@ struct ParallelOptions {
   /// Pin worker threads round-robin across NUMA nodes (sim/topology.hpp);
   /// best effort, a silent no-op where unsupported.  Never affects results.
   bool pin_workers = false;
+  /// Observability sinks (obs/phase_timer.hpp), both optional and both
+  /// pure timing side-channels: per-shard phase seconds are reduced in
+  /// shard order into `profile`, phase spans go to `trace`.  Null (the
+  /// default) is the zero-cost path; attaching them never changes any
+  /// counter.
+  obs::PhaseProfile* profile = nullptr;
+  obs::Trace* trace = nullptr;
 };
 
 /// Monte-Carlo estimate over sampled alive pairs, sharded across threads.

@@ -480,6 +480,13 @@ SparseWorkloadReport estimate_workload_parallel(
   DHT_CHECK(wl.cache_entries >= 0, "cache entries must be >= 0");
   DHT_CHECK(wl.objects <= (std::uint64_t{1} << 26),
             "workload object count exceeds the 2^26 population cap");
+  // Observability is a timing side-channel: null sinks (the default) read
+  // no clock, shard profiles reduce in shard order, and nothing here
+  // feeds back into the estimates.
+  const bool observed = options.profile != nullptr || options.trace != nullptr;
+  obs::PhaseProfile serial_profile;
+  obs::PhaseProfile* const serial = observed ? &serial_profile : nullptr;
+  obs::PhaseTimer build_timer(serial, obs::Phase::kWorldBuild, options.trace);
   flat::FlatSparseCtx ctx = flat::make_sparse_ctx(
       overlay, failures, options.max_hops, options.use_flat_kernels);
 
@@ -527,6 +534,8 @@ SparseWorkloadReport estimate_workload_parallel(
     replicas = flat::build_replicas(ctx);
   }
 
+  build_timer.stop();
+
   const std::uint64_t shards =
       options.shards != 0 ? options.shards
                           : std::min<std::uint64_t>(options.pairs, 256);
@@ -534,11 +543,14 @@ SparseWorkloadReport estimate_workload_parallel(
   const std::uint64_t extra = options.pairs % shards;
 
   std::vector<SparseEstimate> results(shards);
+  std::vector<obs::PhaseProfile> shard_profiles(observed ? shards : 0);
   sim::run_sharded(
       shards,
       sim::PoolOptions{.threads = sim::resolve_threads(options.threads),
                        .pin_workers = options.pin_workers},
       [&](std::uint64_t s) {
+        obs::PhaseTimer route_timer(observed ? &shard_profiles[s] : nullptr,
+                                    obs::Phase::kRoute, options.trace);
         // Shard s is a pure function of (caller seed, s): fork a private
         // stream whose counter_stream(lane) draws sample the shard's slice
         // of the pair budget.
@@ -571,18 +583,27 @@ SparseWorkloadReport estimate_workload_parallel(
       });
 
   SparseWorkloadReport report;
-  for (const SparseEstimate& shard : results) {
-    report.estimate.merge(shard);
-  }
-  if (wl.record_load) {
-    std::vector<std::uint64_t> counts(loads.size());
-    for (std::size_t i = 0; i < loads.size(); ++i) {
-      counts[i] = loads[i].load(std::memory_order_relaxed);
+  {
+    obs::PhaseTimer merge_timer(serial, obs::Phase::kMerge, options.trace);
+    for (const SparseEstimate& shard : results) {
+      report.estimate.merge(shard);
     }
-    report.load = sim::summarize_load(
-        counts, [&](std::size_t i) {
-          return failures.alive(static_cast<NodeIndex>(i));
-        });
+    if (wl.record_load) {
+      std::vector<std::uint64_t> counts(loads.size());
+      for (std::size_t i = 0; i < loads.size(); ++i) {
+        counts[i] = loads[i].load(std::memory_order_relaxed);
+      }
+      report.load = sim::summarize_load(
+          counts, [&](std::size_t i) {
+            return failures.alive(static_cast<NodeIndex>(i));
+          });
+    }
+  }
+  if (options.profile != nullptr) {
+    options.profile->merge(serial_profile);
+    for (const obs::PhaseProfile& p : shard_profiles) {
+      options.profile->merge(p);
+    }
   }
   return report;
 }

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "math/rng.hpp"
+#include "obs/phase_timer.hpp"
 #include "sim/load_stats.hpp"
 #include "sparse/sparse_overlay.hpp"
 
@@ -53,15 +54,20 @@ struct SparseRouteResult {
 /// Folds one retired route into the estimate counters.  Shared by the
 /// static lane driver and the churn engine's batch driver: every counter
 /// is a commutative sum, which is exactly why retirement order (and hence
-/// batch scheduling) can never change a merged estimate.
-inline void record_route(SparseEstimate& estimate, SparseRouteStatus status,
-                         std::uint64_t hops) {
+/// batch scheduling) can never change a merged estimate.  `drop_cause`
+/// classifies a kDropped retirement for the failure taxonomy
+/// (obs/failure.hpp); the static kernels only ever stall on dead entries,
+/// so the default covers them, while the churn drivers pass the cause
+/// they diagnosed at the drop site.
+inline void record_route(
+    SparseEstimate& estimate, SparseRouteStatus status, std::uint64_t hops,
+    obs::RouteFailure drop_cause = obs::RouteFailure::kDeadEntry) {
   switch (status) {
     case SparseRouteStatus::kArrived:
       estimate.record_arrival(hops);
       break;
     case SparseRouteStatus::kDropped:
-      estimate.record_drop();
+      estimate.record_drop(drop_cause);
       break;
     case SparseRouteStatus::kHopLimit:
       estimate.record_hop_limit();
@@ -666,6 +672,13 @@ struct SparseParallelOptions {
   /// Heavy-traffic workload model (defaults fully off: the uniform-pair
   /// engine below is byte-for-byte the historical one).
   SparseWorkloadOptions workload;
+  /// Observability sinks (obs/phase_timer.hpp), both optional and both
+  /// pure timing side-channels: the engine adds per-shard phase seconds
+  /// (reduced in shard order) into `profile` and emits phase spans into
+  /// `trace`.  Null (the default) is the zero-cost path -- no clock is
+  /// read -- and attaching them never changes any counter.
+  obs::PhaseProfile* profile = nullptr;
+  obs::Trace* trace = nullptr;
 };
 
 /// Monte-Carlo estimate over sampled alive index pairs, sharded across

@@ -12,6 +12,7 @@
 
 #include "common/check.hpp"
 #include "math/rng.hpp"
+#include "obs/failure.hpp"
 #include "sim/hop_stats.hpp"
 #include "sparse/sparse_space.hpp"
 
@@ -75,8 +76,11 @@ std::optional<int> route(const SparseOverlay& overlay,
 /// parallel estimator (sparse/flat_sparse.hpp) relies on.
 struct SparseEstimate {
   std::uint64_t attempts = 0;
-  sim::HopStats hops;                ///< hop counts of successful routes
-  std::uint64_t hop_limit_hits = 0;  ///< should stay 0; protocol-bug canary
+  sim::HopStats hops;  ///< hop counts of successful routes
+  /// Per-cause failure counters (obs/failure.hpp); the former
+  /// hop_limit_hits canary is the kHopLimit cell (accessor below).
+  /// Conservation: attempts == hops.count() + failures.total().
+  obs::FailureTaxonomy failures;
   // Workload-layer counters, all exact integers so merge/== extend to them
   // unchanged.  Zero when the corresponding feature is off, keeping the
   // historical estimates bit-compatible.
@@ -89,17 +93,27 @@ struct SparseEstimate {
     ++attempts;
     hops.add(route_hops);
   }
-  void record_drop() noexcept { ++attempts; }
+  void record_drop(obs::RouteFailure cause =
+                       obs::RouteFailure::kDeadEntry) noexcept {
+    ++attempts;
+    failures.record(cause);
+  }
   void record_hop_limit() noexcept {
     ++attempts;
-    ++hop_limit_hits;
+    failures.record(obs::RouteFailure::kHopLimit);
+  }
+
+  /// The historical protocol-bug canary, preserved as an accessor over
+  /// the taxonomy (should stay 0).
+  std::uint64_t hop_limit_hits() const noexcept {
+    return failures[obs::RouteFailure::kHopLimit];
   }
 
   /// Pools another estimate (e.g. a shard's) into this one; exact.
   void merge(const SparseEstimate& other) noexcept {
     attempts += other.attempts;
     hops.merge(other.hops);
-    hop_limit_hits += other.hop_limit_hits;
+    failures.merge(other.failures);
     cache_probes += other.cache_probes;
     cache_hits += other.cache_hits;
     gets += other.gets;

@@ -352,7 +352,7 @@ TEST(ChurnWorld, MeasureWithFewerThanTwoAliveNodesIsEmpty) {
   EXPECT_EQ(estimate.routed.trials, 0u);
   EXPECT_EQ(estimate.routed.successes, 0u);
   EXPECT_EQ(estimate.hops.count(), 0u);
-  EXPECT_EQ(estimate.hop_limit_hits, 0u);
+  EXPECT_EQ(estimate.hop_limit_hits(), 0u);
   EXPECT_EQ(estimate.routability(), 0.0);
   // The vacuous interval, not a PreconditionError.
   const math::Interval interval = estimate.confidence95();

@@ -25,7 +25,7 @@ void expect_identical(const sim::RoutabilityEstimate& a,
   EXPECT_EQ(a.hops.sum_squares(), b.hops.sum_squares()) << what;
   EXPECT_EQ(a.hops.min(), b.hops.min()) << what;
   EXPECT_EQ(a.hops.max(), b.hops.max()) << what;
-  EXPECT_EQ(a.hop_limit_hits, b.hop_limit_hits) << what;
+  EXPECT_EQ(a.hop_limit_hits(), b.hop_limit_hits()) << what;
 }
 
 constexpr TrajectoryGeometry kAllGeometries[] = {
@@ -164,7 +164,7 @@ TEST(ChurnTrajectory, PerfectStabilityRoutesEverything) {
     const auto result =
         run_churn_trajectory(geometry, space, params, options, rng);
     EXPECT_GT(result.overall.routability(), 0.999) << to_string(geometry);
-    EXPECT_EQ(result.overall.hop_limit_hits, 0u) << to_string(geometry);
+    EXPECT_EQ(result.overall.hop_limit_hits(), 0u) << to_string(geometry);
   }
 }
 

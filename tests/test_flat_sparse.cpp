@@ -25,7 +25,7 @@ void expect_identical(const SparseEstimate& a, const SparseEstimate& b,
   EXPECT_EQ(a.hops.sum_squares(), b.hops.sum_squares()) << what;
   EXPECT_EQ(a.hops.min(), b.hops.min()) << what;
   EXPECT_EQ(a.hops.max(), b.hops.max()) << what;
-  EXPECT_EQ(a.hop_limit_hits, b.hop_limit_hits) << what;
+  EXPECT_EQ(a.hop_limit_hits(), b.hop_limit_hits()) << what;
 }
 
 struct Instance {
@@ -111,7 +111,7 @@ TEST(FlatSparse, FlatAndGenericEstimatesAreBitIdentical) {
                                                  generic_options, route_rng);
     expect_identical(a, b, name.c_str());
     EXPECT_GT(a.attempts, 0u) << name;
-    EXPECT_EQ(a.hop_limit_hits, 0u) << name;
+    EXPECT_EQ(a.hop_limit_hits(), 0u) << name;
   }
 }
 
@@ -449,7 +449,7 @@ TEST(FlatSparse, WideKeySpaceRoutesAtSixtyThreeBits) {
   const auto estimate = estimate_routability_parallel(
       overlay, none, {.pairs = 2000, .threads = 2}, route_rng);
   EXPECT_EQ(estimate.routability(), 1.0);
-  EXPECT_EQ(estimate.hop_limit_hits, 0u);
+  EXPECT_EQ(estimate.hop_limit_hits(), 0u);
   EXPECT_LE(estimate.hops.max(), 63u);
 }
 

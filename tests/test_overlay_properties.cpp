@@ -168,7 +168,7 @@ TEST_P(OverlayProperties, HopLimitNeverFiresAtModerateFailure) {
   math::Rng rng(11);
   const auto estimate =
       estimate_routability(*overlay, failures, {.pairs = 6000}, rng);
-  EXPECT_EQ(estimate.hop_limit_hits, 0u);
+  EXPECT_EQ(estimate.hop_limit_hits(), 0u);
 }
 
 }  // namespace

@@ -28,7 +28,7 @@ void expect_identical(const RoutabilityEstimate& a,
   EXPECT_EQ(a.hops.sum_squares(), b.hops.sum_squares()) << what;
   EXPECT_EQ(a.hops.min(), b.hops.min()) << what;
   EXPECT_EQ(a.hops.max(), b.hops.max()) << what;
-  EXPECT_EQ(a.hop_limit_hits, b.hop_limit_hits) << what;
+  EXPECT_EQ(a.hop_limit_hits(), b.hop_limit_hits()) << what;
 }
 
 std::unique_ptr<Overlay> make_named_overlay(const std::string& name,
@@ -267,7 +267,7 @@ TEST(ParallelMonteCarlo, HopLimitHitsAreCountedDeterministically) {
   const math::Rng rng(71);
   const ParallelOptions options{.pairs = 2000, .max_hops = 1, .threads = 2};
   const auto a = estimate_routability_parallel(overlay, alive, options, rng);
-  EXPECT_GT(a.hop_limit_hits, 0u);  // Hamming distance > 1 cannot arrive
+  EXPECT_GT(a.hop_limit_hits(), 0u);  // Hamming distance > 1 cannot arrive
   ParallelOptions more_threads = options;
   more_threads.threads = 8;
   const auto b =

@@ -87,7 +87,7 @@ TEST(MonteCarlo, PerfectNetworkIsFullyRoutable) {
       estimate_routability(overlay, alive, {.pairs = 5000}, rng);
   EXPECT_EQ(estimate.routability(), 1.0);
   EXPECT_EQ(estimate.failed_fraction(), 0.0);
-  EXPECT_EQ(estimate.hop_limit_hits, 0u);
+  EXPECT_EQ(estimate.hop_limit_hits(), 0u);
   // Mean Hamming distance between random ids is d/2 = 5.
   EXPECT_NEAR(estimate.hops.mean(), 5.0, 0.2);
 }

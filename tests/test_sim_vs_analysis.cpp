@@ -52,7 +52,7 @@ double mean_simulated(const MakeOverlay& make_overlay, double q,
     math::Rng route_rng(seed + 2000 + static_cast<std::uint64_t>(instance));
     const auto estimate = sim::estimate_routability(
         *overlay, failures, {.pairs = kPairs}, route_rng);
-    EXPECT_EQ(estimate.hop_limit_hits, 0u);
+    EXPECT_EQ(estimate.hop_limit_hits(), 0u);
     total += estimate.routability();
   }
   return total / kInstances;

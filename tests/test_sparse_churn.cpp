@@ -31,7 +31,7 @@ void expect_identical(const sparse::SparseEstimate& a,
   EXPECT_EQ(a.hops.sum_squares(), b.hops.sum_squares()) << what;
   EXPECT_EQ(a.hops.min(), b.hops.min()) << what;
   EXPECT_EQ(a.hops.max(), b.hops.max()) << what;
-  EXPECT_EQ(a.hop_limit_hits, b.hop_limit_hits) << what;
+  EXPECT_EQ(a.hop_limit_hits(), b.hop_limit_hits()) << what;
 }
 
 constexpr SparseChurnGeometry kAllGeometries[] = {
@@ -99,7 +99,7 @@ TEST(SparseChurn, BitIdenticalAcrossThreadCounts) {
           reference = result;
           first = false;
           EXPECT_GT(result.overall.attempts, 0u) << to_string(geometry);
-          EXPECT_EQ(result.overall.hop_limit_hits, 0u) << to_string(geometry);
+          EXPECT_EQ(result.overall.hop_limit_hits(), 0u) << to_string(geometry);
         } else {
           for (std::size_t r = 0; r < result.per_round.size(); ++r) {
             expect_identical(reference.per_round[r], result.per_round[r],
@@ -157,7 +157,7 @@ TEST(SparseChurn, GoldenBitCompatWithPreKBucketEngine) {
         << to_string(golden.geometry);
     EXPECT_EQ(result.overall.hops.max(), golden.max)
         << to_string(golden.geometry);
-    EXPECT_EQ(result.overall.hop_limit_hits, 0u)
+    EXPECT_EQ(result.overall.hop_limit_hits(), 0u)
         << to_string(golden.geometry);
     EXPECT_DOUBLE_EQ(result.mean_population, 1048.375)
         << to_string(golden.geometry);
@@ -440,7 +440,7 @@ TEST(SparseChurn, PerfectStabilityRoutesEverything) {
     const auto result =
         run_sparse_churn_trajectory(geometry, config, params, options, rng);
     EXPECT_GT(result.overall.routability(), 0.999) << to_string(geometry);
-    EXPECT_EQ(result.overall.hop_limit_hits, 0u) << to_string(geometry);
+    EXPECT_EQ(result.overall.hop_limit_hits(), 0u) << to_string(geometry);
   }
 }
 
@@ -597,7 +597,7 @@ TEST(SparseChurn, CollapsedPopulationHonorsEmptyEstimateContract) {
   const auto estimate = world.measure(100);
   EXPECT_EQ(estimate.attempts, 0u);
   EXPECT_EQ(estimate.hops.count(), 0u);
-  EXPECT_EQ(estimate.hop_limit_hits, 0u);
+  EXPECT_EQ(estimate.hop_limit_hits(), 0u);
   EXPECT_EQ(estimate.routability(), 0.0);
   // The world must survive further rounds (and possibly repopulate.)
   for (int round = 0; round < 50; ++round) {

@@ -53,7 +53,7 @@ TEST(SparseChurnMillion, HundredThousandNodeChurnIsThreadDeterministic) {
   // joins/leaves, population tracks a * capacity, and the hop cap is never
   // hit (strict progress).
   EXPECT_GT(reference.overall.routability(), 0.99);
-  EXPECT_EQ(reference.overall.hop_limit_hits, 0u);
+  EXPECT_EQ(reference.overall.hop_limit_hits(), 0u);
   EXPECT_NEAR(reference.mean_population, 100000.0, 2000.0);
   EXPECT_LT(reference.overall.mean_hops(), 2.0 * 17);  // ~log2 N scale
 }
@@ -73,7 +73,7 @@ TEST(SparseChurnMillion, KademliaHundredThousandNodesRoutesUnderChurn) {
       SparseChurnGeometry::kKademlia, config, params, options,
       math::Rng(402));
   EXPECT_GT(result.overall.routability(), 0.9);
-  EXPECT_EQ(result.overall.hop_limit_hits, 0u);
+  EXPECT_EQ(result.overall.hop_limit_hits(), 0u);
   EXPECT_GT(result.overall.attempts, 0u);
 }
 

@@ -35,12 +35,12 @@ TEST(SparseMillion, KademliaMillionNodesRoutesAndIsThreadDeterministic) {
   EXPECT_EQ(one.successes(), four.successes());
   EXPECT_EQ(one.hops.sum(), four.hops.sum());
   EXPECT_EQ(one.hops.sum_squares(), four.hops.sum_squares());
-  EXPECT_EQ(one.hop_limit_hits, four.hop_limit_hits);
+  EXPECT_EQ(one.hop_limit_hits(), four.hop_limit_hits());
 
   // Sanity at q = 0.1: routability far above the knee, hop counts at the
   // occupancy scale d' = log2 N ~ 20, not the key-space scale 32.
   EXPECT_GT(one.routability(), 0.9);
-  EXPECT_EQ(one.hop_limit_hits, 0u);
+  EXPECT_EQ(one.hop_limit_hits(), 0u);
   EXPECT_LT(one.mean_hops(), 2.0 * effective_bits(kMillion));
 }
 
