@@ -247,10 +247,12 @@ int cmd_simulate(const std::string& name, int d, double q,
     return usage();
   }
   const sim::FailureScenario failures(space, q, rng);
+  // lint:allow(wallclock) printed wall-time only, never an estimate input
   const auto start = std::chrono::steady_clock::now();
   const auto estimate = sim::estimate_routability_parallel(
       *overlay, failures, {.pairs = pairs, .threads = threads}, rng);
   const double seconds =
+      // lint:allow(wallclock) printed wall-time only, never an estimate input
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
   const auto ci = estimate.confidence95();
@@ -288,6 +290,7 @@ int cmd_sparse(const std::string& name, int bits, std::uint64_t n, double q,
     return 1;
   }
   math::Rng rng(seed);
+  // lint:allow(wallclock) printed wall-time only, never an estimate input
   const auto build_start = std::chrono::steady_clock::now();
   const sparse::SparseIdSpace space(bits, n, rng);
   std::unique_ptr<sparse::SparseOverlay> overlay;
@@ -302,6 +305,7 @@ int cmd_sparse(const std::string& name, int bits, std::uint64_t n, double q,
     return usage();
   }
   const double build_seconds =
+      // lint:allow(wallclock) printed wall-time only, never an estimate input
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     build_start)
           .count();
@@ -312,11 +316,13 @@ int cmd_sparse(const std::string& name, int bits, std::uint64_t n, double q,
   options.workload.objects = objects;
   options.workload.cache_entries = cache_entries;
   options.workload.record_load = record_load;
+  // lint:allow(wallclock) printed wall-time only, never an estimate input
   const auto start = std::chrono::steady_clock::now();
   const auto report = sparse::estimate_workload_parallel(*overlay, failures,
                                                          options, rng);
   const auto& estimate = report.estimate;
   const double seconds =
+      // lint:allow(wallclock) printed wall-time only, never an estimate input
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
   std::cout << strfmt(
@@ -397,10 +403,12 @@ int cmd_churn(const std::string& name, int d, double pd, double pr,
                                          .threads = threads,
                                          .repair_probability = rho};
   const math::Rng rng(seed);
+  // lint:allow(wallclock) printed wall-time only, never an estimate input
   const auto start = std::chrono::steady_clock::now();
   const auto result =
       churn::run_churn_trajectory(geometry, space, params, options, rng);
   const double seconds =
+      // lint:allow(wallclock) printed wall-time only, never an estimate input
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
   const double q_eff = churn::effective_q(params);
@@ -549,10 +557,12 @@ int cmd_sparse_churn(const std::string& name, int bits, std::uint64_t n0,
   options.batch_routes = batch_routes;
   options.trace_routes = trace_routes;
   const math::Rng rng(seed);
+  // lint:allow(wallclock) printed wall-time only, never an estimate input
   const auto start = std::chrono::steady_clock::now();
   const auto result = churn::run_sparse_churn_trajectory(geometry, config,
                                                          params, options, rng);
   const double seconds =
+      // lint:allow(wallclock) printed wall-time only, never an estimate input
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
   const double q_eff = churn::effective_q(params);

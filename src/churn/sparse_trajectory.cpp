@@ -1309,8 +1309,8 @@ sparse::SparseEstimate SparseChurnWorld::measure(std::uint64_t pairs,
 void SparseChurnWorld::trace_route(const ChurnKernelCtx& ctx,
                                    NodeSlot source, NodeSlot target,
                                    std::uint64_t pair_index) {
-  StepResult (*step)(const ChurnKernelCtx&, NodeSlot, std::uint64_t,
-                     std::uint64_t) =
+  StepResult (*step_fn)(const ChurnKernelCtx&, NodeSlot, std::uint64_t,
+                        std::uint64_t) =
       geometry_ == SparseChurnGeometry::kKademlia ? &step_xor
                                                   : &step_clockwise;
   obs::RouteTrace trace;
@@ -1332,7 +1332,7 @@ void SparseChurnWorld::trace_route(const ChurnKernelCtx& ctx,
       trace.status = 2;  // hop limit
       break;
     }
-    const StepResult next = step(ctx, cur, cur_id, trace.target_id);
+    const StepResult next = step_fn(ctx, cur, cur_id, trace.target_id);
     if (next.next == kNoSlot) {
       trace.status = 1;  // dropped
       break;
@@ -1385,8 +1385,8 @@ void SparseChurnWorld::trace_route(const ChurnKernelCtx& ctx,
 void SparseChurnWorld::measure_scalar_routes(
     const ChurnKernelCtx& ctx, int attempts,
     sparse::SparseEstimate& estimate) {
-  StepResult (*step)(const ChurnKernelCtx&, NodeSlot, std::uint64_t,
-                     std::uint64_t) =
+  StepResult (*step_fn)(const ChurnKernelCtx&, NodeSlot, std::uint64_t,
+                        std::uint64_t) =
       geometry_ == SparseChurnGeometry::kKademlia ? &step_xor
                                                   : &step_clockwise;
   const bool workload = workload_enabled();
@@ -1394,7 +1394,7 @@ void SparseChurnWorld::measure_scalar_routes(
   for (const GetDraw& draw : draws_) {
     const std::uint64_t source_id = ctx.ids[draw.source];
     bool available = route_one<false>(
-        ctx, step, draw.source, source_id, draw.target,
+        ctx, step_fn, draw.source, source_id, draw.target,
         ctx.ids[draw.target], max_hops_, load_.data(), &estimate, no_sweep);
     if (!workload) {
       continue;
@@ -1409,7 +1409,7 @@ void SparseChurnWorld::measure_scalar_routes(
       available =
           holder == draw.source  // the source holds the replica itself
               ? true
-              : route_one<false>(ctx, step, draw.source, source_id, holder,
+              : route_one<false>(ctx, step_fn, draw.source, source_id, holder,
                                  ctx.ids[holder], max_hops_, load_.data(),
                                  nullptr, no_sweep);
     }
@@ -1564,8 +1564,8 @@ sparse::SparseEstimate SparseChurnWorld::measure_inflight(
   // which happens at lookup boundaries -- never mid-route -- so the
   // cached-id kernels' carried identifiers cannot go stale in flight.
   const ChurnKernelCtx ctx = kernel_ctx();
-  StepResult (*step)(const ChurnKernelCtx&, NodeSlot, std::uint64_t,
-                     std::uint64_t) =
+  StepResult (*step_fn)(const ChurnKernelCtx&, NodeSlot, std::uint64_t,
+                        std::uint64_t) =
       geometry_ == SparseChurnGeometry::kKademlia ? &step_xor
                                                   : &step_clockwise;
   // In-flight route through the shared single-route core: the holder's
@@ -1577,7 +1577,7 @@ sparse::SparseEstimate SparseChurnWorld::measure_inflight(
   const auto sweep = [&] { advance_sweep(cursor, eph); };
   const auto route_to = [&](NodeSlot source, NodeSlot target,
                             sparse::SparseEstimate* rec) -> bool {
-    return route_one<true>(ctx, step, source, ctx.ids[source], target,
+    return route_one<true>(ctx, step_fn, source, ctx.ids[source], target,
                            ctx.ids[target], max_hops_, load_.data(), rec,
                            sweep);
   };

@@ -117,7 +117,7 @@ struct SparseChurnConfig {
   /// Session-length distribution of the lifecycle (churn/churn.hpp):
   /// geometric (memoryless, the historical model) or heavy-tailed Pareto
   /// with the same mean session 1/pd.
-  SessionModel session;
+  SessionModel session{};
   /// r-way object replication over the successor list: a GET succeeds when
   /// ANY of the object key's first r clockwise present holders is reached
   /// (attempt 0, toward the primary, is what the routing estimate records;
@@ -425,13 +425,13 @@ struct SparseChurnSweepSpec {
   int shortcuts = 6;
   /// Kademlia bucket width and session model, applied to every point.
   int bucket_k = 1;
-  SessionModel session;
+  SessionModel session{};
   /// Replication factor, object-popularity skew, and object count,
   /// applied to every point (SparseChurnConfig semantics).
   int replicas = 1;
   double zipf_s = 0.0;
   std::uint64_t objects = 0;
-  TrajectoryOptions options;
+  TrajectoryOptions options{};
   std::uint64_t seed = 1;
 };
 

@@ -58,6 +58,9 @@ struct PhaseProfile {
   }
   void merge(const PhaseProfile& other) noexcept {
     for (int i = 0; i < kPhaseCount; ++i) {
+      // Phase seconds are a scheduling-dependent timing side-channel,
+      // never part of the gated estimates.
+      // lint:allow(fp-merge) timing side-channel, not a gated estimate
       seconds[i] += other.seconds[i];
     }
   }

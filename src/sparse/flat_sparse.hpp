@@ -671,7 +671,7 @@ struct SparseParallelOptions {
   bool numa_replicate_tables = false;
   /// Heavy-traffic workload model (defaults fully off: the uniform-pair
   /// engine below is byte-for-byte the historical one).
-  SparseWorkloadOptions workload;
+  SparseWorkloadOptions workload{};
   /// Observability sinks (obs/phase_timer.hpp), both optional and both
   /// pure timing side-channels: the engine adds per-shard phase seconds
   /// (reduced in shard order) into `profile` and emits phase spans into

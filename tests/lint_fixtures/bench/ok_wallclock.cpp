@@ -1,0 +1,12 @@
+// Fixture: bench harnesses time themselves by design -- clock reads here
+// must NOT be flagged.
+#include <chrono>
+
+namespace dht::fixture {
+
+double bench_now() {
+  const auto t = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t.time_since_epoch()).count();
+}
+
+}  // namespace dht::fixture

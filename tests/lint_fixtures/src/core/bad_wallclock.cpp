@@ -1,0 +1,29 @@
+// Fixture: every ambient time/randomness read the `wallclock` rule names
+// must be flagged outside src/obs/ and bench/.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace dht::fixture {
+
+unsigned ambient_seed() {
+  std::random_device rd;  // expect: wallclock
+  return rd();
+}
+
+long ambient_epoch() {
+  return time(nullptr);  // expect: wallclock
+}
+
+int ambient_draw() {
+  srand(42);     // expect: wallclock
+  return rand();  // expect: wallclock
+}
+
+double ambient_now() {
+  const auto t = std::chrono::steady_clock::now();  // expect: wallclock
+  return std::chrono::duration<double>(t.time_since_epoch()).count();
+}
+
+}  // namespace dht::fixture

@@ -1,0 +1,12 @@
+// Fixture: src/obs/ is the observability layer -- clock reads here are its
+// purpose and must NOT be flagged.
+#include <chrono>
+
+namespace dht::fixture {
+
+double obs_now() {
+  const auto t = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t.time_since_epoch()).count();
+}
+
+}  // namespace dht::fixture

@@ -1,0 +1,13 @@
+// Fixture: a lint:allow without a reason suppresses the underlying rule but
+// is itself reported -- exceptions must stay self-documenting.
+#include <atomic>
+#include <cstdint>
+
+namespace dht::fixture {
+
+std::uint64_t quiet(std::atomic<std::uint64_t>& counter) {
+  // lint:allow(atomic-order)
+  return counter.load();  // expect: allow-missing-reason (not atomic-order)
+}
+
+}  // namespace dht::fixture

@@ -1,0 +1,21 @@
+// Fixture: atomic operations without an explicit std::memory_order must be
+// flagged -- the default is seq_cst, and this codebase documents every
+// atomic's ordering at the call site.
+#include <atomic>
+#include <cstdint>
+
+namespace dht::fixture {
+
+std::uint64_t bump(std::atomic<std::uint64_t>& counter) {
+  counter.fetch_add(1);           // expect: atomic-order
+  counter.store(7);               // expect: atomic-order
+  return counter.load();          // expect: atomic-order
+}
+
+// With the order spelled out the same calls are clean.
+std::uint64_t bump_relaxed(std::atomic<std::uint64_t>& counter) {
+  counter.fetch_add(1, std::memory_order_relaxed);
+  return counter.load(std::memory_order_relaxed);
+}
+
+}  // namespace dht::fixture

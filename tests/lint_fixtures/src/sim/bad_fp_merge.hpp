@@ -1,0 +1,38 @@
+// Fixture: floating point inside merge() members must be flagged -- FP
+// addition is not associative, so shard-order reduction stops being
+// bit-identical.  Both detection halves are exercised: a local fp
+// declaration inside merge(), and accumulation into an fp data member
+// that never names the type inside the body.
+#pragma once
+
+#include <cstdint>
+
+namespace dht::fixture {
+
+struct LocalFp {
+  std::uint64_t total = 0;
+
+  void merge(const LocalFp& other) {
+    double weight = 0.5;  // expect: fp-merge
+    total += static_cast<std::uint64_t>(weight * other.total);
+  }
+};
+
+struct MemberFp {
+  double mass[4] = {0, 0, 0, 0};
+
+  void merge(const MemberFp& other) {
+    for (int i = 0; i < 4; ++i) {
+      mass[i] += other.mass[i];  // expect: fp-merge (member accumulation)
+    }
+  }
+};
+
+// An integer merge next to fp members used elsewhere stays clean.
+struct CleanMerge {
+  std::uint64_t count = 0;
+
+  void merge(const CleanMerge& other) { count += other.count; }
+};
+
+}  // namespace dht::fixture

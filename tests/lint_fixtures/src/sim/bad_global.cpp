@@ -1,0 +1,17 @@
+// Fixture: mutable namespace-scope state in a kernel TU must be flagged --
+// shard workers re-enter these translation units concurrently.
+#include <cstdint>
+
+namespace dht::fixture {
+
+static std::uint64_t g_route_calls = 0;  // expect: kernel-global
+
+std::uint64_t count_route() { return ++g_route_calls; }
+
+// Const and constexpr namespace-scope state is fine.
+constexpr std::uint64_t kTableSize = 1u << 10;
+static const std::uint64_t kMask = kTableSize - 1;
+
+std::uint64_t masked(std::uint64_t x) { return x & kMask; }
+
+}  // namespace dht::fixture

@@ -1,0 +1,12 @@
+// Fixture: a lint:allow whose exception no longer exists is stale
+// documentation and must be reported.
+#include <cstdint>
+
+namespace dht::fixture {
+
+std::uint64_t nothing_to_allow(std::uint64_t x) {
+  // lint:allow(wallclock) there is no clock read here any more
+  return x + 1;  // expect: allow-missing-reason (stale annotation)
+}
+
+}  // namespace dht::fixture

@@ -1,0 +1,38 @@
+// Fixture: unordered-container use inside merge/estimate paths must be
+// flagged -- hash iteration order is unspecified, so any reduction over it
+// is schedule-dependent.
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace dht::fixture {
+
+struct Estimate {
+  std::uint64_t routed = 0;
+
+  void merge(const Estimate& other) {
+    std::unordered_set<std::uint64_t> seen;  // expect: unordered-iter
+    routed += other.routed + seen.size();
+  }
+};
+
+std::uint64_t estimate_buckets(std::uint64_t n) {
+  std::unordered_map<std::uint64_t, std::uint64_t> counts;  // expect: unordered-iter
+  for (std::uint64_t i = 0; i < n; ++i) {
+    ++counts[i % 7];
+  }
+  std::uint64_t sum = 0;
+  for (const auto& [key, value] : counts) {
+    sum += key ^ value;
+  }
+  return sum;
+}
+
+// Outside a merge/estimate path the same container is fine.
+std::uint64_t lookup_helper(std::uint64_t n) {
+  std::unordered_set<std::uint64_t> seen;
+  seen.insert(n);
+  return seen.size();
+}
+
+}  // namespace dht::fixture

@@ -1,0 +1,14 @@
+// Fixture: a lint:allow annotation with a reason suppresses the finding --
+// the escape hatch must keep intentional exceptions clean.
+#include <atomic>
+#include <cstdint>
+
+namespace dht::fixture {
+
+std::uint64_t handshake(std::atomic<std::uint64_t>& flag) {
+  // lint:allow(atomic-order) release/acquire pair documented in fixture
+  flag.store(1);
+  return flag.load(std::memory_order_acquire);
+}
+
+}  // namespace dht::fixture

@@ -1,0 +1,30 @@
+// Fixture: idiomatic deterministic kernel code -- relaxed documented
+// atomics, const namespace-scope tables, integer merges -- must produce
+// zero findings.
+#include <atomic>
+#include <cstdint>
+
+namespace dht::fixture {
+
+constexpr std::uint64_t kLanes = 8;
+static const std::uint64_t kSeedSalt = 0x9e3779b97f4a7c15ull;
+
+struct Estimate {
+  std::uint64_t attempts = 0;
+  std::uint64_t delivered = 0;
+
+  void merge(const Estimate& other) noexcept {
+    attempts += other.attempts;
+    delivered += other.delivered;
+  }
+};
+
+void record(std::atomic<std::uint64_t>* load, std::uint64_t slot) {
+  load[slot].fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t lane_key(std::uint64_t shard, std::uint64_t lane) {
+  return (shard * kLanes + lane) ^ kSeedSalt;
+}
+
+}  // namespace dht::fixture

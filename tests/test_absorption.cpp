@@ -86,7 +86,9 @@ TEST(AbsorptionDense, GamblersRuin) {
   Chain chain;
   std::vector<StateId> s;
   for (int i = 0; i <= 4; ++i) {
-    s.push_back(chain.add_state("s" + std::to_string(i)));
+    std::string name = "s";
+    name += std::to_string(i);
+    s.push_back(chain.add_state(name));
   }
   for (int i = 1; i <= 3; ++i) {
     chain.add_transition(s[i], s[i + 1], p);
@@ -140,7 +142,9 @@ TEST(Walker, GamblersRuinEstimate) {
   Chain chain;
   std::vector<StateId> s;
   for (int i = 0; i <= 4; ++i) {
-    s.push_back(chain.add_state("s" + std::to_string(i)));
+    std::string name = "s";
+    name += std::to_string(i);
+    s.push_back(chain.add_state(name));
   }
   for (int i = 1; i <= 3; ++i) {
     chain.add_transition(s[i], s[i + 1], p);

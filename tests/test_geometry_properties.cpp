@@ -32,9 +32,9 @@ INSTANTIATE_TEST_SUITE_P(
     Grid, GeometryProperties,
     ::testing::Combine(::testing::ValuesIn(all_geometry_kinds()),
                        ::testing::Values(0.05, 0.1, 0.25, 0.5, 0.75, 0.9)),
-    [](const auto& info) {
-      return std::string(to_string(std::get<0>(info.param))) + "_q" +
-             std::to_string(static_cast<int>(std::get<1>(info.param) * 100));
+    [](const auto& test_info) {
+      return std::string(to_string(std::get<0>(test_info.param))) + "_q" +
+             std::to_string(static_cast<int>(std::get<1>(test_info.param) * 100));
     });
 
 TEST_P(GeometryProperties, PhaseFailureIsAProbability) {

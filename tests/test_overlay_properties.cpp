@@ -78,9 +78,9 @@ class OverlayProperties : public ::testing::TestWithParam<size_t> {
 
 INSTANTIATE_TEST_SUITE_P(AllOverlays, OverlayProperties,
                          ::testing::Range<size_t>(0, 7),
-                         [](const auto& info) {
+                         [](const auto& test_info) {
                            static const auto cases = all_cases();
-                           return cases[info.param].label;
+                           return cases[test_info.param].label;
                          });
 
 TEST_P(OverlayProperties, NoSelfLinks) {

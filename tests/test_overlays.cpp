@@ -205,8 +205,8 @@ class ChordBothVariants : public ::testing::TestWithParam<ChordFingers> {};
 INSTANTIATE_TEST_SUITE_P(Variants, ChordBothVariants,
                          ::testing::Values(ChordFingers::kDeterministic,
                                            ChordFingers::kRandomized),
-                         [](const auto& info) {
-                           return info.param == ChordFingers::kDeterministic
+                         [](const auto& test_info) {
+                           return test_info.param == ChordFingers::kDeterministic
                                       ? "deterministic"
                                       : "randomized";
                          });

@@ -15,8 +15,8 @@ class RoutabilityAllGeometries
 
 INSTANTIATE_TEST_SUITE_P(AllKinds, RoutabilityAllGeometries,
                          ::testing::ValuesIn(all_geometry_kinds()),
-                         [](const auto& info) {
-                           return std::string(to_string(info.param));
+                         [](const auto& test_info) {
+                           return std::string(to_string(test_info.param));
                          });
 
 TEST_P(RoutabilityAllGeometries, PerfectNetworkIsFullyRoutable) {

@@ -31,8 +31,8 @@ class ScalabilityAllGeometries
 
 INSTANTIATE_TEST_SUITE_P(AllKinds, ScalabilityAllGeometries,
                          ::testing::ValuesIn(all_geometry_kinds()),
-                         [](const auto& info) {
-                           return std::string(to_string(info.param));
+                         [](const auto& test_info) {
+                           return std::string(to_string(test_info.param));
                          });
 
 TEST_P(ScalabilityAllGeometries, NumericDiagnosisAgreesWithAnalytic) {
